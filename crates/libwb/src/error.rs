@@ -1,0 +1,80 @@
+//! Error type shared by the support library.
+
+use std::fmt;
+
+/// Errors raised while importing, exporting, or validating datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WbError {
+    /// A dataset file or stream could not be parsed.
+    Parse {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Dimensions in a header disagreed with the payload, or two
+    /// datasets being combined had incompatible shapes.
+    Shape(String),
+    /// A dataset kind was valid but not the one the caller expected
+    /// (e.g. a matrix where a vector was required).
+    Kind {
+        /// Dataset kind the caller expected.
+        expected: &'static str,
+        /// Dataset kind actually present.
+        found: &'static str,
+    },
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for WbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WbError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            WbError::Shape(msg) => write!(f, "shape error: {msg}"),
+            WbError::Kind { expected, found } => {
+                write!(f, "expected {expected} dataset, found {found}")
+            }
+            WbError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WbError {}
+
+impl WbError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, reason: impl Into<String>) -> Self {
+        WbError::Parse {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            WbError::parse(3, "bad float").to_string(),
+            "parse error at line 3: bad float"
+        );
+        assert_eq!(
+            WbError::Shape("2x3 vs 3x2".into()).to_string(),
+            "shape error: 2x3 vs 3x2"
+        );
+        assert_eq!(
+            WbError::Kind {
+                expected: "vector",
+                found: "matrix"
+            }
+            .to_string(),
+            "expected vector dataset, found matrix"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests on the support library's core invariants.
+
+use libwb::{check, gen, CheckPolicy, CsrGraph, CsrMatrix, Dataset, Image};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Normal finite floats plus exact zero; the text format
+    // round-trips all of them exactly.
+    prop_oneof![prop::num::f32::NORMAL, Just(0.0f32)]
+        .prop_filter("finite", |x| x.is_finite())
+}
+
+fn vector_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(finite_f32(), 0..64).prop_map(Dataset::Vector)
+}
+
+fn int_vector_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(any::<i32>(), 0..64).prop_map(Dataset::IntVector)
+}
+
+fn matrix_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        prop::collection::vec(finite_f32(), r * c)
+            .prop_map(move |data| Dataset::Matrix {
+                rows: r,
+                cols: c,
+                data,
+            })
+    })
+}
+
+fn image_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..6, 1usize..6, 1usize..4).prop_flat_map(|(w, h, ch)| {
+        prop::collection::vec(finite_f32(), w * h * ch).prop_map(move |data| {
+            Dataset::Image(Image::from_data(w, h, ch, data).expect("consistent"))
+        })
+    })
+}
+
+fn any_dataset() -> impl Strategy<Value = Dataset> {
+    prop_oneof![
+        vector_dataset(),
+        int_vector_dataset(),
+        matrix_dataset(),
+        image_dataset(),
+        finite_f32().prop_map(Dataset::Scalar),
+    ]
+}
+
+proptest! {
+    /// The text interchange format round-trips every dataset exactly.
+    #[test]
+    fn dataset_text_format_roundtrips(d in any_dataset()) {
+        let text = d.export();
+        let back = Dataset::import(&text).expect("import");
+        prop_assert_eq!(back, d);
+    }
+
+    /// Comparing a dataset against itself always passes, under any
+    /// tolerance (reflexivity) — for finite data.
+    #[test]
+    fn compare_is_reflexive(d in any_dataset(), abs in 0.0f32..1.0, rel in 0.0f32..1.0) {
+        let policy = CheckPolicy { abs_tol: abs, rel_tol: rel, max_reported: 5 };
+        let report = check::compare(&d, &d, &policy);
+        prop_assert!(report.passed(), "{}", report.summary());
+    }
+
+    /// The number of reported mismatches never exceeds the cap, and
+    /// the mismatch count never exceeds the element count.
+    #[test]
+    fn mismatch_reporting_is_bounded(
+        a in prop::collection::vec(finite_f32(), 0..64),
+        b in prop::collection::vec(finite_f32(), 0..64),
+        cap in 1usize..8,
+    ) {
+        let policy = CheckPolicy { abs_tol: 0.0, rel_tol: 0.0, max_reported: cap };
+        let n = a.len().min(b.len());
+        let report = check::compare(
+            &Dataset::Vector(a[..n].to_vec()),
+            &Dataset::Vector(b[..n].to_vec()),
+            &policy,
+        );
+        prop_assert!(report.mismatches.len() <= cap);
+        prop_assert!(report.mismatch_count <= n);
+    }
+
+    /// Widening the tolerance never turns a pass into a failure.
+    #[test]
+    fn tolerance_is_monotone(
+        pairs in prop::collection::vec((finite_f32(), finite_f32()), 1..32),
+        t1 in 0.0f32..0.5,
+        t2 in 0.0f32..0.5,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let got = Dataset::Vector(pairs.iter().map(|p| p.0).collect());
+        let want = Dataset::Vector(pairs.iter().map(|p| p.1).collect());
+        let tight = CheckPolicy { abs_tol: lo, rel_tol: 0.0, max_reported: 1 };
+        let loose = CheckPolicy { abs_tol: hi, rel_tol: 0.0, max_reported: 1 };
+        let tight_mis = check::compare(&got, &want, &tight).mismatch_count;
+        let loose_mis = check::compare(&got, &want, &loose).mismatch_count;
+        prop_assert!(loose_mis <= tight_mis);
+    }
+
+    /// CSR from_dense/to_dense is the identity on dense matrices.
+    #[test]
+    fn csr_dense_roundtrip(
+        (r, c) in (1usize..8, 1usize..8),
+        seed in any::<u64>(),
+    ) {
+        let dense = gen::random_matrix(r, c, seed);
+        let m = CsrMatrix::from_dense(r, c, &dense).expect("build");
+        prop_assert_eq!(m.to_dense(), dense);
+    }
+
+    /// SpMV against the dense product.
+    #[test]
+    fn spmv_matches_dense_product(
+        (r, c) in (1usize..8, 1usize..8),
+        seed in any::<u64>(),
+    ) {
+        let dense = gen::random_matrix(r, c, seed);
+        let x = gen::random_vector(c, seed ^ 0xabc);
+        let m = CsrMatrix::from_dense(r, c, &dense).expect("build");
+        let y = m.spmv(&x).expect("shapes");
+        for i in 0..r {
+            let want: f32 = (0..c).map(|j| dense[i * c + j] * x[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-3, "row {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    /// BFS levels satisfy the frontier invariant: along every edge
+    /// (u, v), level[v] <= level[u] + 1 when u is reachable, and the
+    /// source has level 0.
+    #[test]
+    fn bfs_levels_are_consistent(n in 1usize..30, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = gen::random_graph(n, p, seed);
+        let levels = g.bfs_levels(0).expect("source valid");
+        prop_assert_eq!(levels[0], 0);
+        for u in 0..n {
+            if levels[u] < 0 { continue; }
+            for &v in g.out(u) {
+                prop_assert!(levels[v] >= 0, "neighbor of reachable is reachable");
+                prop_assert!(levels[v] <= levels[u] + 1);
+            }
+        }
+        // Every reachable non-source vertex has a predecessor one
+        // level up.
+        for v in 1..n {
+            if levels[v] > 0 {
+                let has_parent = (0..n).any(|u| {
+                    levels[u] == levels[v] - 1 && g.out(u).contains(&v)
+                });
+                prop_assert!(has_parent, "vertex {v} at level {}", levels[v]);
+            }
+        }
+    }
+
+    /// Connected-graph generation really is connected from node 0.
+    #[test]
+    fn connected_graphs_are_connected(n in 1usize..40, p in 0.0f64..0.2, seed in any::<u64>()) {
+        let g = gen::random_connected_graph(n, p, seed);
+        let levels = g.bfs_levels(0).expect("source valid");
+        prop_assert!(levels.iter().all(|&l| l >= 0));
+    }
+
+    /// Generators are pure functions of (size, seed).
+    #[test]
+    fn generators_are_deterministic(n in 0usize..128, seed in any::<u64>()) {
+        prop_assert_eq!(gen::random_vector(n, seed), gen::random_vector(n, seed));
+        prop_assert_eq!(
+            gen::random_int_vector(n, 100, seed),
+            gen::random_int_vector(n, 100, seed)
+        );
+    }
+
+    /// Graph CSR invariants hold for generated graphs.
+    #[test]
+    fn generated_graph_invariants(n in 1usize..30, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = gen::random_graph(n, p, seed);
+        prop_assert_eq!(g.row_ptr().len(), n + 1);
+        prop_assert_eq!(*g.row_ptr().last().unwrap(), g.num_edges());
+        // Rebuilding through the constructor revalidates everything.
+        let rebuilt = CsrGraph::new(n, g.row_ptr().to_vec(), g.neighbors().to_vec());
+        prop_assert!(rebuilt.is_ok());
+    }
+}

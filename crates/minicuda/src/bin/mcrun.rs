@@ -1,0 +1,171 @@
+//! `mcrun` — the offline development runner (§IV-C).
+//!
+//! The paper publishes the lab skeletons, test generators, and the
+//! libwb support library so students can develop offline; this CLI is
+//! the equivalent harness for the simulated toolchain:
+//!
+//! ```sh
+//! mcrun solution.cu datasets/            # run against input*.raw
+//! mcrun --dialect opencl kernel.cl data/ # OpenCL surface
+//! mcrun --ranks 2 mpi_lab.cu data/       # MPI labs
+//! ```
+//!
+//! The dataset directory uses the libwb text format: `input0.raw`,
+//! `input1.raw`, … are program inputs in `wbImport` index order;
+//! an optional `expected.raw` is compared against the program's
+//! `wbSolution` output.
+
+use libwb::{check, CheckPolicy, Dataset};
+use minicuda::{compile, Dialect, RunOptions};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    source: PathBuf,
+    datasets: Option<PathBuf>,
+    dialect: Dialect,
+    ranks: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut source = None;
+    let mut datasets = None;
+    let mut dialect = Dialect::Cuda;
+    let mut ranks = 1usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dialect" => {
+                let v = it.next().ok_or("--dialect needs a value")?;
+                dialect = Dialect::parse(&v)
+                    .ok_or_else(|| format!("unknown dialect {v:?} (cuda|opencl|openacc)"))?;
+            }
+            "--ranks" => {
+                let v = it.next().ok_or("--ranks needs a value")?;
+                ranks = v.parse().map_err(|_| format!("bad rank count {v:?}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: mcrun [--dialect cuda|opencl|openacc] [--ranks N] <source> [dataset-dir]"
+                    .to_string())
+            }
+            other if source.is_none() => source = Some(PathBuf::from(other)),
+            other if datasets.is_none() => datasets = Some(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        source: source.ok_or("missing source file (try --help)")?,
+        datasets,
+        dialect,
+        ranks,
+    })
+}
+
+fn load_datasets(dir: &Path) -> Result<(Vec<Dataset>, Option<Dataset>), String> {
+    let mut inputs = Vec::new();
+    for i in 0.. {
+        let path = dir.join(format!("input{i}.raw"));
+        if !path.exists() {
+            break;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        inputs.push(Dataset::import(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    let expected_path = dir.join("expected.raw");
+    let expected = if expected_path.exists() {
+        let text = std::fs::read_to_string(&expected_path)
+            .map_err(|e| format!("{}: {e}", expected_path.display()))?;
+        Some(Dataset::import(&text).map_err(|e| format!("{}: {e}", expected_path.display()))?)
+    } else {
+        None
+    };
+    Ok((inputs, expected))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let source = match std::fs::read_to_string(&args.source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", args.source.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let program = match compile(&source, args.dialect) {
+        Ok(p) => p,
+        Err(d) => {
+            eprintln!("{}: {d}", args.source.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "compiled {} ({} kernel(s): {})",
+        args.source.display(),
+        program.kernels().len(),
+        program.kernels().join(", ")
+    );
+
+    let (inputs, expected) = match &args.datasets {
+        Some(dir) => match load_datasets(dir) {
+            Ok(x) => x,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (Vec::new(), None),
+    };
+    println!("loaded {} input dataset(s)", inputs.len());
+
+    let opts = RunOptions {
+        world_size: args.ranks,
+        ..RunOptions::default()
+    };
+    let out = minicuda::run(&program, &inputs, &opts);
+
+    print!("{}", out.log.render());
+    print!("{}", out.timer.report());
+    println!(
+        "cost: {} kernel launch(es), {} warp-instructions, {} global transactions, {} cycles",
+        out.cost.kernel_launches,
+        out.cost.warp_instructions,
+        out.cost.global_transactions,
+        out.elapsed_cycles
+    );
+
+    if let Some(err) = &out.error {
+        eprintln!("runtime failure: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("exit code: {}", out.exit_code);
+
+    match (out.solution, expected) {
+        (Some(sol), Some(exp)) => {
+            let report = check::compare(&sol, &exp, &CheckPolicy::default());
+            println!("{}", report.summary());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        (Some(sol), None) => {
+            println!("solution produced ({} values); no expected.raw to compare", sol.len());
+            ExitCode::SUCCESS
+        }
+        (None, Some(_)) => {
+            eprintln!("program never called wbSolution but expected.raw exists");
+            ExitCode::FAILURE
+        }
+        (None, None) => ExitCode::SUCCESS,
+    }
+}

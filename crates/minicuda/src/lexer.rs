@@ -1,0 +1,359 @@
+//! Hand-written lexer.
+//!
+//! Nothing exotic: maximal-munch operators (including the CUDA launch
+//! brackets `<<<` / `>>>`), C numeric literals with optional `f`
+//! suffixes, and `#pragma acc parallel loop` lines folded into a single
+//! token for the OpenACC front end.
+
+use crate::diag::{Diag, Phase, Pos};
+use crate::token::{Tok, Token};
+
+/// Tokenize preprocessed source.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                pos: Pos::new(line, col),
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let rest = &source[i..];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                // Only `#pragma` survives preprocessing.
+                let eol = rest.find('\n').map(|k| i + k).unwrap_or(bytes.len());
+                let text = &source[i..eol];
+                if text.contains("acc") && text.contains("parallel") && text.contains("loop") {
+                    tokens.push(Token {
+                        kind: Tok::PragmaAccParallelLoop,
+                        pos: Pos::new(line, col),
+                    });
+                } else {
+                    return Err(Diag::new(
+                        Phase::Lex,
+                        Pos::new(line, col),
+                        format!("unsupported pragma: {text:?} (only `#pragma acc parallel loop`)"),
+                    ));
+                }
+                col += (eol - i) as u32;
+                i = eol;
+            }
+            '"' => {
+                let start_pos = Pos::new(line, col);
+                let mut s = String::new();
+                let mut k = i + 1;
+                loop {
+                    if k >= bytes.len() || bytes[k] == b'\n' {
+                        return Err(Diag::new(Phase::Lex, start_pos, "unterminated string"));
+                    }
+                    match bytes[k] {
+                        b'"' => break,
+                        b'\\' => {
+                            k += 1;
+                            if k >= bytes.len() {
+                                return Err(Diag::new(Phase::Lex, start_pos, "unterminated string"));
+                            }
+                            s.push(match bytes[k] {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'0' => '\0',
+                                other => {
+                                    return Err(Diag::new(
+                                        Phase::Lex,
+                                        start_pos,
+                                        format!("unknown escape \\{}", other as char),
+                                    ))
+                                }
+                            });
+                            k += 1;
+                        }
+                        other => {
+                            s.push(other as char);
+                            k += 1;
+                        }
+                    }
+                }
+                let len = k + 1 - i;
+                tokens.push(Token {
+                    kind: Tok::Str(s),
+                    pos: start_pos,
+                });
+                i += len;
+                col += len as u32;
+            }
+            _ if c.is_ascii_digit() || (c == '.' && rest.len() > 1 && bytes[i + 1].is_ascii_digit()) => {
+                let (tok, len) = lex_number(rest, Pos::new(line, col))?;
+                push!(tok, len);
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut k = i;
+                while k < bytes.len()
+                    && ((bytes[k] as char).is_ascii_alphanumeric() || bytes[k] == b'_')
+                {
+                    k += 1;
+                }
+                let word = source[i..k].to_string();
+                let len = k - i;
+                push!(Tok::Ident(word), len);
+            }
+            _ => {
+                // Maximal munch over the operator table.
+                let three = rest.get(..3).unwrap_or("");
+                let two = rest.get(..2).unwrap_or("");
+                let (tok, len) = match three {
+                    "<<<" => (Tok::LaunchOpen, 3),
+                    ">>>" => (Tok::LaunchClose, 3),
+                    "<<=" => (Tok::ShlEq, 3),
+                    ">>=" => (Tok::ShrEq, 3),
+                    _ => match two {
+                        "==" => (Tok::EqEq, 2),
+                        "!=" => (Tok::NotEq, 2),
+                        "<=" => (Tok::Le, 2),
+                        ">=" => (Tok::Ge, 2),
+                        "<<" => (Tok::Shl, 2),
+                        ">>" => (Tok::Shr, 2),
+                        "&&" => (Tok::AmpAmp, 2),
+                        "||" => (Tok::PipePipe, 2),
+                        "+=" => (Tok::PlusEq, 2),
+                        "-=" => (Tok::MinusEq, 2),
+                        "*=" => (Tok::StarEq, 2),
+                        "/=" => (Tok::SlashEq, 2),
+                        "%=" => (Tok::PercentEq, 2),
+                        "&=" => (Tok::AmpEq, 2),
+                        "|=" => (Tok::PipeEq, 2),
+                        "^=" => (Tok::CaretEq, 2),
+                        "++" => (Tok::PlusPlus, 2),
+                        "--" => (Tok::MinusMinus, 2),
+                        _ => match c {
+                            '(' => (Tok::LParen, 1),
+                            ')' => (Tok::RParen, 1),
+                            '{' => (Tok::LBrace, 1),
+                            '}' => (Tok::RBrace, 1),
+                            '[' => (Tok::LBracket, 1),
+                            ']' => (Tok::RBracket, 1),
+                            ';' => (Tok::Semi, 1),
+                            ',' => (Tok::Comma, 1),
+                            '.' => (Tok::Dot, 1),
+                            '&' => (Tok::Amp, 1),
+                            '|' => (Tok::Pipe, 1),
+                            '^' => (Tok::Caret, 1),
+                            '!' => (Tok::Bang, 1),
+                            '~' => (Tok::Tilde, 1),
+                            '+' => (Tok::Plus, 1),
+                            '-' => (Tok::Minus, 1),
+                            '*' => (Tok::Star, 1),
+                            '/' => (Tok::Slash, 1),
+                            '%' => (Tok::Percent, 1),
+                            '=' => (Tok::Eq, 1),
+                            '<' => (Tok::Lt, 1),
+                            '>' => (Tok::Gt, 1),
+                            '?' => (Tok::Question, 1),
+                            ':' => (Tok::Colon, 1),
+                            other => {
+                                return Err(Diag::new(
+                                    Phase::Lex,
+                                    Pos::new(line, col),
+                                    format!("unexpected character {other:?}"),
+                                ))
+                            }
+                        },
+                    },
+                };
+                push!(tok, len);
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: Tok::Eof,
+        pos: Pos::new(line, col),
+    });
+    Ok(tokens)
+}
+
+/// Lex one numeric literal starting at the beginning of `s`.
+fn lex_number(s: &str, pos: Pos) -> Result<(Tok, usize), Diag> {
+    let bytes = s.as_bytes();
+    let mut k = 0;
+    let mut is_float = false;
+    // Hex integers.
+    if s.starts_with("0x") || s.starts_with("0X") {
+        k = 2;
+        while k < bytes.len() && (bytes[k] as char).is_ascii_hexdigit() {
+            k += 1;
+        }
+        let v = i64::from_str_radix(&s[2..k], 16)
+            .map_err(|_| Diag::new(Phase::Lex, pos, "invalid hex literal"))?;
+        return Ok((Tok::Int(v), k));
+    }
+    while k < bytes.len() && bytes[k].is_ascii_digit() {
+        k += 1;
+    }
+    if k < bytes.len() && bytes[k] == b'.' {
+        is_float = true;
+        k += 1;
+        while k < bytes.len() && bytes[k].is_ascii_digit() {
+            k += 1;
+        }
+    }
+    if k < bytes.len() && (bytes[k] == b'e' || bytes[k] == b'E') {
+        let mut j = k + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            k = j;
+            while k < bytes.len() && bytes[k].is_ascii_digit() {
+                k += 1;
+            }
+        }
+    }
+    let text = &s[..k];
+    let mut len = k;
+    if k < bytes.len() && (bytes[k] == b'f' || bytes[k] == b'F') {
+        is_float = true;
+        len += 1;
+    }
+    if is_float {
+        let v: f32 = text
+            .parse()
+            .map_err(|_| Diag::new(Phase::Lex, pos, format!("invalid float literal {text:?}")))?;
+        Ok((Tok::Float(v), len))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| Diag::new(Phase::Lex, pos, format!("invalid integer literal {text:?}")))?;
+        Ok((Tok::Int(v), len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn launch_brackets_lex_greedily() {
+        let k = kinds("k<<<1, 2>>>();");
+        assert!(k.contains(&Tok::LaunchOpen));
+        assert!(k.contains(&Tok::LaunchClose));
+    }
+
+    #[test]
+    fn shift_operators_still_work() {
+        assert_eq!(kinds("a >> 1")[1], Tok::Shr);
+        assert_eq!(kinds("a >>= 1")[1], Tok::ShrEq);
+        assert_eq!(kinds("a << 1")[1], Tok::Shl);
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("1.5")[0], Tok::Float(1.5));
+        assert_eq!(kinds("2.0f")[0], Tok::Float(2.0));
+        assert_eq!(kinds("1e3")[0], Tok::Float(1000.0));
+        assert_eq!(kinds("1.5e-2")[0], Tok::Float(0.015));
+        assert_eq!(kinds(".25")[0], Tok::Float(0.25));
+        assert_eq!(kinds("3f")[0], Tok::Float(3.0));
+    }
+
+    #[test]
+    fn int_literals() {
+        assert_eq!(kinds("0x10")[0], Tok::Int(16));
+        assert_eq!(kinds("007")[0], Tok::Int(7));
+    }
+
+    #[test]
+    fn dot_member_access() {
+        assert_eq!(
+            kinds("threadIdx.x")[..3],
+            [
+                Tok::Ident("threadIdx".into()),
+                Tok::Dot,
+                Tok::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds("\"a\\n\\\"b\\\"\"")[0], Tok::Str("a\n\"b\"".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        let err = lex("int x = $;").unwrap_err();
+        assert_eq!(err.phase, Phase::Lex);
+        assert_eq!(err.pos.col, 9);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("int\nx").unwrap();
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 1));
+    }
+
+    #[test]
+    fn acc_pragma_folds_to_token() {
+        let k = kinds("#pragma acc parallel loop\nfor(;;) {}");
+        assert_eq!(k[0], Tok::PragmaAccParallelLoop);
+    }
+
+    #[test]
+    fn other_pragma_rejected() {
+        assert!(lex("#pragma omp parallel\n").is_err());
+    }
+
+    #[test]
+    fn increment_and_compound_assign() {
+        assert_eq!(kinds("i++")[1], Tok::PlusPlus);
+        assert_eq!(kinds("i += 2")[1], Tok::PlusEq);
+        assert_eq!(kinds("i <<= 2")[1], Tok::ShlEq);
+    }
+}

@@ -1,0 +1,322 @@
+//! A miniature C preprocessor.
+//!
+//! Supports exactly what the lab corpus needs: comment stripping
+//! (line-position preserving), `#include` (ignored — `wb.h` is built
+//! in), and object-like `#define NAME TOKENS` macros with recursive
+//! expansion. Function-like macros are rejected with a student-readable
+//! message rather than silently mis-expanding.
+//!
+//! The sandbox's blacklist scanner (see `wb-sandbox`) runs over the raw,
+//! *unpreprocessed* text — the paper notes this rejects blacklisted
+//! strings even inside comments and documents the false positives — so
+//! this module deliberately plays no security role.
+
+use crate::diag::{Diag, Phase, Pos};
+use std::collections::HashMap;
+
+/// Strip comments and expand `#define`s, preserving line structure so
+/// later diagnostics still point at the student's original lines.
+pub fn preprocess(source: &str) -> Result<String, Diag> {
+    let decommented = strip_comments(source)?;
+    expand_macros(&decommented)
+}
+
+/// Replace `//` and `/* */` comments with spaces (newlines inside block
+/// comments are kept so line numbers stay aligned). String literals are
+/// respected: comment markers inside them are untouched.
+pub fn strip_comments(source: &str) -> Result<String, Diag> {
+    let mut out = String::with_capacity(source.len());
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'"' => {
+                // Copy string literal verbatim.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        out.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    if bytes[i] == b'\n' {
+                        return Err(Diag::new(
+                            Phase::Preprocess,
+                            Pos::new(line, 1),
+                            "unterminated string literal",
+                        ));
+                    }
+                    out.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Diag::new(
+                        Phase::Preprocess,
+                        Pos::new(line, 1),
+                        "unterminated string literal",
+                    ));
+                }
+                out.push('"');
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                out.push(' ');
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Diag::new(
+                            Phase::Preprocess,
+                            Pos::new(start_line, 1),
+                            "unterminated block comment",
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        out.push('\n');
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn expand_macros(source: &str) -> Result<String, Diag> {
+    let mut macros: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(source.len());
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let trimmed = raw_line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(def) = rest.strip_prefix("define") {
+                let def = def.trim_start();
+                let name_end = def
+                    .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .unwrap_or(def.len());
+                let name = &def[..name_end];
+                if name.is_empty() {
+                    return Err(Diag::new(
+                        Phase::Preprocess,
+                        Pos::new(lineno, 1),
+                        "#define requires a macro name",
+                    ));
+                }
+                if def[name_end..].starts_with('(') {
+                    return Err(Diag::new(
+                        Phase::Preprocess,
+                        Pos::new(lineno, 1),
+                        format!("function-like macro {name:?} is not supported; use a __device__ function"),
+                    ));
+                }
+                let body = def[name_end..].trim().to_string();
+                macros.insert(name.to_string(), body);
+                out.push('\n'); // keep line numbering
+                continue;
+            }
+            if rest.starts_with("include") || rest.starts_with("pragma") {
+                // `#include "wb.h"` is a no-op; `#pragma` lines pass
+                // through for the OpenACC front end, marked for the lexer.
+                if rest.starts_with("pragma") {
+                    out.push_str(raw_line);
+                }
+                out.push('\n');
+                continue;
+            }
+            return Err(Diag::new(
+                Phase::Preprocess,
+                Pos::new(lineno, 1),
+                format!("unsupported preprocessor directive: #{}", rest.split_whitespace().next().unwrap_or("")),
+            ));
+        }
+        out.push_str(&substitute(raw_line, &macros, lineno)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Substitute object macros in one line, token-ishly: identifiers are
+/// matched whole, string literals are skipped. Expansion is iterated so
+/// macros may reference earlier macros; a depth cap catches cycles.
+fn substitute(line: &str, macros: &HashMap<String, String>, lineno: u32) -> Result<String, Diag> {
+    if macros.is_empty() {
+        return Ok(line.to_string());
+    }
+    let mut current = line.to_string();
+    for _round in 0..16 {
+        let mut changed = false;
+        let mut out = String::with_capacity(current.len());
+        let bytes = current.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c == '"' {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        out.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    out.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    out.push('"');
+                    i += 1;
+                }
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &current[start..i];
+                if let Some(body) = macros.get(word) {
+                    out.push_str(body);
+                    changed = true;
+                } else {
+                    out.push_str(word);
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        if !changed {
+            return Ok(out);
+        }
+        current = out;
+    }
+    Err(Diag::new(
+        Phase::Preprocess,
+        Pos::new(lineno, 1),
+        "macro expansion did not terminate (recursive #define?)",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_removed() {
+        let out = preprocess("int x; // remove me\nint y;\n").unwrap();
+        assert!(out.contains("int x;"));
+        assert!(!out.contains("remove"));
+        assert!(out.contains("int y;"));
+    }
+
+    #[test]
+    fn block_comments_preserve_lines() {
+        let out = preprocess("a /* one\ntwo\nthree */ b\nc\n").unwrap();
+        // 'b' still on line 3, 'c' on line 4.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains('a'));
+        assert!(lines[2].contains('b'));
+        assert!(lines[3].contains('c'));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_kept() {
+        let out = preprocess("wbLog(TRACE, \"http://x // not comment\");\n").unwrap();
+        assert!(out.contains("http://x // not comment"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(preprocess("int x; /* oops\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(preprocess("char* s = \"oops\n").is_err());
+    }
+
+    #[test]
+    fn object_macro_expands() {
+        let out = preprocess("#define TILE 16\nint x = TILE * TILE;\n").unwrap();
+        assert!(out.contains("int x = 16 * 16;"));
+    }
+
+    #[test]
+    fn macro_does_not_expand_substrings() {
+        let out = preprocess("#define N 8\nint NN = N;\n").unwrap();
+        assert!(out.contains("int NN = 8;"));
+    }
+
+    #[test]
+    fn macro_chains_expand() {
+        let out = preprocess("#define A 4\n#define B A\nint x = B;\n").unwrap();
+        assert!(out.contains("int x = 4;"));
+    }
+
+    #[test]
+    fn recursive_macro_rejected() {
+        // Real cpp leaves self-references unexpanded; we reject with a
+        // clear message instead, which is kinder for students.
+        let src = "#define A B\n#define B A\nint x = A;\n";
+        assert!(preprocess(src).is_err());
+    }
+
+    #[test]
+    fn function_like_macro_rejected() {
+        let err = preprocess("#define SQ(x) ((x)*(x))\n").unwrap_err();
+        assert!(err.message.contains("function-like"));
+    }
+
+    #[test]
+    fn include_ignored() {
+        let out = preprocess("#include \"wb.h\"\nint main() { return 0; }\n").unwrap();
+        assert!(!out.contains("include"));
+        assert!(out.contains("int main"));
+    }
+
+    #[test]
+    fn pragma_passes_through() {
+        let out = preprocess("#pragma acc parallel loop\nfor (;;) {}\n").unwrap();
+        assert!(out.contains("#pragma acc parallel loop"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(preprocess("#ifdef FOO\n").is_err());
+    }
+
+    #[test]
+    fn define_keeps_line_numbers() {
+        let out = preprocess("#define X 1\nint a = X;\n").unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "");
+        assert!(lines[1].contains("int a = 1;"));
+    }
+
+    #[test]
+    fn macro_not_expanded_in_string() {
+        let out = preprocess("#define N 8\nwbLog(TRACE, \"N\");\n").unwrap();
+        assert!(out.contains("\"N\""));
+    }
+}

@@ -1,0 +1,1190 @@
+//! SIMT kernel execution: one block at a time, all threads in lockstep.
+//!
+//! The interpreter models CUDA's execution model directly instead of
+//! approximating it with one OS thread per GPU thread:
+//!
+//! * every expression/statement is evaluated **for all threads of the
+//!   block at once** over an *active mask* — exactly how a SIMT machine
+//!   issues instructions;
+//! * `if`/`while`/`for` partition the mask; a warp whose lanes disagree
+//!   is counted as a **divergent branch** and both paths are charged;
+//! * `__syncthreads()` under a partial mask is a **barrier divergence**
+//!   error (undefined behaviour on real hardware; a deterministic,
+//!   student-readable diagnostic here);
+//! * global memory traffic is grouped per warp into 128-byte
+//!   transactions (coalescing), shared memory is charged by bank
+//!   conflict degree, and atomics serialize per lane.
+//!
+//! Blocks are independent (bulk-synchronous model), so `device` runs
+//! them in parallel on simulated SMs with real threads; global memory
+//! is atomic-word-backed (see `memory`), which makes that safe.
+
+// Lockstep interpretation indexes several parallel per-lane vectors
+// (`active`, `vals`, `cvals`, …) by the same lane number; iterator
+// zipping would obscure the SIMT structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::ast::*;
+use crate::cost::{CostModel, CostSummary};
+use crate::diag::{Diag, Phase, Pos};
+use crate::memory::{ConstMem, MemPool, SharedMem};
+use crate::sema::{const_eval, predefined, Program};
+use crate::value::{apply_binop, apply_math, apply_unop, ElemType, Ptr, Space, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Immutable context shared by all blocks of one launch.
+pub struct KernelEnv<'a> {
+    /// Compiled program (kernel + device functions).
+    pub program: &'a Program,
+    /// Device global memory pool (snapshot valid for this launch).
+    pub global: &'a MemPool,
+    /// Host memory pool; kernels may only touch it when
+    /// `allow_host_space` is set (the paper's labs never do — accessing
+    /// a host pointer from a kernel is a classic student bug that this
+    /// simulator reports instead of silently corrupting memory).
+    pub host: &'a MemPool,
+    /// Constant memory image.
+    pub consts: &'a ConstMem,
+    /// Cost model.
+    pub model: &'a CostModel,
+    /// Remaining warp-instruction budget, shared across blocks.
+    pub budget: &'a AtomicI64,
+    /// Grid dimensions.
+    pub grid: [i64; 3],
+    /// Block dimensions.
+    pub block_dim: [i64; 3],
+    /// Per-block shared memory cap in bytes.
+    pub max_shared_bytes: usize,
+    /// Allow kernel access to host-space pointers (unified-memory mode).
+    pub allow_host_space: bool,
+    /// Warp width (32 on the modeled device).
+    pub warp_size: usize,
+}
+
+/// Execute one block of a kernel launch. Returns the block's cost.
+pub fn run_block(
+    env: &KernelEnv<'_>,
+    block_idx: [i64; 3],
+    kernel: &FuncDef,
+    args: &[Value],
+) -> Result<CostSummary, Diag> {
+    let n = (env.block_dim[0] * env.block_dim[1] * env.block_dim[2]) as usize;
+    let mut tid = Vec::with_capacity(n);
+    for z in 0..env.block_dim[2] {
+        for y in 0..env.block_dim[1] {
+            for x in 0..env.block_dim[0] {
+                tid.push([x, y, z]);
+            }
+        }
+    }
+    let mut exec = BlockExec {
+        env,
+        n,
+        block_idx,
+        tid,
+        shared: SharedMem::new(),
+        shared_ids: HashMap::new(),
+        frames: vec![FnScopes { scopes: vec![] }],
+        active: vec![true; n],
+        kernel_returned: vec![false; n],
+        cost: CostSummary::default(),
+        cycles: 0,
+        call_depth: 0,
+    };
+
+    // Bind kernel parameters (uniform across threads).
+    exec.push_scope();
+    for (p, a) in kernel.params.iter().zip(args) {
+        let v = a
+            .coerce_to(&p.ty)
+            .map_err(|m| exec.rt_err(kernel.pos, m))?;
+        exec.declare(&p.name, vec![v; n]);
+    }
+
+    let mut fr = FnFrame {
+        returned: vec![false; n],
+        retvals: vec![Value::I(0); n],
+        loops: Vec::new(),
+        kernel_level: true,
+    };
+    exec.exec_block_stmts(&kernel.body, &mut fr)?;
+
+    exec.cycles += env.model.block_overhead;
+    exec.cost.device_cycles = exec.cycles;
+    Ok(exec.cost)
+}
+
+/// Per-call-frame scopes (each function invocation has its own).
+struct FnScopes {
+    scopes: Vec<HashMap<String, Vec<Value>>>,
+}
+
+/// Per-invocation control-flow state.
+struct FnFrame {
+    returned: Vec<bool>,
+    retvals: Vec<Value>,
+    loops: Vec<LoopMasks>,
+    kernel_level: bool,
+}
+
+struct LoopMasks {
+    broke: Vec<bool>,
+    continued: Vec<bool>,
+}
+
+struct BlockExec<'a> {
+    env: &'a KernelEnv<'a>,
+    n: usize,
+    block_idx: [i64; 3],
+    tid: Vec<[i64; 3]>,
+    shared: SharedMem,
+    shared_ids: HashMap<String, u32>,
+    frames: Vec<FnScopes>,
+    active: Vec<bool>,
+    kernel_returned: Vec<bool>,
+    cost: CostSummary,
+    cycles: u64,
+    call_depth: usize,
+}
+
+impl<'a> BlockExec<'a> {
+    // ---- bookkeeping ---------------------------------------------------
+
+    fn push_scope(&mut self) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .scopes
+            .push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.frames.last_mut().expect("frame").scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, vals: Vec<Value>) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .scopes
+            .last_mut()
+            .expect("scope")
+            .insert(name.to_string(), vals);
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Vec<Value>> {
+        self.frames
+            .last()
+            .expect("frame")
+            .scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+    }
+
+    fn lookup_mut(&mut self, name: &str) -> Option<&mut Vec<Value>> {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .scopes
+            .iter_mut()
+            .rev()
+            .find_map(|s| s.get_mut(name))
+    }
+
+    fn block_linear(&self) -> u32 {
+        (self.block_idx[0]
+            + self.block_idx[1] * self.env.grid[0]
+            + self.block_idx[2] * self.env.grid[0] * self.env.grid[1]) as u32
+    }
+
+    fn rt_err(&self, pos: Pos, message: impl Into<String>) -> Diag {
+        Diag::new(Phase::Runtime, pos, message).with_thread(self.block_linear(), 0)
+    }
+
+    fn lane_err(&self, pos: Pos, lane: usize, message: impl Into<String>) -> Diag {
+        Diag::new(Phase::Runtime, pos, message).with_thread(self.block_linear(), lane as u32)
+    }
+
+    /// Charge one warp-instruction for every warp with an active lane.
+    fn charge_op(&mut self, pos: Pos, cycles_per_warp: u64) -> Result<(), Diag> {
+        let mut warps = 0u64;
+        for chunk in self.active.chunks(self.env.warp_size) {
+            if chunk.iter().any(|&a| a) {
+                warps += 1;
+            }
+        }
+        if warps == 0 {
+            return Ok(());
+        }
+        self.cost.warp_instructions += warps;
+        self.cycles += cycles_per_warp * warps;
+        if self.env.budget.fetch_sub(warps as i64, Ordering::Relaxed) <= 0 {
+            return Err(Diag::new(
+                Phase::Limit,
+                pos,
+                "kernel exceeded its execution time limit",
+            )
+            .with_thread(self.block_linear(), 0));
+        }
+        Ok(())
+    }
+
+    fn any_active(&self) -> bool {
+        self.active.iter().any(|&a| a)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn exec_block_stmts(&mut self, b: &Block, fr: &mut FnFrame) -> Result<(), Diag> {
+        self.push_scope();
+        for s in &b.stmts {
+            if !self.any_active() {
+                break;
+            }
+            self.exec_stmt(s, fr)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, fr: &mut FnFrame) -> Result<(), Diag> {
+        match s {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                pos,
+            } => {
+                self.charge_op(*pos, self.env.model.issue)?;
+                let vals = match init {
+                    Some(e) => {
+                        let raw = self.eval(e)?;
+                        self.coerce_lanes(raw, ty, *pos)?
+                    }
+                    None => vec![Value::zero_of(ty); self.n],
+                };
+                self.declare(name, vals);
+                Ok(())
+            }
+            Stmt::SharedDecl {
+                elem,
+                name,
+                dims,
+                pos,
+            } => {
+                if !self.shared_ids.contains_key(name) {
+                    let dims: Vec<usize> = dims
+                        .iter()
+                        .map(|d| const_eval(d).expect("sema checked") as usize)
+                        .collect();
+                    let id = self.shared.declare(dims, ElemType::of(elem));
+                    if self.shared.bytes() > self.env.max_shared_bytes {
+                        return Err(self.rt_err(
+                            *pos,
+                            format!(
+                                "block uses {} bytes of shared memory (limit {})",
+                                self.shared.bytes(),
+                                self.env.max_shared_bytes
+                            ),
+                        ));
+                    }
+                    self.shared_ids.insert(name.clone(), id);
+                }
+                // The array name becomes visible as a level-0 pointer.
+                let id = self.shared_ids[name];
+                let p = Ptr {
+                    space: Space::Shared,
+                    alloc: id,
+                    offset: 0,
+                    elem: ElemType::of(elem),
+                    level: 0,
+                };
+                self.declare(name, vec![Value::P(p); self.n]);
+                Ok(())
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                pos,
+            } => {
+                let mut rhs = self.eval(value)?;
+                if let Some(op) = op {
+                    let cur = self.eval(target)?;
+                    for i in 0..self.n {
+                        if self.active[i] {
+                            rhs[i] = apply_binop(*op, cur[i], rhs[i])
+                                .map_err(|m| self.lane_err(*pos, i, m))?;
+                        }
+                    }
+                }
+                self.assign(target, rhs, *pos)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                pos,
+            } => {
+                self.charge_op(*pos, self.env.model.issue)?;
+                let cvals = self.eval(cond)?;
+                let entry = self.active.clone();
+                let mut then_mask = vec![false; self.n];
+                let mut else_mask = vec![false; self.n];
+                for i in 0..self.n {
+                    if entry[i] {
+                        let t = cvals[i].truthy().map_err(|m| self.lane_err(*pos, i, m))?;
+                        then_mask[i] = t;
+                        else_mask[i] = !t;
+                    }
+                }
+                self.note_divergence(&entry, &then_mask);
+                let mut after_then = entry.clone();
+                if then_mask.iter().any(|&m| m) {
+                    self.active = then_mask;
+                    self.exec_block_stmts(then_blk, fr)?;
+                    after_then = self.active.clone();
+                } else {
+                    for i in 0..self.n {
+                        after_then[i] = false;
+                    }
+                }
+                let mut after_else = vec![false; self.n];
+                if let Some(eb) = else_blk {
+                    if else_mask.iter().any(|&m| m) {
+                        self.active = else_mask;
+                        self.exec_block_stmts(eb, fr)?;
+                        after_else = self.active.clone();
+                    }
+                } else {
+                    after_else = else_mask;
+                }
+                for i in 0..self.n {
+                    self.active[i] = after_then[i] || after_else[i];
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, pos } => {
+                self.exec_loop(None, Some(cond), None, body, fr, *pos)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                pos,
+            } => {
+                self.push_scope();
+                if let Some(i) = init {
+                    self.exec_stmt(i, fr)?;
+                }
+                let r = self.exec_loop(None, cond.as_ref(), step.as_deref(), body, fr, *pos);
+                self.pop_scope();
+                r
+            }
+            Stmt::Return { value, pos } => {
+                self.charge_op(*pos, self.env.model.issue)?;
+                let vals = match value {
+                    Some(e) => self.eval(e)?,
+                    None => vec![Value::I(0); self.n],
+                };
+                for i in 0..self.n {
+                    if self.active[i] {
+                        fr.returned[i] = true;
+                        fr.retvals[i] = vals[i];
+                        if fr.kernel_level {
+                            self.kernel_returned[i] = true;
+                        }
+                        self.active[i] = false;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break(pos) => {
+                let lp = fr.loops.last_mut().ok_or_else(|| {
+                    Diag::new(Phase::Runtime, *pos, "break outside of a loop")
+                })?;
+                for i in 0..self.n {
+                    if self.active[i] {
+                        lp.broke[i] = true;
+                        self.active[i] = false;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Continue(pos) => {
+                let lp = fr.loops.last_mut().ok_or_else(|| {
+                    Diag::new(Phase::Runtime, *pos, "continue outside of a loop")
+                })?;
+                for i in 0..self.n {
+                    if self.active[i] {
+                        lp.continued[i] = true;
+                        self.active[i] = false;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Block(b) => self.exec_block_stmts(b, fr),
+            Stmt::Launch { pos, .. } => Err(self.rt_err(*pos, "nested kernel launch")),
+            Stmt::AccParallelLoop { pos, .. } => {
+                Err(self.rt_err(*pos, "OpenACC pragma inside device code"))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_loop(
+        &mut self,
+        _unused: Option<()>,
+        cond: Option<&Expr>,
+        step: Option<&Stmt>,
+        body: &Block,
+        fr: &mut FnFrame,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let entry = self.active.clone();
+        fr.loops.push(LoopMasks {
+            broke: vec![false; self.n],
+            continued: vec![false; self.n],
+        });
+        loop {
+            // Re-arm lanes that are in the loop: entered, not broken,
+            // not returned during previous iterations.
+            for i in 0..self.n {
+                let lp = fr.loops.last().expect("loop mask");
+                self.active[i] = entry[i] && !lp.broke[i] && !fr.returned[i];
+            }
+            if !self.any_active() {
+                break;
+            }
+            if let Some(c) = cond {
+                self.charge_op(pos, self.env.model.issue)?;
+                let cvals = self.eval(c)?;
+                let before = self.active.clone();
+                for i in 0..self.n {
+                    if self.active[i] {
+                        let t = cvals[i].truthy().map_err(|m| self.lane_err(pos, i, m))?;
+                        if !t {
+                            self.active[i] = false;
+                            // Lane exits the loop permanently.
+                            fr.loops.last_mut().expect("loop mask").broke[i] = true;
+                        }
+                    }
+                }
+                self.note_divergence(&before, &self.active.clone());
+                if !self.any_active() {
+                    break;
+                }
+            }
+            self.exec_block_stmts(body, fr)?;
+            // Lanes that `continue`d rejoin for the step/condition.
+            {
+                let lp = fr.loops.last_mut().expect("loop mask");
+                for i in 0..self.n {
+                    if lp.continued[i] {
+                        lp.continued[i] = false;
+                        self.active[i] = entry[i] && !lp.broke[i] && !fr.returned[i];
+                    }
+                }
+            }
+            if let Some(st) = step {
+                if self.any_active() {
+                    self.exec_stmt(st, fr)?;
+                }
+            }
+        }
+        fr.loops.pop();
+        // Lanes that entered the loop resume after it, unless returned.
+        for i in 0..self.n {
+            self.active[i] = entry[i] && !fr.returned[i];
+        }
+        Ok(())
+    }
+
+    fn note_divergence(&mut self, before: &[bool], after: &[bool]) {
+        for w in 0..before.len().div_ceil(self.env.warp_size) {
+            let lo = w * self.env.warp_size;
+            let hi = (lo + self.env.warp_size).min(before.len());
+            let entered = before[lo..hi].iter().filter(|&&b| b).count();
+            let stayed = after[lo..hi].iter().filter(|&&b| b).count();
+            if entered > 0 && stayed > 0 && stayed < entered {
+                self.cost.divergent_branches += 1;
+            }
+        }
+    }
+
+    fn coerce_lanes(&self, mut vals: Vec<Value>, ty: &Type, pos: Pos) -> Result<Vec<Value>, Diag> {
+        for i in 0..self.n {
+            if self.active[i] {
+                vals[i] = vals[i]
+                    .coerce_to(ty)
+                    .map_err(|m| self.lane_err(pos, i, m))?;
+            }
+        }
+        Ok(vals)
+    }
+
+    // ---- assignment ----------------------------------------------------
+
+    fn assign(&mut self, target: &Expr, vals: Vec<Value>, pos: Pos) -> Result<(), Diag> {
+        self.charge_op(pos, self.env.model.issue)?;
+        match &target.kind {
+            ExprKind::Var(name) => {
+                if self.lookup(name).is_none() {
+                    return Err(self.rt_err(pos, format!("assignment to unknown variable `{name}`")));
+                }
+                // Determine per-lane representation from the existing
+                // value so `int i` stays int after `i = i / 2`.
+                let active = self.active.clone();
+                let slot = self.lookup_mut(name).expect("checked above");
+                let mut coerced_err: Option<String> = None;
+                for i in 0..active.len() {
+                    if active[i] {
+                        let new = match slot[i] {
+                            Value::I(_) => vals[i].as_int().map(Value::I),
+                            Value::F(_) => vals[i].as_float().map(Value::F),
+                            Value::B(_) => vals[i].truthy().map(Value::B),
+                            Value::P(_) => vals[i].as_ptr().map(Value::P),
+                        };
+                        match new {
+                            Ok(v) => slot[i] = v,
+                            Err(m) => {
+                                coerced_err = Some(m);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(m) = coerced_err {
+                    return Err(self.rt_err(pos, m));
+                }
+                Ok(())
+            }
+            ExprKind::Index(base, idx) => {
+                let bvals = self.eval(base)?;
+                let ivals = self.eval(idx)?;
+                let mut ptrs = vec![None; self.n];
+                for i in 0..self.n {
+                    if self.active[i] {
+                        let p = bvals[i].as_ptr().map_err(|m| self.lane_err(pos, i, m))?;
+                        let k = ivals[i].as_int().map_err(|m| self.lane_err(pos, i, m))?;
+                        let (q, terminal) =
+                            self.index_ptr(p, k).map_err(|m| self.lane_err(pos, i, m))?;
+                        if !terminal {
+                            return Err(self.lane_err(
+                                pos,
+                                i,
+                                "assignment to a whole array row (missing an index?)",
+                            ));
+                        }
+                        ptrs[i] = Some(q);
+                    }
+                }
+                self.store_lanes(&ptrs, &vals, pos)
+            }
+            _ => Err(self.rt_err(pos, "left side of assignment is not assignable")),
+        }
+    }
+
+    // ---- memory --------------------------------------------------------
+
+    /// Advance a pointer by an index; returns the new pointer and
+    /// whether it now refers to an element (terminal) rather than a row.
+    fn index_ptr(&self, p: Ptr, i: i64) -> Result<(Ptr, bool), String> {
+        if p.space == Space::Shared {
+            let arr = self
+                .shared
+                .array(p.alloc)
+                .ok_or_else(|| "invalid shared array".to_string())?;
+            let level = p.level as usize;
+            if level + 1 < arr.dims.len() {
+                let stride: usize = arr.dims[level + 1..].iter().product();
+                let mut q = p;
+                q.offset += i * stride as i64;
+                q.level += 1;
+                return Ok((q, false));
+            }
+            let mut q = p;
+            q.offset += i;
+            q.level += 1;
+            return Ok((q, true));
+        }
+        let mut q = p;
+        q.offset += i;
+        Ok((q, true))
+    }
+
+    /// Load through per-lane pointers, charging coalescing-aware cost.
+    fn load_lanes(&mut self, ptrs: &[Option<Ptr>], pos: Pos) -> Result<Vec<Value>, Diag> {
+        self.charge_memory(ptrs, pos)?;
+        let mut out = vec![Value::I(0); self.n];
+        for i in 0..self.n {
+            if let Some(p) = ptrs[i] {
+                let v = match p.space {
+                    Space::Global => self.env.global.load(p),
+                    Space::Shared => self.shared.load(p),
+                    Space::Constant => self.env.consts.load(p),
+                    Space::Host => {
+                        if self.env.allow_host_space {
+                            self.env.host.load(p)
+                        } else {
+                            return Err(self.lane_err(
+                                pos,
+                                i,
+                                "kernel dereferenced a host pointer (did you forget cudaMemcpy?)",
+                            ));
+                        }
+                    }
+                };
+                out[i] = v.map_err(|e| self.lane_err(pos, i, e.0))?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Store through per-lane pointers.
+    fn store_lanes(
+        &mut self,
+        ptrs: &[Option<Ptr>],
+        vals: &[Value],
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        self.charge_memory(ptrs, pos)?;
+        for i in 0..self.n {
+            if let Some(p) = ptrs[i] {
+                let r = match p.space {
+                    Space::Global => self.env.global.store(p, vals[i]),
+                    Space::Shared => self.shared.store(p, vals[i]),
+                    Space::Constant => {
+                        return Err(self.lane_err(pos, i, "constant memory is read-only"))
+                    }
+                    Space::Host => {
+                        if self.env.allow_host_space {
+                            self.env.host.store(p, vals[i])
+                        } else {
+                            return Err(self.lane_err(
+                                pos,
+                                i,
+                                "kernel wrote through a host pointer (did you forget cudaMemcpy?)",
+                            ));
+                        }
+                    }
+                };
+                r.map_err(|e| self.lane_err(pos, i, e.0))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge cycles for a warp-grouped memory operation.
+    fn charge_memory(&mut self, ptrs: &[Option<Ptr>], pos: Pos) -> Result<(), Diag> {
+        self.charge_op(pos, 0)?;
+        let m = self.env.model;
+        let tw = m.transaction_words as i64;
+        for w in 0..self.n.div_ceil(self.env.warp_size) {
+            let lo = w * self.env.warp_size;
+            let hi = (lo + self.env.warp_size).min(self.n);
+            let lane_ptrs: Vec<Ptr> = (lo..hi).filter_map(|i| ptrs[i]).collect();
+            if lane_ptrs.is_empty() {
+                continue;
+            }
+            // Split by space: global/host traffic coalesces into
+            // transactions; shared charges by bank conflicts; constant
+            // broadcasts when uniform.
+            let globals: Vec<&Ptr> = lane_ptrs
+                .iter()
+                .filter(|p| matches!(p.space, Space::Global | Space::Host))
+                .collect();
+            if !globals.is_empty() {
+                let mut segments: Vec<(u32, i64)> = globals
+                    .iter()
+                    .map(|p| (p.alloc, p.offset / tw))
+                    .collect();
+                segments.sort_unstable();
+                segments.dedup();
+                self.cost.global_accesses += globals.len() as u64;
+                self.cost.global_transactions += segments.len() as u64;
+                self.cycles += m.global_transaction * segments.len() as u64;
+            }
+            let shareds: Vec<&Ptr> = lane_ptrs
+                .iter()
+                .filter(|p| p.space == Space::Shared)
+                .collect();
+            if !shareds.is_empty() {
+                // Bank conflict degree: max distinct words mapping to
+                // the same bank.
+                let mut per_bank: HashMap<usize, Vec<i64>> = HashMap::new();
+                for p in &shareds {
+                    let bank = (p.offset.rem_euclid(m.shared_banks as i64)) as usize;
+                    per_bank.entry(bank).or_default().push(p.offset);
+                }
+                let degree = per_bank
+                    .values_mut()
+                    .map(|offs| {
+                        offs.sort_unstable();
+                        offs.dedup();
+                        offs.len()
+                    })
+                    .max()
+                    .unwrap_or(1);
+                self.cost.shared_accesses += 1;
+                self.cost.shared_conflicts += degree.saturating_sub(1) as u64;
+                self.cycles += m.shared_access + m.shared_conflict * (degree as u64 - 1);
+            }
+            let consts: Vec<&Ptr> = lane_ptrs
+                .iter()
+                .filter(|p| p.space == Space::Constant)
+                .collect();
+            if !consts.is_empty() {
+                let uniform = consts.windows(2).all(|w| w[0].offset == w[1].offset);
+                // Broadcast is as cheap as a register; scattered reads
+                // serialize like global.
+                self.cycles += if uniform {
+                    m.shared_access
+                } else {
+                    m.global_transaction
+                };
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> Result<Vec<Value>, Diag> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(vec![Value::I(*v); self.n]),
+            ExprKind::FloatLit(v) => Ok(vec![Value::F(*v); self.n]),
+            ExprKind::StrLit(_) => Err(self.rt_err(e.pos, "strings are not device values")),
+            ExprKind::SizeOf(t) => Ok(vec![Value::I(t.size_of()); self.n]),
+            ExprKind::Var(name) => {
+                if let Some(vals) = self.lookup(name) {
+                    return Ok(vals.clone());
+                }
+                if let Some(id) = self.env.program.constant_id(name) {
+                    let spec = &self.env.program.constants()[id as usize];
+                    let p = Ptr {
+                        space: Space::Constant,
+                        alloc: id,
+                        offset: 0,
+                        elem: spec.elem,
+                        level: 0,
+                    };
+                    return Ok(vec![Value::P(p); self.n]);
+                }
+                if let Some(v) = predefined(name) {
+                    return Ok(vec![Value::I(v); self.n]);
+                }
+                Err(self.rt_err(e.pos, format!("unknown variable `{name}`")))
+            }
+            ExprKind::Builtin(which, axis) => {
+                self.charge_op(e.pos, self.env.model.issue)?;
+                let ax = *axis as usize;
+                let out: Vec<Value> = match which {
+                    BuiltinVar::ThreadIdx => {
+                        self.tid.iter().map(|t| Value::I(t[ax])).collect()
+                    }
+                    BuiltinVar::BlockIdx => vec![Value::I(self.block_idx[ax]); self.n],
+                    BuiltinVar::BlockDim => vec![Value::I(self.env.block_dim[ax]); self.n],
+                    BuiltinVar::GridDim => vec![Value::I(self.env.grid[ax]); self.n],
+                };
+                Ok(out)
+            }
+            ExprKind::Unary(op, inner) => {
+                self.charge_op(e.pos, self.env.model.issue)?;
+                let mut vals = self.eval(inner)?;
+                for i in 0..self.n {
+                    if self.active[i] {
+                        vals[i] =
+                            apply_unop(*op, vals[i]).map_err(|m| self.lane_err(e.pos, i, m))?;
+                    }
+                }
+                Ok(vals)
+            }
+            ExprKind::Binary(op, a, b) => {
+                self.charge_op(e.pos, self.env.model.issue)?;
+                // `&&`/`||` short-circuit per lane: evaluate the right
+                // side only for lanes that need it.
+                if op.is_logical() {
+                    let avals = self.eval(a)?;
+                    let saved = self.active.clone();
+                    let mut need_rhs = vec![false; self.n];
+                    for i in 0..self.n {
+                        if saved[i] {
+                            let at = avals[i]
+                                .truthy()
+                                .map_err(|m| self.lane_err(e.pos, i, m))?;
+                            need_rhs[i] = match op {
+                                BinOp::And => at,
+                                BinOp::Or => !at,
+                                _ => unreachable!(),
+                            };
+                        }
+                    }
+                    let bvals = if need_rhs.iter().any(|&x| x) {
+                        self.active = need_rhs.clone();
+                        let r = self.eval(b);
+                        self.active = saved.clone();
+                        r?
+                    } else {
+                        vec![Value::B(false); self.n]
+                    };
+                    let mut out = vec![Value::B(false); self.n];
+                    for i in 0..self.n {
+                        if saved[i] {
+                            let at = avals[i].truthy().unwrap_or(false);
+                            let v = if need_rhs[i] {
+                                bvals[i].truthy().map_err(|m| self.lane_err(e.pos, i, m))?
+                            } else {
+                                at // short-circuited: && false, || true
+                            };
+                            out[i] = Value::B(match op {
+                                BinOp::And => at && v,
+                                BinOp::Or => at || v,
+                                _ => unreachable!(),
+                            });
+                        }
+                    }
+                    return Ok(out);
+                }
+                let avals = self.eval(a)?;
+                let bvals = self.eval(b)?;
+                let mut out = vec![Value::I(0); self.n];
+                for i in 0..self.n {
+                    if self.active[i] {
+                        out[i] = apply_binop(*op, avals[i], bvals[i])
+                            .map_err(|m| self.lane_err(e.pos, i, m))?;
+                    }
+                }
+                Ok(out)
+            }
+            ExprKind::Ternary(c, a, b) => {
+                self.charge_op(e.pos, self.env.model.issue)?;
+                let cvals = self.eval(c)?;
+                let saved = self.active.clone();
+                let mut t_mask = vec![false; self.n];
+                let mut f_mask = vec![false; self.n];
+                for i in 0..self.n {
+                    if saved[i] {
+                        let t = cvals[i].truthy().map_err(|m| self.lane_err(e.pos, i, m))?;
+                        t_mask[i] = t;
+                        f_mask[i] = !t;
+                    }
+                }
+                // Each arm is evaluated only for the lanes that select
+                // it — `(i < n) ? in[i] : 0.0` must not load `in[i]`
+                // on out-of-range lanes.
+                let avals = if t_mask.iter().any(|&m| m) {
+                    self.active = t_mask.clone();
+                    let r = self.eval(a);
+                    self.active = saved.clone();
+                    r?
+                } else {
+                    vec![Value::I(0); self.n]
+                };
+                let bvals = if f_mask.iter().any(|&m| m) {
+                    self.active = f_mask;
+                    let r = self.eval(b);
+                    self.active = saved;
+                    r?
+                } else {
+                    vec![Value::I(0); self.n]
+                };
+                let mut out = vec![Value::I(0); self.n];
+                for i in 0..self.n {
+                    if self.active[i] {
+                        out[i] = if t_mask[i] { avals[i] } else { bvals[i] };
+                    }
+                }
+                Ok(out)
+            }
+            ExprKind::Index(base, idx) => {
+                let bvals = self.eval(base)?;
+                let ivals = self.eval(idx)?;
+                let mut ptrs = vec![None; self.n];
+                let mut all_terminal = true;
+                for i in 0..self.n {
+                    if self.active[i] {
+                        let p = bvals[i].as_ptr().map_err(|m| self.lane_err(e.pos, i, m))?;
+                        let k = ivals[i].as_int().map_err(|m| self.lane_err(e.pos, i, m))?;
+                        let (q, terminal) =
+                            self.index_ptr(p, k).map_err(|m| self.lane_err(e.pos, i, m))?;
+                        if !terminal {
+                            all_terminal = false;
+                        }
+                        ptrs[i] = Some(q);
+                    }
+                }
+                if !all_terminal {
+                    // Row of a multi-dim shared array: a pointer value.
+                    let mut out = vec![Value::I(0); self.n];
+                    for i in 0..self.n {
+                        if let Some(p) = ptrs[i] {
+                            out[i] = Value::P(p);
+                        }
+                    }
+                    return Ok(out);
+                }
+                self.load_lanes(&ptrs, e.pos)
+            }
+            ExprKind::Cast(ty, inner) => {
+                let vals = self.eval(inner)?;
+                self.coerce_lanes(vals, ty, e.pos)
+            }
+            ExprKind::AddrOf(_) => Err(self.rt_err(
+                e.pos,
+                "address-of is not supported in device code",
+            )),
+            ExprKind::Call(name, args) => self.eval_call(name, args, e.pos),
+        }
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr], pos: Pos) -> Result<Vec<Value>, Diag> {
+        match name {
+            "__syncthreads" | "barrier" => {
+                if !args.is_empty() {
+                    // barrier(fence_flag): the flag is evaluated but
+                    // irrelevant — all shared memory is coherent within
+                    // the lockstep block.
+                    let _ = self.eval(&args[0])?;
+                }
+                // All non-exited threads must be active here.
+                for i in 0..self.n {
+                    if !self.kernel_returned[i] && !self.active[i] {
+                        return Err(Diag::new(
+                            Phase::Runtime,
+                            pos,
+                            "__syncthreads() reached with divergent threads (barrier divergence)",
+                        )
+                        .with_thread(self.block_linear(), i as u32));
+                    }
+                    if self.kernel_returned[i] && self.active[i] {
+                        unreachable!("returned lanes are inactive");
+                    }
+                }
+                if self.kernel_returned.iter().any(|&r| r) && self.active.iter().any(|&a| a) {
+                    return Err(Diag::new(
+                        Phase::Runtime,
+                        pos,
+                        "__syncthreads() after some threads returned (barrier divergence)",
+                    )
+                    .with_thread(self.block_linear(), 0));
+                }
+                self.cost.barriers += 1;
+                self.charge_op(pos, self.env.model.barrier)?;
+                Ok(vec![Value::I(0); self.n])
+            }
+            "atomicAdd" | "atomicMin" | "atomicMax" | "atomicExch" => {
+                let pvals = self.eval(&args[0])?;
+                let vvals = self.eval(&args[1])?;
+                let mut out = vec![Value::I(0); self.n];
+                let mut lanes = 0u64;
+                for i in 0..self.n {
+                    if self.active[i] {
+                        lanes += 1;
+                        let p = pvals[i].as_ptr().map_err(|m| self.lane_err(pos, i, m))?;
+                        let old = match p.space {
+                            Space::Global => match name {
+                                "atomicAdd" => self.env.global.atomic_add(p, vvals[i]),
+                                "atomicMin" => self.env.global.atomic_min(p, vvals[i]),
+                                "atomicMax" => self.env.global.atomic_max(p, vvals[i]),
+                                _ => self.env.global.atomic_exch(p, vvals[i]),
+                            },
+                            Space::Shared => self.shared_atomic(name, p, vvals[i]),
+                            _ => {
+                                return Err(self.lane_err(
+                                    pos,
+                                    i,
+                                    format!("{name} requires a global or shared pointer"),
+                                ))
+                            }
+                        };
+                        out[i] = old.map_err(|e| self.lane_err(pos, i, e.0))?;
+                    }
+                }
+                self.cost.atomics += lanes;
+                self.cycles += self.env.model.atomic * lanes;
+                self.charge_op(pos, 0)?;
+                Ok(out)
+            }
+            "atomicCAS" => {
+                let pvals = self.eval(&args[0])?;
+                let cvals = self.eval(&args[1])?;
+                let vvals = self.eval(&args[2])?;
+                let mut out = vec![Value::I(0); self.n];
+                let mut lanes = 0u64;
+                for i in 0..self.n {
+                    if self.active[i] {
+                        lanes += 1;
+                        let p = pvals[i].as_ptr().map_err(|m| self.lane_err(pos, i, m))?;
+                        let c = cvals[i].as_int().map_err(|m| self.lane_err(pos, i, m))?;
+                        let v = vvals[i].as_int().map_err(|m| self.lane_err(pos, i, m))?;
+                        let old = match p.space {
+                            Space::Global => self.env.global.atomic_cas(p, c, v),
+                            Space::Shared => {
+                                let cur = self.shared.load(p);
+                                match cur {
+                                    Ok(cur) => {
+                                        let cur_i = cur.as_int().unwrap_or(0);
+                                        if cur_i == c {
+                                            self.shared
+                                                .store(p, Value::I(v))
+                                                .map(|_| Value::I(cur_i))
+                                        } else {
+                                            Ok(Value::I(cur_i))
+                                        }
+                                    }
+                                    Err(e) => Err(e),
+                                }
+                            }
+                            _ => {
+                                return Err(self.lane_err(
+                                    pos,
+                                    i,
+                                    "atomicCAS requires a global or shared pointer",
+                                ))
+                            }
+                        };
+                        out[i] = old.map_err(|e| self.lane_err(pos, i, e.0))?;
+                    }
+                }
+                self.cost.atomics += lanes;
+                self.cycles += self.env.model.atomic * lanes;
+                self.charge_op(pos, 0)?;
+                Ok(out)
+            }
+            "get_global_id" | "get_local_id" | "get_group_id" | "get_local_size"
+            | "get_num_groups" | "get_global_size" => {
+                self.charge_op(pos, self.env.model.issue)?;
+                let dvals = self.eval(&args[0])?;
+                let mut out = vec![Value::I(0); self.n];
+                for i in 0..self.n {
+                    if self.active[i] {
+                        let d = dvals[i].as_int().map_err(|m| self.lane_err(pos, i, m))?;
+                        if !(0..3).contains(&d) {
+                            return Err(self.lane_err(pos, i, "work-item dimension must be 0..3"));
+                        }
+                        let d = d as usize;
+                        let v = match name {
+                            "get_local_id" => self.tid[i][d],
+                            "get_group_id" => self.block_idx[d],
+                            "get_local_size" => self.env.block_dim[d],
+                            "get_num_groups" => self.env.grid[d],
+                            "get_global_size" => self.env.grid[d] * self.env.block_dim[d],
+                            _ => self.block_idx[d] * self.env.block_dim[d] + self.tid[i][d],
+                        };
+                        out[i] = Value::I(v);
+                    }
+                }
+                Ok(out)
+            }
+            _ if crate::value::is_math_intrinsic(name) => {
+                self.charge_op(pos, self.env.model.sfu)?;
+                let argvals: Vec<Vec<Value>> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_, _>>()?;
+                let mut out = vec![Value::I(0); self.n];
+                for i in 0..self.n {
+                    if self.active[i] {
+                        let lane_args: Vec<Value> = argvals.iter().map(|v| v[i]).collect();
+                        out[i] = apply_math(name, &lane_args)
+                            .expect("is_math_intrinsic")
+                            .map_err(|m| self.lane_err(pos, i, m))?;
+                    }
+                }
+                Ok(out)
+            }
+            _ => {
+                // User __device__ function.
+                let f = self
+                    .env
+                    .program
+                    .func(name)
+                    .ok_or_else(|| self.rt_err(pos, format!("unknown function `{name}`")))?
+                    .clone();
+                if self.call_depth >= 32 {
+                    return Err(self.rt_err(
+                        pos,
+                        format!("recursion limit reached calling `{name}`"),
+                    ));
+                }
+                let argvals: Vec<Vec<Value>> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_, _>>()?;
+                self.charge_op(pos, self.env.model.issue)?;
+
+                let saved_active = self.active.clone();
+                self.frames.push(FnScopes { scopes: vec![] });
+                self.push_scope();
+                for (p, vals) in f.params.iter().zip(argvals) {
+                    let coerced = self.coerce_lanes(vals, &p.ty, pos)?;
+                    self.declare(&p.name, coerced);
+                }
+                self.call_depth += 1;
+                let mut fr = FnFrame {
+                    returned: vec![false; self.n],
+                    retvals: vec![Value::I(0); self.n],
+                    loops: Vec::new(),
+                    kernel_level: false,
+                };
+                let result = self.exec_block_stmts(&f.body, &mut fr);
+                self.call_depth -= 1;
+                self.frames.pop();
+                self.active = saved_active;
+                result?;
+                Ok(fr.retvals)
+            }
+        }
+    }
+
+    fn shared_atomic(
+        &mut self,
+        name: &str,
+        p: Ptr,
+        v: Value,
+    ) -> Result<Value, crate::memory::MemError> {
+        match name {
+            "atomicAdd" => self.shared.atomic_add(p, v),
+            "atomicExch" => {
+                let old = self.shared.load(p)?;
+                self.shared.store(p, v)?;
+                Ok(old)
+            }
+            "atomicMin" | "atomicMax" => {
+                let old = self.shared.load(p)?;
+                let new = match (old, name) {
+                    (Value::F(a), "atomicMin") => {
+                        Value::F(a.min(v.as_float().map_err(crate::memory::MemError)?))
+                    }
+                    (Value::F(a), _) => {
+                        Value::F(a.max(v.as_float().map_err(crate::memory::MemError)?))
+                    }
+                    (Value::I(a), "atomicMin") => {
+                        Value::I(a.min(v.as_int().map_err(crate::memory::MemError)?))
+                    }
+                    (Value::I(a), _) => {
+                        Value::I(a.max(v.as_int().map_err(crate::memory::MemError)?))
+                    }
+                    _ => {
+                        return Err(crate::memory::MemError(
+                            "atomic on non-numeric element".to_string(),
+                        ))
+                    }
+                };
+                self.shared.store(p, new)?;
+                Ok(old)
+            }
+            _ => Err(crate::memory::MemError(format!(
+                "unsupported shared atomic {name}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! Language-conformance suite: small programs exercising corners of
+//! the minicuda language and runtime, with student-facing diagnostics
+//! checked for position and wording.
+
+use libwb::Dataset;
+use minicuda::{compile, Dialect, DeviceConfig, Phase, RunOptions};
+
+fn run_ok(src: &str) -> minicuda::RunOutcome {
+    let program = compile(src, Dialect::Cuda).unwrap_or_else(|d| panic!("compile: {d}"));
+    let opts = RunOptions {
+        device: DeviceConfig::test_small(),
+        ..Default::default()
+    };
+    let out = minicuda::run(&program, &[] as &[Dataset], &opts);
+    assert!(out.ok(), "{:?}", out.error);
+    out
+}
+
+fn run_err(src: &str) -> minicuda::Diag {
+    let program = compile(src, Dialect::Cuda).unwrap_or_else(|d| panic!("compile: {d}"));
+    let opts = RunOptions {
+        device: DeviceConfig::test_small(),
+        ..Default::default()
+    };
+    minicuda::run(&program, &[] as &[Dataset], &opts)
+        .error
+        .expect("program should fail")
+}
+
+fn scalar(out: &minicuda::RunOutcome) -> f32 {
+    match out.solution {
+        Some(Dataset::Scalar(x)) => x,
+        ref other => panic!("expected scalar, got {other:?}"),
+    }
+}
+
+// ---- host language ------------------------------------------------------
+
+#[test]
+fn operator_precedence_torture() {
+    let out = run_ok(
+        "int main() { wbSolutionScalar(2 + 3 * 4 - 10 / 2 % 3 + (1 << 3) - 6 % 4); return 0; }",
+    );
+    // 2 + 12 - (5%3=2) + 8 - 2 = 18
+    assert_eq!(scalar(&out), 18.0);
+}
+
+#[test]
+fn comparison_and_logical_chains() {
+    let out = run_ok(
+        "int main() { int x = 5; wbSolutionScalar((x > 3 && x < 10) || x == 0); return 0; }",
+    );
+    assert_eq!(scalar(&out), 1.0);
+}
+
+#[test]
+fn short_circuit_protects_rhs_on_host() {
+    // The right side would divide by zero if evaluated.
+    let out = run_ok(
+        "int main() { int z = 0; int ok = (z == 0) || (10 / z > 1); wbSolutionScalar(ok); return 0; }",
+    );
+    assert_eq!(scalar(&out), 1.0);
+}
+
+#[test]
+fn ternary_chains_are_right_associative() {
+    let out = run_ok(
+        "int main() { int x = 2; wbSolutionScalar(x == 1 ? 10 : x == 2 ? 20 : 30); return 0; }",
+    );
+    assert_eq!(scalar(&out), 20.0);
+}
+
+#[test]
+fn while_break_continue() {
+    let out = run_ok(
+        r#"
+        int main() {
+            int sum = 0;
+            int i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                sum += i; // 1+3+5+7+9
+            }
+            wbSolutionScalar(sum);
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(scalar(&out), 25.0);
+}
+
+#[test]
+fn nested_loops_with_labels_not_needed() {
+    let out = run_ok(
+        r#"
+        int main() {
+            int count = 0;
+            for (int i = 0; i < 5; i++) {
+                for (int j = 0; j < 5; j++) {
+                    if (j > i) { break; }
+                    count++;
+                }
+            }
+            wbSolutionScalar(count); // 1+2+3+4+5
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(scalar(&out), 15.0);
+}
+
+#[test]
+fn recursion_on_host_works_to_a_depth() {
+    let out = run_ok(
+        r#"
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { wbSolutionScalar(fib(12)); return 0; }
+        "#,
+    );
+    assert_eq!(scalar(&out), 144.0);
+}
+
+#[test]
+fn unbounded_recursion_is_caught() {
+    let err = run_err(
+        "int loop(int n) { return loop(n + 1); }\nint main() { int x = loop(0); return 0; }",
+    );
+    assert!(err.message.contains("recursion limit"), "{err}");
+}
+
+#[test]
+fn float_int_promotions() {
+    let out = run_ok(
+        "int main() { float x = 7 / 2; float y = 7.0 / 2; wbSolutionScalar(x + y); return 0; }",
+    );
+    // int division first: 3; float: 3.5.
+    assert_eq!(scalar(&out), 6.5);
+}
+
+#[test]
+fn casts_truncate_like_c() {
+    let out = run_ok(
+        "int main() { int a = (int) 3.9; int b = (int) -1.5; wbSolutionScalar(a * 10 + b); return 0; }",
+    );
+    assert_eq!(scalar(&out), 29.0); // 3*10 + (-1)
+}
+
+#[test]
+fn sizeof_values() {
+    let out = run_ok(
+        "int main() { wbSolutionScalar(sizeof(float) + sizeof(int) + sizeof(float*)); return 0; }",
+    );
+    assert_eq!(scalar(&out), 16.0);
+}
+
+#[test]
+fn hex_literals_and_shifts() {
+    let out = run_ok("int main() { wbSolutionScalar((0x10 << 2) | 0x3); return 0; }");
+    assert_eq!(scalar(&out), 67.0);
+}
+
+#[test]
+fn define_macros_compose() {
+    let out = run_ok(
+        "#define TILE 8\n#define DOUBLE_TILE (2 * TILE)\nint main() { wbSolutionScalar(DOUBLE_TILE); return 0; }",
+    );
+    assert_eq!(scalar(&out), 16.0);
+}
+
+#[test]
+fn math_intrinsics_on_host() {
+    let out = run_ok(
+        "int main() { wbSolutionScalar(sqrtf(16.0) + fmaxf(1.0, 2.0) + fminf(1.0, 2.0) + fabsf(-3.0)); return 0; }",
+    );
+    assert_eq!(scalar(&out), 10.0);
+}
+
+#[test]
+fn integer_division_by_zero_is_reported_with_position() {
+    let err = run_err("int main() {\n    int z = 0;\n    int x = 10 / z;\n    return 0;\n}");
+    assert_eq!(err.phase, Phase::Runtime);
+    assert_eq!(err.pos.line, 3);
+    assert!(err.message.contains("division by zero"));
+}
+
+#[test]
+fn float_division_by_zero_is_ieee() {
+    let out = run_ok("int main() { float x = 1.0 / 0.0; wbSolutionScalar(x > 1000000.0); return 0; }");
+    assert_eq!(scalar(&out), 1.0);
+}
+
+// ---- device language ------------------------------------------------------
+
+fn run_device_vec(src: &str, n: usize) -> Vec<f32> {
+    let out = run_ok(src);
+    match out.solution {
+        Some(Dataset::Vector(v)) => {
+            assert_eq!(v.len(), n);
+            v
+        }
+        ref other => panic!("expected vector, got {other:?}"),
+    }
+}
+
+#[test]
+fn three_dimensional_builtins() {
+    let v = run_device_vec(
+        r#"
+        __global__ void k(float* out) {
+            int i = (threadIdx.z * blockDim.y + threadIdx.y) * blockDim.x + threadIdx.x;
+            out[i] = gridDim.x * 100 + blockDim.x * 10 + blockDim.y + blockDim.z;
+        }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 8 * sizeof(float));
+            k<<<dim3(1, 1, 1), dim3(2, 2, 2)>>>(d);
+            float* h = (float*) malloc(8 * sizeof(float));
+            cudaMemcpy(h, d, 8 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 8);
+            return 0;
+        }
+        "#,
+        8,
+    );
+    // gridDim.x=1 → 100, blockDim.x=2 → 20, blockDim.y + blockDim.z = 4.
+    assert!(v.iter().all(|&x| x == 124.0));
+}
+
+#[test]
+fn warp_divergence_both_paths_execute() {
+    let v = run_device_vec(
+        r#"
+        __global__ void k(float* out) {
+            int t = threadIdx.x;
+            if (t % 2 == 0) { out[t] = 100.0 + t; }
+            else { out[t] = 200.0 + t; }
+        }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 8 * sizeof(float));
+            k<<<1, 8>>>(d);
+            float* h = (float*) malloc(8 * sizeof(float));
+            cudaMemcpy(h, d, 8 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 8);
+            return 0;
+        }
+        "#,
+        8,
+    );
+    for (t, &x) in v.iter().enumerate() {
+        let want = if t % 2 == 0 { 100.0 } else { 200.0 } + t as f32;
+        assert_eq!(x, want);
+    }
+}
+
+#[test]
+fn per_thread_loop_trip_counts() {
+    // Each thread loops a different number of times — the mask machinery.
+    let v = run_device_vec(
+        r#"
+        __global__ void k(float* out) {
+            int t = threadIdx.x;
+            int sum = 0;
+            for (int i = 0; i <= t; i++) { sum += i; }
+            out[t] = sum;
+        }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 6 * sizeof(float));
+            k<<<1, 6>>>(d);
+            float* h = (float*) malloc(6 * sizeof(float));
+            cudaMemcpy(h, d, 6 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 6);
+            return 0;
+        }
+        "#,
+        6,
+    );
+    assert_eq!(v, vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
+}
+
+#[test]
+fn early_return_lanes_exit_cleanly() {
+    let v = run_device_vec(
+        r#"
+        __global__ void k(float* out, int n) {
+            int t = threadIdx.x;
+            out[t] = 1.0;
+            if (t >= n) { return; }
+            out[t] = 2.0;
+        }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 4 * sizeof(float));
+            k<<<1, 4>>>(d, 2);
+            float* h = (float*) malloc(4 * sizeof(float));
+            cudaMemcpy(h, d, 4 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 4);
+            return 0;
+        }
+        "#,
+        4,
+    );
+    assert_eq!(v, vec![2.0, 2.0, 1.0, 1.0]);
+}
+
+#[test]
+fn shared_array_row_aliasing() {
+    // t[i] of a 2-D shared array is a row pointer usable like float*.
+    let v = run_device_vec(
+        r#"
+        __global__ void k(float* out) {
+            __shared__ float t[2][4];
+            int x = threadIdx.x;
+            t[0][x] = x;
+            t[1][x] = 10 * x;
+            __syncthreads();
+            out[x] = t[0][x] + t[1][x];
+        }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 4 * sizeof(float));
+            k<<<1, 4>>>(d);
+            float* h = (float*) malloc(4 * sizeof(float));
+            cudaMemcpy(h, d, 4 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 4);
+            return 0;
+        }
+        "#,
+        4,
+    );
+    assert_eq!(v, vec![0.0, 11.0, 22.0, 33.0]);
+}
+
+#[test]
+fn atomic_cas_spinlock_free_increment() {
+    let out = run_ok(
+        r#"
+        __global__ void inc(int* c) {
+            // atomicCAS retry loop — the textbook pattern.
+            int done = 0;
+            while (done == 0) {
+                int old = c[0];
+                if (atomicCAS(c, old, old + 1) == old) { done = 1; }
+            }
+        }
+        int main() {
+            int* d;
+            cudaMalloc(&d, sizeof(int));
+            inc<<<2, 16>>>(d);
+            int* h = (int*) malloc(sizeof(int));
+            cudaMemcpy(h, d, sizeof(int), cudaMemcpyDeviceToHost);
+            wbSolutionInt(h, 1);
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(out.solution, Some(Dataset::IntVector(vec![32])));
+}
+
+#[test]
+fn atomic_exch_and_max() {
+    let out = run_ok(
+        r#"
+        __global__ void k(int* best) {
+            atomicMax(best, threadIdx.x * 7 % 13);
+        }
+        int main() {
+            int* d;
+            cudaMalloc(&d, sizeof(int));
+            k<<<1, 32>>>(d);
+            int* h = (int*) malloc(sizeof(int));
+            cudaMemcpy(h, d, sizeof(int), cudaMemcpyDeviceToHost);
+            wbSolutionInt(h, 1);
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(out.solution, Some(Dataset::IntVector(vec![12])));
+}
+
+#[test]
+fn device_to_device_memcpy() {
+    let v = run_device_vec(
+        r#"
+        __global__ void fill(float* a) { a[threadIdx.x] = threadIdx.x * 3.0; }
+        int main() {
+            float* dA; float* dB;
+            cudaMalloc(&dA, 4 * sizeof(float));
+            cudaMalloc(&dB, 4 * sizeof(float));
+            fill<<<1, 4>>>(dA);
+            cudaMemcpy(dB, dA, 4 * sizeof(float), cudaMemcpyDeviceToDevice);
+            float* h = (float*) malloc(4 * sizeof(float));
+            cudaMemcpy(h, dB, 4 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 4);
+            return 0;
+        }
+        "#,
+        4,
+    );
+    assert_eq!(v, vec![0.0, 3.0, 6.0, 9.0]);
+}
+
+#[test]
+fn pointer_offset_kernel_argument() {
+    // Passing `d + 2` launches the kernel on a sub-buffer.
+    let v = run_device_vec(
+        r#"
+        __global__ void fill(float* a) { a[threadIdx.x] = 9.0; }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 6 * sizeof(float));
+            fill<<<1, 2>>>(d + 2);
+            float* h = (float*) malloc(6 * sizeof(float));
+            cudaMemcpy(h, d, 6 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 6);
+            return 0;
+        }
+        "#,
+        6,
+    );
+    assert_eq!(v, vec![0.0, 0.0, 9.0, 9.0, 0.0, 0.0]);
+}
+
+#[test]
+fn too_many_threads_per_block_rejected() {
+    let err = run_err(
+        r#"
+        __global__ void k() {}
+        int main() { k<<<1, 2048>>>(); return 0; }
+        "#,
+    );
+    assert!(err.message.contains("must be in 1..=1024"), "{err}");
+}
+
+#[test]
+fn grid_of_zero_rejected() {
+    let err = run_err(
+        r#"
+        __global__ void k() {}
+        int main() { k<<<0, 32>>>(); return 0; }
+        "#,
+    );
+    assert!(err.message.contains("grid dimension"), "{err}");
+}
+
+#[test]
+fn shared_memory_limit_enforced() {
+    let err = run_err(
+        r#"
+        __global__ void k() {
+            __shared__ float big[1024][16];
+            big[0][0] = 1.0;
+        }
+        int main() { k<<<1, 32>>>(); return 0; }
+        "#,
+    );
+    assert!(err.message.contains("shared memory"), "{err}");
+}
+
+#[test]
+fn double_cuda_free_reported() {
+    let err = run_err(
+        r#"
+        int main() {
+            float* d;
+            cudaMalloc(&d, 4);
+            cudaFree(d);
+            cudaFree(d);
+            return 0;
+        }
+        "#,
+    );
+    assert!(err.message.contains("double free"), "{err}");
+}
+
+#[test]
+fn negative_kernel_index_reports_thread() {
+    let err = run_err(
+        r#"
+        __global__ void k(float* a) { a[threadIdx.x - 1] = 1.0; }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 32 * sizeof(float));
+            k<<<1, 32>>>(d);
+            return 0;
+        }
+        "#,
+    );
+    assert!(err.message.contains("negative index"), "{err}");
+    assert!(err.thread.is_some());
+}
+
+#[test]
+fn openacc_parallel_loop_runs_on_host_arrays() {
+    let out = run_ok(
+        r#"
+        int main() {
+            float* a = (float*) malloc(8 * sizeof(float));
+            #pragma acc parallel loop
+            for (int i = 0; i < 8; i++) {
+                a[i] = i * 2.0;
+            }
+            wbSolution(a, 8);
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(
+        out.solution,
+        Some(Dataset::Vector(vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]))
+    );
+    assert_eq!(out.cost.kernel_launches, 1, "the ACC region counts as an offload");
+}
+
+#[test]
+fn opencl_work_item_functions_match_cuda_indexing() {
+    let src = r#"
+        __kernel void k(__global float* out, int n) {
+            int i = get_group_id(0) * get_local_size(0) + get_local_id(0);
+            if (i < n) { out[i] = get_num_groups(0) * 1000 + get_global_size(0); }
+        }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 8 * sizeof(float));
+            k<<<2, 4>>>(d, 8);
+            float* h = (float*) malloc(8 * sizeof(float));
+            cudaMemcpy(h, d, 8 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 8);
+            return 0;
+        }
+    "#;
+    let program = compile(src, Dialect::OpenCl).unwrap();
+    let out = minicuda::run(&program, &[] as &[Dataset], &RunOptions::default());
+    assert!(out.ok(), "{:?}", out.error);
+    // 2 groups of 4 → num_groups 2, global size 8.
+    assert_eq!(out.solution, Some(Dataset::Vector(vec![2008.0; 8])));
+}
+
+#[test]
+fn wbtime_nests_and_reports_all_spans() {
+    let out = run_ok(
+        r#"
+        int main() {
+            wbTime_start(Generic, "outer");
+            wbTime_start(Compute, "inner");
+            int x = 0;
+            for (int i = 0; i < 100; i++) { x += i; }
+            wbTime_stop(Compute, "inner");
+            wbTime_stop(Generic, "outer");
+            wbSolutionScalar(x);
+            return 0;
+        }
+        "#,
+    );
+    let spans = out.timer.spans();
+    assert_eq!(spans.len(), 2);
+    let inner = spans.iter().find(|s| s.message == "inner").unwrap();
+    let outer = spans.iter().find(|s| s.message == "outer").unwrap();
+    assert!(outer.elapsed() >= inner.elapsed(), "outer encloses inner");
+}
+
+#[test]
+fn multi_kernel_program_accumulates_cost() {
+    let out = run_ok(
+        r#"
+        __global__ void a(float* x) { x[threadIdx.x] = 1.0; }
+        __global__ void b(float* x) { x[threadIdx.x] += 1.0; }
+        int main() {
+            float* d;
+            cudaMalloc(&d, 32 * sizeof(float));
+            a<<<1, 32>>>(d);
+            b<<<1, 32>>>(d);
+            b<<<1, 32>>>(d);
+            float* h = (float*) malloc(32 * sizeof(float));
+            cudaMemcpy(h, d, 32 * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(h, 32);
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(out.cost.kernel_launches, 3);
+    assert_eq!(out.solution, Some(Dataset::Vector(vec![3.0; 32])));
+}
+
+#[test]
+fn coalesced_vs_strided_transactions() {
+    // The cost model's core lesson: a strided access pattern touches
+    // more 128-byte segments than a unit-stride one.
+    let run_with = |indexing: &str| {
+        let src = format!(
+            r#"
+            __global__ void k(float* a) {{
+                int t = threadIdx.x;
+                a[{indexing}] = 1.0;
+            }}
+            int main() {{
+                float* d;
+                cudaMalloc(&d, 2048 * sizeof(float));
+                k<<<1, 32>>>(d);
+                return 0;
+            }}
+            "#
+        );
+        let program = compile(&src, Dialect::Cuda).unwrap();
+        let out = minicuda::run(&program, &[] as &[Dataset], &RunOptions::default());
+        assert!(out.ok(), "{:?}", out.error);
+        out.cost.global_transactions
+    };
+    let coalesced = run_with("t");
+    let strided = run_with("t * 32");
+    assert_eq!(coalesced, 1, "one 128B segment");
+    assert_eq!(strided, 32, "one segment per lane");
+}
+
+#[test]
+fn bank_conflicts_detected() {
+    let run_with = |indexing: &str| {
+        let src = format!(
+            r#"
+            __global__ void k(float* out) {{
+                __shared__ float s[1024];
+                int t = threadIdx.x;
+                s[{indexing}] = 1.0;
+                __syncthreads();
+                out[t] = s[t];
+            }}
+            int main() {{
+                float* d;
+                cudaMalloc(&d, 32 * sizeof(float));
+                k<<<1, 32>>>(d);
+                return 0;
+            }}
+            "#
+        );
+        let program = compile(&src, Dialect::Cuda).unwrap();
+        let out = minicuda::run(&program, &[] as &[Dataset], &RunOptions::default());
+        assert!(out.ok(), "{:?}", out.error);
+        out.cost.shared_conflicts
+    };
+    let clean = run_with("t");
+    let conflicted = run_with("t * 32"); // every lane hits bank 0
+    assert_eq!(clean, 0);
+    assert!(conflicted > 20, "32-way conflict, got {conflicted}");
+}

@@ -1,0 +1,179 @@
+//! Property-based tests on the toolchain: front-end robustness and
+//! host-interpreter arithmetic vs a Rust oracle.
+
+use libwb::Dataset;
+use minicuda::{compile, Dialect, RunOptions};
+use proptest::prelude::*;
+
+/// An arithmetic expression tree we can render to minicuda source and
+/// evaluate in Rust.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Lit(v) => format!("({v})"),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
+            E::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
+            E::Neg(a) => format!("(-{})", a.render()),
+            E::Ternary(c, a, b) => format!(
+                "(({}) > 0 ? {} : {})",
+                c.render(),
+                a.render(),
+                b.render()
+            ),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            E::Lit(v) => *v as i64,
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            E::Min(a, b) => a.eval().min(b.eval()),
+            E::Max(a, b) => a.eval().max(b.eval()),
+            E::Neg(a) => a.eval().wrapping_neg(),
+            E::Ternary(c, a, b) => {
+                if c.eval() > 0 {
+                    a.eval()
+                } else {
+                    b.eval()
+                }
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = (-1000i32..1000).prop_map(E::Lit);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(a.into(), b.into())),
+            inner.clone().prop_map(|a| E::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| E::Ternary(c.into(), a.into(), b.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The host interpreter evaluates arbitrary integer expression
+    /// trees exactly like Rust's wrapping integer arithmetic.
+    #[test]
+    fn host_arithmetic_matches_rust_oracle(e in expr_strategy()) {
+        let src = format!(
+            "int main() {{\n    int result = {};\n    wbSolutionScalar(result);\n    return 0;\n}}\n",
+            e.render()
+        );
+        let program = compile(&src, Dialect::Cuda).expect("generated source compiles");
+        let out = minicuda::run(&program, &[] as &[Dataset], &RunOptions::default());
+        prop_assert!(out.ok(), "{:?}", out.error);
+        let want = e.eval();
+        // wbSolutionScalar stores f32; compare within f32 precision of
+        // the true value.
+        match out.solution {
+            Some(Dataset::Scalar(got)) => {
+                prop_assert_eq!(got, want as f32, "expr {}", e.render());
+            }
+            other => prop_assert!(false, "unexpected solution {other:?}"),
+        }
+    }
+
+    /// The same expression computed per-thread on the device matches
+    /// the host result (lockstep SIMT vs scalar interpreter).
+    #[test]
+    fn device_arithmetic_matches_host(e in expr_strategy()) {
+        let src = format!(
+            r#"
+            __global__ void k(float* out) {{
+                out[threadIdx.x] = {};
+            }}
+            int main() {{
+                float* d;
+                cudaMalloc(&d, 4 * sizeof(float));
+                k<<<1, 4>>>(d);
+                float* h = (float*) malloc(4 * sizeof(float));
+                cudaMemcpy(h, d, 4 * sizeof(float), cudaMemcpyDeviceToHost);
+                wbSolution(h, 4);
+                return 0;
+            }}
+            "#,
+            e.render()
+        );
+        let program = compile(&src, Dialect::Cuda).expect("compiles");
+        let out = minicuda::run(&program, &[] as &[Dataset], &RunOptions::default());
+        prop_assert!(out.ok(), "{:?}", out.error);
+        let want = e.eval() as f32;
+        match out.solution {
+            Some(Dataset::Vector(v)) => {
+                prop_assert!(v.iter().all(|&x| x == want), "{v:?} vs {want}");
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// The front end never panics on arbitrary input — it either
+    /// compiles or returns a diagnostic.
+    #[test]
+    fn compiler_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = compile(&src, Dialect::Cuda);
+        let _ = compile(&src, Dialect::OpenCl);
+    }
+
+    /// ... including near-miss C-like programs built from plausible
+    /// fragments.
+    #[test]
+    fn compiler_never_panics_on_clike_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("int main() {"),
+                Just("}"),
+                Just("float* p;"),
+                Just("if (x > 0)"),
+                Just("for (int i = 0; i < n; i++)"),
+                Just("__global__ void k() {"),
+                Just("__shared__ float t[16];"),
+                Just("a[i] = b[i] + 1.0;"),
+                Just("return 0;"),
+                Just("#define N 32"),
+                Just("k<<<1, 32>>>();"),
+                Just("/* comment"),
+                Just("\"string"),
+                Just("threadIdx.x"),
+                Just("??"),
+            ],
+            0..24,
+        )
+    ) {
+        let src = parts.join("\n");
+        let _ = compile(&src, Dialect::Cuda);
+    }
+
+    /// Compilation is deterministic: same source, same outcome.
+    #[test]
+    fn compilation_is_deterministic(src in "\\PC{0,120}") {
+        let a = compile(&src, Dialect::Cuda).map(|_| ()).map_err(|d| d.to_string());
+        let b = compile(&src, Dialect::Cuda).map(|_| ()).map_err(|d| d.to_string());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion bench for ablation 1: v1 push vs v2 pull dispatch of a
+//! batch of grading jobs at equal fleet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wb_bench::reference_job;
+use wb_labs::LabScale;
+use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use wb_worker::JobAction;
+
+const BATCH: u64 = 16;
+
+fn bench_v1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster/v1_push_batch16");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let cluster =
+                        ClusterV1::new(workers, minicuda::DeviceConfig::test_small());
+                    for j in 0..BATCH {
+                        cluster
+                            .submit(&reference_job(
+                                "vecadd",
+                                j,
+                                LabScale::Small,
+                                JobAction::RunDataset(0),
+                            ))
+                            .unwrap();
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_v2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster/v2_pull_batch16");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let cluster = ClusterV2::new(
+                        workers,
+                        minicuda::DeviceConfig::test_small(),
+                        AutoscalePolicy::Static(workers),
+                    );
+                    for j in 0..BATCH {
+                        cluster.enqueue(
+                            reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),
+                            0,
+                        );
+                    }
+                    let mut rounds = 0u64;
+                    while cluster.completed() < BATCH && rounds < 10_000 {
+                        cluster.pump(rounds);
+                        rounds += 1;
+                    }
+                    assert_eq!(cluster.completed(), BATCH);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_v1, bench_v2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for experiment F7 / ablation 2: container checkout
+//! latency — warm pool vs cold boot per job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wb_sandbox::{ContainerPool, Image};
+
+fn bench_checkout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("container/checkout");
+    g.bench_function("pooled_warm", |b| {
+        let pool = ContainerPool::new(Image::cuda(), 4);
+        b.iter(|| {
+            let (cont, wait) = pool.checkout();
+            pool.destroy(cont);
+            wait
+        })
+    });
+    g.bench_function("cold_start", |b| {
+        let pool = ContainerPool::cold_start_only(Image::cuda());
+        b.iter(|| {
+            let (cont, wait) = pool.checkout();
+            pool.destroy(cont);
+            wait
+        })
+    });
+    g.bench_function("cold_start_full_image", |b| {
+        let pool = ContainerPool::cold_start_only(Image::full());
+        b.iter(|| {
+            let (cont, wait) = pool.checkout();
+            pool.destroy(cont);
+            wait
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkout);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench for the database substrate: codec, table
+//! operations, WAL, and replication shipping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use wb_db::{decode, encode, ReplicatedTable, Table, Wal};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Submission {
+    user: String,
+    lab: String,
+    score: f32,
+    source: String,
+}
+
+fn sample(i: usize) -> Submission {
+    Submission {
+        user: format!("student{i}"),
+        lab: "tiled-matmul".to_string(),
+        score: 87.5,
+        source: "__global__ void k() {}".repeat(8),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let rec = sample(1);
+    let bytes = encode(&rec).unwrap();
+    let mut g = c.benchmark_group("db/codec");
+    g.bench_function("encode", |b| b.iter(|| encode(black_box(&rec)).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| decode::<Submission>(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/table");
+    g.bench_function("insert", |b| {
+        let t = Table::new();
+        t.create_index("by_user", |s: &Submission| s.user.clone());
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            t.insert(black_box(&sample(i))).unwrap()
+        })
+    });
+    g.bench_function("get", |b| {
+        let t = Table::new();
+        let id = t.insert(&sample(1)).unwrap();
+        b.iter(|| t.get(black_box(id)).unwrap())
+    });
+    g.bench_function("find_indexed_1000", |b| {
+        let t = Table::new();
+        t.create_index("by_user", |s: &Submission| s.user.clone());
+        for i in 0..1000 {
+            t.insert(&sample(i % 50)).unwrap();
+        }
+        b.iter(|| t.find("by_user", black_box("student25")).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_wal_and_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/wal");
+    g.bench_function("append", |b| {
+        let mut wal = Wal::new();
+        b.iter(|| wal.append(black_box(&sample(3))).unwrap())
+    });
+    g.bench_function("replicate_100_ops", |b| {
+        b.iter(|| {
+            let primary = ReplicatedTable::new();
+            for i in 0..100 {
+                primary.insert(&sample(i)).unwrap();
+            }
+            let mut replica = wb_db::replica::Replica::new();
+            replica.catch_up(black_box(&primary)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_table, bench_wal_and_replication);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion bench for the simulated GPU: compiler throughput, kernel
+//! execution, naive-vs-tiled matmul (the cost-model ablation made
+//! wall-clock), and SM parallel scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use libwb::{gen, Dataset};
+use minicuda::{compile, Dialect, DeviceConfig, RunOptions};
+use std::hint::black_box;
+
+fn matmul_inputs(m: usize, k: usize, n: usize) -> Vec<Dataset> {
+    vec![
+        Dataset::Matrix {
+            rows: m,
+            cols: k,
+            data: gen::random_matrix(m, k, 1),
+        },
+        Dataset::Matrix {
+            rows: k,
+            cols: n,
+            data: gen::random_matrix(k, n, 2),
+        },
+    ]
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device/compile");
+    for lab in ["vecadd", "sgemm", "bfs"] {
+        let src = wb_labs::solution(lab).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(lab), &src, |b, src| {
+            b.iter(|| compile(black_box(src), Dialect::Cuda).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device/matmul_64");
+    g.sample_size(10);
+    let inputs = matmul_inputs(64, 64, 64);
+    let opts = RunOptions {
+        device: DeviceConfig::test_small(),
+        ..Default::default()
+    };
+    for (label, lab) in [("naive", "matmul"), ("tiled", "tiled-matmul"), ("sgemm", "sgemm")] {
+        let program = compile(wb_labs::solution(lab).unwrap(), Dialect::Cuda).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let out = minicuda::run(black_box(&program), &inputs, &opts);
+                assert!(out.ok(), "{:?}", out.error);
+                out.cost.device_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sm_scaling(c: &mut Criterion) {
+    // Real-thread parallelism across simulated SMs.
+    let mut g = c.benchmark_group("device/sm_scaling_vecadd_64k");
+    g.sample_size(10);
+    let n = 65_536;
+    let inputs = vec![
+        Dataset::Vector(gen::random_vector(n, 1)),
+        Dataset::Vector(gen::random_vector(n, 2)),
+    ];
+    let program = compile(wb_labs::solution("vecadd").unwrap(), Dialect::Cuda).unwrap();
+    for sms in [1usize, 2, 4, 8] {
+        let opts = RunOptions {
+            device: DeviceConfig {
+                num_sms: sms,
+                deterministic: false,
+                ..DeviceConfig::default()
+            },
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(sms), &opts, |b, opts| {
+            b.iter(|| {
+                let out = minicuda::run(black_box(&program), &inputs, opts);
+                assert!(out.ok());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_matmul_kernels, bench_sm_scaling);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment T2: the full worker pipeline
+//! (blacklist → compile → sandboxed run → evaluate) on representative
+//! Table II labs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minicuda::DeviceConfig;
+use std::hint::black_box;
+use wb_bench::reference_job;
+use wb_labs::LabScale;
+use wb_worker::{execute_job, JobAction};
+
+fn bench_grading(c: &mut Criterion) {
+    let device = DeviceConfig::test_small();
+    let mut g = c.benchmark_group("labs/full_grade");
+    g.sample_size(10);
+    for lab in ["vecadd", "tiled-matmul", "scan", "spmv", "bfs", "equalization"] {
+        let req = reference_job(lab, 1, LabScale::Small, JobAction::FullGrade);
+        g.bench_with_input(BenchmarkId::from_parameter(lab), &req, |b, req| {
+            b.iter(|| execute_job(black_box(req), &device, 0, 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_only(c: &mut Criterion) {
+    let device = DeviceConfig::test_small();
+    let mut g = c.benchmark_group("labs/compile_only");
+    for lab in ["vecadd", "sgemm", "bfs"] {
+        let req = reference_job(lab, 1, LabScale::Small, JobAction::CompileOnly);
+        g.bench_with_input(BenchmarkId::from_parameter(lab), &req, |b, req| {
+            b.iter(|| execute_job(black_box(req), &device, 0, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grading, bench_compile_only);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment T1/F1 inputs: the cohort survival
+//! model and the hourly load model at full 2015-course scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webgpu::sim::population::{load_stats, simulate_cohort, CohortParams, LoadModel};
+
+fn bench_cohorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population/cohort");
+    for params in [
+        CohortParams::year_2013(),
+        CohortParams::year_2014(),
+        CohortParams::year_2015(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(params.year),
+            &params,
+            |b, p| b.iter(|| simulate_cohort(black_box(p), 7)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population/load");
+    let model = LoadModel::default();
+    g.bench_function("hourly_series_67_days", |b| {
+        b.iter(|| model.hourly_series(black_box(2015)))
+    });
+    let series = model.hourly_series(2015);
+    g.bench_function("load_stats", |b| {
+        b.iter(|| load_stats(black_box(&model), black_box(&series)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cohorts, bench_load);
+criterion_main!(benches);

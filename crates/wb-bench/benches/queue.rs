@@ -1,0 +1,56 @@
+//! Criterion bench for the broker substrate: enqueue/poll/ack
+//! throughput, tag filtering, and the mirroring overhead (§VI-A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use wb_queue::{Broker, MirroredBroker};
+
+fn tags(list: &[&str]) -> BTreeSet<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn bench_broker(c: &mut Criterion) {
+    let caps = tags(&["cuda", "mpi"]);
+    let mut g = c.benchmark_group("queue/broker");
+    g.bench_function("enqueue_poll_ack", |b| {
+        let broker: Broker<u64> = Broker::new(60_000, 3);
+        b.iter(|| {
+            let id = broker.enqueue(black_box(7), tags(&[]), 0);
+            let d = broker.poll(&caps, 1).expect("delivered");
+            broker.ack(d.meta.id);
+            id
+        })
+    });
+    g.bench_function("poll_skips_100_tagged", |b| {
+        // The worst case: a worker scanning past many jobs it cannot
+        // take (capability mismatch) to find its own.
+        let broker: Broker<u64> = Broker::new(60_000, 3);
+        for k in 0..100 {
+            broker.enqueue(k, tags(&["fpga"]), 0);
+        }
+        broker.enqueue(999, tags(&[]), 0);
+        b.iter(|| {
+            let d = broker.poll(&caps, 1).expect("the untagged one");
+            broker.nack(d.meta.id);
+        })
+    });
+    g.finish();
+}
+
+fn bench_mirrored(c: &mut Criterion) {
+    let caps = tags(&["cuda"]);
+    let mut g = c.benchmark_group("queue/mirrored");
+    g.bench_function("enqueue_poll_ack", |b| {
+        let broker: MirroredBroker<u64> = MirroredBroker::new(60_000, 3);
+        b.iter(|| {
+            broker.enqueue(black_box(7), tags(&[]), 0);
+            let d = broker.poll(&caps, 1).expect("delivered");
+            broker.ack(d.meta.id);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_broker, bench_mirrored);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for experiment S5 / ablation 5: blacklist scanning
+//! on raw vs preprocessed text (the paper's false-positive trade-off),
+//! over a realistically sized submission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wb_sandbox::{Blacklist, ScanMode};
+
+fn big_source() -> String {
+    // ~64 KiB of plausible student code with comments.
+    let unit = wb_labs::solution("sgemm").unwrap();
+    let mut s = String::new();
+    while s.len() < 64 * 1024 {
+        s.push_str("// iteration notes: tried tiling, saw bank conflicts\n");
+        s.push_str(unit);
+    }
+    s
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let source = big_source();
+    let raw = Blacklist::standard();
+    let pre = Blacklist::standard().with_mode(ScanMode::Preprocessed);
+    let mut g = c.benchmark_group("sandbox/blacklist");
+    g.bench_function("raw_text_64k", |b| {
+        b.iter(|| raw.scan(black_box(&source)))
+    });
+    g.bench_function("preprocessed_64k", |b| {
+        b.iter(|| pre.scan(black_box(&source)))
+    });
+    g.finish();
+}
+
+fn bench_jobdir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sandbox/jobdir");
+    g.bench_function("create_write_destroy", |b| {
+        let payload = vec![0u8; 4096];
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let mut d = wb_sandbox::JobDir::create(id, 1 << 20);
+            d.write("solution.cu", black_box(&payload)).unwrap();
+            d.destroy()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_jobdir);
+criterion_main!(benches);

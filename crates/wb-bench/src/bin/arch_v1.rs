@@ -1,0 +1,64 @@
+//! Experiment F2 — characterize the v1 push architecture (Fig. 2):
+//! throughput scaling with worker count, load spread, and the
+//! health-check eviction path under a crash.
+
+use std::time::Instant;
+use wb_bench::reference_job;
+use wb_labs::LabScale;
+use webgpu::ClusterV1;
+use wb_worker::JobAction;
+
+fn main() {
+    println!("v1 architecture (web server pushes jobs to a worker pool)\n");
+
+    // Throughput scaling: the same 60-job batch over growing pools.
+    println!("{:>8} {:>10} {:>14} {:>16}", "workers", "jobs", "wall (ms)", "jobs/worker max");
+    for workers in [1usize, 2, 4, 8] {
+        let cluster = ClusterV1::new(workers, minicuda::DeviceConfig::default());
+        let t0 = Instant::now();
+        let jobs = 60;
+        for j in 0..jobs {
+            let req = reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0));
+            cluster.submit(&req).expect("job runs");
+        }
+        let wall = t0.elapsed().as_millis();
+        let max_share = (0..workers)
+            .map(|i| cluster.worker(i).unwrap().jobs_done())
+            .max()
+            .unwrap();
+        println!("{workers:>8} {jobs:>10} {wall:>14} {max_share:>16}");
+    }
+    println!("(round-robin keeps the per-worker share flat as the pool grows)\n");
+
+    // Fault path: crash one of four workers mid-batch.
+    let cluster = ClusterV1::new(4, minicuda::DeviceConfig::default());
+    let mut completed = 0;
+    for j in 0..20 {
+        if j == 10 {
+            cluster.worker(2).unwrap().crash();
+        }
+        if cluster
+            .submit(&reference_job(
+                "vecadd",
+                j,
+                LabScale::Small,
+                JobAction::RunDataset(0),
+            ))
+            .is_ok()
+        {
+            completed += 1;
+        }
+    }
+    cluster.health_sweep(0);
+    let evicted = cluster.health_sweep(webgpu::v1::HEALTH_TIMEOUT_MS + 1);
+    println!("fault injection: crashed worker 3 of 4 after job 10");
+    println!(
+        "  jobs completed: {completed}/20 (dispatch retries absorbed the crash: {} failures logged)",
+        cluster.dispatch_failures()
+    );
+    println!(
+        "  health sweep evicted {:?}; pool now {} workers",
+        evicted,
+        cluster.pool_size()
+    );
+}

@@ -1,0 +1,115 @@
+//! Experiment S3 — provisioning cost over the full course (§II-C):
+//! a statically peak-sized fleet vs reactive vs deadline-aware
+//! scheduled scaling, replayed over the Figure-1 load trace.
+
+use webgpu::autoscaler::{Autoscaler, AutoscalePolicy, FleetMetrics};
+use webgpu::cost::{CostMeter, CostModel, CostReport};
+use webgpu::sim::population::LoadModel;
+
+/// Jobs one worker absorbs per hour in this replay.
+const JOBS_PER_WORKER_HOUR: usize = 12;
+
+fn replay(policy: AutoscalePolicy, series: &[u32]) -> (CostReport, f64) {
+    let mut scaler = Autoscaler::new(policy, 1);
+    let mut meter = CostMeter::new(CostModel::default());
+    let mut backlog = 0usize;
+    let mut backlog_hours = 0f64;
+    for (h, &active) in series.iter().enumerate() {
+        // Each active student submits about one job per hour.
+        let arriving = active as usize;
+        backlog += arriving;
+        let fleet = scaler.desired(&FleetMetrics {
+            queue_depth: backlog,
+            fleet_size: 0,
+            now_ms: h as u64 * 3_600_000,
+        });
+        let capacity = fleet * JOBS_PER_WORKER_HOUR;
+        let served = backlog.min(capacity);
+        backlog -= served;
+        backlog_hours += backlog as f64;
+        let busy = if capacity == 0 {
+            0.0
+        } else {
+            served as f64 / capacity as f64
+        };
+        meter.record_hour(fleet, busy);
+    }
+    (meter.finish(), backlog_hours / series.len() as f64)
+}
+
+fn main() {
+    let model = LoadModel::default();
+    let series = model.hourly_series(2015);
+    // The course's Thursday deadlines (day 4 of each week, end of day).
+    let deadlines: Vec<u64> = (0..model.days / 7)
+        .map(|w| ((w * 7 + 5) * 24) as u64 * 3_600_000)
+        .collect();
+
+    // Peak sizing for the static fleet: enough for the biggest hour.
+    let peak = *series.iter().max().unwrap() as usize;
+    let static_fleet = peak.div_ceil(JOBS_PER_WORKER_HOUR);
+
+    println!(
+        "provisioning the 67-day course (load trace from Figure 1, {} jobs/worker/hour)\n",
+        JOBS_PER_WORKER_HOUR
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "policy", "gpu-hours", "peak", "cost ($)", "util (%)", "mean backlog"
+    );
+
+    let cases = vec![
+        (
+            format!("static (peak = {static_fleet})"),
+            AutoscalePolicy::Static(static_fleet),
+        ),
+        (
+            "reactive".to_string(),
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: JOBS_PER_WORKER_HOUR,
+                min: 1,
+                max: static_fleet,
+            },
+        ),
+        (
+            "scheduled (pre-deadline)".to_string(),
+            AutoscalePolicy::Scheduled {
+                jobs_per_worker: JOBS_PER_WORKER_HOUR,
+                min: 1,
+                max: static_fleet,
+                deadlines_ms: deadlines.clone(),
+                window_ms: 36 * 3_600_000,
+                floor: static_fleet / 2,
+            },
+        ),
+    ];
+
+    let mut static_cost = 0.0;
+    for (label, policy) in cases {
+        let (report, mean_backlog) = replay(policy, &series);
+        if label.starts_with("static") {
+            static_cost = report.dollars;
+        }
+        let saving = if static_cost > 0.0 && !label.starts_with("static") {
+            format!(" ({:.1}x cheaper)", static_cost / report.dollars)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<26} {:>10.0} {:>10} {:>12.2} {:>12.1} {:>14.1}{saving}",
+            label,
+            report.gpu_hours,
+            report.peak_fleet,
+            report.dollars,
+            100.0 * report.utilization(),
+            mean_backlog,
+        );
+    }
+    println!(
+        "\nShape check (§II-C): the statically peak-provisioned fleet is \
+mostly idle\nonce participation collapses; demand-following policies cut \
+GPU spend several-fold\nwhile the scheduled floor keeps deadline-eve \
+backlogs short — the automated version\nof \"we increased the number of \
+GPUs available the day before the deadline\"."
+    );
+}

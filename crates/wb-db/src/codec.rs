@@ -1,0 +1,715 @@
+//! A compact, self-contained binary codec over `serde`.
+//!
+//! The offline dependency set includes `serde` but no serializer crate,
+//! so the database implements its own non-self-describing format (in
+//! the spirit of bincode): fixed-width little-endian scalars,
+//! length-prefixed strings/sequences/maps, and `u32` enum variant tags.
+//! It is used for WAL records, replication frames, and blob contents.
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Encode any serializable value to bytes.
+pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    value.serialize(&mut Encoder { out: &mut out })?;
+    Ok(out)
+}
+
+/// Decode a value produced by [`encode`].
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut d = Decoder { input: bytes, at: 0 };
+    let v = T::deserialize(&mut d)?;
+    if d.at != bytes.len() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after value",
+            bytes.len() - d.at
+        )));
+    }
+    Ok(v)
+}
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+// ---- serializer -----------------------------------------------------------
+
+struct Encoder<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Encoder<'_> {
+    fn put_u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+}
+
+impl<'a, 'b> ser::Serializer for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.put_u64(v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError("sequences need a known length".into()))?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError("maps need a known length".into()))?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:path, $method:ident) => {
+        impl<'a, 'b> $trait for &'a mut Encoder<'b> {
+            type Ok = ();
+            type Error = CodecError;
+
+            fn $method<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(ser::SerializeSeq, serialize_element);
+forward_compound!(ser::SerializeTuple, serialize_element);
+forward_compound!(ser::SerializeTupleStruct, serialize_field);
+forward_compound!(ser::SerializeTupleVariant, serialize_field);
+
+impl<'a, 'b> ser::SerializeMap for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStruct for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---- deserializer ----------------------------------------------------------
+
+struct Decoder<'de> {
+    input: &'de [u8],
+    at: usize,
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.at + n > self.input.len() {
+            return Err(CodecError("unexpected end of input".into()));
+        }
+        let s = &self.input[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn get_i64(&mut self) -> Result<i64, CodecError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError("length overflows usize".into()))
+    }
+}
+
+macro_rules! de_int {
+    ($method:ident, $visit:ident, $ty:ty, $get:ident) => {
+        fn $method<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let v = self.$get()?;
+            visitor.$visit(v as $ty)
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError(
+            "this format is not self-describing (deserialize_any)".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(1)?[0];
+        visitor.visit_bool(b != 0)
+    }
+
+    de_int!(deserialize_i8, visit_i8, i8, get_i64);
+    de_int!(deserialize_i16, visit_i16, i16, get_i64);
+    de_int!(deserialize_i32, visit_i32, i32, get_i64);
+    de_int!(deserialize_i64, visit_i64, i64, get_i64);
+    de_int!(deserialize_u8, visit_u8, u8, get_u64);
+    de_int!(deserialize_u16, visit_u16, u16, get_u64);
+    de_int!(deserialize_u32, visit_u32, u32, get_u64);
+    de_int!(deserialize_u64, visit_u64, u64, get_u64);
+
+    fn deserialize_f32<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(4)?;
+        visitor.visit_f32(f32::from_bits(u32::from_le_bytes(b.try_into().expect("4"))))
+    }
+
+    fn deserialize_f64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(8)?;
+        visitor.visit_f64(f64::from_bits(u64::from_le_bytes(b.try_into().expect("8"))))
+    }
+
+    fn deserialize_char<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let v = self.get_u64()?;
+        let c = char::from_u32(v as u32).ok_or_else(|| CodecError("invalid char".into()))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| CodecError("invalid utf-8".into()))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(CodecError(format!("invalid option tag {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumDecoder { de: self })
+    }
+
+    fn deserialize_identifier<V: de::Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError("identifiers are not encoded".into()))
+    }
+
+    fn deserialize_ignored_any<V: de::Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError("cannot skip values in this format".into()))
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    left: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumDecoder<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumDecoder<'a, 'de> {
+    type Error = CodecError;
+    type Variant = &'a mut Decoder<'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let idx = self.de.get_u64()? as u32;
+        let val = seed.deserialize(IntoDeserializer::<CodecError>::into_deserializer(idx))?;
+        Ok((val, self.de))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self)
+    }
+
+    fn tuple_variant<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self, len, visitor)
+    }
+
+    fn struct_variant<V: de::Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = encode(v).expect("encode");
+        let back: T = decode(&bytes).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        id: u64,
+        name: String,
+        score: f32,
+        tags: Vec<String>,
+        parent: Option<u64>,
+        flags: (bool, i32),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Event {
+        Ping,
+        Submit { user: u64, code: String },
+        Grade(u64, f32),
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&42u64);
+        roundtrip(&-17i32);
+        roundtrip(&3.5f32);
+        roundtrip(&2.25f64);
+        roundtrip(&'λ');
+        roundtrip(&"hello".to_string());
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        roundtrip(&Record {
+            id: 9,
+            name: "alice".into(),
+            score: 97.5,
+            tags: vec!["mpi".into(), "multi-gpu".into()],
+            parent: Some(3),
+            flags: (true, -1),
+        });
+    }
+
+    #[test]
+    fn enum_variants_roundtrip() {
+        roundtrip(&Event::Ping);
+        roundtrip(&Event::Submit {
+            user: 1,
+            code: "int main(){}".into(),
+        });
+        roundtrip(&Event::Grade(7, 88.0));
+        roundtrip(&vec![Event::Ping, Event::Grade(1, 2.0)]);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<String>::new());
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        roundtrip(&m);
+        roundtrip(&Some(vec![Some(1u8), None]));
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = encode(&12345u64).unwrap();
+        let r: Result<u64, _> = decode(&bytes[..4]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_fail() {
+        let mut bytes = encode(&1u64).unwrap();
+        bytes.push(0);
+        let r: Result<u64, _> = decode(&bytes);
+        assert!(r.unwrap_err().0.contains("trailing"));
+    }
+
+    #[test]
+    fn invalid_utf8_fails() {
+        let mut bytes = encode(&"ab".to_string()).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        let r: Result<String, _> = decode(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_option_tag_fails() {
+        let r: Result<Option<u64>, _> = decode(&[7]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn special_floats_roundtrip() {
+        roundtrip(&f32::INFINITY);
+        roundtrip(&f32::MIN_POSITIVE);
+        let bytes = encode(&f32::NAN).unwrap();
+        let back: f32 = decode(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+}

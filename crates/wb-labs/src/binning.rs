@@ -1,0 +1,133 @@
+//! Input Binning — and its performance effects.
+//!
+//! Points in `[0, 1)` are counted into 64 uniform bins with atomics —
+//! the first half of the course's binning optimization story (the
+//! second half, privatized histograms, is one of the questions).
+
+use crate::common::{case, exact_check, make_lab, skeleton_banner, LabScale};
+use libwb::{gen, Dataset};
+use wb_server::{LabDefinition, Rubric};
+use wb_worker::{DatasetCase, LabSpec};
+
+/// Number of bins.
+pub const BINS: usize = 64;
+
+/// Reference solution.
+pub const SOLUTION: &str = r#"
+#define BINS 64
+
+__global__ void bin(float* points, int* counts, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        int b = (int) (points[i] * BINS);
+        if (b >= BINS) { b = BINS - 1; }
+        if (b < 0) { b = 0; }
+        atomicAdd(&counts[b], 1);
+    }
+}
+
+int main() {
+    int n;
+    float* hostPoints = wbImportVector(0, &n);
+    int* hostCounts = (int*) malloc(BINS * sizeof(int));
+
+    float* dPoints; int* dCounts;
+    cudaMalloc(&dPoints, n * sizeof(float));
+    cudaMalloc(&dCounts, BINS * sizeof(int));
+    cudaMemcpy(dPoints, hostPoints, n * sizeof(float), cudaMemcpyHostToDevice);
+
+    bin<<<(n + 255) / 256, 256>>>(dPoints, dCounts, n);
+
+    cudaMemcpy(hostCounts, dCounts, BINS * sizeof(int), cudaMemcpyDeviceToHost);
+    wbSolutionInt(hostCounts, BINS);
+    return 0;
+}
+"#;
+
+/// CPU golden model.
+pub fn golden(points: &[f32]) -> Vec<i32> {
+    let mut counts = vec![0i32; BINS];
+    for &p in points {
+        let b = ((p * BINS as f32) as isize).clamp(0, BINS as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Generate dataset cases.
+pub fn datasets(scale: LabScale) -> Vec<DatasetCase> {
+    let sizes = match scale {
+        LabScale::Small => vec![16usize, 333],
+        LabScale::Full => vec![10_000usize, 100_000],
+    };
+    sizes
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let points = gen::random_positive_vector(n, 0xA10 + i as u64);
+            let expected = golden(&points);
+            case(
+                &format!("d{i}"),
+                vec![Dataset::Vector(points)],
+                Dataset::IntVector(expected),
+            )
+        })
+        .collect()
+}
+
+/// Build the lab.
+pub fn definition(scale: LabScale) -> LabDefinition {
+    let mut spec = LabSpec::cuda_test("binning");
+    spec.check = exact_check();
+    make_lab(
+        "binning",
+        "Input Binning",
+        DESCRIPTION,
+        &format!(
+            "{}#define BINS 64\n\n__global__ void bin(float* points, int* counts, int n) {{\n    // TODO: compute the bin and atomicAdd into it\n}}\n\nint main() {{\n    // TODO\n    return 0;\n}}\n",
+            skeleton_banner("Input Binning")
+        ),
+        datasets(scale),
+        vec![
+            "How does bin skew affect atomic contention?",
+            "How would a per-block privatized histogram help?",
+        ],
+        spec,
+        Rubric {
+            compile_points: 10.0,
+            dataset_points: 75.0,
+            question_points: 10.0,
+            keyword_points: vec![("atomicAdd".to_string(), 5.0)],
+        },
+    )
+}
+
+const DESCRIPTION: &str = "# Input Binning\n\nCount points from `[0, 1)` into 64 uniform bins. \
+Integer counts are compared **exactly** — integer atomic addition is order-independent, so your \
+kernel must not lose updates.\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::grade_solution;
+
+    #[test]
+    fn reference_solution_passes() {
+        grade_solution(&definition(LabScale::Small), SOLUTION);
+    }
+
+    #[test]
+    fn golden_counts_sum_to_n() {
+        let points = gen::random_positive_vector(500, 1);
+        let counts = golden(&points);
+        assert_eq!(counts.iter().sum::<i32>(), 500);
+        assert_eq!(counts.len(), BINS);
+    }
+
+    #[test]
+    fn golden_edge_values() {
+        assert_eq!(golden(&[0.0])[0], 1);
+        // 0.999… lands in the last bin.
+        assert_eq!(golden(&[0.9999])[BINS - 1], 1);
+    }
+}

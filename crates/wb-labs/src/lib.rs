@@ -1,0 +1,110 @@
+//! `wb-labs` — the WebGPU-hosted lab catalog (Table II).
+//!
+//! Every lab the paper lists is implemented end-to-end:
+//!
+//! | Lab | Module | Teaches |
+//! |---|---|---|
+//! | Device Query | [`device_query`] | introducing WebGPU |
+//! | Vector Addition | [`vecadd`] | CUDA kernels |
+//! | Basic Matrix Multiplication | [`matmul`] | boundary checking, indexing |
+//! | Tiled Matrix Multiplication | [`tiled_matmul`] | shared-memory tiling |
+//! | 2D Convolution | [`conv2d`] | constant + shared memory |
+//! | Reduction and Scan | [`scan`] | work efficiency, tree structures |
+//! | Image Equalization | [`equalization`] | atomic operations |
+//! | OpenCL Vector Addition | [`opencl_vecadd`] | OpenCL |
+//! | Scatter to Gather | [`scatter_gather`] | access-pattern transformation |
+//! | Stencil | [`stencil`] | register tiling, thread coarsening |
+//! | SGEMM | [`sgemm`] | register tiling, coarsening |
+//! | SPMV | [`spmv`] | sparse formats |
+//! | Input Binning | [`binning`] | binning and its performance |
+//! | BFS Queuing | [`bfs`] | hierarchical queuing |
+//! | Multi-GPU Stencil with MPI | [`mpi_stencil`] | multi-GPU + MPI |
+//!
+//! Each module provides `definition(scale)` — a deployable
+//! [`wb_server::LabDefinition`] with generated datasets — and
+//! `solution()`, the instructor reference solution in minicuda source,
+//! which the tests compile and grade to 100%.
+//!
+//! [`catalog`] maps labs onto the four courses of Table II.
+
+pub mod bfs;
+pub mod binning;
+pub mod catalog;
+pub mod common;
+pub mod conv2d;
+pub mod device_query;
+pub mod equalization;
+pub mod matmul;
+pub mod mpi_stencil;
+pub mod opencl_vecadd;
+pub mod scan;
+pub mod scatter_gather;
+pub mod sgemm;
+pub mod spmv;
+pub mod stencil;
+pub mod tiled_matmul;
+pub mod vecadd;
+
+pub use catalog::{course, courses, lab_ids, Course, LabEntry};
+pub use common::LabScale;
+
+use wb_server::LabDefinition;
+
+/// Build a lab by catalog id.
+pub fn definition(lab_id: &str, scale: LabScale) -> Option<LabDefinition> {
+    Some(match lab_id {
+        "device-query" => device_query::definition(scale),
+        "vecadd" => vecadd::definition(scale),
+        "matmul" => matmul::definition(scale),
+        "tiled-matmul" => tiled_matmul::definition(scale),
+        "conv2d" => conv2d::definition(scale),
+        "scan" => scan::definition(scale),
+        "equalization" => equalization::definition(scale),
+        "opencl-vecadd" => opencl_vecadd::definition(scale),
+        "scatter-gather" => scatter_gather::definition(scale),
+        "stencil" => stencil::definition(scale),
+        "sgemm" => sgemm::definition(scale),
+        "spmv" => spmv::definition(scale),
+        "binning" => binning::definition(scale),
+        "bfs" => bfs::definition(scale),
+        "mpi-stencil" => mpi_stencil::definition(scale),
+        _ => return None,
+    })
+}
+
+/// Reference solution source by catalog id.
+pub fn solution(lab_id: &str) -> Option<&'static str> {
+    Some(match lab_id {
+        "device-query" => device_query::SOLUTION,
+        "vecadd" => vecadd::SOLUTION,
+        "matmul" => matmul::SOLUTION,
+        "tiled-matmul" => tiled_matmul::SOLUTION,
+        "conv2d" => conv2d::SOLUTION,
+        "scan" => scan::SOLUTION,
+        "equalization" => equalization::SOLUTION,
+        "opencl-vecadd" => opencl_vecadd::SOLUTION,
+        "scatter-gather" => scatter_gather::SOLUTION,
+        "stencil" => stencil::SOLUTION,
+        "sgemm" => sgemm::SOLUTION,
+        "spmv" => spmv::SOLUTION,
+        "binning" => binning::SOLUTION,
+        "bfs" => bfs::SOLUTION,
+        "mpi-stencil" => mpi_stencil::SOLUTION,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_id_resolves() {
+        for id in lab_ids() {
+            assert!(definition(id, LabScale::Small).is_some(), "missing {id}");
+            assert!(solution(id).is_some(), "missing solution for {id}");
+        }
+        assert!(definition("no-such-lab", LabScale::Small).is_none());
+        assert!(solution("no-such-lab").is_none());
+    }
+}

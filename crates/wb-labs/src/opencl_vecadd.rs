@@ -1,0 +1,107 @@
+//! OpenCL Vector Addition — the OpenCL surface (HPP only in Table II).
+
+use crate::common::{case, float_check, make_lab, LabScale};
+use libwb::{gen, Dataset};
+use minicuda::Dialect;
+use wb_server::{LabDefinition, Rubric};
+use wb_worker::{DatasetCase, LabSpec};
+
+/// Reference solution in the OpenCL dialect: `__kernel`, `__global`
+/// qualifiers, `get_global_id`, and an OpenCL-style barrier are all
+/// canonicalized by the toolchain's dialect front end.
+pub const SOLUTION: &str = r#"
+__kernel void vadd(__global float* a, __global float* b, __global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) { out[i] = a[i] + b[i]; }
+}
+
+int main() {
+    int n;
+    float* hostA = wbImportVector(0, &n);
+    float* hostB = wbImportVector(1, &n);
+    float* hostC = (float*) malloc(n * sizeof(float));
+
+    float* dA; float* dB; float* dC;
+    cudaMalloc(&dA, n * sizeof(float));
+    cudaMalloc(&dB, n * sizeof(float));
+    cudaMalloc(&dC, n * sizeof(float));
+    cudaMemcpy(dA, hostA, n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dB, hostB, n * sizeof(float), cudaMemcpyHostToDevice);
+
+    vadd<<<(n + 63) / 64, 64>>>(dA, dB, dC, n);
+
+    cudaMemcpy(hostC, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+    wbSolution(hostC, n);
+    return 0;
+}
+"#;
+
+/// Generate dataset cases.
+pub fn datasets(scale: LabScale) -> Vec<DatasetCase> {
+    let sizes = match scale {
+        LabScale::Small => vec![5usize, 70],
+        LabScale::Full => vec![129usize, 10_000],
+    };
+    sizes
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let a = gen::random_vector(n, 0x300 + i as u64);
+            let b = gen::random_vector(n, 0x400 + i as u64);
+            let expected: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            case(
+                &format!("d{i}"),
+                vec![Dataset::Vector(a), Dataset::Vector(b)],
+                Dataset::Vector(expected),
+            )
+        })
+        .collect()
+}
+
+/// Build the lab.
+pub fn definition(scale: LabScale) -> LabDefinition {
+    let mut spec = LabSpec::cuda_test("opencl-vecadd");
+    spec.dialect = Dialect::OpenCl;
+    spec.toolchain = "opencl".to_string();
+    spec.check = float_check();
+    make_lab(
+        "opencl-vecadd",
+        "OpenCL Vector Addition",
+        DESCRIPTION,
+        "// OpenCL Vector Addition\n__kernel void vadd(__global float* a, __global float* b, __global float* out, int n) {\n    // TODO: use get_global_id(0)\n}\n\nint main() {\n    // host code as in the CUDA lab\n    return 0;\n}\n",
+        datasets(scale),
+        vec!["How does get_global_id(0) relate to blockIdx/blockDim/threadIdx?"],
+        spec,
+        Rubric::default(),
+    )
+}
+
+const DESCRIPTION: &str = "# OpenCL Vector Addition\n\nThe same vector addition, written against \
+the OpenCL work-item model: `__kernel`, `__global` pointers, and `get_global_id(0)` instead of \
+the CUDA builtins.\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::grade_solution;
+
+    #[test]
+    fn reference_solution_passes() {
+        grade_solution(&definition(LabScale::Small), SOLUTION);
+    }
+
+    #[test]
+    fn lab_is_tagged_opencl() {
+        let lab = definition(LabScale::Small);
+        assert_eq!(lab.spec.dialect, Dialect::OpenCl);
+        assert_eq!(lab.spec.toolchain, "opencl");
+    }
+
+    #[test]
+    fn cuda_compiler_rejects_the_opencl_source() {
+        // Submitting OpenCL source to a CUDA-configured lab fails to
+        // compile — matching the real toolchain split.
+        assert!(minicuda::compile(SOLUTION, Dialect::Cuda).is_err());
+        assert!(minicuda::compile(SOLUTION, Dialect::OpenCl).is_ok());
+    }
+}

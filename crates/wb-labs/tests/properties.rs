@@ -1,0 +1,153 @@
+//! Property-based tests: the simulated GPU agrees with the Rust golden
+//! models on randomized lab workloads (small sizes for speed).
+
+use libwb::{gen, Dataset};
+use minicuda::{compile, Dialect, DeviceConfig, RunOptions};
+use proptest::prelude::*;
+
+fn run_solution(lab: &str, inputs: Vec<Dataset>) -> Option<Dataset> {
+    let program = compile(wb_labs::solution(lab).unwrap(), dialect_of(lab)).unwrap();
+    let opts = RunOptions {
+        device: DeviceConfig::test_small(),
+        ..Default::default()
+    };
+    let out = minicuda::run(&program, &inputs, &opts);
+    assert!(out.ok(), "{lab}: {:?}", out.error);
+    out.solution
+}
+
+fn dialect_of(lab: &str) -> Dialect {
+    if lab == "opencl-vecadd" {
+        Dialect::OpenCl
+    } else {
+        Dialect::Cuda
+    }
+}
+
+fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol + tol * y.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// GPU vector addition equals element-wise addition for any size
+    /// and seed (including awkward non-multiples of the block size).
+    #[test]
+    fn vecadd_matches_oracle(n in 1usize..400, seed in any::<u64>()) {
+        let a = gen::random_vector(n, seed);
+        let b = gen::random_vector(n, seed ^ 0x9e37);
+        let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let got = run_solution(
+            "vecadd",
+            vec![Dataset::Vector(a), Dataset::Vector(b)],
+        );
+        match got {
+            Some(Dataset::Vector(v)) => prop_assert!(close(&v, &want, 1e-4)),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// GPU inclusive scan equals the sequential prefix sum.
+    #[test]
+    fn scan_matches_oracle(n in 1usize..513, seed in any::<u64>()) {
+        let input = gen::random_positive_vector(n, seed);
+        let want = wb_labs::scan::golden(&input);
+        let got = run_solution("scan", vec![Dataset::Vector(input)]);
+        match got {
+            Some(Dataset::Vector(v)) => {
+                prop_assert!(close(&v, &want, 1e-2), "n={n}");
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// Tiled matmul equals the golden model on random ragged shapes.
+    #[test]
+    fn tiled_matmul_matches_oracle(
+        m in 1usize..40,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let a = gen::random_matrix(m, k, seed);
+        let b = gen::random_matrix(k, n, seed ^ 0xff);
+        let want = wb_labs::matmul::golden(m, k, n, &a, &b);
+        let got = run_solution(
+            "tiled-matmul",
+            vec![
+                Dataset::Matrix { rows: m, cols: k, data: a },
+                Dataset::Matrix { rows: k, cols: n, data: b },
+            ],
+        );
+        match got {
+            Some(Dataset::Matrix { rows, cols, data }) => {
+                prop_assert_eq!((rows, cols), (m, n));
+                prop_assert!(close(&data, &want, 1e-3), "{m}x{k}x{n}");
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// GPU binning equals the golden counter for any point set; counts
+    /// are exact because integer atomics commute.
+    #[test]
+    fn binning_matches_oracle(n in 1usize..600, seed in any::<u64>()) {
+        let points = gen::random_positive_vector(n, seed);
+        let want = wb_labs::binning::golden(&points);
+        let got = run_solution("binning", vec![Dataset::Vector(points)]);
+        match got {
+            Some(Dataset::IntVector(v)) => prop_assert_eq!(v, want),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// GPU BFS levels equal the sequential BFS on random connected
+    /// graphs.
+    #[test]
+    fn bfs_matches_oracle(n in 1usize..60, p in 0.0f64..0.15, seed in any::<u64>()) {
+        let g = gen::random_connected_graph(n, p, seed);
+        let want = g.bfs_levels(0).unwrap();
+        let got = run_solution("bfs", vec![Dataset::Graph(g)]);
+        match got {
+            Some(Dataset::IntVector(v)) => prop_assert_eq!(v, want),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// GPU stencil equals the golden model, boundaries included.
+    #[test]
+    fn stencil_matches_oracle(n in 1usize..700, seed in any::<u64>()) {
+        let input = gen::random_vector(n, seed);
+        let want = wb_labs::stencil::golden(&input);
+        let got = run_solution("stencil", vec![Dataset::Vector(input)]);
+        match got {
+            Some(Dataset::Vector(v)) => prop_assert!(close(&v, &want, 1e-4)),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// The two-rank MPI stencil equals the single-machine golden model
+    /// for any vector length ≥ 2 (the split needs one element each).
+    #[test]
+    fn mpi_stencil_matches_oracle(n in 2usize..200, seed in any::<u64>()) {
+        let input = gen::random_vector(n, seed);
+        let want = wb_labs::mpi_stencil::golden(&input);
+        let program =
+            compile(wb_labs::solution("mpi-stencil").unwrap(), Dialect::Cuda).unwrap();
+        let opts = RunOptions {
+            device: DeviceConfig::test_small(),
+            world_size: 2,
+            ..Default::default()
+        };
+        let out = minicuda::run(&program, &[Dataset::Vector(input)], &opts);
+        prop_assert!(out.ok(), "{:?}", out.error);
+        match out.solution {
+            Some(Dataset::Vector(v)) => prop_assert!(close(&v, &want, 1e-4), "n={n}"),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

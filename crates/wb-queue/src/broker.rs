@@ -1,0 +1,366 @@
+//! The core broker: tagged jobs, visibility timeouts, retries.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Metadata carried by every job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobMeta {
+    /// Broker-assigned id.
+    pub id: u64,
+    /// Capability tags the worker must have (e.g. `mpi`, `multi-gpu`).
+    pub tags: BTreeSet<String>,
+    /// Virtual ms at enqueue.
+    pub enqueued_at: u64,
+    /// Delivery attempts so far.
+    pub attempts: u32,
+}
+
+/// A delivered job: payload plus receipt handle for ack/nack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<T> {
+    /// Job metadata.
+    pub meta: JobMeta,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Counters for the operations dashboard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerMetrics {
+    /// Jobs enqueued.
+    pub enqueued: u64,
+    /// Deliveries handed to workers (including redeliveries).
+    pub delivered: u64,
+    /// Jobs acknowledged.
+    pub acked: u64,
+    /// Explicit negative acknowledgements.
+    pub nacked: u64,
+    /// Deliveries that timed out and became visible again.
+    pub timeouts: u64,
+    /// Jobs moved to the dead-letter queue.
+    pub dead_lettered: u64,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedJob<T> {
+    meta: JobMeta,
+    payload: T,
+    /// When Some, the job is in flight and invisible until this time.
+    invisible_until: Option<u64>,
+}
+
+struct Inner<T> {
+    jobs: Vec<QueuedJob<T>>,
+    dead: Vec<Delivery<T>>,
+    next_id: u64,
+    metrics: BrokerMetrics,
+}
+
+/// A single broker node.
+pub struct Broker<T> {
+    inner: Mutex<Inner<T>>,
+    visibility_timeout_ms: u64,
+    max_attempts: u32,
+}
+
+impl<T: Clone> Broker<T> {
+    /// Broker with the given visibility timeout and retry budget.
+    pub fn new(visibility_timeout_ms: u64, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt");
+        Broker {
+            inner: Mutex::new(Inner {
+                jobs: Vec::new(),
+                dead: Vec::new(),
+                next_id: 1,
+                metrics: BrokerMetrics::default(),
+            }),
+            visibility_timeout_ms,
+            max_attempts,
+        }
+    }
+
+    /// Enqueue a job with capability tags; returns the job id.
+    pub fn enqueue(&self, payload: T, tags: BTreeSet<String>, now_ms: u64) -> u64 {
+        let mut g = self.inner.lock();
+        let id = g.next_id;
+        g.next_id += 1;
+        g.metrics.enqueued += 1;
+        g.jobs.push(QueuedJob {
+            meta: JobMeta {
+                id,
+                tags,
+                enqueued_at: now_ms,
+                attempts: 0,
+            },
+            payload,
+            invisible_until: None,
+        });
+        id
+    }
+
+    /// Worker poll: the oldest visible job whose tags are all within
+    /// `capabilities`. In-flight jobs whose visibility expired are
+    /// reclaimed first (lazy timeout).
+    pub fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        let mut g = self.inner.lock();
+        // Reclaim expired deliveries.
+        let mut timeouts = 0;
+        for j in g.jobs.iter_mut() {
+            if let Some(t) = j.invisible_until {
+                if t <= now_ms {
+                    j.invisible_until = None;
+                    timeouts += 1;
+                }
+            }
+        }
+        g.metrics.timeouts += timeouts;
+
+        // Dead-letter jobs that exhausted their attempts.
+        let max = self.max_attempts;
+        let mut k = 0;
+        while k < g.jobs.len() {
+            if g.jobs[k].invisible_until.is_none() && g.jobs[k].meta.attempts >= max {
+                let j = g.jobs.remove(k);
+                g.metrics.dead_lettered += 1;
+                g.dead.push(Delivery {
+                    meta: j.meta,
+                    payload: j.payload,
+                });
+            } else {
+                k += 1;
+            }
+        }
+
+        let idx = g.jobs.iter().position(|j| {
+            j.invisible_until.is_none() && j.meta.tags.iter().all(|t| capabilities.contains(t))
+        })?;
+        let job = &mut g.jobs[idx];
+        job.meta.attempts += 1;
+        job.invisible_until = Some(now_ms + self.visibility_timeout_ms);
+        let d = Delivery {
+            meta: job.meta.clone(),
+            payload: job.payload.clone(),
+        };
+        g.metrics.delivered += 1;
+        Some(d)
+    }
+
+    /// Acknowledge successful completion; removes the job.
+    pub fn ack(&self, job_id: u64) -> bool {
+        let mut g = self.inner.lock();
+        let before = g.jobs.len();
+        g.jobs.retain(|j| j.meta.id != job_id);
+        let removed = g.jobs.len() < before;
+        if removed {
+            g.metrics.acked += 1;
+        }
+        removed
+    }
+
+    /// Negative acknowledgement: the job becomes visible immediately
+    /// (e.g. the worker noticed it cannot run it after all).
+    pub fn nack(&self, job_id: u64) -> bool {
+        let mut g = self.inner.lock();
+        for j in g.jobs.iter_mut() {
+            if j.meta.id == job_id {
+                j.invisible_until = None;
+                g.metrics.nacked += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Jobs currently visible to a hypothetical all-capable worker.
+    pub fn depth(&self, now_ms: u64) -> usize {
+        self.inner
+            .lock()
+            .jobs
+            .iter()
+            .filter(|j| match j.invisible_until {
+                None => true,
+                Some(t) => t <= now_ms,
+            })
+            .count()
+    }
+
+    /// Jobs in flight (delivered, not yet acked or expired).
+    pub fn in_flight(&self, now_ms: u64) -> usize {
+        self.inner
+            .lock()
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.invisible_until, Some(t) if t > now_ms))
+            .count()
+    }
+
+    /// Dead-letter queue contents.
+    pub fn dead_letters(&self) -> Vec<Delivery<T>> {
+        self.inner.lock().dead.clone()
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> BrokerMetrics {
+        self.inner.lock().metrics
+    }
+
+    /// All pending jobs (mirroring/failover support).
+    pub(crate) fn drain_state(&self) -> Vec<(JobMeta, T)> {
+        self.inner
+            .lock()
+            .jobs
+            .iter()
+            .map(|j| (j.meta.clone(), j.payload.clone()))
+            .collect()
+    }
+
+    /// Restore jobs (mirroring/failover support).
+    pub(crate) fn restore_state(&self, jobs: Vec<(JobMeta, T)>) {
+        let mut g = self.inner.lock();
+        for (meta, payload) in jobs {
+            g.next_id = g.next_id.max(meta.id + 1);
+            g.jobs.push(QueuedJob {
+                meta,
+                payload,
+                invisible_until: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn basic_worker() -> BTreeSet<String> {
+        tags(&["cuda"])
+    }
+
+    #[test]
+    fn fifo_delivery_and_ack() {
+        let b: Broker<&str> = Broker::new(1000, 3);
+        b.enqueue("first", tags(&[]), 0);
+        b.enqueue("second", tags(&[]), 0);
+        let d1 = b.poll(&basic_worker(), 10).unwrap();
+        assert_eq!(d1.payload, "first");
+        assert!(b.ack(d1.meta.id));
+        let d2 = b.poll(&basic_worker(), 11).unwrap();
+        assert_eq!(d2.payload, "second");
+        assert!(b.ack(d2.meta.id));
+        assert!(b.poll(&basic_worker(), 12).is_none());
+        let m = b.metrics();
+        assert_eq!((m.enqueued, m.delivered, m.acked), (2, 2, 2));
+    }
+
+    #[test]
+    fn tags_route_to_capable_workers_only() {
+        let b: Broker<&str> = Broker::new(1000, 3);
+        b.enqueue("mpi job", tags(&["mpi"]), 0);
+        b.enqueue("plain job", tags(&[]), 0);
+        // A plain CUDA worker skips the MPI job but gets the plain one.
+        let d = b.poll(&basic_worker(), 1).unwrap();
+        assert_eq!(d.payload, "plain job");
+        // An MPI-capable worker gets the MPI job.
+        let d2 = b.poll(&tags(&["cuda", "mpi"]), 2).unwrap();
+        assert_eq!(d2.payload, "mpi job");
+    }
+
+    #[test]
+    fn in_flight_jobs_are_invisible() {
+        let b: Broker<&str> = Broker::new(1000, 3);
+        b.enqueue("job", tags(&[]), 0);
+        let _d = b.poll(&basic_worker(), 0).unwrap();
+        assert!(b.poll(&basic_worker(), 10).is_none());
+        assert_eq!(b.in_flight(10), 1);
+        assert_eq!(b.depth(10), 0);
+    }
+
+    #[test]
+    fn visibility_timeout_redelivers() {
+        let b: Broker<&str> = Broker::new(100, 3);
+        b.enqueue("job", tags(&[]), 0);
+        let d1 = b.poll(&basic_worker(), 0).unwrap();
+        assert_eq!(d1.meta.attempts, 1);
+        // Worker dies; at t=100 the job is visible again.
+        let d2 = b.poll(&basic_worker(), 100).unwrap();
+        assert_eq!(d2.meta.attempts, 2);
+        assert_eq!(b.metrics().timeouts, 1);
+    }
+
+    #[test]
+    fn nack_makes_job_immediately_visible() {
+        let b: Broker<&str> = Broker::new(10_000, 3);
+        b.enqueue("job", tags(&[]), 0);
+        let d = b.poll(&basic_worker(), 0).unwrap();
+        assert!(b.nack(d.meta.id));
+        let d2 = b.poll(&basic_worker(), 1).unwrap();
+        assert_eq!(d2.meta.attempts, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_dead_letter() {
+        let b: Broker<&str> = Broker::new(10, 2);
+        b.enqueue("poison", tags(&[]), 0);
+        let mut t = 0;
+        for _ in 0..2 {
+            let d = b.poll(&basic_worker(), t);
+            assert!(d.is_some());
+            t += 10; // let visibility expire
+        }
+        // Third poll dead-letters instead of delivering.
+        assert!(b.poll(&basic_worker(), t).is_none());
+        let dead = b.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].payload, "poison");
+        assert_eq!(b.metrics().dead_lettered, 1);
+    }
+
+    #[test]
+    fn ack_unknown_job_is_false() {
+        let b: Broker<&str> = Broker::new(100, 3);
+        assert!(!b.ack(42));
+        assert!(!b.nack(42));
+    }
+
+    #[test]
+    fn depth_counts_visible_jobs() {
+        let b: Broker<&str> = Broker::new(100, 3);
+        for _ in 0..5 {
+            b.enqueue("j", tags(&[]), 0);
+        }
+        assert_eq!(b.depth(0), 5);
+        let _d = b.poll(&basic_worker(), 0).unwrap();
+        assert_eq!(b.depth(1), 4);
+        // After timeout the in-flight one counts again.
+        assert_eq!(b.depth(200), 5);
+    }
+
+    #[test]
+    fn many_workers_share_the_queue() {
+        let b: std::sync::Arc<Broker<u64>> = std::sync::Arc::new(Broker::new(10_000, 3));
+        for i in 0..100 {
+            b.enqueue(i, tags(&[]), 0);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = std::sync::Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let caps = tags(&["cuda"]);
+                let mut got = 0;
+                while let Some(d) = b.poll(&caps, 1) {
+                    b.ack(d.meta.id);
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "every job delivered exactly once");
+    }
+}

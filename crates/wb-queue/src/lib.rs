@@ -1,0 +1,25 @@
+//! `wb-queue` — the WebGPU 2.0 message broker (§VI-A).
+//!
+//! In the revised architecture, *"OpenEdx communicates with a queue
+//! message broker server that can be replicated across Amazon
+//! availability zones"*, and *"worker nodes poll the queue, accepting a
+//! job if the node meets the job requirements"* — jobs are tagged
+//! (Multi-GPU, MPI) and only capable workers take them.
+//!
+//! The broker provides:
+//!
+//! * tagged jobs with capability matching ([`Broker::poll`]);
+//! * at-least-once delivery with **visibility timeouts**: an accepted
+//!   job that is not acknowledged in time becomes visible again;
+//! * bounded retries with a **dead-letter queue**;
+//! * a mirrored standby and failover ([`MirroredBroker`]);
+//! * metrics for depth/redelivery dashboards.
+//!
+//! Time is virtual (`now_ms` parameters) so the discrete-event course
+//! simulation drives the broker deterministically.
+
+pub mod broker;
+pub mod mirror;
+
+pub use broker::{Broker, BrokerMetrics, Delivery, JobMeta};
+pub use mirror::MirroredBroker;

@@ -1,0 +1,207 @@
+//! Mirrored broker with failover across availability zones.
+//!
+//! §VI-A: the broker *"can be replicated across Amazon availability
+//! zones — offering resiliency against faults"*. The mirrored broker
+//! duplicates every enqueue to a standby; acknowledgements propagate
+//! too. On failover the standby already holds every unacked job, so
+//! nothing is lost (at-least-once: in-flight jobs are redelivered).
+
+use crate::broker::{Broker, BrokerMetrics, Delivery};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// Which zone is currently serving traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveZone {
+    /// The primary AZ.
+    Primary,
+    /// The standby AZ after failover.
+    Standby,
+}
+
+/// A primary broker with a hot standby.
+pub struct MirroredBroker<T> {
+    primary: Broker<T>,
+    standby: Broker<T>,
+    active: Mutex<ActiveZone>,
+}
+
+impl<T: Clone> MirroredBroker<T> {
+    /// Build a mirrored pair with identical configuration.
+    pub fn new(visibility_timeout_ms: u64, max_attempts: u32) -> Self {
+        MirroredBroker {
+            primary: Broker::new(visibility_timeout_ms, max_attempts),
+            standby: Broker::new(visibility_timeout_ms, max_attempts),
+            active: Mutex::new(ActiveZone::Primary),
+        }
+    }
+
+    /// Currently active zone.
+    pub fn active_zone(&self) -> ActiveZone {
+        *self.active.lock()
+    }
+
+    /// Borrow the currently active zone's broker. Pull-style consumers
+    /// (worker nodes) poll this directly; `ack` through the mirrored
+    /// API so the standby stays in sync — for at-least-once consumers
+    /// acking only the active zone is also safe, it merely means a
+    /// failover may redeliver completed jobs.
+    pub fn active_broker(&self) -> &Broker<T> {
+        self.active()
+    }
+
+    fn active(&self) -> &Broker<T> {
+        match *self.active.lock() {
+            ActiveZone::Primary => &self.primary,
+            ActiveZone::Standby => &self.standby,
+        }
+    }
+
+    fn passive(&self) -> &Broker<T> {
+        match *self.active.lock() {
+            ActiveZone::Primary => &self.standby,
+            ActiveZone::Standby => &self.primary,
+        }
+    }
+
+    /// Enqueue to the active zone and mirror to the standby.
+    pub fn enqueue(&self, payload: T, tags: BTreeSet<String>, now_ms: u64) -> u64 {
+        let id = self.active().enqueue(payload.clone(), tags.clone(), now_ms);
+        // Mirror under the same id semantics: the standby assigns its
+        // own ids, so we mirror payload+tags and reconcile on ack by
+        // payload identity — to keep it simple and exact we instead
+        // mirror via state restore with the primary's id.
+        self.passive().restore_state(vec![(
+            crate::broker::JobMeta {
+                id,
+                tags,
+                enqueued_at: now_ms,
+                attempts: 0,
+            },
+            payload,
+        )]);
+        id
+    }
+
+    /// Poll the active zone.
+    pub fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        self.active().poll(capabilities, now_ms)
+    }
+
+    /// Ack on both zones so the standby drops completed jobs.
+    pub fn ack(&self, job_id: u64) -> bool {
+        let ok = self.active().ack(job_id);
+        self.passive().ack(job_id);
+        ok
+    }
+
+    /// Negative-ack on the active zone.
+    pub fn nack(&self, job_id: u64) -> bool {
+        self.active().nack(job_id)
+    }
+
+    /// Visible depth in the active zone.
+    pub fn depth(&self, now_ms: u64) -> usize {
+        self.active().depth(now_ms)
+    }
+
+    /// Metrics of the active zone.
+    pub fn metrics(&self) -> BrokerMetrics {
+        self.active().metrics()
+    }
+
+    /// Fail over to the standby. Unacked jobs survive; in-flight jobs
+    /// on the failed zone are redelivered by the standby (they were
+    /// mirrored at enqueue and never acked).
+    pub fn failover(&self) {
+        let mut g = self.active.lock();
+        *g = match *g {
+            ActiveZone::Primary => ActiveZone::Standby,
+            ActiveZone::Standby => ActiveZone::Primary,
+        };
+    }
+
+    /// Re-mirror the active zone's pending jobs into a fresh standby
+    /// (recovery after the failed zone returns).
+    pub fn resync_standby(&self) {
+        let state = self.active().drain_state();
+        // The passive broker may hold stale copies; rebuilding from the
+        // active state keeps the pair consistent. (A fresh broker would
+        // be used in production; restore into the existing one after
+        // acking everything it knows is equivalent here because ids
+        // are unique and monotonically increasing.)
+        for (meta, _) in self.passive().drain_state() {
+            self.passive().ack(meta.id);
+        }
+        self.passive().restore_state(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mirror_receives_enqueues() {
+        let m: MirroredBroker<&str> = MirroredBroker::new(1000, 3);
+        m.enqueue("a", tags(&[]), 0);
+        m.enqueue("b", tags(&[]), 0);
+        assert_eq!(m.depth(0), 2);
+        m.failover();
+        assert_eq!(m.active_zone(), ActiveZone::Standby);
+        // Both jobs survive the failover.
+        assert_eq!(m.depth(0), 2);
+    }
+
+    #[test]
+    fn acked_jobs_do_not_reappear_after_failover() {
+        let m: MirroredBroker<&str> = MirroredBroker::new(1000, 3);
+        m.enqueue("done", tags(&[]), 0);
+        m.enqueue("pending", tags(&[]), 0);
+        let caps = tags(&["cuda"]);
+        let d = m.poll(&caps, 0).unwrap();
+        assert_eq!(d.payload, "done");
+        m.ack(d.meta.id);
+        m.failover();
+        let d2 = m.poll(&caps, 1).unwrap();
+        assert_eq!(d2.payload, "pending", "only the unacked job remains");
+        m.ack(d2.meta.id);
+        assert!(m.poll(&caps, 2).is_none());
+    }
+
+    #[test]
+    fn in_flight_jobs_redelivered_after_failover() {
+        let m: MirroredBroker<&str> = MirroredBroker::new(60_000, 3);
+        m.enqueue("crash victim", tags(&[]), 0);
+        let caps = tags(&["cuda"]);
+        let _d = m.poll(&caps, 0).unwrap();
+        // Primary zone dies before the worker acks.
+        m.failover();
+        let d2 = m.poll(&caps, 1).expect("standby redelivers");
+        assert_eq!(d2.payload, "crash victim");
+    }
+
+    #[test]
+    fn ids_stay_consistent_across_zones() {
+        let m: MirroredBroker<&str> = MirroredBroker::new(1000, 3);
+        let id1 = m.enqueue("a", tags(&[]), 0);
+        m.failover();
+        let id2 = m.enqueue("b", tags(&[]), 0);
+        assert_ne!(id1, id2, "standby continues the id sequence");
+    }
+
+    #[test]
+    fn resync_after_recovery() {
+        let m: MirroredBroker<&str> = MirroredBroker::new(1000, 3);
+        m.enqueue("x", tags(&[]), 0);
+        m.failover(); // standby now active
+        m.enqueue("y", tags(&[]), 0);
+        m.resync_standby(); // old primary rebuilt from standby
+        m.failover(); // back to primary
+        assert_eq!(m.depth(0), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: at-least-once delivery invariants of the
+//! broker under arbitrary interleavings of operations and time.
+
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use wb_queue::Broker;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue(u8),
+    Poll,
+    Ack(u8),
+    Nack(u8),
+    Advance(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Enqueue),
+        Just(Op::Poll),
+        any::<u8>().prop_map(Op::Ack),
+        any::<u8>().prop_map(Op::Nack),
+        (1u16..2000).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    /// Across any operation sequence: every enqueued payload is either
+    /// still pending, in flight, acked, or dead-lettered — never lost,
+    /// and never acked twice.
+    #[test]
+    fn no_job_is_lost_or_double_acked(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let broker: Broker<u8> = Broker::new(500, 3);
+        let caps: BTreeSet<String> = ["cuda".to_string()].into();
+        let mut now: u64 = 0;
+        let mut enqueued: HashMap<u64, u8> = HashMap::new();
+        let mut delivered_ids: Vec<u64> = Vec::new();
+        let mut acked: BTreeSet<u64> = BTreeSet::new();
+
+        for op in ops {
+            match op {
+                Op::Enqueue(p) => {
+                    let id = broker.enqueue(p, BTreeSet::new(), now);
+                    prop_assert!(!enqueued.contains_key(&id), "ids unique");
+                    enqueued.insert(id, p);
+                }
+                Op::Poll => {
+                    if let Some(d) = broker.poll(&caps, now) {
+                        prop_assert_eq!(
+                            enqueued.get(&d.meta.id).copied(),
+                            Some(d.payload),
+                            "payload matches enqueue"
+                        );
+                        prop_assert!(!acked.contains(&d.meta.id), "acked jobs never redelivered");
+                        delivered_ids.push(d.meta.id);
+                    }
+                }
+                Op::Ack(k) => {
+                    if delivered_ids.is_empty() { continue; }
+                    let id = delivered_ids[k as usize % delivered_ids.len()];
+                    let ok = broker.ack(id);
+                    if ok {
+                        prop_assert!(!acked.contains(&id), "double ack must return false");
+                        acked.insert(id);
+                    }
+                }
+                Op::Nack(k) => {
+                    if delivered_ids.is_empty() { continue; }
+                    let id = delivered_ids[k as usize % delivered_ids.len()];
+                    let _ = broker.nack(id);
+                }
+                Op::Advance(dt) => {
+                    now += dt as u64;
+                }
+            }
+        }
+
+        // Conservation: enqueued = acked + (visible + in-flight + dead).
+        // Drain what's left with generous time and retries.
+        let mut live = 0usize;
+        now += 10_000;
+        while let Some(d) = broker.poll(&caps, now) {
+            live += 1;
+            broker.ack(d.meta.id);
+            prop_assert!(live <= enqueued.len() * 4, "drain terminates");
+        }
+        let dead = broker.dead_letters().len();
+        prop_assert_eq!(
+            acked.len() + live + dead,
+            enqueued.len(),
+            "every job accounted for: acked {} + drained {} + dead {} vs {}",
+            acked.len(), live, dead, enqueued.len()
+        );
+    }
+
+    /// Metrics are internally consistent after any sequence.
+    #[test]
+    fn metrics_are_consistent(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let broker: Broker<u8> = Broker::new(300, 2);
+        let caps: BTreeSet<String> = BTreeSet::new();
+        let mut now = 0u64;
+        let mut delivered = Vec::new();
+        for op in ops {
+            match op {
+                Op::Enqueue(p) => { broker.enqueue(p, BTreeSet::new(), now); }
+                Op::Poll => {
+                    if let Some(d) = broker.poll(&caps, now) {
+                        delivered.push(d.meta.id);
+                    }
+                }
+                Op::Ack(k) if !delivered.is_empty() => {
+                    broker.ack(delivered[k as usize % delivered.len()]);
+                }
+                Op::Nack(k) if !delivered.is_empty() => {
+                    broker.nack(delivered[k as usize % delivered.len()]);
+                }
+                Op::Advance(dt) => now += dt as u64,
+                _ => {}
+            }
+            let m = broker.metrics();
+            prop_assert!(m.acked <= m.delivered, "acks only follow deliveries");
+            prop_assert!(m.delivered <= m.enqueued + m.timeouts + m.nacked,
+                "deliveries bounded by enqueues plus redeliveries");
+            prop_assert!(m.dead_lettered <= m.enqueued);
+        }
+    }
+}

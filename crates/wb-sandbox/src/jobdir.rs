@@ -1,0 +1,203 @@
+//! Per-job isolated working directory with unprivileged ownership.
+//!
+//! §III-D: *"We use setuid to execute the user code as unprivileged
+//! user who can only write to a unique temporary directory created for
+//! each compilation."* The simulated equivalent is an in-memory
+//! namespace: a job may create/read/write files only under its own
+//! unique prefix, owned by a synthetic non-root uid, and the directory
+//! is destroyed (and its byte count audited) when the job finishes.
+
+use std::collections::HashMap;
+
+/// Owner uid given to sandboxed jobs (never 0).
+pub const SANDBOX_UID: u32 = 4242;
+
+/// An isolated scratch directory for one compile+run job.
+#[derive(Debug)]
+pub struct JobDir {
+    job_id: u64,
+    prefix: String,
+    uid: u32,
+    files: HashMap<String, Vec<u8>>,
+    quota_bytes: usize,
+    used_bytes: usize,
+}
+
+/// Filesystem-style errors the sandbox reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Attempt to touch a path outside the job's prefix.
+    EscapeAttempt(String),
+    /// Disk quota exceeded.
+    QuotaExceeded,
+    /// No such file.
+    NotFound(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::EscapeAttempt(p) => write!(f, "path {p:?} escapes the job directory"),
+            FsError::QuotaExceeded => write!(f, "job directory quota exceeded"),
+            FsError::NotFound(p) => write!(f, "no such file: {p:?}"),
+        }
+    }
+}
+
+impl JobDir {
+    /// Create the unique directory for a job.
+    pub fn create(job_id: u64, quota_bytes: usize) -> Self {
+        JobDir {
+            job_id,
+            prefix: format!("/tmp/webgpu/job-{job_id}/"),
+            uid: SANDBOX_UID,
+            files: HashMap::new(),
+            quota_bytes,
+            used_bytes: 0,
+        }
+    }
+
+    /// The job this directory belongs to.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Unique path prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Owner uid (always unprivileged).
+    pub fn uid(&self) -> u32 {
+        self.uid
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Normalize and confine a path: absolute paths must start with the
+    /// prefix; relative paths are joined under it; `..` is rejected.
+    fn confine(&self, path: &str) -> Result<String, FsError> {
+        if path.contains("..") {
+            return Err(FsError::EscapeAttempt(path.to_string()));
+        }
+        if let Some(rel) = path.strip_prefix(&self.prefix) {
+            return Ok(rel.to_string());
+        }
+        if path.starts_with('/') {
+            return Err(FsError::EscapeAttempt(path.to_string()));
+        }
+        Ok(path.to_string())
+    }
+
+    /// Write a file inside the directory.
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let rel = self.confine(path)?;
+        let old = self.files.get(&rel).map_or(0, Vec::len);
+        let new_used = self.used_bytes - old + data.len();
+        if new_used > self.quota_bytes {
+            return Err(FsError::QuotaExceeded);
+        }
+        self.used_bytes = new_used;
+        self.files.insert(rel, data.to_vec());
+        Ok(())
+    }
+
+    /// Read a file back.
+    pub fn read(&self, path: &str) -> Result<&[u8], FsError> {
+        let rel = self.confine(path)?;
+        self.files
+            .get(&rel)
+            .map(Vec::as_slice)
+            .ok_or(FsError::NotFound(rel))
+    }
+
+    /// List relative paths (sorted, for deterministic audits).
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Destroy the directory, returning the bytes reclaimed (the
+    /// worker's cleanup audit).
+    pub fn destroy(self) -> usize {
+        self.used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_prefix_per_job() {
+        let a = JobDir::create(1, 1024);
+        let b = JobDir::create(2, 1024);
+        assert_ne!(a.prefix(), b.prefix());
+        assert_eq!(a.job_id(), 1);
+    }
+
+    #[test]
+    fn owner_is_unprivileged() {
+        assert_ne!(JobDir::create(1, 1024).uid(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut d = JobDir::create(7, 1024);
+        d.write("solution.cu", b"code").unwrap();
+        assert_eq!(d.read("solution.cu").unwrap(), b"code");
+        assert_eq!(d.list(), vec!["solution.cu".to_string()]);
+    }
+
+    #[test]
+    fn absolute_path_inside_prefix_ok() {
+        let mut d = JobDir::create(7, 1024);
+        let p = format!("{}out.txt", d.prefix());
+        d.write(&p, b"x").unwrap();
+        assert_eq!(d.read("out.txt").unwrap(), b"x");
+    }
+
+    #[test]
+    fn escape_attempts_rejected() {
+        let mut d = JobDir::create(7, 1024);
+        assert!(matches!(
+            d.write("/etc/passwd", b"haha"),
+            Err(FsError::EscapeAttempt(_))
+        ));
+        assert!(matches!(
+            d.write("../other-job/x", b"haha"),
+            Err(FsError::EscapeAttempt(_))
+        ));
+        assert!(matches!(
+            d.read("/root/.ssh/id_rsa"),
+            Err(FsError::EscapeAttempt(_))
+        ));
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let mut d = JobDir::create(7, 10);
+        d.write("a", b"12345").unwrap();
+        assert!(matches!(d.write("b", b"123456"), Err(FsError::QuotaExceeded)));
+        // Overwriting reuses the old file's budget.
+        d.write("a", b"1234567890").unwrap();
+        assert_eq!(d.used_bytes(), 10);
+    }
+
+    #[test]
+    fn destroy_reports_reclaimed_bytes() {
+        let mut d = JobDir::create(7, 1024);
+        d.write("a", b"1234").unwrap();
+        assert_eq!(d.destroy(), 4);
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let d = JobDir::create(7, 1024);
+        assert!(matches!(d.read("nope"), Err(FsError::NotFound(_))));
+    }
+}

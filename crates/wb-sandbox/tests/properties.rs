@@ -1,0 +1,65 @@
+//! Property-based tests: blacklist scanning robustness and job-dir
+//! confinement under arbitrary inputs.
+
+use proptest::prelude::*;
+use wb_sandbox::{Blacklist, JobDir, ScanMode};
+
+proptest! {
+    /// The scanner never panics on arbitrary text, in either mode.
+    #[test]
+    fn scan_never_panics(src in "\\PC{0,400}") {
+        let _ = Blacklist::standard().scan(&src);
+        let _ = Blacklist::standard().with_mode(ScanMode::Preprocessed).scan(&src);
+    }
+
+    /// Whatever the surrounding text, a real bare `asm` token is
+    /// always caught by the raw scan.
+    #[test]
+    fn real_asm_is_always_caught(prefix in "[a-z ;{}()\\n]{0,80}", suffix in "[a-z ;{}()\\n]{0,80}") {
+        let src = format!("{prefix}\nasm(\"x\");\n{suffix}");
+        prop_assert!(!Blacklist::standard().permits(&src));
+    }
+
+    /// Identifiers that merely *contain* a blacklisted word never trip
+    /// the scanner.
+    #[test]
+    fn superstring_identifiers_are_clean(word in "[a-z]{1,8}") {
+        // e.g. `asmx`, `xasm`, `my_asm_var` are distinct identifiers.
+        let src = format!("int {word}asm = 0; int asm{word} = 1; int a_{word}_asm_b = 2;");
+        // Careful: `a_{word}_asm_b` has `asm` inside an identifier,
+        // still clean because of the boundary rule.
+        prop_assert!(Blacklist::standard().permits(&src), "{src}");
+    }
+
+    /// The preprocessed mode is never *more* suspicious than the raw
+    /// mode: everything it flags, the raw scan flags too.
+    #[test]
+    fn preprocessed_flags_subset_of_raw(src in "\\PC{0,300}") {
+        let raw = Blacklist::standard();
+        let pre = Blacklist::standard().with_mode(ScanMode::Preprocessed);
+        if !pre.permits(&src) {
+            prop_assert!(!raw.permits(&src), "raw must also flag: {src:?}");
+        }
+    }
+
+    /// Job directories confine arbitrary path strings: after any write
+    /// attempt, reads of `/etc/passwd`-style paths still fail and the
+    /// quota is never exceeded.
+    #[test]
+    fn jobdir_confinement_and_quota(
+        paths in prop::collection::vec("[ -~]{1,40}", 1..12),
+        payload_len in 0usize..256,
+    ) {
+        let quota = 1024;
+        let mut dir = JobDir::create(1, quota);
+        let payload = vec![b'x'; payload_len];
+        for p in &paths {
+            let _ = dir.write(p, &payload);
+            prop_assert!(dir.used_bytes() <= quota, "quota respected");
+            if p.contains("..") || (p.starts_with('/') && !p.starts_with(dir.prefix())) {
+                prop_assert!(dir.read(p).is_err(), "escape path readable: {p:?}");
+            }
+        }
+        prop_assert!(dir.read("/etc/passwd").is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Markdown renderer for lab descriptions.
+//!
+//! §IV-E: *"Lab Description: a file in markdown format. This
+//! description can include any text, images, and external links that
+//! are desired."* The renderer covers the subset lab manuals use:
+//! ATX headings, paragraphs, fenced code blocks, inline code, bold,
+//! italics, unordered/ordered lists, links, and images. Output is
+//! HTML with all source text entity-escaped (lab descriptions are
+//! instructor-authored, but escaping is still the right default —
+//! student-visible pages must never become an injection channel).
+
+/// Render markdown to HTML.
+pub fn render(md: &str) -> String {
+    let mut out = String::with_capacity(md.len() * 2);
+    let lines: Vec<&str> = md.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let trimmed = line.trim_end();
+        if trimmed.trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        // Fenced code block.
+        if let Some(lang) = trimmed.strip_prefix("```") {
+            let lang = lang.trim();
+            let mut body = String::new();
+            i += 1;
+            while i < lines.len() && !lines[i].trim_end().starts_with("```") {
+                body.push_str(&escape(lines[i]));
+                body.push('\n');
+                i += 1;
+            }
+            i += 1; // closing fence
+            if lang.is_empty() {
+                out.push_str(&format!("<pre><code>{body}</code></pre>\n"));
+            } else {
+                out.push_str(&format!(
+                    "<pre><code class=\"language-{}\">{body}</code></pre>\n",
+                    escape(lang)
+                ));
+            }
+            continue;
+        }
+        // Headings.
+        if let Some(rest) = heading(trimmed) {
+            let (level, text) = rest;
+            out.push_str(&format!("<h{level}>{}</h{level}>\n", inline(text)));
+            i += 1;
+            continue;
+        }
+        // Unordered list.
+        if is_ul_item(trimmed) {
+            out.push_str("<ul>\n");
+            while i < lines.len() && is_ul_item(lines[i].trim_end()) {
+                let item = lines[i].trim_start()[2..].trim_start();
+                out.push_str(&format!("<li>{}</li>\n", inline(item)));
+                i += 1;
+            }
+            out.push_str("</ul>\n");
+            continue;
+        }
+        // Ordered list.
+        if ol_item(trimmed).is_some() {
+            out.push_str("<ol>\n");
+            while i < lines.len() {
+                match ol_item(lines[i].trim_end()) {
+                    Some(item) => {
+                        out.push_str(&format!("<li>{}</li>\n", inline(item)));
+                        i += 1;
+                    }
+                    None => break,
+                }
+            }
+            out.push_str("</ol>\n");
+            continue;
+        }
+        // Paragraph: collect until a blank line or a block start.
+        let mut para = String::new();
+        while i < lines.len() {
+            let l = lines[i].trim_end();
+            if l.trim().is_empty()
+                || heading(l).is_some()
+                || l.starts_with("```")
+                || is_ul_item(l)
+                || ol_item(l).is_some()
+            {
+                break;
+            }
+            if !para.is_empty() {
+                para.push(' ');
+            }
+            para.push_str(l.trim());
+            i += 1;
+        }
+        out.push_str(&format!("<p>{}</p>\n", inline(&para)));
+    }
+    out
+}
+
+fn heading(line: &str) -> Option<(usize, &str)> {
+    let hashes = line.chars().take_while(|&c| c == '#').count();
+    if (1..=6).contains(&hashes) && line.chars().nth(hashes) == Some(' ') {
+        Some((hashes, line[hashes + 1..].trim()))
+    } else {
+        None
+    }
+}
+
+fn is_ul_item(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("- ") || t.starts_with("* ")
+}
+
+fn ol_item(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let digits = t.chars().take_while(char::is_ascii_digit).count();
+    if digits == 0 {
+        return None;
+    }
+    let rest = &t[digits..];
+    rest.strip_prefix(". ").map(str::trim_start)
+}
+
+/// Inline spans: images, links, code, bold, italics — processed over
+/// escaped text with placeholders to avoid double-processing.
+fn inline(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &text[i..];
+        // Inline code: literal until the closing backtick.
+        if bytes[i] == b'`' {
+            if let Some(end) = rest[1..].find('`') {
+                out.push_str(&format!("<code>{}</code>", escape(&rest[1..1 + end])));
+                i += end + 2;
+                continue;
+            }
+        }
+        // Image: ![alt](url)
+        if rest.starts_with("![") {
+            if let Some((alt, url, len)) = bracket_pair(&rest[1..]) {
+                out.push_str(&format!(
+                    "<img src=\"{}\" alt=\"{}\">",
+                    escape(url),
+                    escape(alt)
+                ));
+                i += 1 + len;
+                continue;
+            }
+        }
+        // Link: [text](url)
+        if bytes[i] == b'[' {
+            if let Some((label, url, len)) = bracket_pair(rest) {
+                out.push_str(&format!("<a href=\"{}\">{}</a>", escape(url), inline(label)));
+                i += len;
+                continue;
+            }
+        }
+        // Bold. Empty emphasis (`****`, or a lone `**` that would
+        // match zero characters) is treated as literal text.
+        if let Some(body) = rest.strip_prefix("**") {
+            if let Some(end) = body.find("**") {
+                if end > 0 {
+                    out.push_str(&format!("<strong>{}</strong>", inline(&body[..end])));
+                    i += end + 4;
+                    continue;
+                }
+            }
+        }
+        // Italic.
+        if bytes[i] == b'*' {
+            if let Some(end) = rest[1..].find('*') {
+                if end > 0 {
+                    out.push_str(&format!("<em>{}</em>", inline(&rest[1..1 + end])));
+                    i += end + 2;
+                    continue;
+                }
+            }
+        }
+        let c = text[i..].chars().next().expect("in bounds");
+        out.push_str(&escape_char(c));
+        i += c.len_utf8();
+    }
+    out
+}
+
+/// Parse `[a](b)` returning (a, b, consumed length).
+fn bracket_pair(s: &str) -> Option<(&str, &str, usize)> {
+    if !s.starts_with('[') {
+        return None;
+    }
+    let close = s.find(']')?;
+    let after = &s[close + 1..];
+    if !after.starts_with('(') {
+        return None;
+    }
+    let url_end = after.find(')')?;
+    Some((&s[1..close], &after[1..url_end], close + 1 + url_end + 1))
+}
+
+fn escape(s: &str) -> String {
+    s.chars().map(escape_char).collect()
+}
+
+fn escape_char(c: char) -> String {
+    match c {
+        '&' => "&amp;".to_string(),
+        '<' => "&lt;".to_string(),
+        '>' => "&gt;".to_string(),
+        '"' => "&quot;".to_string(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headings_render() {
+        assert_eq!(render("# Vector Addition"), "<h1>Vector Addition</h1>\n");
+        assert_eq!(render("### Objective"), "<h3>Objective</h3>\n");
+        // Not a heading without the space.
+        assert!(render("#nope").contains("<p>#nope</p>"));
+    }
+
+    #[test]
+    fn paragraphs_join_lines() {
+        let html = render("first line\nsecond line\n\nnew para\n");
+        assert!(html.contains("<p>first line second line</p>"));
+        assert!(html.contains("<p>new para</p>"));
+    }
+
+    #[test]
+    fn code_blocks_escape_contents() {
+        let html = render("```c\nif (i < n) { c[i] = a[i]; }\n```\n");
+        assert!(html.contains("class=\"language-c\""));
+        assert!(html.contains("i &lt; n"));
+        assert!(!html.contains("<p>"));
+    }
+
+    #[test]
+    fn inline_code_and_bold_italic() {
+        let html = render("Use `cudaMalloc` with **care** and *style*.");
+        assert!(html.contains("<code>cudaMalloc</code>"));
+        assert!(html.contains("<strong>care</strong>"));
+        assert!(html.contains("<em>style</em>"));
+    }
+
+    #[test]
+    fn lists_render() {
+        let html = render("- one\n- two\n");
+        assert_eq!(html, "<ul>\n<li>one</li>\n<li>two</li>\n</ul>\n");
+        let html = render("1. first\n2. second\n");
+        assert_eq!(html, "<ol>\n<li>first</li>\n<li>second</li>\n</ol>\n");
+    }
+
+    #[test]
+    fn links_and_images() {
+        let html = render("[libwb](https://github.com/abduld/libwb)");
+        assert!(html.contains("<a href=\"https://github.com/abduld/libwb\">libwb</a>"));
+        let html = render("![tiling](fig/tile.png)");
+        assert!(html.contains("<img src=\"fig/tile.png\" alt=\"tiling\">"));
+    }
+
+    #[test]
+    fn html_is_escaped() {
+        let html = render("<script>alert(1)</script>");
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn unterminated_markers_fall_through_literally() {
+        let html = render("a ** b");
+        assert!(html.contains("a ** b") || html.contains("**"));
+        let html = render("a ` b");
+        assert!(html.contains('`'));
+    }
+
+    #[test]
+    fn mixed_document() {
+        let md = "# Lab 1\n\nWrite a **vector add** kernel.\n\n## Steps\n\n1. allocate\n2. copy\n\n```c\nint i;\n```\n";
+        let html = render(md);
+        assert!(html.contains("<h1>Lab 1</h1>"));
+        assert!(html.contains("<h2>Steps</h2>"));
+        assert!(html.contains("<ol>"));
+        assert!(html.contains("<pre><code"));
+    }
+
+    #[test]
+    fn code_inside_list_item() {
+        let html = render("- call `wbSolution` last\n");
+        assert!(html.contains("<li>call <code>wbSolution</code> last</li>"));
+    }
+}

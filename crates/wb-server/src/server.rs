@@ -1,0 +1,864 @@
+//! The WebGPU web server: the six student actions, instructor tools,
+//! and the roster — everything of §IV that runs on the web tier.
+//!
+//! Job execution is behind the [`JobDispatcher`] trait so the same
+//! server logic runs on the v1 push cluster, the v2 queue cluster, or a
+//! single in-process worker (tests).
+
+use crate::lab::LabDefinition;
+use crate::markdown;
+use crate::ratelimit::{RateLimit, RateLimiter};
+use crate::session::{AuthError, Sessions};
+use crate::state::{
+    AnswerRec, AttemptRec, DeviceKind, RevisionRec, Role, ServerState, SubmissionRec,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wb_worker::{JobAction, JobOutcome, JobRequest};
+
+/// Abstract job execution backend.
+pub trait JobDispatcher: Send + Sync {
+    /// Execute a job somewhere, synchronously from the caller's view.
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, String>;
+}
+
+/// A dispatcher running jobs on one in-process worker node (used by
+/// tests and the quickstart example).
+pub struct LocalDispatcher {
+    node: wb_worker::WorkerNode,
+}
+
+impl Default for LocalDispatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalDispatcher {
+    /// A single small deterministic worker.
+    pub fn new() -> Self {
+        LocalDispatcher {
+            node: wb_worker::WorkerNode::boot(
+                1,
+                minicuda::DeviceConfig::test_small(),
+                &wb_worker::WorkerConfig::default(),
+            ),
+        }
+    }
+}
+
+impl JobDispatcher for LocalDispatcher {
+    fn dispatch(&self, req: JobRequest, _now_ms: u64) -> Result<JobOutcome, String> {
+        self.node
+            .submit(&req)
+            .ok_or_else(|| "worker unavailable".to_string())
+    }
+}
+
+/// Errors surfaced to the UI layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Authentication / authorization failure.
+    Auth(AuthError),
+    /// Unknown lab id.
+    NoSuchLab(String),
+    /// Rate limited; retry after this many seconds.
+    RateLimited(f64),
+    /// Dispatch failed (no workers, queue down…).
+    Dispatch(String),
+    /// Anything else.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Auth(e) => write!(f, "{e}"),
+            ServerError::NoSuchLab(l) => write!(f, "no lab named {l:?}"),
+            ServerError::RateLimited(s) => {
+                write!(f, "submission rate limit: retry in {s:.0} seconds")
+            }
+            ServerError::Dispatch(m) => write!(f, "could not run your code: {m}"),
+            ServerError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<AuthError> for ServerError {
+    fn from(e: AuthError) -> Self {
+        ServerError::Auth(e)
+    }
+}
+
+/// One row of the instructor roster view (§IV-F, Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RosterRow {
+    /// Student name.
+    pub user: String,
+    /// Student email.
+    pub email: String,
+    /// Number of graded submissions for the lab.
+    pub submissions: usize,
+    /// Best effective program score.
+    pub program_grade: f64,
+    /// Instructor-assigned question grade (0 until graded).
+    pub question_grade: f64,
+    /// Program + question.
+    pub total_grade: f64,
+    /// Virtual ms of the latest submission.
+    pub last_submission_ms: Option<u64>,
+}
+
+/// The result of a compile or run action, shaped like the attempt view.
+#[derive(Debug, Clone)]
+pub struct AttemptView {
+    /// Attempt row id.
+    pub attempt_id: u64,
+    /// Compiled?
+    pub compiled: bool,
+    /// Output matched (false for compile-only attempts)?
+    pub passed: bool,
+    /// Student-facing text: compile error, mismatch summary, timer
+    /// report and logs.
+    pub report: String,
+}
+
+/// The WebGPU web server.
+pub struct WebGpuServer {
+    /// Database tables.
+    pub state: ServerState,
+    /// Session manager.
+    pub sessions: Sessions,
+    labs: RwLock<HashMap<String, LabDefinition>>,
+    dispatcher: Box<dyn JobDispatcher>,
+    limiter: RateLimiter,
+    next_job: AtomicU64,
+    next_share: AtomicU64,
+}
+
+impl WebGpuServer {
+    /// Build a server over a dispatcher.
+    pub fn new(dispatcher: Box<dyn JobDispatcher>) -> Self {
+        WebGpuServer {
+            state: ServerState::new(),
+            sessions: Sessions::new(),
+            labs: RwLock::new(HashMap::new()),
+            dispatcher,
+            limiter: RateLimiter::new(RateLimit::default()),
+            next_job: AtomicU64::new(1),
+            next_share: AtomicU64::new(1),
+        }
+    }
+
+    // ---- lab management (instructor, §IV-E) ---------------------------
+
+    /// Deploy a lab. Unlike the rest of the instructor tools, the paper
+    /// notes lab creation is a developer-level operation; here it is a
+    /// server API guarded by the instructor role.
+    pub fn deploy_lab(&self, token: u64, lab: LabDefinition) -> Result<(), ServerError> {
+        self.sessions.authenticate_instructor(token)?;
+        self.labs.write().insert(lab.id.clone(), lab);
+        Ok(())
+    }
+
+    /// Lab ids currently deployed.
+    pub fn lab_ids(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.labs.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn lab(&self, id: &str) -> Result<LabDefinition, ServerError> {
+        self.labs
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServerError::NoSuchLab(id.to_string()))
+    }
+
+    /// The rendered lab manual + rubric shown to students (§IV-B 1).
+    pub fn lab_description_html(&self, lab_id: &str) -> Result<String, ServerError> {
+        let lab = self.lab(lab_id)?;
+        let mut html = markdown::render(&lab.description_md);
+        html.push_str(&format!(
+            "<h2>Grading</h2>\n<p>Compilation: {} points. Datasets: {} points. Questions: {} points.</p>\n",
+            lab.rubric.compile_points, lab.rubric.dataset_points, lab.rubric.question_points
+        ));
+        Ok(html)
+    }
+
+    /// The skeleton code a student sees on first open (§IV-B 2).
+    pub fn lab_skeleton(&self, lab_id: &str) -> Result<String, ServerError> {
+        Ok(self.lab(lab_id)?.skeleton)
+    }
+
+    // ---- student actions (§IV-A) ----------------------------------------
+
+    /// Action 1 — the editor autosaves code.
+    pub fn save_code(
+        &self,
+        token: u64,
+        lab_id: &str,
+        source: &str,
+        now_ms: u64,
+    ) -> Result<u64, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        self.lab(lab_id)?;
+        self.state
+            .revisions
+            .insert(&RevisionRec {
+                user: s.user,
+                lab: lab_id.to_string(),
+                at_ms: now_ms,
+                source: source.to_string(),
+            })
+            .map_err(|e| ServerError::Invalid(e.to_string()))
+    }
+
+    /// The student's latest saved code, or the skeleton.
+    pub fn current_code(&self, token: u64, lab_id: &str) -> Result<String, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let ids = self
+            .state
+            .revisions
+            .find("by_user_lab", &format!("{}/{}", s.user, lab_id))
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        match ids.last() {
+            Some(&id) => Ok(self
+                .state
+                .revisions
+                .get(id)
+                .map_err(|e| ServerError::Invalid(e.to_string()))?
+                .source),
+            None => self.lab_skeleton(lab_id),
+        }
+    }
+
+    /// Action 2 — compile only.
+    pub fn compile(
+        &self,
+        token: u64,
+        lab_id: &str,
+        now_ms: u64,
+    ) -> Result<AttemptView, ServerError> {
+        self.run_action(token, lab_id, JobAction::CompileOnly, now_ms)
+    }
+
+    /// Action 3 — run against one instructor dataset.
+    pub fn run_dataset(
+        &self,
+        token: u64,
+        lab_id: &str,
+        dataset: usize,
+        now_ms: u64,
+    ) -> Result<AttemptView, ServerError> {
+        self.run_action(token, lab_id, JobAction::RunDataset(dataset), now_ms)
+    }
+
+    fn run_action(
+        &self,
+        token: u64,
+        lab_id: &str,
+        action: JobAction,
+        now_ms: u64,
+    ) -> Result<AttemptView, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let lab = self.lab(lab_id)?;
+        let source = self.current_code(token, lab_id)?;
+        self.limiter
+            .check(&format!("{}/{}", s.user, lab_id), now_ms)
+            .map_err(ServerError::RateLimited)?;
+        let req = JobRequest {
+            job_id: self.next_job.fetch_add(1, Ordering::Relaxed),
+            user: s.user.clone(),
+            source: source.clone(),
+            spec: lab.spec.clone(),
+            datasets: lab.datasets.clone(),
+            action: action.clone(),
+        };
+        let outcome = self
+            .dispatcher
+            .dispatch(req, now_ms)
+            .map_err(ServerError::Dispatch)?;
+
+        let (passed, mut report) = render_outcome(&outcome);
+        // Automated feedback (the paper's future-work item): hints are
+        // appended to failing attempts only — passing students are not
+        // second-guessed.
+        if !passed {
+            for hint in crate::hints::hints_for(&outcome, &source) {
+                report.push_str(&format!("Hint: {}\n", hint.message));
+            }
+        }
+        let attempt_id = self
+            .state
+            .attempts
+            .insert(&AttemptRec {
+                user: s.user,
+                lab: lab_id.to_string(),
+                dataset: match action {
+                    JobAction::RunDataset(i) => Some(i),
+                    _ => None,
+                },
+                at_ms: now_ms,
+                compiled: outcome.compiled(),
+                passed,
+                summary: report.lines().next().unwrap_or_default().to_string(),
+                source,
+                share_token: None,
+            })
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        Ok(AttemptView {
+            attempt_id,
+            compiled: outcome.compiled(),
+            passed,
+            report,
+        })
+    }
+
+    /// Action 4 — short-answer questions.
+    pub fn answer_questions(
+        &self,
+        token: u64,
+        lab_id: &str,
+        answers: Vec<String>,
+    ) -> Result<(), ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let lab = self.lab(lab_id)?;
+        if answers.len() != lab.questions.len() {
+            return Err(ServerError::Invalid(format!(
+                "lab has {} questions, {} answers given",
+                lab.questions.len(),
+                answers.len()
+            )));
+        }
+        let key = format!("{}/{}", s.user, lab_id);
+        let existing = self
+            .state
+            .answers
+            .find("by_user_lab", &key)
+            .unwrap_or_default();
+        let rec = AnswerRec {
+            user: s.user,
+            lab: lab_id.to_string(),
+            answers,
+            question_score: None,
+            comment: None,
+        };
+        match existing.first() {
+            Some(&id) => self
+                .state
+                .answers
+                .update(id, &rec)
+                .map_err(|e| ServerError::Invalid(e.to_string()))?,
+            None => {
+                self.state
+                    .answers
+                    .insert(&rec)
+                    .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Action 5 — submit for grading: run all datasets, apply the
+    /// rubric, record the grade (§IV-F: "the system assigns a grade
+    /// automatically and records it in the grade book").
+    pub fn submit(
+        &self,
+        token: u64,
+        lab_id: &str,
+        now_ms: u64,
+    ) -> Result<SubmissionRec, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let lab = self.lab(lab_id)?;
+        let source = self.current_code(token, lab_id)?;
+        self.limiter
+            .check(&format!("{}/{}", s.user, lab_id), now_ms)
+            .map_err(ServerError::RateLimited)?;
+        let req = JobRequest {
+            job_id: self.next_job.fetch_add(1, Ordering::Relaxed),
+            user: s.user.clone(),
+            source: source.clone(),
+            spec: lab.spec.clone(),
+            datasets: lab.datasets.clone(),
+            action: JobAction::FullGrade,
+        };
+        let outcome = self
+            .dispatcher
+            .dispatch(req, now_ms)
+            .map_err(ServerError::Dispatch)?;
+        let score = lab.rubric.auto_score(&outcome, &source);
+        let rec = SubmissionRec {
+            user: s.user,
+            lab: lab_id.to_string(),
+            at_ms: now_ms,
+            passed: outcome.passed_count(),
+            total: outcome.datasets.len(),
+            compiled: outcome.compiled(),
+            score,
+            override_score: None,
+            source,
+        };
+        self.state
+            .submissions
+            .insert(&rec)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        Ok(rec)
+    }
+
+    /// Action 6 — code history (§IV-B 5).
+    pub fn history(&self, token: u64, lab_id: &str) -> Result<Vec<RevisionRec>, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let ids = self
+            .state
+            .revisions
+            .find("by_user_lab", &format!("{}/{}", s.user, lab_id))
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        Ok(ids
+            .into_iter()
+            .filter_map(|id| self.state.revisions.get(id).ok())
+            .collect())
+    }
+
+    /// The attempts view (§IV-B 4).
+    pub fn attempts(&self, token: u64, lab_id: &str) -> Result<Vec<AttemptRec>, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let ids = self
+            .state
+            .attempts
+            .find("by_user_lab", &format!("{}/{}", s.user, lab_id))
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        Ok(ids
+            .into_iter()
+            .filter_map(|id| self.state.attempts.get(id).ok())
+            .collect())
+    }
+
+    /// Generate a public link for an attempt — only after the lab
+    /// deadline has passed (§IV-B 2).
+    pub fn share_attempt(
+        &self,
+        token: u64,
+        attempt_id: u64,
+        now_ms: u64,
+    ) -> Result<u64, ServerError> {
+        let s = self.sessions.authenticate(token)?;
+        let mut rec = self
+            .state
+            .attempts
+            .get(attempt_id)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        if rec.user != s.user {
+            return Err(ServerError::Invalid(
+                "you can only share your own attempts".to_string(),
+            ));
+        }
+        let lab = self.lab(&rec.lab)?;
+        if now_ms < lab.deadline_ms {
+            return Err(ServerError::Invalid(
+                "attempts can be shared after the lab deadline".to_string(),
+            ));
+        }
+        let t = self.next_share.fetch_add(1, Ordering::Relaxed) ^ 0x5bd1e995;
+        rec.share_token = Some(t);
+        self.state
+            .attempts
+            .update(attempt_id, &rec)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        Ok(t)
+    }
+
+    // ---- instructor tools (§IV-F) ---------------------------------------
+
+    /// The roster view: every student with a submission for the lab.
+    pub fn roster(&self, token: u64, lab_id: &str) -> Result<Vec<RosterRow>, ServerError> {
+        self.sessions.authenticate_instructor(token)?;
+        let ids = self
+            .state
+            .submissions
+            .find("by_lab", lab_id)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        let mut per_user: HashMap<String, RosterRow> = HashMap::new();
+        for id in ids {
+            let sub = match self.state.submissions.get(id) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let email = self
+                .state
+                .users
+                .find("by_name", &sub.user)
+                .ok()
+                .and_then(|ids| ids.first().copied())
+                .and_then(|uid| self.state.users.get(uid).ok())
+                .map(|u| u.email)
+                .unwrap_or_default();
+            let row = per_user.entry(sub.user.clone()).or_insert(RosterRow {
+                user: sub.user.clone(),
+                email,
+                submissions: 0,
+                program_grade: 0.0,
+                question_grade: 0.0,
+                total_grade: 0.0,
+                last_submission_ms: None,
+            });
+            row.submissions += 1;
+            row.program_grade = row.program_grade.max(sub.effective_score());
+            row.last_submission_ms =
+                Some(row.last_submission_ms.unwrap_or(0).max(sub.at_ms));
+        }
+        // Question grades come from the answers table.
+        for row in per_user.values_mut() {
+            let key = format!("{}/{}", row.user, lab_id);
+            if let Ok(ids) = self.state.answers.find("by_user_lab", &key) {
+                if let Some(&id) = ids.first() {
+                    if let Ok(a) = self.state.answers.get(id) {
+                        row.question_grade = a.question_score.unwrap_or(0.0);
+                    }
+                }
+            }
+            row.total_grade = row.program_grade + row.question_grade;
+        }
+        let mut rows: Vec<RosterRow> = per_user.into_values().collect();
+        rows.sort_by(|a, b| a.user.cmp(&b.user));
+        Ok(rows)
+    }
+
+    /// Override a submission's grade (§IV-F: "Instructors are provided
+    /// an interface to override a grade").
+    pub fn override_grade(
+        &self,
+        token: u64,
+        submission_id: u64,
+        score: f64,
+    ) -> Result<(), ServerError> {
+        self.sessions.authenticate_instructor(token)?;
+        let mut rec = self
+            .state
+            .submissions
+            .get(submission_id)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        rec.override_score = Some(score);
+        self.state
+            .submissions
+            .update(submission_id, &rec)
+            .map_err(|e| ServerError::Invalid(e.to_string()))
+    }
+
+    /// Grade a student's short answers and optionally leave a comment.
+    pub fn grade_questions(
+        &self,
+        token: u64,
+        user: &str,
+        lab_id: &str,
+        score: f64,
+        comment: Option<String>,
+    ) -> Result<(), ServerError> {
+        self.sessions.authenticate_instructor(token)?;
+        let key = format!("{user}/{lab_id}");
+        let ids = self
+            .state
+            .answers
+            .find("by_user_lab", &key)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        let id = *ids
+            .first()
+            .ok_or_else(|| ServerError::Invalid(format!("{user} has no answers for {lab_id}")))?;
+        let mut rec = self
+            .state
+            .answers
+            .get(id)
+            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        rec.question_score = Some(score);
+        if comment.is_some() {
+            rec.comment = comment;
+        }
+        self.state
+            .answers
+            .update(id, &rec)
+            .map_err(|e| ServerError::Invalid(e.to_string()))
+    }
+
+    /// Publish a lab's grades to an external gradebook (§IV-F:
+    /// "storing the grade in Coursera, for example"). Instructor-only;
+    /// returns the number of grade posts made.
+    pub fn publish_grades(
+        &self,
+        token: u64,
+        lab_id: &str,
+        gradebook: &dyn crate::gradebook::ExternalGradebook,
+        now_ms: u64,
+    ) -> Result<usize, ServerError> {
+        self.sessions.authenticate_instructor(token)?;
+        self.lab(lab_id)?;
+        crate::gradebook::publish_lab_grades(&self.state, gradebook, lab_id, now_ms)
+            .map_err(ServerError::Invalid)
+    }
+
+    // ---- registration passthroughs ---------------------------------------
+
+    /// Register a student account.
+    pub fn register_student(&self, name: &str, password: &str) -> Result<(), ServerError> {
+        Ok(self
+            .sessions
+            .register(&self.state, name, password, Role::Student)?)
+    }
+
+    /// Register an instructor account.
+    pub fn register_instructor(&self, name: &str, password: &str) -> Result<(), ServerError> {
+        Ok(self
+            .sessions
+            .register(&self.state, name, password, Role::Instructor)?)
+    }
+
+    /// Log in.
+    pub fn login(
+        &self,
+        name: &str,
+        password: &str,
+        device: DeviceKind,
+        now_ms: u64,
+    ) -> Result<u64, ServerError> {
+        Ok(self
+            .sessions
+            .login(&self.state, name, password, device, now_ms)?
+            .token)
+    }
+}
+
+/// Render a job outcome the way the attempt view shows it.
+fn render_outcome(outcome: &JobOutcome) -> (bool, String) {
+    if let Some(err) = &outcome.compile_error {
+        return (false, format!("Compilation failed: {err}"));
+    }
+    if outcome.datasets.is_empty() {
+        return (false, "Compilation successful.".to_string());
+    }
+    let mut passed = true;
+    let mut report = String::new();
+    for d in &outcome.datasets {
+        if let Some(err) = &d.error {
+            passed = false;
+            report.push_str(&format!("[{}] failed: {err}\n", d.name));
+        } else if let Some(check) = &d.check {
+            if !check.passed() {
+                passed = false;
+            }
+            report.push_str(&format!("[{}] {}\n", d.name, check.summary()));
+        }
+        if !d.timing_text.is_empty() {
+            report.push_str(&d.timing_text);
+        }
+        if !d.log_text.is_empty() {
+            report.push_str(&d.log_text);
+        }
+    }
+    (passed, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::LabDefinition;
+
+    const ECHO: &str = r#"
+        int main() {
+            int n;
+            float* a = wbImportVector(0, &n);
+            wbSolution(a, n);
+            return 0;
+        }
+    "#;
+
+    fn server_with_lab() -> (WebGpuServer, u64, u64) {
+        let srv = WebGpuServer::new(Box::new(LocalDispatcher::new()));
+        srv.register_instructor("prof", "pw").unwrap();
+        srv.register_student("alice", "pw").unwrap();
+        let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();
+        let student = srv.login("alice", "pw", DeviceKind::Desktop, 0).unwrap();
+        srv.deploy_lab(staff, LabDefinition::test_lab("echo")).unwrap();
+        (srv, staff, student)
+    }
+
+    #[test]
+    fn students_cannot_deploy_labs() {
+        let (srv, _, student) = server_with_lab();
+        let err = srv
+            .deploy_lab(student, LabDefinition::test_lab("evil"))
+            .unwrap_err();
+        assert_eq!(err, ServerError::Auth(AuthError::NotInstructor));
+    }
+
+    #[test]
+    fn skeleton_shown_before_any_save() {
+        let (srv, _, student) = server_with_lab();
+        let code = srv.current_code(student, "echo").unwrap();
+        assert!(code.contains("your code here"));
+    }
+
+    #[test]
+    fn autosave_and_history() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", "v1", 100).unwrap();
+        srv.save_code(student, "echo", "v2", 200).unwrap();
+        assert_eq!(srv.current_code(student, "echo").unwrap(), "v2");
+        let hist = srv.history(student, "echo").unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].source, "v1");
+        assert_eq!(hist[1].at_ms, 200);
+    }
+
+    #[test]
+    fn compile_records_attempt() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", ECHO, 100).unwrap();
+        let view = srv.compile(student, "echo", 200).unwrap();
+        assert!(view.compiled);
+        let attempts = srv.attempts(student, "echo").unwrap();
+        assert_eq!(attempts.len(), 1);
+        assert!(attempts[0].compiled);
+        assert_eq!(attempts[0].dataset, None);
+    }
+
+    #[test]
+    fn run_dataset_reports_pass() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", ECHO, 100).unwrap();
+        let view = srv.run_dataset(student, "echo", 0, 200).unwrap();
+        assert!(view.passed, "{}", view.report);
+        assert!(view.report.contains("correct"));
+    }
+
+    #[test]
+    fn run_dataset_reports_mismatch() {
+        let (srv, _, student) = server_with_lab();
+        let buggy = ECHO.replace("wbSolution(a, n)", "a[0] = 99.0; wbSolution(a, n)");
+        srv.save_code(student, "echo", &buggy, 100).unwrap();
+        let view = srv.run_dataset(student, "echo", 0, 200).unwrap();
+        assert!(!view.passed);
+        assert!(view.report.contains("differs"));
+    }
+
+    #[test]
+    fn submit_scores_with_rubric() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", ECHO, 100).unwrap();
+        let sub = srv.submit(student, "echo", 200).unwrap();
+        assert!(sub.compiled);
+        assert_eq!(sub.passed, 1);
+        // 10 compile + 80 datasets = 90 (10 question points pending).
+        assert!((sub.score - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_limit_kicks_in() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", ECHO, 0).unwrap();
+        // Default burst is 3.
+        for k in 0..3 {
+            srv.compile(student, "echo", k).unwrap();
+        }
+        let err = srv.compile(student, "echo", 4).unwrap_err();
+        assert!(matches!(err, ServerError::RateLimited(_)));
+    }
+
+    #[test]
+    fn questions_answered_and_graded() {
+        let (srv, staff, student) = server_with_lab();
+        srv.answer_questions(student, "echo", vec!["rayleigh scattering".into()])
+            .unwrap();
+        // Wrong count rejected.
+        assert!(srv
+            .answer_questions(student, "echo", vec!["a".into(), "b".into()])
+            .is_err());
+        srv.grade_questions(staff, "alice", "echo", 8.0, Some("good".into()))
+            .unwrap();
+        // Students cannot grade.
+        assert!(srv
+            .grade_questions(student, "alice", "echo", 10.0, None)
+            .is_err());
+    }
+
+    #[test]
+    fn roster_aggregates_best_scores() {
+        let (srv, staff, student) = server_with_lab();
+        srv.save_code(student, "echo", "int main( {", 0).unwrap();
+        srv.submit(student, "echo", 1).unwrap(); // fails: 0 points
+        srv.save_code(student, "echo", ECHO, 100_000).unwrap();
+        srv.submit(student, "echo", 200_000).unwrap(); // 90 points
+        srv.answer_questions(student, "echo", vec!["x".into()]).unwrap();
+        srv.grade_questions(staff, "alice", "echo", 7.5, None).unwrap();
+        let roster = srv.roster(staff, "echo").unwrap();
+        assert_eq!(roster.len(), 1);
+        let row = &roster[0];
+        assert_eq!(row.submissions, 2);
+        assert!((row.program_grade - 90.0).abs() < 1e-9);
+        assert!((row.question_grade - 7.5).abs() < 1e-9);
+        assert!((row.total_grade - 97.5).abs() < 1e-9);
+        // Students cannot see the roster.
+        assert!(srv.roster(student, "echo").is_err());
+    }
+
+    #[test]
+    fn grade_override_applies() {
+        let (srv, staff, student) = server_with_lab();
+        srv.save_code(student, "echo", ECHO, 0).unwrap();
+        srv.submit(student, "echo", 1).unwrap();
+        let ids = srv
+            .state
+            .submissions
+            .find("by_lab", "echo")
+            .unwrap();
+        srv.override_grade(staff, ids[0], 100.0).unwrap();
+        let roster = srv.roster(staff, "echo").unwrap();
+        assert!((roster[0].program_grade - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_only_after_deadline() {
+        let (srv, staff, student) = server_with_lab();
+        let _ = staff;
+        srv.save_code(student, "echo", ECHO, 0).unwrap();
+        let view = srv.compile(student, "echo", 1).unwrap();
+        let before = srv.share_attempt(student, view.attempt_id, 1000);
+        assert!(before.is_err(), "deadline not passed");
+        let deadline = 7 * 24 * 3600 * 1000;
+        let token = srv
+            .share_attempt(student, view.attempt_id, deadline + 1)
+            .unwrap();
+        assert!(token > 0);
+    }
+
+    #[test]
+    fn cannot_share_others_attempts() {
+        let (srv, _, student) = server_with_lab();
+        srv.register_student("bob", "pw").unwrap();
+        let bob = srv.login("bob", "pw", DeviceKind::Desktop, 0).unwrap();
+        srv.save_code(student, "echo", ECHO, 0).unwrap();
+        let view = srv.compile(student, "echo", 1).unwrap();
+        let err = srv
+            .share_attempt(bob, view.attempt_id, u64::MAX)
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Invalid(_)));
+    }
+
+    #[test]
+    fn description_renders_markdown_and_rubric() {
+        let (srv, _, _) = server_with_lab();
+        let html = srv.lab_description_html("echo").unwrap();
+        assert!(html.contains("<h1>Test</h1>"));
+        assert!(html.contains("<h2>Grading</h2>"));
+    }
+
+    #[test]
+    fn unknown_lab_rejected_everywhere() {
+        let (srv, _, student) = server_with_lab();
+        assert!(matches!(
+            srv.save_code(student, "nope", "x", 0).unwrap_err(),
+            ServerError::NoSuchLab(_)
+        ));
+        assert!(srv.lab_description_html("nope").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `wb-worker` — the GPU worker node.
+//!
+//! §III-C: *"Upon a user program submission, the web-server selects a
+//! single worker node and sends user code along with configurations
+//! specified by the lab. The worker node then compiles, executes, and
+//! evaluates the code using the datasets provided by the instructor.
+//! … An additional task is for the worker node to send regular health
+//! checks to the web-server."*
+//!
+//! §VI-B adds the v2 internals: a driver that polls the job queue,
+//! holds a pool of containers mapped onto the node's GPUs, and restarts
+//! when the remote configuration changes.
+//!
+//! This crate provides:
+//!
+//! * the job/result envelope types ([`job`]);
+//! * the compile → sandbox → execute → evaluate pipeline ([`pipeline`]);
+//! * the node itself, supporting both the v1 push interface and the v2
+//!   queue-polling driver ([`node`]);
+//! * remote configuration with restart-on-change ([`config`]).
+
+pub mod config;
+pub mod job;
+pub mod node;
+pub mod pipeline;
+
+pub use config::{ConfigServer, WorkerConfig};
+pub use job::{DatasetCase, JobAction, JobOutcome, JobRequest, LabSpec};
+pub use node::{HealthBeat, WorkerNode};
+pub use pipeline::execute_job;

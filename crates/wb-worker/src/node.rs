@@ -1,0 +1,355 @@
+//! The worker node: v1 push interface, v2 queue-polling driver,
+//! health checks, container pool, and restart-on-config-change.
+
+use crate::config::{ConfigServer, WorkerConfig};
+use crate::job::{JobOutcome, JobRequest};
+use crate::pipeline::execute_job;
+use minicuda::DeviceConfig;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use wb_queue::Broker;
+use wb_sandbox::{ContainerPool, Image};
+
+/// A health check emitted periodically to the web server (v1) or
+/// written to the metrics database (v2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthBeat {
+    /// Reporting worker.
+    pub worker_id: u64,
+    /// Virtual ms at emission.
+    pub at_ms: u64,
+    /// Jobs completed so far.
+    pub jobs_done: u64,
+    /// Driver restarts so far.
+    pub restarts: u64,
+}
+
+struct NodeState {
+    config_version: u64,
+    capabilities: BTreeSet<String>,
+    pool: ContainerPool,
+    jobs_done: u64,
+    restarts: u64,
+    /// When true the node stops heartbeating and refuses work
+    /// (fault-injection switch).
+    crashed: bool,
+    /// Accumulated virtual busy milliseconds (utilization metric).
+    busy_ms: u64,
+}
+
+/// One worker node with a simulated GPU.
+pub struct WorkerNode {
+    id: u64,
+    device: DeviceConfig,
+    state: Mutex<NodeState>,
+}
+
+impl WorkerNode {
+    /// Boot a node against the current remote configuration.
+    pub fn boot(id: u64, device: DeviceConfig, config: &WorkerConfig) -> Self {
+        WorkerNode {
+            id,
+            device,
+            state: Mutex::new(NodeState {
+                config_version: config.version,
+                capabilities: config.capabilities.clone(),
+                pool: ContainerPool::new(image_by_name(&config.image), config.pool_target),
+                jobs_done: 0,
+                restarts: 0,
+                crashed: false,
+                busy_ms: 0,
+            }),
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Advertised capability tags.
+    pub fn capabilities(&self) -> BTreeSet<String> {
+        self.state.lock().capabilities.clone()
+    }
+
+    /// Jobs completed.
+    pub fn jobs_done(&self) -> u64 {
+        self.state.lock().jobs_done
+    }
+
+    /// Driver restarts (config changes).
+    pub fn restarts(&self) -> u64 {
+        self.state.lock().restarts
+    }
+
+    /// Accumulated busy virtual milliseconds.
+    pub fn busy_ms(&self) -> u64 {
+        self.state.lock().busy_ms
+    }
+
+    /// Simulate a crash: stops heartbeats and work.
+    pub fn crash(&self) {
+        self.state.lock().crashed = true;
+    }
+
+    /// Bring a crashed node back.
+    pub fn recover(&self) {
+        self.state.lock().crashed = false;
+    }
+
+    /// True when the node is down.
+    pub fn is_crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Emit a health check (None while crashed — the web server evicts
+    /// nodes whose beats stop arriving, §III-C).
+    pub fn health(&self, now_ms: u64) -> Option<HealthBeat> {
+        let g = self.state.lock();
+        if g.crashed {
+            return None;
+        }
+        Some(HealthBeat {
+            worker_id: self.id,
+            at_ms: now_ms,
+            jobs_done: g.jobs_done,
+            restarts: g.restarts,
+        })
+    }
+
+    /// Watch the remote configuration; on a version change the driver
+    /// restarts: capabilities and the container pool are rebuilt
+    /// (§VI-B). Returns true when a restart happened.
+    pub fn sync_config(&self, server: &ConfigServer) -> bool {
+        let config = server.get();
+        let mut g = self.state.lock();
+        if config.version == g.config_version {
+            return false;
+        }
+        g.config_version = config.version;
+        g.capabilities = config.capabilities.clone();
+        g.pool = ContainerPool::new(image_by_name(&config.image), config.pool_target);
+        g.restarts += 1;
+        true
+    }
+
+    /// v1 push interface: the web server calls this directly.
+    /// Returns `None` when the node is down (the caller treats it as a
+    /// dispatch failure and retries elsewhere).
+    pub fn submit(&self, req: &JobRequest) -> Option<JobOutcome> {
+        {
+            let g = self.state.lock();
+            if g.crashed {
+                return None;
+            }
+        }
+        Some(self.run(req))
+    }
+
+    /// v2 pull interface: poll the broker once; execute and ack a job
+    /// if one matches this node's capabilities.
+    pub fn poll_once(&self, broker: &Broker<JobRequest>, now_ms: u64) -> Option<JobOutcome> {
+        let caps = {
+            let g = self.state.lock();
+            if g.crashed {
+                return None;
+            }
+            g.capabilities.clone()
+        };
+        let delivery = broker.poll(&caps, now_ms)?;
+        let outcome = self.run(&delivery.payload);
+        broker.ack(delivery.meta.id);
+        Some(outcome)
+    }
+
+    fn run(&self, req: &JobRequest) -> JobOutcome {
+        // The container image must provide the lab's toolchain (§VI-B:
+        // "a CUDA lab will not, for example, have the PGI OpenACC
+        // tools"). A v1 cluster that pushes an MPI job to a CUDA-only
+        // node hits exactly this failure.
+        {
+            let g = self.state.lock();
+            if !g.pool.image().has(&req.spec.toolchain) {
+                return JobOutcome {
+                    job_id: req.job_id,
+                    worker_id: self.id,
+                    compile_error: Some(format!(
+                        "toolchain `{}` is not installed in image `{}` on worker {}",
+                        req.spec.toolchain,
+                        g.pool.image().name,
+                        self.id
+                    )),
+                    datasets: Vec::new(),
+                    container_wait_ms: 0,
+                };
+            }
+        }
+        // Check out a fresh container for the job (§VI-B: one job per
+        // container, destroyed afterwards).
+        let (container, wait_ms) = {
+            let g = self.state.lock();
+            g.pool.checkout()
+        };
+        let outcome = execute_job(req, &self.device, self.id, wait_ms);
+        let busy: u64 = outcome
+            .datasets
+            .iter()
+            .map(|d| d.elapsed_cycles / 1_000) // cycles → virtual ms at 1 MHz-ish
+            .sum::<u64>()
+            .max(1)
+            + wait_ms;
+        {
+            let g = self.state.lock();
+            g.pool.destroy(container);
+        }
+        let mut g = self.state.lock();
+        g.jobs_done += 1;
+        g.busy_ms += busy;
+        outcome
+    }
+}
+
+fn image_by_name(name: &str) -> Image {
+    if name.contains("full") {
+        Image::full()
+    } else {
+        Image::cuda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DatasetCase, JobAction, LabSpec};
+    use libwb::Dataset;
+
+
+    fn trivial_request(job_id: u64) -> JobRequest {
+        JobRequest {
+            job_id,
+            user: "alice".into(),
+            source: r#"
+                int main() {
+                    int n;
+                    float* a = wbImportVector(0, &n);
+                    wbSolution(a, n);
+                    return 0;
+                }
+            "#
+            .to_string(),
+            spec: LabSpec::cuda_test("identity"),
+            datasets: vec![DatasetCase {
+                name: "d0".into(),
+                inputs: vec![Dataset::Vector(vec![1.0, 2.0])],
+                expected: Dataset::Vector(vec![1.0, 2.0]),
+            }],
+            action: JobAction::FullGrade,
+        }
+    }
+
+    fn node() -> WorkerNode {
+        WorkerNode::boot(1, DeviceConfig::test_small(), &WorkerConfig::default())
+    }
+
+    #[test]
+    fn push_submit_executes() {
+        let n = node();
+        let out = n.submit(&trivial_request(1)).expect("node is up");
+        assert!(out.compiled());
+        assert_eq!(out.passed_count(), 1);
+        assert_eq!(n.jobs_done(), 1);
+        assert!(n.busy_ms() >= 1);
+    }
+
+    #[test]
+    fn crashed_node_refuses_work_and_heartbeats() {
+        let n = node();
+        assert!(n.health(0).is_some());
+        n.crash();
+        assert!(n.is_crashed());
+        assert!(n.health(1).is_none());
+        assert!(n.submit(&trivial_request(1)).is_none());
+        n.recover();
+        assert!(n.health(2).is_some());
+        assert!(n.submit(&trivial_request(2)).is_some());
+    }
+
+    #[test]
+    fn poll_respects_capabilities() {
+        let broker: Broker<JobRequest> = Broker::new(10_000, 3);
+        let mut req = trivial_request(1);
+        req.spec.tags = ["mpi".to_string()].into_iter().collect();
+        broker.enqueue(
+            req.clone(),
+            req.spec.tags.clone(),
+            0,
+        );
+        let n = node(); // plain cuda worker
+        assert!(n.poll_once(&broker, 1).is_none(), "mpi job skipped");
+        // An MPI-capable node picks it up.
+        let mut cfg = WorkerConfig::default();
+        cfg.capabilities.insert("mpi".into());
+        let mpi_node = WorkerNode::boot(2, DeviceConfig::test_small(), &cfg);
+        let out = mpi_node.poll_once(&broker, 2).expect("capable node took it");
+        assert_eq!(out.worker_id, 2);
+        assert_eq!(broker.depth(3), 0, "job acked");
+    }
+
+    #[test]
+    fn config_change_restarts_driver() {
+        let server = ConfigServer::new(WorkerConfig::default());
+        let n = WorkerNode::boot(1, DeviceConfig::test_small(), &server.get());
+        assert!(!n.sync_config(&server), "same version: no restart");
+        server.update(|c| c.image = "webgpu/full".into());
+        assert!(n.sync_config(&server), "new version restarts");
+        assert_eq!(n.restarts(), 1);
+        assert!(!n.sync_config(&server), "idempotent until next change");
+    }
+
+    #[test]
+    fn capability_update_applies_after_restart() {
+        let server = ConfigServer::new(WorkerConfig::default());
+        let n = WorkerNode::boot(1, DeviceConfig::test_small(), &server.get());
+        assert!(!n.capabilities().contains("mpi"));
+        server.update(|c| {
+            c.capabilities.insert("mpi".into());
+        });
+        n.sync_config(&server);
+        assert!(n.capabilities().contains("mpi"));
+    }
+
+    #[test]
+    fn missing_toolchain_fails_before_any_work() {
+        // §VI-B: "a CUDA lab will not, for example, have the PGI
+        // OpenACC tools" — a job whose toolchain the image lacks is
+        // rejected at intake, without consuming a container.
+        let n = node(); // webgpu/cuda image: cuda + opencl only
+        let mut req = trivial_request(9);
+        req.spec.toolchain = "mpi".to_string();
+        let out = n.submit(&req).expect("node is up");
+        assert!(!out.compiled());
+        assert!(out
+            .compile_error
+            .as_ref()
+            .unwrap()
+            .contains("toolchain `mpi` is not installed"));
+        assert!(out.datasets.is_empty());
+        // A full-image node runs the same job fine.
+        let mut cfg = WorkerConfig::default();
+        cfg.image = "webgpu/full".to_string();
+        let fat = WorkerNode::boot(2, DeviceConfig::test_small(), &cfg);
+        let out = fat.submit(&req).expect("node is up");
+        assert!(out.compiled(), "{:?}", out.compile_error);
+    }
+
+    #[test]
+    fn health_beat_carries_progress() {
+        let n = node();
+        n.submit(&trivial_request(1)).unwrap();
+        n.submit(&trivial_request(2)).unwrap();
+        let beat = n.health(500).unwrap();
+        assert_eq!(beat.jobs_done, 2);
+        assert_eq!(beat.at_ms, 500);
+        assert_eq!(beat.worker_id, 1);
+    }
+}

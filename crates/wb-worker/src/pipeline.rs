@@ -1,0 +1,264 @@
+//! The compile → sandbox → execute → evaluate pipeline (§III-C/D).
+
+use crate::job::{DatasetOutcome, JobAction, JobOutcome, JobRequest};
+use libwb::check;
+use minicuda::{compile, DeviceConfig};
+use wb_sandbox::JobDir;
+
+/// Execute a job on a device. `worker_id` and `container_wait_ms` are
+/// supplied by the node (the pipeline itself is stateless so it can be
+/// unit-tested without a node).
+pub fn execute_job(
+    req: &JobRequest,
+    device: &DeviceConfig,
+    worker_id: u64,
+    container_wait_ms: u64,
+) -> JobOutcome {
+    let mut outcome = JobOutcome {
+        job_id: req.job_id,
+        worker_id,
+        compile_error: None,
+        datasets: Vec::new(),
+        container_wait_ms,
+    };
+
+    // Submission size gate.
+    if let Err(m) = req.spec.limits.check_source_size(&req.source) {
+        outcome.compile_error = Some(m);
+        return outcome;
+    }
+
+    // Layer 1: blacklist scan on the raw, unparsed text.
+    let violations = req.spec.blacklist.scan(&req.source);
+    if let Some(v) = violations.first() {
+        outcome.compile_error = Some(v.message.clone());
+        return outcome;
+    }
+
+    // The per-job scratch directory holds the source exactly as the
+    // real worker writes `solution.cu` before invoking nvcc.
+    let mut dir = JobDir::create(req.job_id, 4 * 1024 * 1024);
+    if let Err(e) = dir.write("solution.cu", req.source.as_bytes()) {
+        outcome.compile_error = Some(e.to_string());
+        return outcome;
+    }
+
+    // Compile.
+    let program = match compile(&req.source, req.spec.dialect) {
+        Ok(p) => p,
+        Err(d) => {
+            outcome.compile_error = Some(d.to_string());
+            dir.destroy();
+            return outcome;
+        }
+    };
+
+    let cases: Vec<usize> = match &req.action {
+        JobAction::CompileOnly => Vec::new(),
+        JobAction::RunDataset(i) => vec![*i],
+        JobAction::FullGrade => (0..req.datasets.len()).collect(),
+    };
+
+    for idx in cases {
+        let Some(case) = req.datasets.get(idx) else {
+            outcome.datasets.push(DatasetOutcome {
+                name: format!("dataset {idx}"),
+                check: None,
+                error: Some(minicuda::Diag::nowhere(
+                    minicuda::Phase::Runtime,
+                    format!("no dataset with index {idx}"),
+                )),
+                cost: Default::default(),
+                elapsed_cycles: 0,
+                log_text: String::new(),
+                timing_text: String::new(),
+            });
+            continue;
+        };
+        let opts = req.spec.limits.to_run_options(device.clone());
+        // Layer 2: the whitelist rides along as the hostcall policy.
+        let run = minicuda::run_with_policy(&program, &case.inputs, &opts, &req.spec.whitelist);
+        let check_report = match (&run.error, &run.solution) {
+            (None, Some(sol)) => Some(check::compare(sol, &case.expected, &req.spec.check)),
+            (None, None) => Some(check::CheckReport {
+                total: 0,
+                mismatch_count: 0,
+                mismatches: Vec::new(),
+                shape_error: Some(
+                    "program completed without calling wbSolution".to_string(),
+                ),
+            }),
+            _ => None,
+        };
+        outcome.datasets.push(DatasetOutcome {
+            name: case.name.clone(),
+            check: check_report,
+            error: run.error,
+            cost: run.cost,
+            elapsed_cycles: run.elapsed_cycles,
+            log_text: run.log.render(),
+            timing_text: run.timer.report(),
+        });
+    }
+
+    dir.destroy();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DatasetCase, LabSpec};
+    use libwb::Dataset;
+
+    const VECADD: &str = r#"
+        __global__ void vecAdd(float* a, float* b, float* out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { out[i] = a[i] + b[i]; }
+        }
+        int main() {
+            int n;
+            float* a = wbImportVector(0, &n);
+            float* b = wbImportVector(1, &n);
+            float* out = (float*) malloc(n * sizeof(float));
+            float* dA; float* dB; float* dC;
+            cudaMalloc(&dA, n * sizeof(float));
+            cudaMalloc(&dB, n * sizeof(float));
+            cudaMalloc(&dC, n * sizeof(float));
+            cudaMemcpy(dA, a, n * sizeof(float), cudaMemcpyHostToDevice);
+            cudaMemcpy(dB, b, n * sizeof(float), cudaMemcpyHostToDevice);
+            vecAdd<<<(n + 63) / 64, 64>>>(dA, dB, dC, n);
+            cudaMemcpy(out, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(out, n);
+            return 0;
+        }
+    "#;
+
+    fn vecadd_request(action: JobAction) -> JobRequest {
+        JobRequest {
+            job_id: 1,
+            user: "alice".into(),
+            source: VECADD.to_string(),
+            spec: LabSpec::cuda_test("vecadd"),
+            datasets: vec![
+                DatasetCase {
+                    name: "d0".into(),
+                    inputs: vec![
+                        Dataset::Vector(vec![1.0, 2.0]),
+                        Dataset::Vector(vec![3.0, 4.0]),
+                    ],
+                    expected: Dataset::Vector(vec![4.0, 6.0]),
+                },
+                DatasetCase {
+                    name: "d1".into(),
+                    inputs: vec![
+                        Dataset::Vector(vec![0.0]),
+                        Dataset::Vector(vec![5.0]),
+                    ],
+                    expected: Dataset::Vector(vec![5.0]),
+                },
+            ],
+            action,
+        }
+    }
+
+    #[test]
+    fn full_grade_passes_all_datasets() {
+        let req = vecadd_request(JobAction::FullGrade);
+        let out = execute_job(&req, &DeviceConfig::test_small(), 7, 0);
+        assert!(out.compiled(), "{:?}", out.compile_error);
+        assert_eq!(out.datasets.len(), 2);
+        assert_eq!(out.passed_count(), 2);
+        assert_eq!(out.worker_id, 7);
+    }
+
+    #[test]
+    fn compile_only_runs_nothing() {
+        let req = vecadd_request(JobAction::CompileOnly);
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert!(out.compiled());
+        assert!(out.datasets.is_empty());
+    }
+
+    #[test]
+    fn single_dataset_run() {
+        let req = vecadd_request(JobAction::RunDataset(1));
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert_eq!(out.datasets.len(), 1);
+        assert_eq!(out.datasets[0].name, "d1");
+        assert!(out.datasets[0].passed());
+    }
+
+    #[test]
+    fn out_of_range_dataset_reports_error() {
+        let req = vecadd_request(JobAction::RunDataset(9));
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert!(out.datasets[0].error.is_some());
+        assert!(!out.datasets[0].passed());
+    }
+
+    #[test]
+    fn blacklisted_source_rejected_before_compile() {
+        let mut req = vecadd_request(JobAction::FullGrade);
+        req.source = format!("// sneaky asm comment\n{}", req.source);
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert!(!out.compiled());
+        assert!(out.compile_error.unwrap().contains("asm"));
+        assert!(out.datasets.is_empty());
+    }
+
+    #[test]
+    fn syntax_error_reported_with_position() {
+        let mut req = vecadd_request(JobAction::CompileOnly);
+        req.source = "int main( { return 0; }".to_string();
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert!(out.compile_error.unwrap().contains("syntax error"));
+    }
+
+    #[test]
+    fn wrong_answer_is_mismatch_not_error() {
+        let mut req = vecadd_request(JobAction::FullGrade);
+        // A classic student bug: using + instead of * in the index.
+        req.source = VECADD.replace("a[i] + b[i]", "a[i] - b[i]");
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert!(out.compiled());
+        assert_eq!(out.passed_count(), 0);
+        let d = &out.datasets[0];
+        assert!(d.error.is_none());
+        assert!(d.check.as_ref().unwrap().mismatch_count > 0);
+    }
+
+    #[test]
+    fn missing_wbsolution_is_reported() {
+        let mut req = vecadd_request(JobAction::RunDataset(0));
+        req.source = "int main() { return 0; }".to_string();
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        let d = &out.datasets[0];
+        assert!(d.error.is_none());
+        assert!(d
+            .check
+            .as_ref()
+            .unwrap()
+            .shape_error
+            .as_ref()
+            .unwrap()
+            .contains("wbSolution"));
+    }
+
+    #[test]
+    fn oversized_source_rejected() {
+        let mut req = vecadd_request(JobAction::CompileOnly);
+        req.spec.limits.max_source_bytes = 16;
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        assert!(out.compile_error.unwrap().contains("at most 16"));
+    }
+
+    #[test]
+    fn cost_counters_populated() {
+        let req = vecadd_request(JobAction::RunDataset(0));
+        let out = execute_job(&req, &DeviceConfig::test_small(), 1, 0);
+        let d = &out.datasets[0];
+        assert_eq!(d.cost.kernel_launches, 1);
+        assert!(d.elapsed_cycles > 0);
+    }
+}

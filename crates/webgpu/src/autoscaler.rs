@@ -1,0 +1,239 @@
+//! Autoscaling policies.
+//!
+//! §II-C: *"a statically-provisioned computing resource large enough
+//! for the beginning of the course will be mostly idle by the end"*;
+//! §III: *"We increased the number of GPUs available to WebGPU the day
+//! before the deadline."* Three policies capture the design space:
+//!
+//! * [`AutoscalePolicy::Static`] — the over-provisioned baseline;
+//! * [`AutoscalePolicy::Reactive`] — scale to the queue;
+//! * [`AutoscalePolicy::Scheduled`] — the paper's manual pre-deadline
+//!   bump, automated: reactive plus a floor in a window before each
+//!   deadline.
+
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous fleet observations the policy decides from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetMetrics {
+    /// Jobs visible in the queue.
+    pub queue_depth: usize,
+    /// Current fleet size.
+    pub fleet_size: usize,
+    /// Virtual now.
+    pub now_ms: u64,
+}
+
+/// A scaling policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AutoscalePolicy {
+    /// Fixed fleet.
+    Static(usize),
+    /// Keep roughly `jobs_per_worker` queued jobs per worker, within
+    /// `[min, max]`.
+    Reactive {
+        /// Queue depth each worker is expected to absorb.
+        jobs_per_worker: usize,
+        /// Fleet floor.
+        min: usize,
+        /// Fleet ceiling.
+        max: usize,
+    },
+    /// Reactive, plus a pre-deadline floor: within `window_ms` before
+    /// any deadline in `deadlines_ms`, the fleet never drops below
+    /// `floor`.
+    Scheduled {
+        /// Queue depth each worker is expected to absorb.
+        jobs_per_worker: usize,
+        /// Fleet floor outside deadline windows.
+        min: usize,
+        /// Fleet ceiling.
+        max: usize,
+        /// Deadline instants (virtual ms).
+        deadlines_ms: Vec<u64>,
+        /// How long before each deadline the floor applies.
+        window_ms: u64,
+        /// Fleet floor inside a deadline window.
+        floor: usize,
+    },
+}
+
+/// Applies a policy with hysteresis: scale-out is immediate (students
+/// are waiting), scale-in happens only after `cooldown` consecutive
+/// low-load decisions (so a momentary lull doesn't thrash the fleet).
+#[derive(Debug)]
+pub struct Autoscaler {
+    policy: AutoscalePolicy,
+    current: usize,
+    low_streak: u32,
+    cooldown: u32,
+}
+
+impl Autoscaler {
+    /// Build with the default cooldown of 3 decisions.
+    pub fn new(policy: AutoscalePolicy, initial: usize) -> Self {
+        Autoscaler {
+            policy,
+            current: initial,
+            low_streak: 0,
+            cooldown: 3,
+        }
+    }
+
+    /// Desired fleet size for the observed metrics.
+    pub fn desired(&mut self, m: &FleetMetrics) -> usize {
+        let target = match &self.policy {
+            AutoscalePolicy::Static(n) => *n,
+            AutoscalePolicy::Reactive {
+                jobs_per_worker,
+                min,
+                max,
+            } => reactive_target(m.queue_depth, *jobs_per_worker, *min, *max),
+            AutoscalePolicy::Scheduled {
+                jobs_per_worker,
+                min,
+                max,
+                deadlines_ms,
+                window_ms,
+                floor,
+            } => {
+                let base = reactive_target(m.queue_depth, *jobs_per_worker, *min, *max);
+                let in_window = deadlines_ms.iter().any(|&d| {
+                    m.now_ms < d && d - m.now_ms <= *window_ms
+                });
+                if in_window {
+                    base.max(*floor).min(*max)
+                } else {
+                    base
+                }
+            }
+        };
+        if target > self.current {
+            self.current = target;
+            self.low_streak = 0;
+        } else if target < self.current {
+            self.low_streak += 1;
+            if self.low_streak >= self.cooldown {
+                self.current = target;
+                self.low_streak = 0;
+            }
+        } else {
+            self.low_streak = 0;
+        }
+        self.current
+    }
+}
+
+fn reactive_target(depth: usize, jobs_per_worker: usize, min: usize, max: usize) -> usize {
+    let jpw = jobs_per_worker.max(1);
+    depth.div_ceil(jpw).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(depth: usize, now: u64) -> FleetMetrics {
+        FleetMetrics {
+            queue_depth: depth,
+            fleet_size: 0,
+            now_ms: now,
+        }
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let mut a = Autoscaler::new(AutoscalePolicy::Static(5), 5);
+        assert_eq!(a.desired(&metrics(1000, 0)), 5);
+        assert_eq!(a.desired(&metrics(0, 1)), 5);
+    }
+
+    #[test]
+    fn reactive_scales_out_immediately() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: 4,
+                min: 1,
+                max: 10,
+            },
+            1,
+        );
+        assert_eq!(a.desired(&metrics(20, 0)), 5);
+        assert_eq!(a.desired(&metrics(100, 1)), 10, "capped at max");
+    }
+
+    #[test]
+    fn reactive_scales_in_after_cooldown() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: 4,
+                min: 1,
+                max: 10,
+            },
+            8,
+        );
+        // Two quiet rounds: held by hysteresis.
+        assert_eq!(a.desired(&metrics(0, 0)), 8);
+        assert_eq!(a.desired(&metrics(0, 1)), 8);
+        // Third quiet round: scale in.
+        assert_eq!(a.desired(&metrics(0, 2)), 1);
+    }
+
+    #[test]
+    fn burst_resets_the_cooldown() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: 1,
+                min: 1,
+                max: 10,
+            },
+            5,
+        );
+        a.desired(&metrics(0, 0));
+        a.desired(&metrics(0, 1));
+        assert_eq!(a.desired(&metrics(7, 2)), 7, "burst scales out");
+        // The low streak starts over.
+        a.desired(&metrics(0, 3));
+        a.desired(&metrics(0, 4));
+        assert_eq!(a.desired(&metrics(0, 5)), 1);
+    }
+
+    #[test]
+    fn scheduled_floor_applies_only_in_window() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Scheduled {
+                jobs_per_worker: 4,
+                min: 1,
+                max: 20,
+                deadlines_ms: vec![100_000],
+                window_ms: 10_000,
+                floor: 12,
+            },
+            1,
+        );
+        // Far from the deadline: reactive only.
+        assert_eq!(a.desired(&metrics(0, 50_000)), 1);
+        // Inside the window: the floor kicks in even with no queue.
+        assert_eq!(a.desired(&metrics(0, 95_000)), 12);
+        // After the deadline: back to reactive (with cooldown).
+        a.desired(&metrics(0, 101_000));
+        a.desired(&metrics(0, 102_000));
+        assert_eq!(a.desired(&metrics(0, 103_000)), 1);
+    }
+
+    #[test]
+    fn scheduled_floor_does_not_cap_reactive_growth() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Scheduled {
+                jobs_per_worker: 1,
+                min: 1,
+                max: 20,
+                deadlines_ms: vec![100_000],
+                window_ms: 10_000,
+                floor: 5,
+            },
+            1,
+        );
+        assert_eq!(a.desired(&metrics(15, 95_000)), 15, "queue beats floor");
+    }
+}

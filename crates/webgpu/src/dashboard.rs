@@ -1,0 +1,192 @@
+//! The administrators' dashboard (§VI-A).
+//!
+//! *"Each worker node constantly monitors the system, performing
+//! necessary health checks, as well as validation of state. This
+//! information is stored in a replicated database. An information
+//! dashboard is available to the system administrators to track the
+//! system status."* The dashboard snapshots a v2 cluster into a
+//! serializable status record and renders the text view an operator
+//! would read.
+
+use crate::v2::ClusterV2;
+use serde::{Deserialize, Serialize};
+use wb_queue::BrokerMetrics;
+
+/// One worker's row on the dashboard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerRow {
+    /// Worker id.
+    pub id: u64,
+    /// Up or crashed.
+    pub alive: bool,
+    /// Jobs completed.
+    pub jobs_done: u64,
+    /// Driver restarts.
+    pub restarts: u64,
+    /// Busy virtual milliseconds.
+    pub busy_ms: u64,
+}
+
+/// A full system snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Virtual time of the snapshot.
+    pub at_ms: u64,
+    /// Jobs visible in the queue.
+    pub queue_depth: usize,
+    /// Broker counters.
+    pub broker: BrokerMetrics,
+    /// Fleet rows.
+    pub workers: Vec<WorkerRow>,
+    /// Jobs completed platform-wide.
+    pub completed: u64,
+    /// Mean job wait in pump rounds.
+    pub mean_wait_rounds: f64,
+    /// Active config version.
+    pub config_version: u64,
+}
+
+impl Snapshot {
+    /// Capture the current state of a v2 cluster.
+    pub fn capture(cluster: &ClusterV2, now_ms: u64) -> Snapshot {
+        let mut workers = Vec::new();
+        let mut i = 0;
+        while let Some(w) = cluster.worker(i) {
+            workers.push(WorkerRow {
+                id: w.id(),
+                alive: !w.is_crashed(),
+                jobs_done: w.jobs_done(),
+                restarts: w.restarts(),
+                busy_ms: w.busy_ms(),
+            });
+            i += 1;
+        }
+        Snapshot {
+            at_ms: now_ms,
+            queue_depth: cluster.queue_depth(now_ms),
+            broker: cluster.broker_metrics(),
+            workers,
+            completed: cluster.completed(),
+            mean_wait_rounds: cluster.mean_wait_rounds(),
+            config_version: cluster.config.get().version,
+        }
+    }
+
+    /// Fleet-wide utilization proxy: alive workers with ≥1 job done.
+    pub fn active_fraction(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let active = self
+            .workers
+            .iter()
+            .filter(|w| w.alive && w.jobs_done > 0)
+            .count();
+        active as f64 / self.workers.len() as f64
+    }
+
+    /// Render the operator text view.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "WebGPU 2.0 status @ t={}ms   config v{}\n",
+            self.at_ms, self.config_version
+        ));
+        out.push_str(&format!(
+            "queue: {} visible | enqueued {} delivered {} acked {} timeouts {} dead {}\n",
+            self.queue_depth,
+            self.broker.enqueued,
+            self.broker.delivered,
+            self.broker.acked,
+            self.broker.timeouts,
+            self.broker.dead_lettered
+        ));
+        out.push_str(&format!(
+            "jobs completed: {} | mean wait: {:.1} rounds\n",
+            self.completed, self.mean_wait_rounds
+        ));
+        out.push_str("workers:\n");
+        for w in &self.workers {
+            out.push_str(&format!(
+                "  #{:<3} {} jobs={:<5} restarts={:<2} busy={}ms\n",
+                w.id,
+                if w.alive { "up  " } else { "DOWN" },
+                w.jobs_done,
+                w.restarts,
+                w.busy_ms
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscaler::AutoscalePolicy;
+    use wb_labs::LabScale;
+    use wb_worker::{JobAction, JobRequest};
+
+    fn cluster_with_work() -> ClusterV2 {
+        let c = ClusterV2::new(
+            2,
+            minicuda::DeviceConfig::test_small(),
+            AutoscalePolicy::Static(2),
+        );
+        let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
+        for j in 0..3 {
+            c.enqueue(
+                JobRequest {
+                    job_id: j,
+                    user: "a".into(),
+                    source: wb_labs::solution("vecadd").unwrap().to_string(),
+                    spec: lab.spec.clone(),
+                    datasets: lab.datasets.clone(),
+                    action: JobAction::RunDataset(0),
+                },
+                0,
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn snapshot_reflects_progress() {
+        let c = cluster_with_work();
+        let before = Snapshot::capture(&c, 0);
+        assert_eq!(before.queue_depth, 3);
+        assert_eq!(before.completed, 0);
+        for r in 0..5 {
+            c.pump(r);
+        }
+        let after = Snapshot::capture(&c, 5);
+        assert_eq!(after.completed, 3);
+        assert_eq!(after.queue_depth, 0);
+        assert_eq!(after.broker.acked, 3);
+        assert!(after.active_fraction() > 0.0);
+    }
+
+    #[test]
+    fn render_shows_down_workers() {
+        let c = cluster_with_work();
+        c.worker(1).unwrap().crash();
+        let text = Snapshot::capture(&c, 1).render();
+        assert!(text.contains("DOWN"));
+        assert!(text.contains("queue: 3 visible"));
+        assert!(text.contains("config v1"));
+    }
+
+    #[test]
+    fn active_fraction_empty_fleet() {
+        let s = Snapshot {
+            at_ms: 0,
+            queue_depth: 0,
+            broker: BrokerMetrics::default(),
+            workers: vec![],
+            completed: 0,
+            mean_wait_rounds: 0.0,
+            config_version: 1,
+        };
+        assert_eq!(s.active_fraction(), 0.0);
+    }
+}

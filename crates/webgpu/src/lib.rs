@@ -1,0 +1,39 @@
+//! `webgpu` — the paper's system: a scalable online development
+//! platform for GPU programming courses.
+//!
+//! This crate assembles the substrates into the two architectures the
+//! paper describes and adds the course-scale simulation used to
+//! regenerate its tables and figures:
+//!
+//! * [`v1`] — the original architecture (Fig. 2): the web server
+//!   **pushes** jobs to a pool of workers, evicting nodes whose health
+//!   checks stop arriving;
+//! * [`v2`] — WebGPU 2.0 (Figs. 6–7): workers **poll** a replicated
+//!   message broker, accepting only jobs whose capability tags they
+//!   satisfy; a remote config service restarts drivers; datasets live
+//!   in a blob store; the fleet autoscales;
+//! * [`autoscaler`] — static, reactive, and deadline-aware scaling
+//!   policies (the paper manually added GPUs the day before each
+//!   deadline — the scheduled policy automates exactly that);
+//! * [`cost`] — an AWS-style cost model for provisioning experiments;
+//! * [`sim`] — student-population models: enrollment cohorts, weekly
+//!   dropout, deadline-rush and diurnal load (regenerates Table I and
+//!   Figure 1);
+//! * [`course`] — end-to-end course runs wiring real labs, the web
+//!   server, and a cluster together.
+
+pub mod autoscaler;
+pub mod dashboard;
+pub mod cost;
+pub mod course;
+pub mod sim;
+pub mod v1;
+pub mod v2;
+
+pub use dashboard::Snapshot as DashboardSnapshot;
+pub use autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
+pub use cost::{CostModel as AwsCostModel, CostReport};
+pub use course::{CourseReport, CourseRun};
+pub use sim::population::{CohortParams, CohortSummary, LoadModel};
+pub use v1::ClusterV1;
+pub use v2::ClusterV2;

@@ -1,0 +1,3 @@
+//! Course-scale simulation: student populations and load shapes.
+
+pub mod population;

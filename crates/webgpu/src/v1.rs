@@ -1,0 +1,281 @@
+//! The original WebGPU architecture (Fig. 2): web server ¬, database
+//! servers ­, and workers ® — the web server pushes each job to a
+//! chosen worker and evicts workers whose health checks go quiet.
+
+use minicuda::DeviceConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wb_server::JobDispatcher;
+use wb_worker::{JobOutcome, JobRequest, WorkerConfig, WorkerNode};
+
+/// Eviction threshold: a worker missing health checks for this many
+/// virtual ms is dropped from the pool (§III-C).
+pub const HEALTH_TIMEOUT_MS: u64 = 30_000;
+
+struct PoolState {
+    workers: Vec<Arc<WorkerNode>>,
+    last_beat: HashMap<u64, u64>,
+    evicted: Vec<u64>,
+    next_worker_id: u64,
+    rr_cursor: usize,
+    dispatch_failures: u64,
+}
+
+/// The v1 push cluster.
+pub struct ClusterV1 {
+    device: DeviceConfig,
+    config: WorkerConfig,
+    state: Mutex<PoolState>,
+}
+
+impl ClusterV1 {
+    /// Boot a cluster with `n` workers.
+    ///
+    /// v1 had no job routing, so — per §VI-A — every node must be
+    /// "provisioned for the highest common multiple of the system
+    /// requirements of the labs": the full image with every toolchain.
+    pub fn new(n: usize, device: DeviceConfig) -> Self {
+        let config = WorkerConfig {
+            image: "webgpu/full".to_string(),
+            capabilities: ["cuda", "opencl", "openacc", "mpi", "multi-gpu"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ..WorkerConfig::default()
+        };
+        Self::with_config(n, device, config)
+    }
+
+    /// Boot with an explicit worker configuration (e.g. a CUDA-only
+    /// image, to demonstrate why v1 could not afford thin nodes).
+    pub fn with_config(n: usize, device: DeviceConfig, config: WorkerConfig) -> Self {
+        let workers = (1..=n as u64)
+            .map(|id| Arc::new(WorkerNode::boot(id, device.clone(), &config)))
+            .collect::<Vec<_>>();
+        let last_beat = workers.iter().map(|w| (w.id(), 0)).collect();
+        ClusterV1 {
+            device,
+            config,
+            state: Mutex::new(PoolState {
+                workers,
+                last_beat,
+                evicted: Vec::new(),
+                next_worker_id: n as u64 + 1,
+                rr_cursor: 0,
+                dispatch_failures: 0,
+            }),
+        }
+    }
+
+    /// Number of workers currently in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.state.lock().workers.len()
+    }
+
+    /// Worker ids evicted so far.
+    pub fn evicted(&self) -> Vec<u64> {
+        self.state.lock().evicted.clone()
+    }
+
+    /// Failed dispatch attempts (crashed worker chosen before eviction).
+    pub fn dispatch_failures(&self) -> u64 {
+        self.state.lock().dispatch_failures
+    }
+
+    /// Handle on a worker (fault injection in tests).
+    pub fn worker(&self, idx: usize) -> Option<Arc<WorkerNode>> {
+        self.state.lock().workers.get(idx).cloned()
+    }
+
+    /// Add a worker to the pool (manual pre-deadline scaling, §III).
+    pub fn add_worker(&self, now_ms: u64) -> u64 {
+        let mut g = self.state.lock();
+        let id = g.next_worker_id;
+        g.next_worker_id += 1;
+        let w = Arc::new(WorkerNode::boot(id, self.device.clone(), &self.config));
+        g.last_beat.insert(id, now_ms);
+        g.workers.push(w);
+        id
+    }
+
+    /// Remove the most recently added worker (scale-in).
+    pub fn remove_worker(&self) -> Option<u64> {
+        let mut g = self.state.lock();
+        let w = g.workers.pop()?;
+        g.last_beat.remove(&w.id());
+        Some(w.id())
+    }
+
+    /// Collect health checks and evict silent workers. Returns the ids
+    /// evicted this round.
+    pub fn health_sweep(&self, now_ms: u64) -> Vec<u64> {
+        let mut g = self.state.lock();
+        // Record fresh beats.
+        let beats: Vec<(u64, u64)> = g
+            .workers
+            .iter()
+            .filter_map(|w| w.health(now_ms).map(|b| (b.worker_id, b.at_ms)))
+            .collect();
+        for (id, at) in beats {
+            g.last_beat.insert(id, at);
+        }
+        // Evict the silent.
+        let mut evicted_now = Vec::new();
+        let last_beat = g.last_beat.clone();
+        g.workers.retain(|w| {
+            let last = last_beat.get(&w.id()).copied().unwrap_or(0);
+            let alive = now_ms.saturating_sub(last) < HEALTH_TIMEOUT_MS;
+            if !alive {
+                evicted_now.push(w.id());
+            }
+            alive
+        });
+        for id in &evicted_now {
+            g.evicted.push(*id);
+            g.last_beat.remove(id);
+        }
+        evicted_now
+    }
+
+    /// Push a job to a worker: round-robin, skipping dead nodes; a
+    /// failed submission marks a dispatch failure and tries the next
+    /// worker (the retry behaviour students experienced as a slow
+    /// attempt rather than an error page).
+    pub fn submit(&self, req: &JobRequest) -> Result<JobOutcome, String> {
+        // Snapshot candidates to avoid holding the lock during a job.
+        let candidates: Vec<Arc<WorkerNode>> = {
+            let mut g = self.state.lock();
+            if g.workers.is_empty() {
+                return Err("no workers in the pool".to_string());
+            }
+            let n = g.workers.len();
+            let start = g.rr_cursor % n;
+            g.rr_cursor = (g.rr_cursor + 1) % n.max(1);
+            (0..n)
+                .map(|k| Arc::clone(&g.workers[(start + k) % n]))
+                .collect()
+        };
+        for w in candidates {
+            match w.submit(req) {
+                Some(outcome) => return Ok(outcome),
+                None => {
+                    self.state.lock().dispatch_failures += 1;
+                }
+            }
+        }
+        Err("every worker in the pool is unreachable".to_string())
+    }
+}
+
+impl JobDispatcher for ClusterV1 {
+    fn dispatch(&self, req: JobRequest, _now_ms: u64) -> Result<JobOutcome, String> {
+        self.submit(&req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libwb::Dataset;
+    use wb_worker::{DatasetCase, JobAction, LabSpec};
+
+    fn echo(job_id: u64) -> JobRequest {
+        JobRequest {
+            job_id,
+            user: "alice".into(),
+            source: r#"
+                int main() {
+                    int n;
+                    float* a = wbImportVector(0, &n);
+                    wbSolution(a, n);
+                    return 0;
+                }
+            "#
+            .to_string(),
+            spec: LabSpec::cuda_test("echo"),
+            datasets: vec![DatasetCase {
+                name: "d0".into(),
+                inputs: vec![Dataset::Vector(vec![1.0])],
+                expected: Dataset::Vector(vec![1.0]),
+            }],
+            action: JobAction::FullGrade,
+        }
+    }
+
+    fn cluster(n: usize) -> ClusterV1 {
+        ClusterV1::new(n, DeviceConfig::test_small())
+    }
+
+    #[test]
+    fn jobs_round_robin_across_workers() {
+        let c = cluster(3);
+        for j in 0..6 {
+            let out = c.submit(&echo(j)).unwrap();
+            assert!(out.compiled());
+        }
+        for i in 0..3 {
+            assert_eq!(c.worker(i).unwrap().jobs_done(), 2, "even spread");
+        }
+    }
+
+    #[test]
+    fn crashed_worker_is_skipped_with_retry() {
+        let c = cluster(2);
+        c.worker(0).unwrap().crash();
+        for j in 0..4 {
+            assert!(c.submit(&echo(j)).is_ok());
+        }
+        assert!(c.dispatch_failures() > 0, "the dead node was tried");
+        assert_eq!(c.worker(1).unwrap().jobs_done(), 4);
+    }
+
+    #[test]
+    fn all_dead_reports_error() {
+        let c = cluster(2);
+        c.worker(0).unwrap().crash();
+        c.worker(1).unwrap().crash();
+        assert!(c.submit(&echo(1)).is_err());
+    }
+
+    #[test]
+    fn health_sweep_evicts_silent_workers() {
+        let c = cluster(3);
+        // t=0 everyone beats.
+        assert!(c.health_sweep(0).is_empty());
+        c.worker(1).unwrap().crash();
+        // Within the timeout nothing is evicted.
+        assert!(c.health_sweep(HEALTH_TIMEOUT_MS - 1).is_empty());
+        // Past the timeout the crashed node goes.
+        let evicted = c.health_sweep(HEALTH_TIMEOUT_MS + 1);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(c.pool_size(), 2);
+        assert_eq!(c.evicted(), evicted);
+    }
+
+    #[test]
+    fn recovered_worker_keeps_beating_until_evicted() {
+        let c = cluster(2);
+        c.worker(0).unwrap().crash();
+        c.worker(0).unwrap().recover();
+        // Recovery before the timeout: no eviction.
+        assert!(c.health_sweep(HEALTH_TIMEOUT_MS + 1).is_empty());
+        assert_eq!(c.pool_size(), 2);
+    }
+
+    #[test]
+    fn scaling_in_and_out() {
+        let c = cluster(1);
+        let id = c.add_worker(0);
+        assert_eq!(c.pool_size(), 2);
+        assert_eq!(c.remove_worker(), Some(id));
+        assert_eq!(c.pool_size(), 1);
+    }
+
+    #[test]
+    fn empty_pool_rejects() {
+        let c = cluster(1);
+        c.remove_worker();
+        assert!(c.submit(&echo(1)).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: boot a WebGPU platform, deploy a lab, and walk one
+//! student through edit → compile → run → submit.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wb_labs::LabScale;
+use wb_server::{DeviceKind, WebGpuServer};
+use webgpu::ClusterV1;
+
+fn main() {
+    // A two-GPU worker pool behind the original push architecture.
+    let cluster = ClusterV1::new(2, minicuda::DeviceConfig::default());
+    let srv = WebGpuServer::new(Box::new(cluster));
+
+    // Accounts: one instructor, one student.
+    srv.register_instructor("prof", "secret").unwrap();
+    srv.register_student("alice", "hunter2").unwrap();
+    let staff = srv.login("prof", "secret", DeviceKind::Desktop, 0).unwrap();
+    let alice = srv
+        .login("alice", "hunter2", DeviceKind::Desktop, 0)
+        .unwrap();
+
+    // Deploy the Vector Addition lab from the Table II catalog.
+    let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
+    srv.deploy_lab(staff, lab).unwrap();
+
+    println!("=== Lab manual (rendered from markdown) ===");
+    println!("{}", srv.lab_description_html("vecadd").unwrap());
+
+    // The student opens the editor: the skeleton appears.
+    println!("=== Skeleton ===");
+    println!("{}", srv.current_code(alice, "vecadd").unwrap());
+
+    // First attempt: compile the skeleton.
+    let attempt = srv.compile(alice, "vecadd", 10_000).unwrap();
+    println!(
+        "Skeleton compile: compiled={} report={}",
+        attempt.compiled,
+        attempt.report.lines().next().unwrap_or("")
+    );
+
+    // The student writes the real solution and runs dataset 0.
+    srv.save_code(alice, "vecadd", wb_labs::solution("vecadd").unwrap(), 60_000)
+        .unwrap();
+    let run = srv.run_dataset(alice, "vecadd", 0, 120_000).unwrap();
+    println!("=== Attempt against dataset 0 ===");
+    println!("{}", run.report);
+
+    // Submit for grading.
+    let sub = srv.submit(alice, "vecadd", 600_000).unwrap();
+    println!(
+        "Submission: compiled={} datasets {}/{} score={:.1}",
+        sub.compiled, sub.passed, sub.total, sub.score
+    );
+
+    // The instructor checks the roster.
+    let roster = srv.roster(staff, "vecadd").unwrap();
+    for row in roster {
+        println!(
+            "roster: {} <{}> submissions={} program={:.1} total={:.1}",
+            row.user, row.email, row.submissions, row.program_grade, row.total_grade
+        );
+    }
+}

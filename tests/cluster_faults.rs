@@ -1,0 +1,158 @@
+//! Fault-tolerance integration (experiment S4 in DESIGN.md):
+//! worker crashes, health-check eviction, broker failover, config
+//! pushes — "designed to be a fault tolerant system" (§III).
+
+use std::collections::BTreeSet;
+
+use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use wb_labs::LabScale;
+use wb_worker::{JobAction, JobRequest};
+
+fn vecadd_request(job_id: u64) -> JobRequest {
+    let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
+    JobRequest {
+        job_id,
+        user: "alice".into(),
+        source: wb_labs::solution("vecadd").unwrap().to_string(),
+        spec: lab.spec,
+        datasets: lab.datasets,
+        action: JobAction::RunDataset(0),
+    }
+}
+
+#[test]
+fn v1_survives_a_mid_course_worker_crash() {
+    let c = ClusterV1::new(3, minicuda::DeviceConfig::test_small());
+    for j in 0..3 {
+        assert!(c.submit(&vecadd_request(j)).is_ok());
+    }
+    // One node dies.
+    c.worker(1).unwrap().crash();
+    // Every subsequent job still completes (retried onto live nodes).
+    for j in 3..9 {
+        let out = c.submit(&vecadd_request(j)).unwrap();
+        assert!(out.datasets[0].passed());
+    }
+    assert!(c.dispatch_failures() > 0);
+    // The health sweep eventually removes it from the pool.
+    c.health_sweep(0);
+    let evicted = c.health_sweep(webgpu::v1::HEALTH_TIMEOUT_MS + 1);
+    assert_eq!(evicted.len(), 1);
+    assert_eq!(c.pool_size(), 2);
+}
+
+#[test]
+fn v1_recovered_worker_rejoins_before_eviction() {
+    let c = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
+    c.health_sweep(0);
+    c.worker(0).unwrap().crash();
+    // Recovers before the timeout window closes.
+    c.worker(0).unwrap().recover();
+    assert!(c.health_sweep(webgpu::v1::HEALTH_TIMEOUT_MS / 2).is_empty());
+    assert_eq!(c.pool_size(), 2);
+    assert!(c.submit(&vecadd_request(1)).is_ok());
+}
+
+#[test]
+fn v2_jobs_survive_broker_zone_failure() {
+    let c = ClusterV2::new(
+        2,
+        minicuda::DeviceConfig::test_small(),
+        AutoscalePolicy::Static(2),
+    );
+    for j in 0..4 {
+        c.enqueue(vecadd_request(j), 0);
+    }
+    // Zone failure before any work happens.
+    c.broker_failover();
+    let mut done = 0;
+    for r in 0..30 {
+        done += c.pump(r);
+    }
+    assert_eq!(done, 4, "all mirrored jobs completed after failover");
+}
+
+#[test]
+fn v2_worker_crash_leaves_job_for_the_fleet() {
+    let c = ClusterV2::new(
+        2,
+        minicuda::DeviceConfig::test_small(),
+        AutoscalePolicy::Static(2),
+    );
+    c.worker(0).unwrap().crash();
+    c.enqueue(vecadd_request(1), 0);
+    let mut done = 0;
+    for r in 0..10 {
+        done += c.pump(r);
+    }
+    assert_eq!(done, 1, "the live worker took the job");
+}
+
+#[test]
+fn v2_config_push_retargets_the_whole_fleet() {
+    let c = ClusterV2::new(
+        3,
+        minicuda::DeviceConfig::test_small(),
+        AutoscalePolicy::Static(3),
+    );
+    // An MPI-tagged job sits until a config push adds the capability.
+    let lab = wb_labs::definition("mpi-stencil", LabScale::Small).unwrap();
+    let req = JobRequest {
+        job_id: 99,
+        user: "alice".into(),
+        source: wb_labs::solution("mpi-stencil").unwrap().to_string(),
+        spec: lab.spec,
+        datasets: lab.datasets,
+        action: JobAction::RunDataset(0),
+    };
+    c.enqueue(req, 0);
+    for r in 0..3 {
+        assert_eq!(c.pump(r), 0);
+    }
+    c.config.update(|cfg| {
+        cfg.capabilities = BTreeSet::from(["cuda".into(), "mpi".into(), "multi-gpu".into()]);
+        cfg.image = "webgpu/full".to_string();
+    });
+    let mut done = 0;
+    for r in 3..10 {
+        done += c.pump(r);
+    }
+    assert_eq!(done, 1);
+    // Every worker restarted exactly once for the config change.
+    for i in 0..3 {
+        assert_eq!(c.worker(i).unwrap().restarts(), 1);
+    }
+    // The completed job actually passed (the MPI lab ran 2 ranks).
+    let out = c.take_result(99).unwrap();
+    assert!(out.datasets[0].passed(), "{:?}", out.datasets[0].error);
+}
+
+#[test]
+fn v2_deadline_policy_prescales_and_drains() {
+    // The paper scaled up the day before each deadline; the scheduled
+    // policy automates it.
+    let deadline = 1_000_000u64;
+    let c = ClusterV2::new(
+        1,
+        minicuda::DeviceConfig::test_small(),
+        AutoscalePolicy::Scheduled {
+            jobs_per_worker: 2,
+            min: 1,
+            max: 12,
+            deadlines_ms: vec![deadline],
+            window_ms: 100_000,
+            floor: 6,
+        },
+    );
+    // Far from the deadline: the fleet idles at the minimum.
+    c.pump(10);
+    assert_eq!(c.fleet_size(), 1);
+    // Inside the pre-deadline window the floor kicks in with no queue.
+    c.pump(deadline - 50_000);
+    assert_eq!(c.fleet_size(), 6, "pre-scaled the day before");
+    // After the deadline the fleet drains back (cooldown = 3 rounds).
+    for r in 0..6 {
+        c.pump(deadline + 1_000 + r);
+    }
+    assert_eq!(c.fleet_size(), 1);
+}

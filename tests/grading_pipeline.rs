@@ -1,0 +1,200 @@
+//! Grading-pipeline integration: rubric composition, attempt views,
+//! peer review over dropout, and the instructor override path.
+
+use webgpu::ClusterV1;
+use wb_labs::LabScale;
+use wb_server::{peer, DeviceKind, WebGpuServer};
+
+fn server() -> (WebGpuServer, u64) {
+    let cluster = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
+    let srv = WebGpuServer::new(Box::new(cluster));
+    srv.register_instructor("prof", "pw").unwrap();
+    let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();
+    (srv, staff)
+}
+
+#[test]
+fn partial_credit_tracks_passed_datasets() {
+    let (srv, staff) = server();
+    srv.deploy_lab(staff, wb_labs::definition("scan", LabScale::Small).unwrap())
+        .unwrap();
+    srv.register_student("bob", "pw").unwrap();
+    let bob = srv.login("bob", "pw", DeviceKind::Desktop, 0).unwrap();
+
+    // Bob's scan forgets the offset pass: single-block datasets pass,
+    // the multi-block one fails.
+    let buggy = wb_labs::solution("scan")
+        .unwrap()
+        .replace("addOffsets<<<blocks, BLOCK>>>(dOut, dSums, n);", "");
+    srv.save_code(bob, "scan", &buggy, 1_000).unwrap();
+    let sub = srv.submit(bob, "scan", 2_000).unwrap();
+    assert!(sub.compiled);
+    assert!(sub.passed >= 1, "single-block datasets pass");
+    assert!(sub.passed < sub.total, "the long dataset fails");
+    // Score is strictly between compile-only and perfect.
+    let lab = wb_labs::definition("scan", LabScale::Small).unwrap();
+    let per = lab.rubric.dataset_points / sub.total as f64;
+    let expected = lab.rubric.compile_points
+        + per * sub.passed as f64
+        + 5.0; // the __syncthreads keyword bonus still applies
+    assert!((sub.score - expected).abs() < 1e-9, "{} vs {expected}", sub.score);
+}
+
+#[test]
+fn keyword_points_require_the_technique() {
+    let (srv, staff) = server();
+    srv.deploy_lab(
+        staff,
+        wb_labs::definition("tiled-matmul", LabScale::Small).unwrap(),
+    )
+    .unwrap();
+    srv.register_student("carol", "pw").unwrap();
+    let carol = srv.login("carol", "pw", DeviceKind::Desktop, 0).unwrap();
+
+    // Submitting the *untiled* kernel to the tiled lab: correct output,
+    // but no __shared__/__syncthreads keywords — and the rubric shows it.
+    srv.save_code(carol, "tiled-matmul", wb_labs::solution("matmul").unwrap(), 1_000)
+        .unwrap();
+    let untiled = srv.submit(carol, "tiled-matmul", 2_000).unwrap();
+    assert_eq!(untiled.passed, untiled.total, "correct, just not tiled");
+
+    srv.save_code(
+        carol,
+        "tiled-matmul",
+        wb_labs::solution("tiled-matmul").unwrap(),
+        4_000_000,
+    )
+    .unwrap();
+    let tiled = srv.submit(carol, "tiled-matmul", 4_100_000).unwrap();
+    assert!(
+        tiled.score > untiled.score,
+        "tiled {} must out-score untiled {}",
+        tiled.score,
+        untiled.score
+    );
+    assert!((tiled.score - untiled.score - 10.0).abs() < 1e-9, "both keywords");
+}
+
+#[test]
+fn override_beats_auto_grade_on_the_roster() {
+    let (srv, staff) = server();
+    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
+        .unwrap();
+    srv.register_student("dave", "pw").unwrap();
+    let dave = srv.login("dave", "pw", DeviceKind::Desktop, 0).unwrap();
+    srv.save_code(dave, "vecadd", "int main( {", 1_000).unwrap();
+    let sub = srv.submit(dave, "vecadd", 2_000).unwrap();
+    assert!(!sub.compiled);
+    assert_eq!(sub.score, 0.0);
+    // The instructor decides the attempt deserves credit anyway.
+    let ids = srv.state.submissions.find("by_lab", "vecadd").unwrap();
+    srv.override_grade(staff, ids[0], 42.0).unwrap();
+    let roster = srv.roster(staff, "vecadd").unwrap();
+    assert!((roster[0].program_grade - 42.0).abs() < 1e-9);
+}
+
+#[test]
+fn peer_review_starvation_scales_with_dropout() {
+    // §IV-D quantified: the fraction of active students receiving a
+    // completed review falls as the active fraction falls.
+    let cohort: Vec<String> = (0..60).map(|i| format!("s{i}")).collect();
+    let mut received = Vec::new();
+    for active_n in [60usize, 30, 12, 6] {
+        let st = wb_server::ServerState::new();
+        peer::assign_reviews(&st, "mp3", &cohort, 3, 99);
+        let active: Vec<String> = cohort[..active_n].to_vec();
+        for s in &active {
+            let ids = st
+                .peer_reviews
+                .find("by_reviewer_lab", &format!("{s}/mp3"))
+                .unwrap();
+            for id in ids {
+                let r = st.peer_reviews.get(id).unwrap();
+                peer::complete_review(&st, "mp3", s, &r.reviewee, "done");
+            }
+        }
+        received.push(peer::received_review_fraction(&st, "mp3", &active));
+    }
+    assert!(
+        received.windows(2).all(|w| w[0] >= w[1] - 1e-9),
+        "coverage degrades with dropout: {received:?}"
+    );
+    assert!(received[0] > 0.9, "full cohort nearly fully covered");
+    assert!(
+        *received.last().unwrap() < 0.8,
+        "10% activity starves reviews: {received:?}"
+    );
+}
+
+#[test]
+fn rate_limited_student_sees_retry_hint() {
+    let (srv, staff) = server();
+    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
+        .unwrap();
+    srv.register_student("eve", "pw").unwrap();
+    let eve = srv.login("eve", "pw", DeviceKind::Desktop, 0).unwrap();
+    srv.save_code(eve, "vecadd", wb_labs::solution("vecadd").unwrap(), 0)
+        .unwrap();
+    let mut limited = None;
+    for k in 0..5 {
+        if let Err(e) = srv.compile(eve, "vecadd", k) {
+            limited = Some(e);
+            break;
+        }
+    }
+    let err = limited.expect("burst exhausted");
+    assert!(err.to_string().contains("retry in"));
+}
+
+#[test]
+fn grades_publish_to_the_coursera_gradebook() {
+    use wb_server::{CourseraGradebook, gradebook};
+    let (srv, staff) = server();
+    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
+        .unwrap();
+    srv.register_student("fred", "pw").unwrap();
+    let fred = srv.login("fred", "pw", DeviceKind::Desktop, 0).unwrap();
+    // Two submissions: a failure then the real thing.
+    srv.save_code(fred, "vecadd", "int main( {", 1_000).unwrap();
+    srv.submit(fred, "vecadd", 2_000).unwrap();
+    srv.save_code(fred, "vecadd", wb_labs::solution("vecadd").unwrap(), 100_000)
+        .unwrap();
+    srv.submit(fred, "vecadd", 101_000).unwrap();
+
+    let gb = CourseraGradebook::new();
+    let n = srv.publish_grades(staff, "vecadd", &gb, 200_000).unwrap();
+    assert_eq!(n, 2, "both submissions post");
+    // Coursera keeps the best.
+    assert!((gb.best("fred", "vecadd").unwrap() - 90.0).abs() < 1e-9);
+    // Students cannot publish.
+    assert!(srv.publish_grades(fred, "vecadd", &gb, 1).is_err());
+    // CSV export for a campus LMS.
+    let csv = gradebook::render_csv(&gb);
+    assert!(csv.contains("fred,vecadd,90.0"));
+}
+
+#[test]
+fn failing_attempts_carry_automated_hints() {
+    // §VIII future work, implemented: a buggy run comes back with the
+    // hint a TA would have given.
+    let (srv, staff) = server();
+    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
+        .unwrap();
+    srv.register_student("gina", "pw").unwrap();
+    let gina = srv.login("gina", "pw", DeviceKind::Desktop, 0).unwrap();
+    let buggy = wb_labs::solution("vecadd")
+        .unwrap()
+        .replace("if (i < n) { out[i] = a[i] + b[i]; }", "out[i] = a[i] + b[i];");
+    srv.save_code(gina, "vecadd", &buggy, 1_000).unwrap();
+    let view = srv.run_dataset(gina, "vecadd", 2, 2_000).unwrap();
+    assert!(!view.passed);
+    assert!(view.report.contains("Hint:"), "{}", view.report);
+    assert!(view.report.contains("if (i < n)"), "{}", view.report);
+
+    // A clean run carries no hints.
+    srv.save_code(gina, "vecadd", wb_labs::solution("vecadd").unwrap(), 60_000)
+        .unwrap();
+    let view = srv.run_dataset(gina, "vecadd", 0, 61_000).unwrap();
+    assert!(view.passed);
+    assert!(!view.report.contains("Hint:"));
+}
