@@ -67,7 +67,10 @@ pub fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMa
 /// Random directed graph where each ordered pair `(u, v)`, `u != v`,
 /// is an edge with probability `edge_prob` (Erdős–Rényi G(n, p)).
 pub fn random_graph(num_nodes: usize, edge_prob: f64, seed: u64) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&edge_prob), "edge_prob must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&edge_prob),
+        "edge_prob must be in [0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut row_ptr = Vec::with_capacity(num_nodes + 1);
     let mut neighbors = Vec::new();
@@ -122,20 +125,21 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(random_vector(64, 7), random_vector(64, 7));
         assert_ne!(random_vector(64, 7), random_vector(64, 8));
-        assert_eq!(
-            random_int_vector(32, 100, 1),
-            random_int_vector(32, 100, 1)
-        );
+        assert_eq!(random_int_vector(32, 100, 1), random_int_vector(32, 100, 1));
     }
 
     #[test]
     fn positive_vector_is_positive() {
-        assert!(random_positive_vector(256, 3).iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(random_positive_vector(256, 3)
+            .iter()
+            .all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]
     fn int_vector_respects_bound() {
-        assert!(random_int_vector(256, 10, 4).iter().all(|&x| (0..10).contains(&x)));
+        assert!(random_int_vector(256, 10, 4)
+            .iter()
+            .all(|&x| (0..10).contains(&x)));
     }
 
     #[test]

@@ -22,7 +22,9 @@ impl Image {
     /// `channels == 0`.
     pub fn from_data(width: usize, height: usize, channels: usize, data: Vec<f32>) -> Result<Self> {
         if channels == 0 {
-            return Err(WbError::Invalid("image must have at least 1 channel".into()));
+            return Err(WbError::Invalid(
+                "image must have at least 1 channel".into(),
+            ));
         }
         let expected = width * height * channels;
         if data.len() != expected {

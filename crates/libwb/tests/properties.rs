@@ -6,8 +6,7 @@ use proptest::prelude::*;
 fn finite_f32() -> impl Strategy<Value = f32> {
     // Normal finite floats plus exact zero; the text format
     // round-trips all of them exactly.
-    prop_oneof![prop::num::f32::NORMAL, Just(0.0f32)]
-        .prop_filter("finite", |x| x.is_finite())
+    prop_oneof![prop::num::f32::NORMAL, Just(0.0f32)].prop_filter("finite", |x| x.is_finite())
 }
 
 fn vector_dataset() -> impl Strategy<Value = Dataset> {
@@ -20,12 +19,11 @@ fn int_vector_dataset() -> impl Strategy<Value = Dataset> {
 
 fn matrix_dataset() -> impl Strategy<Value = Dataset> {
     (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
-        prop::collection::vec(finite_f32(), r * c)
-            .prop_map(move |data| Dataset::Matrix {
-                rows: r,
-                cols: c,
-                data,
-            })
+        prop::collection::vec(finite_f32(), r * c).prop_map(move |data| Dataset::Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     })
 }
 

@@ -44,10 +44,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--ranks needs a value")?;
                 ranks = v.parse().map_err(|_| format!("bad rank count {v:?}"))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: mcrun [--dialect cuda|opencl|openacc] [--ranks N] <source> [dataset-dir]"
-                    .to_string())
-            }
+            "--help" | "-h" => return Err(
+                "usage: mcrun [--dialect cuda|opencl|openacc] [--ranks N] <source> [dataset-dir]"
+                    .to_string(),
+            ),
             other if source.is_none() => source = Some(PathBuf::from(other)),
             other if datasets.is_none() => datasets = Some(PathBuf::from(other)),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -68,8 +68,8 @@ fn load_datasets(dir: &Path) -> Result<(Vec<Dataset>, Option<Dataset>), String> 
         if !path.exists() {
             break;
         }
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         inputs.push(Dataset::import(&text).map_err(|e| format!("{}: {e}", path.display()))?);
     }
     let expected_path = dir.join("expected.raw");
@@ -159,7 +159,10 @@ fn main() -> ExitCode {
             }
         }
         (Some(sol), None) => {
-            println!("solution produced ({} values); no expected.raw to compare", sol.len());
+            println!(
+                "solution produced ({} values); no expected.raw to compare",
+                sol.len()
+            );
             ExitCode::SUCCESS
         }
         (None, Some(_)) => {

@@ -59,7 +59,6 @@ pub fn canonicalize(source: &str, dialect: Dialect) -> String {
 }
 
 fn rewrite_opencl(source: &str) -> String {
-    
     map_identifiers(source, |word| match word {
         "__kernel" | "kernel" => Some("__global__"),
         "__local" => Some("__shared__"),
@@ -97,7 +96,8 @@ fn map_identifiers(source: &str, f: impl Fn(&str) -> Option<&'static str>) -> St
             }
         } else if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }

@@ -17,9 +17,7 @@ use crate::hostcall::{AllowAll, HostcallPolicy};
 use crate::memory::{ConstMem, MemPool};
 use crate::mpi::{CommWorld, RankComm};
 use crate::sema::{predefined, Program};
-use crate::value::{
-    apply_binop, apply_math, apply_unop, ElemType, Ptr, Space, Value,
-};
+use crate::value::{apply_binop, apply_math, apply_unop, ElemType, Ptr, Space, Value};
 use libwb::{Dataset, Image, LogLevel, Logger, Timer, TimerKind};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicI64;
@@ -337,11 +335,9 @@ impl<'a> HostExec<'a> {
                 self.declare(name, ty.clone(), v);
                 Ok(Flow::Normal)
             }
-            Stmt::SharedDecl { pos, .. } => Err(Diag::new(
-                Phase::Runtime,
-                *pos,
-                "__shared__ in host code",
-            )),
+            Stmt::SharedDecl { pos, .. } => {
+                Err(Diag::new(Phase::Runtime, *pos, "__shared__ in host code"))
+            }
             Stmt::Assign {
                 target,
                 op,
@@ -690,7 +686,8 @@ impl<'a> HostExec<'a> {
             }
             ExprKind::Cast(ty, inner) => {
                 let v = self.eval(inner)?;
-                v.coerce_to(ty).map_err(|m| Diag::new(Phase::Runtime, e.pos, m))
+                v.coerce_to(ty)
+                    .map_err(|m| Diag::new(Phase::Runtime, e.pos, m))
             }
             ExprKind::AddrOf(_) => Err(Diag::new(
                 Phase::Runtime,
@@ -802,9 +799,10 @@ impl<'a> HostExec<'a> {
             // ---- memory management ----
             "malloc" => {
                 self.check_policy(name, pos)?;
-                let bytes = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let bytes = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if bytes < 0 {
                     return Err(Diag::new(Phase::Runtime, pos, "malloc of negative size"));
                 }
@@ -819,9 +817,10 @@ impl<'a> HostExec<'a> {
             }
             "free" => {
                 self.check_policy(name, pos)?;
-                let p = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let p = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if p.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -837,11 +836,16 @@ impl<'a> HostExec<'a> {
             "cudaMalloc" => {
                 self.check_policy(name, pos)?;
                 let out = self.ref_arg(&args[0])?;
-                let bytes = self.eval(&args[1])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let bytes = self
+                    .eval(&args[1])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if bytes < 0 {
-                    return Err(Diag::new(Phase::Runtime, pos, "cudaMalloc of negative size"));
+                    return Err(Diag::new(
+                        Phase::Runtime,
+                        pos,
+                        "cudaMalloc of negative size",
+                    ));
                 }
                 let words = (bytes as usize).div_ceil(4);
                 if self.dev.total_words() + words > self.opts.device.global_mem_words {
@@ -866,9 +870,10 @@ impl<'a> HostExec<'a> {
             }
             "cudaFree" => {
                 self.check_policy(name, pos)?;
-                let p = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let p = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if p.space != Space::Global {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -883,18 +888,22 @@ impl<'a> HostExec<'a> {
             }
             "cudaMemcpy" => {
                 self.check_policy(name, pos)?;
-                let dst = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let src = self.eval(&args[1])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let bytes = self.eval(&args[2])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let dir = self.eval(&args[3])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let dst = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let src = self
+                    .eval(&args[1])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let bytes = self
+                    .eval(&args[2])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let dir = self
+                    .eval(&args[3])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let (want_dst, want_src) = match dir {
                     0 => (Space::Global, Space::Host),
                     1 => (Space::Host, Space::Global),
@@ -937,9 +946,10 @@ impl<'a> HostExec<'a> {
             }
             "cudaMemcpyToSymbol" => {
                 self.check_policy(name, pos)?;
-                let sym = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let sym = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if sym.space != Space::Constant {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -947,9 +957,10 @@ impl<'a> HostExec<'a> {
                         "cudaMemcpyToSymbol needs a __constant__ symbol",
                     ));
                 }
-                let src = self.eval(&args[1])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let src = self
+                    .eval(&args[1])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if src.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -957,9 +968,10 @@ impl<'a> HostExec<'a> {
                         "cudaMemcpyToSymbol source must be host memory",
                     ));
                 }
-                let bytes = self.eval(&args[2])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let bytes = self
+                    .eval(&args[2])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let words = (bytes as usize).div_ceil(4);
                 self.consts
                     .fill_from(sym.alloc, &self.host, src, words)
@@ -987,35 +999,43 @@ impl<'a> HostExec<'a> {
             // ---- dataset import ----
             "wbImportVector" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let data = self.input(idx, pos)?.as_vector().map_err(|e| {
-                    Diag::new(Phase::Runtime, pos, e.to_string())
-                })?.to_vec();
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let data = self
+                    .input(idx, pos)?
+                    .as_vector()
+                    .map_err(|e| Diag::new(Phase::Runtime, pos, e.to_string()))?
+                    .to_vec();
                 self.write_out_int(&args[1], data.len() as i64, pos)?;
                 Ok(Value::P(self.alloc_host_f32(&data)))
             }
             "wbImportIntVector" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let data = self.input(idx, pos)?.as_int_vector().map_err(|e| {
-                    Diag::new(Phase::Runtime, pos, e.to_string())
-                })?.to_vec();
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let data = self
+                    .input(idx, pos)?
+                    .as_int_vector()
+                    .map_err(|e| Diag::new(Phase::Runtime, pos, e.to_string()))?
+                    .to_vec();
                 self.write_out_int(&args[1], data.len() as i64, pos)?;
                 Ok(Value::P(self.alloc_host_i32(&data)))
             }
             "wbImportMatrix" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let (rows, cols, data) = {
-                    let (r, c, d) = self.input(idx, pos)?.as_matrix().map_err(|e| {
-                        Diag::new(Phase::Runtime, pos, e.to_string())
-                    })?;
+                    let (r, c, d) = self
+                        .input(idx, pos)?
+                        .as_matrix()
+                        .map_err(|e| Diag::new(Phase::Runtime, pos, e.to_string()))?;
                     (r, c, d.to_vec())
                 };
                 self.write_out_int(&args[1], rows as i64, pos)?;
@@ -1024,9 +1044,10 @@ impl<'a> HostExec<'a> {
             }
             "wbImportImage" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let img = match self.input(idx, pos)? {
                     Dataset::Image(img) => img.clone(),
                     other => {
@@ -1044,9 +1065,10 @@ impl<'a> HostExec<'a> {
             }
             "wbImportCsrRowPtr" | "wbImportCsrColIdx" | "wbImportCsrValues" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let m = match self.input(idx, pos)? {
                     Dataset::Sparse(m) => m.clone(),
                     other => {
@@ -1076,9 +1098,10 @@ impl<'a> HostExec<'a> {
             }
             "wbImportGraphRowPtr" | "wbImportGraphNeighbors" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let g = match self.input(idx, pos)? {
                     Dataset::Graph(g) => g.clone(),
                     other => {
@@ -1101,9 +1124,10 @@ impl<'a> HostExec<'a> {
             }
             "wbImportScalar" => {
                 self.check_policy(name, pos)?;
-                let idx = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let idx = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 match self.input(idx, pos)? {
                     Dataset::Scalar(x) => Ok(Value::F(*x)),
                     other => Err(Diag::new(
@@ -1117,12 +1141,14 @@ impl<'a> HostExec<'a> {
             // ---- solution export ----
             "wbSolution" | "wbSolutionInt" => {
                 self.check_policy(name, pos)?;
-                let p = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let n = self.eval(&args[1])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let p = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let n = self
+                    .eval(&args[1])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if p.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -1153,15 +1179,18 @@ impl<'a> HostExec<'a> {
             }
             "wbSolutionMatrix" => {
                 self.check_policy(name, pos)?;
-                let p = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let rows = self.eval(&args[1])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let cols = self.eval(&args[2])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let p = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let rows = self
+                    .eval(&args[1])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let cols = self
+                    .eval(&args[2])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if p.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -1187,18 +1216,25 @@ impl<'a> HostExec<'a> {
             }
             "wbSolutionImage" => {
                 self.check_policy(name, pos)?;
-                let p = self.eval(&args[0])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let w = self.eval(&args[1])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })? as usize;
-                let h = self.eval(&args[2])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })? as usize;
-                let c = self.eval(&args[3])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })? as usize;
+                let p = self
+                    .eval(&args[0])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let w = self
+                    .eval(&args[1])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?
+                    as usize;
+                let h = self
+                    .eval(&args[2])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?
+                    as usize;
+                let c = self
+                    .eval(&args[3])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?
+                    as usize;
                 if p.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -1219,9 +1255,10 @@ impl<'a> HostExec<'a> {
             }
             "wbSolutionScalar" => {
                 self.check_policy(name, pos)?;
-                let x = self.eval(&args[0])?.as_float().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let x = self
+                    .eval(&args[0])?
+                    .as_float()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 self.solution = Some(Dataset::Scalar(x));
                 Ok(Value::I(0))
             }
@@ -1229,9 +1266,10 @@ impl<'a> HostExec<'a> {
             // ---- logging & timing ----
             "wbLog" => {
                 self.check_policy(name, pos)?;
-                let level_code = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let level_code = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let level = match level_code {
                     10 => LogLevel::Trace,
                     11 => LogLevel::Debug,
@@ -1257,9 +1295,10 @@ impl<'a> HostExec<'a> {
             }
             "wbTime_start" | "wbTime_stop" => {
                 self.check_policy(name, pos)?;
-                let kind_code = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let kind_code = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 let kind = match kind_code {
                     101 => TimerKind::Gpu,
                     102 => TimerKind::Copy,
@@ -1296,15 +1335,18 @@ impl<'a> HostExec<'a> {
             }
             "wbMPI_sendFloat" => {
                 self.check_policy(name, pos)?;
-                let dst = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let p = self.eval(&args[1])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let n = self.eval(&args[2])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let dst = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let p = self
+                    .eval(&args[1])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let n = self
+                    .eval(&args[2])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if p.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -1318,24 +1360,28 @@ impl<'a> HostExec<'a> {
                     .host
                     .read_f32(p.alloc, off, n as usize)
                     .map_err(|e| Diag::new(Phase::Runtime, pos, e.0))?;
-                let c = self.comm.as_ref().ok_or_else(|| {
-                    Diag::new(Phase::Runtime, pos, "MPI call outside an MPI run")
-                })?;
+                let c = self
+                    .comm
+                    .as_ref()
+                    .ok_or_else(|| Diag::new(Phase::Runtime, pos, "MPI call outside an MPI run"))?;
                 c.send(dst as usize, data)
                     .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 Ok(Value::I(0))
             }
             "wbMPI_recvFloat" => {
                 self.check_policy(name, pos)?;
-                let src = self.eval(&args[0])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let p = self.eval(&args[1])?.as_ptr().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
-                let n = self.eval(&args[2])?.as_int().map_err(|m| {
-                    Diag::new(Phase::Runtime, pos, m)
-                })?;
+                let src = self
+                    .eval(&args[0])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let p = self
+                    .eval(&args[1])?
+                    .as_ptr()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
+                let n = self
+                    .eval(&args[2])?
+                    .as_int()
+                    .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
                 if p.space != Space::Host {
                     return Err(Diag::new(
                         Phase::Runtime,
@@ -1343,9 +1389,10 @@ impl<'a> HostExec<'a> {
                         "wbMPI_recvFloat needs a host pointer",
                     ));
                 }
-                let c = self.comm.as_ref().ok_or_else(|| {
-                    Diag::new(Phase::Runtime, pos, "MPI call outside an MPI run")
-                })?;
+                let c = self
+                    .comm
+                    .as_ref()
+                    .ok_or_else(|| Diag::new(Phase::Runtime, pos, "MPI call outside an MPI run"))?;
                 let data = c
                     .recv(src as usize)
                     .map_err(|m| Diag::new(Phase::Runtime, pos, m))?;
@@ -1375,11 +1422,7 @@ impl<'a> HostExec<'a> {
             "exit" => {
                 self.check_policy(name, pos)?;
                 let code = self.eval(&args[0])?.as_int().unwrap_or(1);
-                Err(Diag::new(
-                    Phase::Runtime,
-                    pos,
-                    format!("__exit__:{code}"),
-                ))
+                Err(Diag::new(Phase::Runtime, pos, format!("__exit__:{code}")))
             }
 
             // ---- user host function ----
@@ -1859,7 +1902,10 @@ mod tests {
         "#;
         let out = run_src(src, vec![]);
         assert!(out.ok());
-        assert_eq!(out.hostcalls, vec!["malloc".to_string(), "free".to_string()]);
+        assert_eq!(
+            out.hostcalls,
+            vec!["malloc".to_string(), "free".to_string()]
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
                         b'\\' => {
                             k += 1;
                             if k >= bytes.len() {
-                                return Err(Diag::new(Phase::Lex, start_pos, "unterminated string"));
+                                return Err(Diag::new(
+                                    Phase::Lex,
+                                    start_pos,
+                                    "unterminated string",
+                                ));
                             }
                             s.push(match bytes[k] {
                                 b'n' => '\n',
@@ -104,7 +108,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
                 i += len;
                 col += len as u32;
             }
-            _ if c.is_ascii_digit() || (c == '.' && rest.len() > 1 && bytes[i + 1].is_ascii_digit()) => {
+            _ if c.is_ascii_digit()
+                || (c == '.' && rest.len() > 1 && bytes[i + 1].is_ascii_digit()) =>
+            {
                 let (tok, len) = lex_number(rest, Pos::new(line, col))?;
                 push!(tok, len);
             }

@@ -612,7 +612,10 @@ mod tests {
         let mut pool = MemPool::new();
         let id = pool.alloc_elems(1);
         pool.store(iptr(id, 0), Value::I(1)).unwrap();
-        assert_eq!(pool.atomic_exch(iptr(id, 0), Value::I(2)).unwrap(), Value::I(1));
+        assert_eq!(
+            pool.atomic_exch(iptr(id, 0), Value::I(2)).unwrap(),
+            Value::I(1)
+        );
         assert_eq!(pool.load(iptr(id, 0)).unwrap(), Value::I(2));
     }
 

@@ -26,8 +26,9 @@ impl CommWorld {
         let mut senders: Vec<Vec<Sender<Vec<f32>>>> = (0..size).map(|_| Vec::new()).collect();
         let mut receivers: Vec<Vec<Receiver<Vec<f32>>>> = (0..size).map(|_| Vec::new()).collect();
         // Channel for every ordered (src, dst) pair.
-        let mut rx_grid: Vec<Vec<Option<Receiver<Vec<f32>>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut rx_grid: Vec<Vec<Option<Receiver<Vec<f32>>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
         for (src, sender_row) in senders.iter_mut().enumerate() {
             for rx_row in rx_grid.iter_mut() {
                 let (tx, rx) = unbounded();
@@ -94,7 +95,10 @@ impl RankComm {
     /// or a hung-up peer.
     pub fn send(&self, dst: usize, data: Vec<f32>) -> Result<(), String> {
         if dst >= self.size {
-            return Err(format!("send to invalid rank {dst} (world size {})", self.size));
+            return Err(format!(
+                "send to invalid rank {dst} (world size {})",
+                self.size
+            ));
         }
         if dst == self.rank {
             return Err("send to self would deadlock".to_string());

@@ -13,7 +13,11 @@ use crate::token::{Tok, Token};
 
 /// Parse a token stream into a translation unit.
 pub fn parse(tokens: Vec<Token>) -> Result<Unit, Diag> {
-    let mut p = Parser { tokens, at: 0, depth: 0 };
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        depth: 0,
+    };
     let mut items = Vec::new();
     while !p.check_eof() {
         items.push(p.item()?);
@@ -241,9 +245,7 @@ impl Parser {
         self.depth += 1;
         if self.depth > MAX_NESTING {
             self.depth -= 1;
-            return Err(self.err(format!(
-                "statements nest deeper than {MAX_NESTING} levels"
-            )));
+            return Err(self.err(format!("statements nest deeper than {MAX_NESTING} levels")));
         }
         let result = self.stmt_inner();
         self.depth -= 1;
@@ -629,9 +631,7 @@ impl Parser {
 
     fn unary_inner(&mut self, guard_exceeded: bool) -> Result<Expr, Diag> {
         if guard_exceeded {
-            return Err(self.err(format!(
-                "expression nests deeper than {MAX_NESTING} levels"
-            )));
+            return Err(self.err(format!("expression nests deeper than {MAX_NESTING} levels")));
         }
         let pos = self.pos();
         match self.peek() {
@@ -987,8 +987,7 @@ mod tests {
 
     #[test]
     fn for_loop_full_header() {
-        let u =
-            parse_src("int main() { for (int i = 0; i < 10; i++) { } return 0; }").unwrap();
+        let u = parse_src("int main() { for (int i = 0; i < 10; i++) { } return 0; }").unwrap();
         match &first_func(&u).body.stmts[0] {
             Stmt::For {
                 init: Some(_),
@@ -1088,7 +1087,8 @@ mod tests {
 
     #[test]
     fn acc_pragma_wraps_for() {
-        let src = "int main() {\n#pragma acc parallel loop\nfor (int i = 0; i < 4; i++) {}\nreturn 0; }";
+        let src =
+            "int main() {\n#pragma acc parallel loop\nfor (int i = 0; i < 4; i++) {}\nreturn 0; }";
         let u = parse_src(src).unwrap();
         assert!(matches!(
             first_func(&u).body.stmts[0],

@@ -148,7 +148,10 @@ fn expand_macros(source: &str) -> Result<String, Diag> {
             return Err(Diag::new(
                 Phase::Preprocess,
                 Pos::new(lineno, 1),
-                format!("unsupported preprocessor directive: #{}", rest.split_whitespace().next().unwrap_or("")),
+                format!(
+                    "unsupported preprocessor directive: #{}",
+                    rest.split_whitespace().next().unwrap_or("")
+                ),
             ));
         }
         out.push_str(&substitute(raw_line, &macros, lineno)?);

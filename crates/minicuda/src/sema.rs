@@ -113,7 +113,10 @@ pub fn analyze(unit: Unit, dialect: Dialect) -> Result<Program, Diag> {
                     return Err(Diag::new(
                         Phase::Sema,
                         f.pos,
-                        format!("`{}` is a built-in function and cannot be redefined", f.name),
+                        format!(
+                            "`{}` is a built-in function and cannot be redefined",
+                            f.name
+                        ),
                     ));
                 }
                 if f.kind == FuncKind::Kernel {
@@ -295,8 +298,13 @@ impl<'a> Checker<'a> {
                 }
                 if let Some(e) = init {
                     let et = self.typeof_expr(e, env, ctx)?;
-                    assignable(ty, &et)
-                        .map_err(|m| Diag::new(Phase::Sema, *pos, format!("cannot initialize `{name}`: {m}")))?;
+                    assignable(ty, &et).map_err(|m| {
+                        Diag::new(
+                            Phase::Sema,
+                            *pos,
+                            format!("cannot initialize `{name}`: {m}"),
+                        )
+                    })?;
                 }
                 env.declare(name, ty.clone());
                 Ok(())
@@ -528,10 +536,8 @@ impl<'a> Checker<'a> {
                     init, cond, step, ..
                 } = body.as_ref()
                 {
-                    let ok = matches!(
-                        init.as_deref(),
-                        Some(Stmt::Decl { ty: Type::Int, .. })
-                    ) && cond.is_some()
+                    let ok = matches!(init.as_deref(), Some(Stmt::Decl { ty: Type::Int, .. }))
+                        && cond.is_some()
                         && matches!(step.as_deref(), Some(Stmt::Assign { .. }));
                     if !ok {
                         return Err(Diag::new(
@@ -557,12 +563,7 @@ impl<'a> Checker<'a> {
                 if let Some(t) = env.lookup(name) {
                     return Ok(t.clone());
                 }
-                if let Some(spec) = self
-                    .program
-                    .constants()
-                    .iter()
-                    .find(|c| c.name == *name)
-                {
+                if let Some(spec) = self.program.constants().iter().find(|c| c.name == *name) {
                     let elem = match spec.elem {
                         ElemType::I32 => Type::Int,
                         _ => Type::Float,
@@ -700,14 +701,14 @@ impl<'a> Checker<'a> {
 
         // Math intrinsics are available everywhere.
         if crate::value::is_math_intrinsic(name) {
-            let all_int = arg_types.iter().all(|t| *t == Type::Int || *t == Type::Bool);
-            return Ok(
-                if all_int && matches!(name, "min" | "max" | "abs") {
-                    Type::Int
-                } else {
-                    Type::Float
-                },
-            );
+            let all_int = arg_types
+                .iter()
+                .all(|t| *t == Type::Int || *t == Type::Bool);
+            return Ok(if all_int && matches!(name, "min" | "max" | "abs") {
+                Type::Int
+            } else {
+                Type::Float
+            });
         }
 
         if let Some((min_args, max_args, host_only, device_only, ret)) = intrinsic_arity(name) {
@@ -756,7 +757,11 @@ impl<'a> Checker<'a> {
 
         // User-defined function.
         let f = self.program.func(name).ok_or_else(|| {
-            Diag::new(Phase::Sema, pos, format!("call to undefined function `{name}`"))
+            Diag::new(
+                Phase::Sema,
+                pos,
+                format!("call to undefined function `{name}`"),
+            )
         })?;
         match (f.kind, ctx) {
             (FuncKind::Kernel, _) => {
@@ -797,7 +802,11 @@ impl<'a> Checker<'a> {
         let ret = f.ret.clone();
         for (p, at) in params.iter().zip(&arg_types) {
             assignable(&p.ty, at).map_err(|m| {
-                Diag::new(Phase::Sema, pos, format!("argument `{}` of `{name}`: {m}", p.name))
+                Diag::new(
+                    Phase::Sema,
+                    pos,
+                    format!("argument `{}` of `{name}`: {m}", p.name),
+                )
             })?;
         }
         Ok(ret)
@@ -834,8 +843,8 @@ fn intrinsic_arity(name: &str) -> Option<(usize, usize, bool, bool, Type)> {
             (2, 2, false, true, t(Type::Float))
         }
         "atomicCAS" => (3, 3, false, true, t(Type::Int)),
-        "get_global_id" | "get_local_id" | "get_group_id" | "get_local_size"
-        | "get_num_groups" | "get_global_size" => (1, 1, false, true, t(Type::Int)),
+        "get_global_id" | "get_local_id" | "get_group_id" | "get_local_size" | "get_num_groups"
+        | "get_global_size" => (1, 1, false, true, t(Type::Int)),
         // Host memory & CUDA API.
         "malloc" => (1, 1, true, false, t(Type::Void.ptr_to())),
         "free" => (1, 1, true, false, t(Type::Void)),
@@ -933,8 +942,7 @@ mod tests {
 
     #[test]
     fn shared_dims_must_be_constant() {
-        let err =
-            check("__global__ void k(int n) { __shared__ float t[n]; }").unwrap_err();
+        let err = check("__global__ void k(int n) { __shared__ float t[n]; }").unwrap_err();
         assert!(err.message.contains("constant dimensions"));
     }
 
@@ -951,24 +959,20 @@ mod tests {
 
     #[test]
     fn launch_arity_checked() {
-        let err = check(
-            "__global__ void k(int a) {}\nint main() { k<<<1, 1>>>(); return 0; }",
-        )
-        .unwrap_err();
+        let err = check("__global__ void k(int a) {}\nint main() { k<<<1, 1>>>(); return 0; }")
+            .unwrap_err();
         assert!(err.message.contains("expects 1 arguments"));
     }
 
     #[test]
     fn launch_of_host_function_rejected() {
-        let err =
-            check("void f() {}\nint main() { f<<<1, 1>>>(); return 0; }").unwrap_err();
+        let err = check("void f() {}\nint main() { f<<<1, 1>>>(); return 0; }").unwrap_err();
         assert!(err.message.contains("not a __global__ kernel"));
     }
 
     #[test]
     fn calling_kernel_directly_rejected() {
-        let err =
-            check("__global__ void k() {}\nint main() { k(); return 0; }").unwrap_err();
+        let err = check("__global__ void k() {}\nint main() { k(); return 0; }").unwrap_err();
         assert!(err.message.contains("must be launched"));
     }
 
@@ -981,8 +985,7 @@ mod tests {
 
     #[test]
     fn host_fn_not_callable_from_device() {
-        let err = check("int h() { return 1; }\n__global__ void k() { int x = h(); }")
-            .unwrap_err();
+        let err = check("int h() { return 1; }\n__global__ void k() { int x = h(); }").unwrap_err();
         assert!(err.message.contains("cannot be called from device"));
     }
 
@@ -1024,7 +1027,8 @@ mod tests {
 
     #[test]
     fn constant_symbol_usable_in_kernel() {
-        let src = "__constant__ float mask[5];\n__global__ void k(float* out) { out[0] = mask[0]; }";
+        let src =
+            "__constant__ float mask[5];\n__global__ void k(float* out) { out[0] = mask[0]; }";
         let p = check(src).unwrap();
         assert_eq!(p.constants().len(), 1);
         assert_eq!(p.constants()[0].len, 5);
@@ -1074,10 +1078,7 @@ mod tests {
 
     #[test]
     fn atomic_returns_pointee_type() {
-        assert!(check(
-            "__global__ void k(int* c) { int old = atomicAdd(c, 1); }"
-        )
-        .is_ok());
+        assert!(check("__global__ void k(int* c) { int old = atomicAdd(c, 1); }").is_ok());
     }
 
     #[test]
@@ -1090,7 +1091,10 @@ mod tests {
     fn const_eval_handles_arithmetic() {
         use crate::lexer::lex;
         use crate::parser::parse;
-        let u = parse(lex("__global__ void k() { __shared__ float t[2 * 8 + sizeof(float)]; }").unwrap()).unwrap();
+        let u = parse(
+            lex("__global__ void k() { __shared__ float t[2 * 8 + sizeof(float)]; }").unwrap(),
+        )
+        .unwrap();
         // If const_eval failed this would be a sema error.
         assert!(analyze(u, Dialect::Cuda).is_ok());
     }

@@ -96,9 +96,7 @@ pub fn run_block(
     // Bind kernel parameters (uniform across threads).
     exec.push_scope();
     for (p, a) in kernel.params.iter().zip(args) {
-        let v = a
-            .coerce_to(&p.ty)
-            .map_err(|m| exec.rt_err(kernel.pos, m))?;
+        let v = a.coerce_to(&p.ty).map_err(|m| exec.rt_err(kernel.pos, m))?;
         exec.declare(&p.name, vec![v; n]);
     }
 
@@ -407,9 +405,10 @@ impl<'a> BlockExec<'a> {
                 Ok(())
             }
             Stmt::Break(pos) => {
-                let lp = fr.loops.last_mut().ok_or_else(|| {
-                    Diag::new(Phase::Runtime, *pos, "break outside of a loop")
-                })?;
+                let lp = fr
+                    .loops
+                    .last_mut()
+                    .ok_or_else(|| Diag::new(Phase::Runtime, *pos, "break outside of a loop"))?;
                 for i in 0..self.n {
                     if self.active[i] {
                         lp.broke[i] = true;
@@ -419,9 +418,10 @@ impl<'a> BlockExec<'a> {
                 Ok(())
             }
             Stmt::Continue(pos) => {
-                let lp = fr.loops.last_mut().ok_or_else(|| {
-                    Diag::new(Phase::Runtime, *pos, "continue outside of a loop")
-                })?;
+                let lp = fr
+                    .loops
+                    .last_mut()
+                    .ok_or_else(|| Diag::new(Phase::Runtime, *pos, "continue outside of a loop"))?;
                 for i in 0..self.n {
                     if self.active[i] {
                         lp.continued[i] = true;
@@ -537,7 +537,9 @@ impl<'a> BlockExec<'a> {
         match &target.kind {
             ExprKind::Var(name) => {
                 if self.lookup(name).is_none() {
-                    return Err(self.rt_err(pos, format!("assignment to unknown variable `{name}`")));
+                    return Err(
+                        self.rt_err(pos, format!("assignment to unknown variable `{name}`"))
+                    );
                 }
                 // Determine per-lane representation from the existing
                 // value so `int i` stays int after `i = i / 2`.
@@ -649,12 +651,7 @@ impl<'a> BlockExec<'a> {
     }
 
     /// Store through per-lane pointers.
-    fn store_lanes(
-        &mut self,
-        ptrs: &[Option<Ptr>],
-        vals: &[Value],
-        pos: Pos,
-    ) -> Result<(), Diag> {
+    fn store_lanes(&mut self, ptrs: &[Option<Ptr>], vals: &[Value], pos: Pos) -> Result<(), Diag> {
         self.charge_memory(ptrs, pos)?;
         for i in 0..self.n {
             if let Some(p) = ptrs[i] {
@@ -702,10 +699,8 @@ impl<'a> BlockExec<'a> {
                 .filter(|p| matches!(p.space, Space::Global | Space::Host))
                 .collect();
             if !globals.is_empty() {
-                let mut segments: Vec<(u32, i64)> = globals
-                    .iter()
-                    .map(|p| (p.alloc, p.offset / tw))
-                    .collect();
+                let mut segments: Vec<(u32, i64)> =
+                    globals.iter().map(|p| (p.alloc, p.offset / tw)).collect();
                 segments.sort_unstable();
                 segments.dedup();
                 self.cost.global_accesses += globals.len() as u64;
@@ -787,9 +782,7 @@ impl<'a> BlockExec<'a> {
                 self.charge_op(e.pos, self.env.model.issue)?;
                 let ax = *axis as usize;
                 let out: Vec<Value> = match which {
-                    BuiltinVar::ThreadIdx => {
-                        self.tid.iter().map(|t| Value::I(t[ax])).collect()
-                    }
+                    BuiltinVar::ThreadIdx => self.tid.iter().map(|t| Value::I(t[ax])).collect(),
                     BuiltinVar::BlockIdx => vec![Value::I(self.block_idx[ax]); self.n],
                     BuiltinVar::BlockDim => vec![Value::I(self.env.block_dim[ax]); self.n],
                     BuiltinVar::GridDim => vec![Value::I(self.env.grid[ax]); self.n],
@@ -817,9 +810,7 @@ impl<'a> BlockExec<'a> {
                     let mut need_rhs = vec![false; self.n];
                     for i in 0..self.n {
                         if saved[i] {
-                            let at = avals[i]
-                                .truthy()
-                                .map_err(|m| self.lane_err(e.pos, i, m))?;
+                            let at = avals[i].truthy().map_err(|m| self.lane_err(e.pos, i, m))?;
                             need_rhs[i] = match op {
                                 BinOp::And => at,
                                 BinOp::Or => !at,
@@ -913,8 +904,9 @@ impl<'a> BlockExec<'a> {
                     if self.active[i] {
                         let p = bvals[i].as_ptr().map_err(|m| self.lane_err(e.pos, i, m))?;
                         let k = ivals[i].as_int().map_err(|m| self.lane_err(e.pos, i, m))?;
-                        let (q, terminal) =
-                            self.index_ptr(p, k).map_err(|m| self.lane_err(e.pos, i, m))?;
+                        let (q, terminal) = self
+                            .index_ptr(p, k)
+                            .map_err(|m| self.lane_err(e.pos, i, m))?;
                         if !terminal {
                             all_terminal = false;
                         }
@@ -937,10 +929,9 @@ impl<'a> BlockExec<'a> {
                 let vals = self.eval(inner)?;
                 self.coerce_lanes(vals, ty, e.pos)
             }
-            ExprKind::AddrOf(_) => Err(self.rt_err(
-                e.pos,
-                "address-of is not supported in device code",
-            )),
+            ExprKind::AddrOf(_) => {
+                Err(self.rt_err(e.pos, "address-of is not supported in device code"))
+            }
             ExprKind::Call(name, args) => self.eval_call(name, args, e.pos),
         }
     }
@@ -1110,10 +1101,9 @@ impl<'a> BlockExec<'a> {
                     .ok_or_else(|| self.rt_err(pos, format!("unknown function `{name}`")))?
                     .clone();
                 if self.call_depth >= 32 {
-                    return Err(self.rt_err(
-                        pos,
-                        format!("recursion limit reached calling `{name}`"),
-                    ));
+                    return Err(
+                        self.rt_err(pos, format!("recursion limit reached calling `{name}`"))
+                    );
                 }
                 let argvals: Vec<Vec<Value>> = args
                     .iter()

@@ -229,8 +229,10 @@ pub fn apply_binop(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
                 return Ok(Value::P(q));
             }
             Eq => {
-                return Ok(Value::B(matches!(b, Value::P(p2) if p == p2)
-                    || (p.is_null() && b.as_int().map(|v| v == 0).unwrap_or(false))))
+                return Ok(Value::B(
+                    matches!(b, Value::P(p2) if p == p2)
+                        || (p.is_null() && b.as_int().map(|v| v == 0).unwrap_or(false)),
+                ))
             }
             Ne => {
                 let eq = apply_binop(Eq, a, b)?;
@@ -410,8 +412,7 @@ pub fn apply_math(name: &str, args: &[Value]) -> Option<Result<Value, String>> {
             if args.len() != 2 {
                 return Some(Err(format!("{name} expects 2 arguments")));
             }
-            let float_mode =
-                matches!(args[0], Value::F(_)) || matches!(args[1], Value::F(_));
+            let float_mode = matches!(args[0], Value::F(_)) || matches!(args[1], Value::F(_));
             if float_mode {
                 let a = match args[0].as_float() {
                     Ok(v) => v,
@@ -500,7 +501,10 @@ mod tests {
 
     #[test]
     fn comparisons_yield_bool() {
-        assert_eq!(apply_binop(Lt, Value::I(1), Value::I(2)), Ok(Value::B(true)));
+        assert_eq!(
+            apply_binop(Lt, Value::I(1), Value::I(2)),
+            Ok(Value::B(true))
+        );
         assert_eq!(
             apply_binop(Ge, Value::F(1.5), Value::I(2)),
             Ok(Value::B(false))

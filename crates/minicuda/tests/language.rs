@@ -3,7 +3,7 @@
 //! checked for position and wording.
 
 use libwb::Dataset;
-use minicuda::{compile, Dialect, DeviceConfig, Phase, RunOptions};
+use minicuda::{compile, DeviceConfig, Dialect, Phase, RunOptions};
 
 fn run_ok(src: &str) -> minicuda::RunOutcome {
     let program = compile(src, Dialect::Cuda).unwrap_or_else(|d| panic!("compile: {d}"));
@@ -190,7 +190,8 @@ fn integer_division_by_zero_is_reported_with_position() {
 
 #[test]
 fn float_division_by_zero_is_ieee() {
-    let out = run_ok("int main() { float x = 1.0 / 0.0; wbSolutionScalar(x > 1000000.0); return 0; }");
+    let out =
+        run_ok("int main() { float x = 1.0 / 0.0; wbSolutionScalar(x > 1000000.0); return 0; }");
     assert_eq!(scalar(&out), 1.0);
 }
 
@@ -513,9 +514,14 @@ fn openacc_parallel_loop_runs_on_host_arrays() {
     );
     assert_eq!(
         out.solution,
-        Some(Dataset::Vector(vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]))
+        Some(Dataset::Vector(vec![
+            0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0
+        ]))
     );
-    assert_eq!(out.cost.kernel_launches, 1, "the ACC region counts as an offload");
+    assert_eq!(
+        out.cost.kernel_launches, 1,
+        "the ACC region counts as an offload"
+    );
 }
 
 #[test]

@@ -29,12 +29,9 @@ impl E {
             E::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
             E::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
             E::Neg(a) => format!("(-{})", a.render()),
-            E::Ternary(c, a, b) => format!(
-                "(({}) > 0 ? {} : {})",
-                c.render(),
-                a.render(),
-                b.render()
-            ),
+            E::Ternary(c, a, b) => {
+                format!("(({}) > 0 ? {} : {})", c.render(), a.render(), b.render())
+            }
         }
     }
 
@@ -68,8 +65,11 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(a.into(), b.into())),
             inner.clone().prop_map(|a| E::Neg(a.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| E::Ternary(c.into(), a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Ternary(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
         ]
     })
 }

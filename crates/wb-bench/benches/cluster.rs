@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wb_bench::reference_job;
 use wb_labs::LabScale;
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 use wb_worker::JobAction;
+use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 
 const BATCH: u64 = 16;
 
@@ -18,8 +18,7 @@ fn bench_v1(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let cluster =
-                        ClusterV1::new(workers, minicuda::DeviceConfig::test_small());
+                    let cluster = ClusterV1::new(workers, minicuda::DeviceConfig::test_small());
                     for j in 0..BATCH {
                         cluster
                             .submit(&reference_job(

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use libwb::{gen, Dataset};
-use minicuda::{compile, Dialect, DeviceConfig, RunOptions};
+use minicuda::{compile, DeviceConfig, Dialect, RunOptions};
 use std::hint::black_box;
 
 fn matmul_inputs(m: usize, k: usize, n: usize) -> Vec<Dataset> {
@@ -41,7 +41,11 @@ fn bench_matmul_kernels(c: &mut Criterion) {
         device: DeviceConfig::test_small(),
         ..Default::default()
     };
-    for (label, lab) in [("naive", "matmul"), ("tiled", "tiled-matmul"), ("sgemm", "sgemm")] {
+    for (label, lab) in [
+        ("naive", "matmul"),
+        ("tiled", "tiled-matmul"),
+        ("sgemm", "sgemm"),
+    ] {
         let program = compile(wb_labs::solution(lab).unwrap(), Dialect::Cuda).unwrap();
         g.bench_function(label, |b| {
             b.iter(|| {
@@ -83,5 +87,10 @@ fn bench_sm_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_matmul_kernels, bench_sm_scaling);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_matmul_kernels,
+    bench_sm_scaling
+);
 criterion_main!(benches);

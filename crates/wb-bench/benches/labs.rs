@@ -13,7 +13,14 @@ fn bench_grading(c: &mut Criterion) {
     let device = DeviceConfig::test_small();
     let mut g = c.benchmark_group("labs/full_grade");
     g.sample_size(10);
-    for lab in ["vecadd", "tiled-matmul", "scan", "spmv", "bfs", "equalization"] {
+    for lab in [
+        "vecadd",
+        "tiled-matmul",
+        "scan",
+        "spmv",
+        "bfs",
+        "equalization",
+    ] {
         let req = reference_job(lab, 1, LabScale::Small, JobAction::FullGrade);
         g.bench_with_input(BenchmarkId::from_parameter(lab), &req, |b, req| {
             b.iter(|| execute_job(black_box(req), &device, 0, 0))

@@ -12,11 +12,9 @@ fn bench_cohorts(c: &mut Criterion) {
         CohortParams::year_2014(),
         CohortParams::year_2015(),
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(params.year),
-            &params,
-            |b, p| b.iter(|| simulate_cohort(black_box(p), 7)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(params.year), &params, |b, p| {
+            b.iter(|| simulate_cohort(black_box(p), 7))
+        });
     }
     g.finish();
 }

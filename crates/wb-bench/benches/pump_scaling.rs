@@ -1,0 +1,62 @@
+//! Criterion bench: serial vs concurrent `ClusterV2` pump at fleet
+//! sizes {1, 2, 4, 8}. The concurrent pump should drain the batch in
+//! wall-clock time that shrinks with fleet size; the serial pump is
+//! flat — see `cargo run -p wb-bench --release --bin pump_scaling` for
+//! the jobs/sec table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wb_bench::reference_job;
+use wb_labs::LabScale;
+use wb_worker::JobAction;
+use webgpu::{AutoscalePolicy, ClusterV2};
+
+const BATCH: u64 = 16;
+
+fn drain(fleet: usize, concurrent: bool) {
+    let cluster = ClusterV2::new(
+        fleet,
+        minicuda::DeviceConfig::test_small(),
+        AutoscalePolicy::Static(fleet),
+    );
+    for j in 0..BATCH {
+        cluster.enqueue(
+            reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),
+            0,
+        );
+    }
+    let mut round = 0u64;
+    while cluster.completed() < BATCH && round < 10_000 {
+        if concurrent {
+            cluster.pump(round);
+        } else {
+            cluster.pump_serial(round);
+        }
+        round += 1;
+    }
+    assert_eq!(cluster.completed(), BATCH);
+}
+
+fn bench_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pump_scaling/serial_batch16");
+    g.sample_size(10);
+    for fleet in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(fleet), &fleet, |b, &fleet| {
+            b.iter(|| drain(fleet, false))
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pump_scaling/concurrent_batch16");
+    g.sample_size(10);
+    for fleet in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(fleet), &fleet, |b, &fleet| {
+            b.iter(|| drain(fleet, true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serial, bench_concurrent);
+criterion_main!(benches);

@@ -22,9 +22,7 @@ fn bench_scan(c: &mut Criterion) {
     let raw = Blacklist::standard();
     let pre = Blacklist::standard().with_mode(ScanMode::Preprocessed);
     let mut g = c.benchmark_group("sandbox/blacklist");
-    g.bench_function("raw_text_64k", |b| {
-        b.iter(|| raw.scan(black_box(&source)))
-    });
+    g.bench_function("raw_text_64k", |b| b.iter(|| raw.scan(black_box(&source))));
     g.bench_function("preprocessed_64k", |b| {
         b.iter(|| pre.scan(black_box(&source)))
     });

@@ -5,14 +5,17 @@
 use std::time::Instant;
 use wb_bench::reference_job;
 use wb_labs::LabScale;
-use webgpu::ClusterV1;
 use wb_worker::JobAction;
+use webgpu::ClusterV1;
 
 fn main() {
     println!("v1 architecture (web server pushes jobs to a worker pool)\n");
 
     // Throughput scaling: the same 60-job batch over growing pools.
-    println!("{:>8} {:>10} {:>14} {:>16}", "workers", "jobs", "wall (ms)", "jobs/worker max");
+    println!(
+        "{:>8} {:>10} {:>14} {:>16}",
+        "workers", "jobs", "wall (ms)", "jobs/worker max"
+    );
     for workers in [1usize, 2, 4, 8] {
         let cluster = ClusterV1::new(workers, minicuda::DeviceConfig::default());
         let t0 = Instant::now();

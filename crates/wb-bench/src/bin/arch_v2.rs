@@ -10,8 +10,8 @@
 
 use wb_bench::reference_job;
 use wb_labs::LabScale;
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 use wb_worker::JobAction;
+use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 
 fn main() {
     let total_jobs = 40u64;
@@ -43,7 +43,11 @@ fn main() {
     // ---- v2: pull with capability tags ---------------------------------
     // Half the fleet advertises mpi/multi-gpu; tagged jobs wait for
     // those workers, everything else flows to anyone.
-    let v2 = ClusterV2::new(4, minicuda::DeviceConfig::default(), AutoscalePolicy::Static(4));
+    let v2 = ClusterV2::new(
+        4,
+        minicuda::DeviceConfig::default(),
+        AutoscalePolicy::Static(4),
+    );
     v2.config.update(|c| {
         c.capabilities.insert("mpi".into());
         c.capabilities.insert("multi-gpu".into());
@@ -91,9 +95,7 @@ fn main() {
     );
     println!(
         "{:<36} {:>10} {:>10}",
-        "fleet provisioned for MPI",
-        "4 of 4",
-        "2 of 4"
+        "fleet provisioned for MPI", "4 of 4", "2 of 4"
     );
     println!(
         "\nv1 must equip *every* node for the most demanding lab (or fail\n\

@@ -14,7 +14,10 @@ fn main() {
     let jobs = 50;
 
     println!("container acquisition wait per job (virtual ms)\n");
-    println!("{:<28} {:>10} {:>12} {:>12}", "setup", "jobs", "total wait", "mean wait");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "setup", "jobs", "total wait", "mean wait"
+    );
 
     // Warm pool (production): replenished in the background.
     let pool = ContainerPool::new(Image::cuda(), 4);
@@ -26,7 +29,10 @@ fn main() {
     }
     println!(
         "{:<28} {:>10} {:>12} {:>12.1}",
-        "pooled (target 4)", jobs, total, total as f64 / jobs as f64
+        "pooled (target 4)",
+        jobs,
+        total,
+        total as f64 / jobs as f64
     );
     let s = pool.stats();
     println!(
@@ -44,7 +50,10 @@ fn main() {
     }
     println!(
         "{:<28} {:>10} {:>12} {:>12.1}",
-        "cold start per job", jobs, total, total as f64 / jobs as f64
+        "cold start per job",
+        jobs,
+        total,
+        total as f64 / jobs as f64
     );
 
     // Cold starts of the fat image are even worse.

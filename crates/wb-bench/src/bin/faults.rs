@@ -3,8 +3,8 @@
 
 use wb_bench::reference_job;
 use wb_labs::LabScale;
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 use wb_worker::JobAction;
+use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 
 fn main() {
     println!("fault injection: 30 jobs, crash 2 of 4 workers after job 10\n");
@@ -18,7 +18,12 @@ fn main() {
             v1.worker(1).unwrap().crash();
         }
         if v1
-            .submit(&reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)))
+            .submit(&reference_job(
+                "vecadd",
+                j,
+                LabScale::Small,
+                JobAction::RunDataset(0),
+            ))
             .is_ok()
         {
             ok += 1;

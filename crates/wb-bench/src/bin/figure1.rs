@@ -16,9 +16,7 @@ fn main() {
     let daily: Vec<f64> = stats.daily_peaks.iter().map(|&v| v as f64).collect();
     println!("daily peak active students ({} days):", daily.len());
     println!("  {}", sparkline(&daily, 67));
-    println!(
-        "  day 0 = Sunday Feb 8; ticks at weekly Wednesday spikes\n"
-    );
+    println!("  day 0 = Sunday Feb 8; ticks at weekly Wednesday spikes\n");
 
     let (peak, peak_hour) = stats.peak;
     let peak_day = peak_hour / 24;

@@ -2,7 +2,7 @@
 //! a statically peak-sized fleet vs reactive vs deadline-aware
 //! scheduled scaling, replayed over the Figure-1 load trace.
 
-use webgpu::autoscaler::{Autoscaler, AutoscalePolicy, FleetMetrics};
+use webgpu::autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
 use webgpu::cost::{CostMeter, CostModel, CostReport};
 use webgpu::sim::population::LoadModel;
 

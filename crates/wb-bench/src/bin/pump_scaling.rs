@@ -1,0 +1,73 @@
+//! Experiment: serial vs concurrent fleet pump (the v2 rewrite's
+//! headline number).
+//!
+//! The paper's v2 architecture exists because one web server pushing
+//! jobs one-at-a-time could not absorb the Wednesday pre-deadline rush
+//! (§VI). A pull fleet only helps if workers actually make progress
+//! concurrently: this experiment pumps the same job batch through
+//! `ClusterV2::pump_serial` (workers walked in a loop on one thread)
+//! and `ClusterV2::pump` (one scoped thread per worker) at fleet sizes
+//! {1, 2, 4, 8} and reports jobs/sec. Near-linear scaling up to the
+//! host's core count is the acceptance bar; serial throughput is flat
+//! by construction, which is exactly the bug this experiment pins.
+
+use std::time::Instant;
+
+use wb_bench::reference_job;
+use wb_labs::LabScale;
+use wb_worker::JobAction;
+use webgpu::{AutoscalePolicy, ClusterV2};
+
+const JOBS: u64 = 32;
+
+fn throughput(fleet: usize, concurrent: bool) -> f64 {
+    let c = ClusterV2::new(
+        fleet,
+        minicuda::DeviceConfig::default(),
+        AutoscalePolicy::Static(fleet),
+    );
+    for j in 0..JOBS {
+        c.enqueue(
+            reference_job("vecadd", j, LabScale::Full, JobAction::RunDataset(0)),
+            0,
+        );
+    }
+    let start = Instant::now();
+    let mut round = 0u64;
+    while c.completed() < JOBS {
+        if concurrent {
+            c.pump(round);
+        } else {
+            c.pump_serial(round);
+        }
+        round += 1;
+        assert!(round < 100_000, "fleet stopped making progress");
+    }
+    JOBS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("pump scaling — {JOBS} vecadd(full) jobs, serial vs concurrent pump");
+    println!(
+        "host cores: {}",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    println!();
+    println!(
+        "{:>5}  {:>14}  {:>14}  {:>8}",
+        "fleet", "serial j/s", "concurrent j/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for fleet in [1usize, 2, 4, 8] {
+        let serial = throughput(fleet, false);
+        let concurrent = throughput(fleet, true);
+        let speedup = concurrent / serial;
+        println!("{fleet:>5}  {serial:>14.1}  {concurrent:>14.1}  {speedup:>7.2}x");
+        rows.push((fleet, speedup));
+    }
+    println!();
+    let at4 = rows.iter().find(|(f, _)| *f == 4).map_or(0.0, |(_, s)| *s);
+    println!(
+        "concurrent pump at fleet 4: {at4:.2}x serial (acceptance bar: >= 2.5x on a 4+-core host)"
+    );
+}

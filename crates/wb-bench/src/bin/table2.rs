@@ -30,7 +30,11 @@ fn main() {
             let req = reference_job(entry.id, job_id, LabScale::Small, JobAction::FullGrade);
             let out = execute_job(&req, &device, 0, 0);
             let ok = out.compiled() && out.passed_count() == out.datasets.len();
-            cells.push(if ok { "x".to_string() } else { "FAIL".to_string() });
+            cells.push(if ok {
+                "x".to_string()
+            } else {
+                "FAIL".to_string()
+            });
         }
         println!(
             "{:<28} {:<52} {:>4} {:>4} {:>4} {:>6}",

@@ -27,7 +27,9 @@ pub fn reference_job(lab_id: &str, job_id: u64, scale: LabScale, action: JobActi
     JobRequest {
         job_id,
         user: "bench".into(),
-        source: wb_labs::solution(lab_id).expect("catalog solution").to_string(),
+        source: wb_labs::solution(lab_id)
+            .expect("catalog solution")
+            .to_string(),
         spec: lab.spec,
         datasets: lab.datasets,
         action,

@@ -172,21 +172,11 @@ impl<T: Serialize + DeserializeOwned> Table<T> {
 
     /// Optimistic update: fails with [`TableError::Conflict`] when the
     /// row's version no longer matches `expected_version`.
-    pub fn update_if(
-        &self,
-        id: u64,
-        value: &T,
-        expected_version: u64,
-    ) -> Result<(), TableError> {
+    pub fn update_if(&self, id: u64, value: &T, expected_version: u64) -> Result<(), TableError> {
         self.update_inner(id, value, Some(expected_version))
     }
 
-    fn update_inner(
-        &self,
-        id: u64,
-        value: &T,
-        expected: Option<u64>,
-    ) -> Result<(), TableError> {
+    fn update_inner(&self, id: u64, value: &T, expected: Option<u64>) -> Result<(), TableError> {
         let bytes = encode(value).map_err(|e| TableError::Codec(e.0))?;
         let mut g = self.inner.write();
         // Decode the old value first for index maintenance.

@@ -53,7 +53,10 @@ impl Wal {
     }
 
     /// Replay every entry at or after `from_seq`.
-    pub fn replay<T: DeserializeOwned>(&self, from_seq: u64) -> Result<Vec<WalRecord<T>>, CodecError> {
+    pub fn replay<T: DeserializeOwned>(
+        &self,
+        from_seq: u64,
+    ) -> Result<Vec<WalRecord<T>>, CodecError> {
         let mut out = Vec::new();
         for f in &self.frames {
             let bytes = unframe(f)?;

@@ -139,7 +139,8 @@ pub fn definition(scale: LabScale) -> LabDefinition {
     )
 }
 
-const DESCRIPTION: &str = "# 2D Convolution\n\nConvolve a grayscale image with a 5×5 mask.\n\n- the \
+const DESCRIPTION: &str =
+    "# 2D Convolution\n\nConvolve a grayscale image with a 5×5 mask.\n\n- the \
 mask lives in `__constant__` memory; fill it with `cudaMemcpyToSymbol`\n- pixels outside the image \
 are **zero** (ghost cells)\n- submit with `wbSolutionImage(out, width, height, 1)`\n";
 

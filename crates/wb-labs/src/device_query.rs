@@ -47,7 +47,8 @@ pub fn definition(_scale: LabScale) -> LabDefinition {
     )
 }
 
-const DESCRIPTION: &str = "# Device Query\n\nThis demo lab walks you through the WebGPU workflow: edit the code, \
+const DESCRIPTION: &str =
+    "# Device Query\n\nThis demo lab walks you through the WebGPU workflow: edit the code, \
 compile it, run it against the dataset, and submit.\n\n\
 Use `cudaGetDeviceCount(&count)` to query the number of GPUs and submit it \
 with `wbSolutionScalar`.\n";

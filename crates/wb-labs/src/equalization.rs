@@ -212,8 +212,10 @@ mod tests {
         use wb_worker::{execute_job, JobAction, JobRequest};
         let lab = definition(LabScale::Small);
         // The bug the lab teaches about: a plain read-modify-write.
-        let buggy =
-            SOLUTION.replace("atomicAdd(&hist[level], 1);", "hist[level] = hist[level] + 1;");
+        let buggy = SOLUTION.replace(
+            "atomicAdd(&hist[level], 1);",
+            "hist[level] = hist[level] + 1;",
+        );
         let req = JobRequest {
             job_id: 1,
             user: "t".into(),

@@ -113,7 +113,8 @@ pub fn definition(scale: LabScale) -> LabDefinition {
     )
 }
 
-const DESCRIPTION: &str = "# Basic Matrix Multiplication\n\nCompute `C = A × B` with one thread per \
+const DESCRIPTION: &str =
+    "# Basic Matrix Multiplication\n\nCompute `C = A × B` with one thread per \
 output element.\n\n- `A` is `m × k`, `B` is `k × n`, `C` is `m × n`, all row-major\n- launch a 2-D \
 grid of 2-D blocks\n- **check both the row and column boundary** — the datasets are not multiples \
 of the block size\n";

@@ -133,7 +133,8 @@ pub fn definition(scale: LabScale) -> LabDefinition {
     )
 }
 
-const DESCRIPTION: &str = "# SGEMM\n\nProduction-style matrix multiply: shared-memory tiles plus a \
+const DESCRIPTION: &str =
+    "# SGEMM\n\nProduction-style matrix multiply: shared-memory tiles plus a \
 **register tile** — each thread accumulates two output rows, reusing each loaded `B` element \
 twice.\n";
 

@@ -114,7 +114,10 @@ mod tests {
     fn missing_boundary_check_fails_non_multiple_size() {
         use wb_worker::{execute_job, JobAction, JobRequest};
         let lab = definition(LabScale::Small);
-        let buggy = SOLUTION.replace("if (i < n) { out[i] = a[i] + b[i]; }", "out[i] = a[i] + b[i];");
+        let buggy = SOLUTION.replace(
+            "if (i < n) { out[i] = a[i] + b[i]; }",
+            "out[i] = a[i] + b[i];",
+        );
         let req = JobRequest {
             job_id: 1,
             user: "t".into(),

@@ -2,7 +2,7 @@
 //! models on randomized lab workloads (small sizes for speed).
 
 use libwb::{gen, Dataset};
-use minicuda::{compile, Dialect, DeviceConfig, RunOptions};
+use minicuda::{compile, DeviceConfig, Dialect, RunOptions};
 use proptest::prelude::*;
 
 fn run_solution(lab: &str, inputs: Vec<Dataset>) -> Option<Dataset> {

@@ -100,11 +100,11 @@ impl<T: Clone> Broker<T> {
         id
     }
 
-    /// Worker poll: the oldest visible job whose tags are all within
-    /// `capabilities`. In-flight jobs whose visibility expired are
-    /// reclaimed first (lazy timeout).
-    pub fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
-        let mut g = self.inner.lock();
+    /// Reclaim expired deliveries and dead-letter jobs that exhausted
+    /// their retry budget. Every observation of the queue (`poll`,
+    /// `depth`, `in_flight`) sweeps first so autoscalers never see
+    /// phantom depth from jobs that can no longer be delivered.
+    fn sweep(g: &mut Inner<T>, now_ms: u64, max_attempts: u32) {
         // Reclaim expired deliveries.
         let mut timeouts = 0;
         for j in g.jobs.iter_mut() {
@@ -118,10 +118,9 @@ impl<T: Clone> Broker<T> {
         g.metrics.timeouts += timeouts;
 
         // Dead-letter jobs that exhausted their attempts.
-        let max = self.max_attempts;
         let mut k = 0;
         while k < g.jobs.len() {
-            if g.jobs[k].invisible_until.is_none() && g.jobs[k].meta.attempts >= max {
+            if g.jobs[k].invisible_until.is_none() && g.jobs[k].meta.attempts >= max_attempts {
                 let j = g.jobs.remove(k);
                 g.metrics.dead_lettered += 1;
                 g.dead.push(Delivery {
@@ -132,7 +131,14 @@ impl<T: Clone> Broker<T> {
                 k += 1;
             }
         }
+    }
 
+    /// Worker poll: the oldest visible job whose tags are all within
+    /// `capabilities`. In-flight jobs whose visibility expired are
+    /// reclaimed first.
+    pub fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        let mut g = self.inner.lock();
+        Self::sweep(&mut g, now_ms, self.max_attempts);
         let idx = g.jobs.iter().position(|j| {
             j.invisible_until.is_none() && j.meta.tags.iter().all(|t| capabilities.contains(t))
         })?;
@@ -174,25 +180,25 @@ impl<T: Clone> Broker<T> {
     }
 
     /// Jobs currently visible to a hypothetical all-capable worker.
+    /// Sweeps first: expired deliveries count again, but jobs whose
+    /// attempts are exhausted are dead-lettered rather than reported as
+    /// depth (a poisoned job must not trigger scale-out forever).
     pub fn depth(&self, now_ms: u64) -> usize {
-        self.inner
-            .lock()
-            .jobs
+        let mut g = self.inner.lock();
+        Self::sweep(&mut g, now_ms, self.max_attempts);
+        g.jobs
             .iter()
-            .filter(|j| match j.invisible_until {
-                None => true,
-                Some(t) => t <= now_ms,
-            })
+            .filter(|j| j.invisible_until.is_none())
             .count()
     }
 
     /// Jobs in flight (delivered, not yet acked or expired).
     pub fn in_flight(&self, now_ms: u64) -> usize {
-        self.inner
-            .lock()
-            .jobs
+        let mut g = self.inner.lock();
+        Self::sweep(&mut g, now_ms, self.max_attempts);
+        g.jobs
             .iter()
-            .filter(|j| matches!(j.invisible_until, Some(t) if t > now_ms))
+            .filter(|j| j.invisible_until.is_some())
             .count()
     }
 
@@ -339,6 +345,26 @@ mod tests {
         assert_eq!(b.depth(1), 4);
         // After timeout the in-flight one counts again.
         assert_eq!(b.depth(200), 5);
+    }
+
+    #[test]
+    fn exhausted_job_stops_counting_as_depth() {
+        // A poisoned job (delivered max_attempts times, never acked)
+        // must not inflate depth once its visibility lapses — lazy
+        // dead-lettering used to leave it counted until the next poll,
+        // driving spurious autoscale-out.
+        let b: Broker<&str> = Broker::new(10, 1);
+        b.enqueue("poison", tags(&[]), 0);
+        let _d = b.poll(&basic_worker(), 0).unwrap();
+        // In flight: not visible, not dead.
+        assert_eq!(b.depth(5), 0);
+        assert_eq!(b.in_flight(5), 1);
+        // Visibility expired, attempts exhausted: dead-lettered by the
+        // very observation, with no poll needed.
+        assert_eq!(b.depth(10), 0);
+        assert_eq!(b.in_flight(10), 0);
+        assert_eq!(b.metrics().dead_lettered, 1);
+        assert_eq!(b.dead_letters().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! [`BrokerHandle`] — the consumer-facing broker surface.
+//!
+//! Worker nodes only ever poll, ack, and nack; they must not care
+//! whether they are talking to a single broker node or a mirrored
+//! pair. Abstracting the three operations behind a trait lets the v2
+//! cluster hand workers the [`MirroredBroker`](crate::MirroredBroker)
+//! itself, so acknowledgements propagate to the standby zone and a
+//! failover cannot redeliver work that already completed. (Handing
+//! workers the active zone's plain [`Broker`](crate::Broker) was
+//! exactly the bug: acks leaked past the mirror, and every completed
+//! in-flight job ran twice after a failover.)
+
+use crate::broker::{Broker, Delivery};
+use crate::mirror::MirroredBroker;
+use std::collections::BTreeSet;
+
+/// What a job consumer needs from a broker: deliveries in, receipts
+/// out. Implemented by both [`Broker`] and [`MirroredBroker`]; the
+/// mirrored implementation fans acknowledgements out to both zones.
+pub trait BrokerHandle<T> {
+    /// Deliver the oldest visible job whose tags are all within
+    /// `capabilities`, marking it in flight.
+    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>>;
+
+    /// Acknowledge successful completion; the job is removed and never
+    /// redelivered.
+    fn ack(&self, job_id: u64) -> bool;
+
+    /// Negative acknowledgement: the job becomes visible again
+    /// immediately.
+    fn nack(&self, job_id: u64) -> bool;
+}
+
+impl<T: Clone> BrokerHandle<T> for Broker<T> {
+    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        Broker::poll(self, capabilities, now_ms)
+    }
+
+    fn ack(&self, job_id: u64) -> bool {
+        Broker::ack(self, job_id)
+    }
+
+    fn nack(&self, job_id: u64) -> bool {
+        Broker::nack(self, job_id)
+    }
+}
+
+impl<T: Clone> BrokerHandle<T> for MirroredBroker<T> {
+    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        MirroredBroker::poll(self, capabilities, now_ms)
+    }
+
+    /// Acks propagate to both zones — the property the whole trait
+    /// exists to guarantee.
+    fn ack(&self, job_id: u64) -> bool {
+        MirroredBroker::ack(self, job_id)
+    }
+
+    fn nack(&self, job_id: u64) -> bool {
+        MirroredBroker::nack(self, job_id)
+    }
+}
+
+/// Shared ownership delegates: a worker holding an `Arc` to its broker
+/// is the same consumer as one borrowing it.
+impl<T, B: BrokerHandle<T>> BrokerHandle<T> for std::sync::Arc<B> {
+    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        (**self).poll(capabilities, now_ms)
+    }
+
+    fn ack(&self, job_id: u64) -> bool {
+        (**self).ack(job_id)
+    }
+
+    fn nack(&self, job_id: u64) -> bool {
+        (**self).nack(job_id)
+    }
+}
+
+impl<T, B: BrokerHandle<T>> BrokerHandle<T> for &B {
+    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        (**self).poll(capabilities, now_ms)
+    }
+
+    fn ack(&self, job_id: u64) -> bool {
+        (**self).ack(job_id)
+    }
+
+    fn nack(&self, job_id: u64) -> bool {
+        (**self).nack(job_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A consumer generic over the handle — what `WorkerNode` does.
+    fn drain(handle: &impl BrokerHandle<&'static str>, caps: &BTreeSet<String>) -> usize {
+        let mut done = 0;
+        while let Some(d) = handle.poll(caps, 0) {
+            handle.ack(d.meta.id);
+            done += 1;
+        }
+        done
+    }
+
+    #[test]
+    fn plain_broker_implements_the_handle() {
+        let b: Broker<&str> = Broker::new(1000, 3);
+        b.enqueue("x", tags(&[]), 0);
+        assert_eq!(drain(&b, &tags(&["cuda"])), 1);
+    }
+
+    #[test]
+    fn mirrored_acks_reach_the_standby() {
+        let m: MirroredBroker<&str> = MirroredBroker::new(1000, 3);
+        m.enqueue("x", tags(&[]), 0);
+        assert_eq!(drain(&m, &tags(&["cuda"])), 1);
+        // The ack went through the mirror: after failover the standby
+        // has nothing left to deliver.
+        m.failover();
+        assert!(m.poll(&tags(&["cuda"]), 1).is_none());
+    }
+}

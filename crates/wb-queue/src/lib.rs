@@ -19,7 +19,9 @@
 //! simulation drives the broker deterministically.
 
 pub mod broker;
+pub mod handle;
 pub mod mirror;
 
 pub use broker::{Broker, BrokerMetrics, Delivery, JobMeta};
+pub use handle::BrokerHandle;
 pub use mirror::MirroredBroker;

@@ -41,11 +41,12 @@ impl<T: Clone> MirroredBroker<T> {
         *self.active.lock()
     }
 
-    /// Borrow the currently active zone's broker. Pull-style consumers
-    /// (worker nodes) poll this directly; `ack` through the mirrored
-    /// API so the standby stays in sync — for at-least-once consumers
-    /// acking only the active zone is also safe, it merely means a
-    /// failover may redeliver completed jobs.
+    /// Borrow the currently active zone's broker for inspection
+    /// (metrics, dead letters). Consumers must NOT poll/ack through
+    /// this handle: an ack that only reaches the active zone leaves the
+    /// standby holding the job, and a failover would redeliver — and
+    /// re-execute — completed work. Poll and ack through the
+    /// [`BrokerHandle`](crate::BrokerHandle) impl on the mirror itself.
     pub fn active_broker(&self) -> &Broker<T> {
         self.active()
     }
@@ -103,6 +104,11 @@ impl<T: Clone> MirroredBroker<T> {
     /// Visible depth in the active zone.
     pub fn depth(&self, now_ms: u64) -> usize {
         self.active().depth(now_ms)
+    }
+
+    /// Jobs in flight in the active zone.
+    pub fn in_flight(&self, now_ms: u64) -> usize {
+        self.active().in_flight(now_ms)
     }
 
     /// Metrics of the active zone.

@@ -50,20 +50,8 @@ impl Blacklist {
     pub fn standard() -> Self {
         Blacklist {
             patterns: [
-                "asm",
-                "__asm__",
-                "system",
-                "popen",
-                "fork",
-                "execve",
-                "execvp",
-                "fopen",
-                "open",
-                "socket",
-                "dlopen",
-                "syscall",
-                "mmap",
-                "ptrace",
+                "asm", "__asm__", "system", "popen", "fork", "execve", "execvp", "fopen", "open",
+                "socket", "dlopen", "syscall", "mmap", "ptrace",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -108,9 +96,7 @@ impl Blacklist {
                 out.push(Violation {
                     pattern: pat.clone(),
                     line,
-                    message: format!(
-                        "use of `{pat}` is not allowed in this lab (line {line})"
-                    ),
+                    message: format!("use of `{pat}` is not allowed in this lab (line {line})"),
                 });
             }
         }
@@ -162,8 +148,7 @@ fn find_identifier(text: &str, word: &str) -> Option<usize> {
         // character in student source, where a str slice would panic.
         if bytes[i..].starts_with(word.as_bytes()) {
             let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
-            let after_ok =
-                i + wlen >= bytes.len() || !is_ident_byte(bytes[i + wlen]);
+            let after_ok = i + wlen >= bytes.len() || !is_ident_byte(bytes[i + wlen]);
             if before_ok && after_ok {
                 return Some(line);
             }

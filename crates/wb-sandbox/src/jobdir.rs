@@ -182,7 +182,10 @@ mod tests {
     fn quota_enforced() {
         let mut d = JobDir::create(7, 10);
         d.write("a", b"12345").unwrap();
-        assert!(matches!(d.write("b", b"123456"), Err(FsError::QuotaExceeded)));
+        assert!(matches!(
+            d.write("b", b"123456"),
+            Err(FsError::QuotaExceeded)
+        ));
         // Overwriting reuses the old file's budget.
         d.write("a", b"1234567890").unwrap();
         assert_eq!(d.used_bytes(), 10);

@@ -52,8 +52,7 @@ impl ResourceLimits {
     /// week sometimes doubles limits for heavy labs like SGEMM).
     pub fn scaled(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale factor must be positive");
-        self.max_warp_instructions =
-            (self.max_warp_instructions as f64 * factor) as i64;
+        self.max_warp_instructions = (self.max_warp_instructions as f64 * factor) as i64;
         self.max_host_steps = (self.max_host_steps as f64 * factor) as u64;
         self
     }
@@ -101,7 +100,10 @@ mod tests {
             l.max_warp_instructions,
             ResourceLimits::default().max_warp_instructions * 2
         );
-        assert_eq!(l.max_host_steps, ResourceLimits::default().max_host_steps * 2);
+        assert_eq!(
+            l.max_host_steps,
+            ResourceLimits::default().max_host_steps * 2
+        );
     }
 
     #[test]

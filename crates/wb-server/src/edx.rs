@@ -84,10 +84,8 @@ impl EdxFrontend {
                 let key = format!("labs/{lab_id}/case{i}/input{j}.raw");
                 let Some(bytes) = store.get(&key) else { break };
                 inputs.push(
-                    libwb::Dataset::import(
-                        std::str::from_utf8(&bytes).map_err(|e| e.to_string())?,
-                    )
-                    .map_err(|e| e.to_string())?,
+                    libwb::Dataset::import(std::str::from_utf8(&bytes).map_err(|e| e.to_string())?)
+                        .map_err(|e| e.to_string())?,
                 );
             }
             cases.push(wb_worker::DatasetCase {

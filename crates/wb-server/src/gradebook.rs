@@ -168,7 +168,10 @@ mod tests {
     #[test]
     fn publish_includes_question_scores_and_overrides() {
         let st = ServerState::new();
-        let id = st.submissions.insert(&submission("alice", "vecadd", 80.0, 5)).unwrap();
+        let id = st
+            .submissions
+            .insert(&submission("alice", "vecadd", 80.0, 5))
+            .unwrap();
         // Instructor overrides the program grade and grades questions.
         let mut rec = st.submissions.get(id).unwrap();
         rec.override_score = Some(85.0);
@@ -192,9 +195,15 @@ mod tests {
     #[test]
     fn publish_posts_every_submission() {
         let st = ServerState::new();
-        st.submissions.insert(&submission("a", "l", 10.0, 1)).unwrap();
-        st.submissions.insert(&submission("a", "l", 90.0, 2)).unwrap();
-        st.submissions.insert(&submission("b", "l", 50.0, 3)).unwrap();
+        st.submissions
+            .insert(&submission("a", "l", 10.0, 1))
+            .unwrap();
+        st.submissions
+            .insert(&submission("a", "l", 90.0, 2))
+            .unwrap();
+        st.submissions
+            .insert(&submission("b", "l", 50.0, 3))
+            .unwrap();
         let gb = CourseraGradebook::new();
         assert_eq!(publish_lab_grades(&st, &gb, "l", 10).unwrap(), 3);
         assert_eq!(gb.best("a", "l"), Some(90.0));

@@ -276,16 +276,13 @@ every thread keeps a private copy."
 
 fn dedup(hints: Vec<Hint>) -> Vec<Hint> {
     let mut seen = std::collections::BTreeSet::new();
-    hints
-        .into_iter()
-        .filter(|h| seen.insert(h.code))
-        .collect()
+    hints.into_iter().filter(|h| seen.insert(h.code)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use minicuda::DeviceConfig;
     use wb_labs::LabScale;
     use wb_worker::{execute_job, JobAction, JobRequest};
@@ -307,14 +304,18 @@ mod tests {
     }
 
     fn codes(outcome: &JobOutcome, source: &str) -> Vec<&'static str> {
-        hints_for(outcome, source).into_iter().map(|h| h.code).collect()
+        hints_for(outcome, source)
+            .into_iter()
+            .map(|h| h.code)
+            .collect()
     }
 
     #[test]
     fn missing_guard_gets_bounds_hint() {
-        let buggy = wb_labs::solution("vecadd")
-            .unwrap()
-            .replace("if (i < n) { out[i] = a[i] + b[i]; }", "out[i] = a[i] + b[i];");
+        let buggy = wb_labs::solution("vecadd").unwrap().replace(
+            "if (i < n) { out[i] = a[i] + b[i]; }",
+            "out[i] = a[i] + b[i];",
+        );
         let (out, src) = grade("vecadd", &buggy);
         let c = codes(&out, &src);
         assert!(c.contains(&"bounds"), "{c:?}");
@@ -322,10 +323,10 @@ mod tests {
 
     #[test]
     fn forgotten_memcpy_gets_memcpy_hint() {
-        let buggy = wb_labs::solution("vecadd")
-            .unwrap()
-            .replace("vecAdd<<<(n + 255) / 256, 256>>>(dA, dB, dC, n);",
-                     "vecAdd<<<(n + 255) / 256, 256>>>(hostA, hostB, dC, n);");
+        let buggy = wb_labs::solution("vecadd").unwrap().replace(
+            "vecAdd<<<(n + 255) / 256, 256>>>(dA, dB, dC, n);",
+            "vecAdd<<<(n + 255) / 256, 256>>>(hostA, hostB, dC, n);",
+        );
         let (out, src) = grade("vecadd", &buggy);
         let c = codes(&out, &src);
         assert!(c.contains(&"memcpy-missing"), "{c:?}");
@@ -424,9 +425,10 @@ mod tests {
     fn hints_are_deduplicated() {
         // Multiple failing datasets with the same cause produce the
         // bounds hint once.
-        let buggy = wb_labs::solution("vecadd")
-            .unwrap()
-            .replace("if (i < n) { out[i] = a[i] + b[i]; }", "out[i] = a[i] + b[i];");
+        let buggy = wb_labs::solution("vecadd").unwrap().replace(
+            "if (i < n) { out[i] = a[i] + b[i]; }",
+            "out[i] = a[i] + b[i];",
+        );
         let (out, src) = grade("vecadd", &buggy);
         let hints = hints_for(&out, &src);
         let bounds = hints.iter().filter(|h| h.code == "bounds").count();

@@ -153,7 +153,11 @@ fn inline(text: &str) -> String {
         // Link: [text](url)
         if bytes[i] == b'[' {
             if let Some((label, url, len)) = bracket_pair(rest) {
-                out.push_str(&format!("<a href=\"{}\">{}</a>", escape(url), inline(label)));
+                out.push_str(&format!(
+                    "<a href=\"{}\">{}</a>",
+                    escape(url),
+                    inline(label)
+                ));
                 i += len;
                 continue;
             }

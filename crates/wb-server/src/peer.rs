@@ -108,11 +108,7 @@ pub fn completion_fraction(state: &ServerState, lab: &str, reviewer: &str) -> f6
 /// The statistic that killed the feature: among `active` students, the
 /// fraction who received at least one completed review, assuming only
 /// active students write reviews.
-pub fn received_review_fraction(
-    state: &ServerState,
-    lab: &str,
-    active: &[String],
-) -> f64 {
+pub fn received_review_fraction(state: &ServerState, lab: &str, active: &[String]) -> f64 {
     if active.is_empty() {
         return 0.0;
     }
@@ -192,8 +188,18 @@ mod tests {
         let names = students(6);
         assign_reviews(&st1, "l", &names, 2, 9);
         assign_reviews(&st2, "l", &names, 2, 9);
-        let a: Vec<_> = st1.peer_reviews.scan().into_iter().map(|(_, r)| r).collect();
-        let b: Vec<_> = st2.peer_reviews.scan().into_iter().map(|(_, r)| r).collect();
+        let a: Vec<_> = st1
+            .peer_reviews
+            .scan()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let b: Vec<_> = st2
+            .peer_reviews
+            .scan()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -212,10 +218,7 @@ mod tests {
         assign_reviews(&st, "l", &names, 2, 5);
         assert_eq!(completion_fraction(&st, "l", "s0"), 0.0);
         // Complete one of s0's two reviews.
-        let ids = st
-            .peer_reviews
-            .find("by_reviewer_lab", "s0/l")
-            .unwrap();
+        let ids = st.peer_reviews.find("by_reviewer_lab", "s0/l").unwrap();
         let target = st.peer_reviews.get(ids[0]).unwrap().reviewee;
         assert!(complete_review(&st, "l", "s0", &target, "nice tiling"));
         assert!((completion_fraction(&st, "l", "s0") - 0.5).abs() < 1e-9);

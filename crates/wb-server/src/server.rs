@@ -506,8 +506,7 @@ impl WebGpuServer {
             });
             row.submissions += 1;
             row.program_grade = row.program_grade.max(sub.effective_score());
-            row.last_submission_ms =
-                Some(row.last_submission_ms.unwrap_or(0).max(sub.at_ms));
+            row.last_submission_ms = Some(row.last_submission_ms.unwrap_or(0).max(sub.at_ms));
         }
         // Question grades come from the answers table.
         for row in per_user.values_mut() {
@@ -678,7 +677,8 @@ mod tests {
         srv.register_student("alice", "pw").unwrap();
         let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();
         let student = srv.login("alice", "pw", DeviceKind::Desktop, 0).unwrap();
-        srv.deploy_lab(staff, LabDefinition::test_lab("echo")).unwrap();
+        srv.deploy_lab(staff, LabDefinition::test_lab("echo"))
+            .unwrap();
         (srv, staff, student)
     }
 
@@ -788,8 +788,10 @@ mod tests {
         srv.submit(student, "echo", 1).unwrap(); // fails: 0 points
         srv.save_code(student, "echo", ECHO, 100_000).unwrap();
         srv.submit(student, "echo", 200_000).unwrap(); // 90 points
-        srv.answer_questions(student, "echo", vec!["x".into()]).unwrap();
-        srv.grade_questions(staff, "alice", "echo", 7.5, None).unwrap();
+        srv.answer_questions(student, "echo", vec!["x".into()])
+            .unwrap();
+        srv.grade_questions(staff, "alice", "echo", 7.5, None)
+            .unwrap();
         let roster = srv.roster(staff, "echo").unwrap();
         assert_eq!(roster.len(), 1);
         let row = &roster[0];
@@ -806,11 +808,7 @@ mod tests {
         let (srv, staff, student) = server_with_lab();
         srv.save_code(student, "echo", ECHO, 0).unwrap();
         srv.submit(student, "echo", 1).unwrap();
-        let ids = srv
-            .state
-            .submissions
-            .find("by_lab", "echo")
-            .unwrap();
+        let ids = srv.state.submissions.find("by_lab", "echo").unwrap();
         srv.override_grade(staff, ids[0], 100.0).unwrap();
         let roster = srv.roster(staff, "echo").unwrap();
         assert!((roster[0].program_grade - 100.0).abs() < 1e-9);

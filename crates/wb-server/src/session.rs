@@ -66,7 +66,12 @@ impl Sessions {
         password: &str,
         role: Role,
     ) -> Result<(), AuthError> {
-        if !state.users.find("by_name", name).unwrap_or_default().is_empty() {
+        if !state
+            .users
+            .find("by_name", name)
+            .unwrap_or_default()
+            .is_empty()
+        {
             return Err(AuthError::UserExists);
         }
         state
@@ -222,7 +227,9 @@ mod tests {
         let student = s
             .login(&st, "alice", "hunter2", DeviceKind::Desktop, 0)
             .unwrap();
-        let staff = s.login(&st, "prof", "tenure", DeviceKind::Desktop, 0).unwrap();
+        let staff = s
+            .login(&st, "prof", "tenure", DeviceKind::Desktop, 0)
+            .unwrap();
         assert_eq!(
             s.authenticate_instructor(student.token),
             Err(AuthError::NotInstructor)
@@ -233,8 +240,10 @@ mod tests {
     #[test]
     fn logins_recorded_with_device() {
         let (st, s) = setup();
-        s.login(&st, "alice", "hunter2", DeviceKind::Tablet, 5).unwrap();
-        s.login(&st, "alice", "hunter2", DeviceKind::Desktop, 6).unwrap();
+        s.login(&st, "alice", "hunter2", DeviceKind::Tablet, 5)
+            .unwrap();
+        s.login(&st, "alice", "hunter2", DeviceKind::Desktop, 6)
+            .unwrap();
         let logins = st.logins.find("by_user", "alice").unwrap();
         assert_eq!(logins.len(), 2);
         assert!(st.mobile_login_fraction() > 0.0);
@@ -243,8 +252,12 @@ mod tests {
     #[test]
     fn tokens_are_unique() {
         let (st, s) = setup();
-        let a = s.login(&st, "alice", "hunter2", DeviceKind::Desktop, 0).unwrap();
-        let b = s.login(&st, "alice", "hunter2", DeviceKind::Desktop, 1).unwrap();
+        let a = s
+            .login(&st, "alice", "hunter2", DeviceKind::Desktop, 0)
+            .unwrap();
+        let b = s
+            .login(&st, "alice", "hunter2", DeviceKind::Desktop, 1)
+            .unwrap();
         assert_ne!(a.token, b.token);
     }
 }

@@ -273,9 +273,14 @@ mod tests {
     #[test]
     fn mobile_fraction_computed() {
         let st = ServerState::new();
-        for (i, d) in [DeviceKind::Desktop, DeviceKind::Desktop, DeviceKind::Phone, DeviceKind::Tablet]
-            .iter()
-            .enumerate()
+        for (i, d) in [
+            DeviceKind::Desktop,
+            DeviceKind::Desktop,
+            DeviceKind::Phone,
+            DeviceKind::Tablet,
+        ]
+        .iter()
+        .enumerate()
         {
             st.logins
                 .insert(&LoginRec {

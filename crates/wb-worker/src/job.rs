@@ -168,10 +168,7 @@ mod tests {
             timing_text: String::new(),
         };
         assert!(o.passed());
-        o.error = Some(minicuda::Diag::nowhere(
-            minicuda::Phase::Runtime,
-            "boom",
-        ));
+        o.error = Some(minicuda::Diag::nowhere(minicuda::Phase::Runtime, "boom"));
         assert!(!o.passed());
         o.error = None;
         o.check = None;

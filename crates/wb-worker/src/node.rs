@@ -7,7 +7,7 @@ use crate::pipeline::execute_job;
 use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
-use wb_queue::Broker;
+use wb_queue::BrokerHandle;
 use wb_sandbox::{ContainerPool, Image};
 
 /// A health check emitted periodically to the web server (v1) or
@@ -147,8 +147,14 @@ impl WorkerNode {
     }
 
     /// v2 pull interface: poll the broker once; execute and ack a job
-    /// if one matches this node's capabilities.
-    pub fn poll_once(&self, broker: &Broker<JobRequest>, now_ms: u64) -> Option<JobOutcome> {
+    /// if one matches this node's capabilities. Generic over
+    /// [`BrokerHandle`] so a mirrored broker's ack reaches every zone,
+    /// not just the active one.
+    pub fn poll_once(
+        &self,
+        broker: &impl BrokerHandle<JobRequest>,
+        now_ms: u64,
+    ) -> Option<JobOutcome> {
         let caps = {
             let g = self.state.lock();
             if g.crashed {
@@ -222,7 +228,7 @@ mod tests {
     use super::*;
     use crate::job::{DatasetCase, JobAction, LabSpec};
     use libwb::Dataset;
-
+    use wb_queue::Broker;
 
     fn trivial_request(job_id: u64) -> JobRequest {
         JobRequest {
@@ -279,18 +285,16 @@ mod tests {
         let broker: Broker<JobRequest> = Broker::new(10_000, 3);
         let mut req = trivial_request(1);
         req.spec.tags = ["mpi".to_string()].into_iter().collect();
-        broker.enqueue(
-            req.clone(),
-            req.spec.tags.clone(),
-            0,
-        );
+        broker.enqueue(req.clone(), req.spec.tags.clone(), 0);
         let n = node(); // plain cuda worker
         assert!(n.poll_once(&broker, 1).is_none(), "mpi job skipped");
         // An MPI-capable node picks it up.
         let mut cfg = WorkerConfig::default();
         cfg.capabilities.insert("mpi".into());
         let mpi_node = WorkerNode::boot(2, DeviceConfig::test_small(), &cfg);
-        let out = mpi_node.poll_once(&broker, 2).expect("capable node took it");
+        let out = mpi_node
+            .poll_once(&broker, 2)
+            .expect("capable node took it");
         assert_eq!(out.worker_id, 2);
         assert_eq!(broker.depth(3), 0, "job acked");
     }
@@ -335,8 +339,10 @@ mod tests {
             .contains("toolchain `mpi` is not installed"));
         assert!(out.datasets.is_empty());
         // A full-image node runs the same job fine.
-        let mut cfg = WorkerConfig::default();
-        cfg.image = "webgpu/full".to_string();
+        let cfg = WorkerConfig {
+            image: "webgpu/full".to_string(),
+            ..Default::default()
+        };
         let fat = WorkerNode::boot(2, DeviceConfig::test_small(), &cfg);
         let out = fat.submit(&req).expect("node is up");
         assert!(out.compiled(), "{:?}", out.compile_error);

@@ -84,9 +84,7 @@ pub fn execute_job(
                 total: 0,
                 mismatch_count: 0,
                 mismatches: Vec::new(),
-                shape_error: Some(
-                    "program completed without calling wbSolution".to_string(),
-                ),
+                shape_error: Some("program completed without calling wbSolution".to_string()),
             }),
             _ => None,
         };
@@ -151,10 +149,7 @@ mod tests {
                 },
                 DatasetCase {
                     name: "d1".into(),
-                    inputs: vec![
-                        Dataset::Vector(vec![0.0]),
-                        Dataset::Vector(vec![5.0]),
-                    ],
+                    inputs: vec![Dataset::Vector(vec![0.0]), Dataset::Vector(vec![5.0])],
                     expected: Dataset::Vector(vec![5.0]),
                 },
             ],

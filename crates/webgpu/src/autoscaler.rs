@@ -98,9 +98,9 @@ impl Autoscaler {
                 floor,
             } => {
                 let base = reactive_target(m.queue_depth, *jobs_per_worker, *min, *max);
-                let in_window = deadlines_ms.iter().any(|&d| {
-                    m.now_ms < d && d - m.now_ms <= *window_ms
-                });
+                let in_window = deadlines_ms
+                    .iter()
+                    .any(|&d| m.now_ms < d && d - m.now_ms <= *window_ms);
                 if in_window {
                     base.max(*floor).min(*max)
                 } else {

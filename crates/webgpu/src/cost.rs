@@ -127,7 +127,12 @@ mod tests {
         }
         let s = staticc.finish();
         let d = scaled.finish();
-        assert!(d.dollars < s.dollars / 2.0, "{} vs {}", d.dollars, s.dollars);
+        assert!(
+            d.dollars < s.dollars / 2.0,
+            "{} vs {}",
+            d.dollars,
+            s.dollars
+        );
         assert!(d.utilization() > s.utilization());
     }
 }

@@ -78,7 +78,8 @@ pub struct CourseReport {
 pub fn run_course(cfg: &CourseRun, dispatcher: Box<dyn JobDispatcher>) -> CourseReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let srv = WebGpuServer::new(dispatcher);
-    srv.register_instructor("staff", "pw").expect("fresh server");
+    srv.register_instructor("staff", "pw")
+        .expect("fresh server");
     let staff = srv
         .login("staff", "pw", DeviceKind::Desktop, 0)
         .expect("instructor login");
@@ -137,11 +138,9 @@ pub fn run_course(cfg: &CourseRun, dispatcher: Box<dyn JobDispatcher>) -> Course
             let source = if buggy {
                 // A plausible bug: drop the final character block of
                 // the kernel's body guard by mangling a comparison.
-                solution.replacen("i < n", "i <= n", 1).replacen(
-                    "row < m",
-                    "row <= m",
-                    1,
-                )
+                solution
+                    .replacen("i < n", "i <= n", 1)
+                    .replacen("row < m", "row <= m", 1)
             } else {
                 solution.to_string()
             };
@@ -262,7 +261,11 @@ mod tests {
         }
         let report = run_course(&cfg, Box::new(Shim(cluster)));
         assert!(report.labs.iter().any(|l| l.lab_id == "mpi-stencil"));
-        let mpi = report.labs.iter().find(|l| l.lab_id == "mpi-stencil").unwrap();
+        let mpi = report
+            .labs
+            .iter()
+            .find(|l| l.lab_id == "mpi-stencil")
+            .unwrap();
         assert_eq!(mpi.perfect, 2, "clean solutions pass the MPI lab");
         assert_eq!(report.completions, 2);
     }

@@ -34,6 +34,9 @@ pub struct Snapshot {
     pub at_ms: u64,
     /// Jobs visible in the queue.
     pub queue_depth: usize,
+    /// Jobs delivered to workers and not yet acknowledged — with the
+    /// concurrent pump, many can be in flight at once.
+    pub in_flight: usize,
     /// Broker counters.
     pub broker: BrokerMetrics,
     /// Fleet rows.
@@ -64,6 +67,7 @@ impl Snapshot {
         Snapshot {
             at_ms: now_ms,
             queue_depth: cluster.queue_depth(now_ms),
+            in_flight: cluster.in_flight(now_ms),
             broker: cluster.broker_metrics(),
             workers,
             completed: cluster.completed(),
@@ -93,8 +97,9 @@ impl Snapshot {
             self.at_ms, self.config_version
         ));
         out.push_str(&format!(
-            "queue: {} visible | enqueued {} delivered {} acked {} timeouts {} dead {}\n",
+            "queue: {} visible, {} in flight | enqueued {} delivered {} acked {} timeouts {} dead {}\n",
             self.queue_depth,
+            self.in_flight,
             self.broker.enqueued,
             self.broker.delivered,
             self.broker.acked,
@@ -181,6 +186,7 @@ mod tests {
         let s = Snapshot {
             at_ms: 0,
             queue_depth: 0,
+            in_flight: 0,
             broker: BrokerMetrics::default(),
             workers: vec![],
             completed: 0,

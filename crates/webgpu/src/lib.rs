@@ -23,17 +23,17 @@
 //!   server, and a cluster together.
 
 pub mod autoscaler;
-pub mod dashboard;
 pub mod cost;
 pub mod course;
+pub mod dashboard;
 pub mod sim;
 pub mod v1;
 pub mod v2;
 
-pub use dashboard::Snapshot as DashboardSnapshot;
 pub use autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
 pub use cost::{CostModel as AwsCostModel, CostReport};
 pub use course::{CourseReport, CourseRun};
+pub use dashboard::Snapshot as DashboardSnapshot;
 pub use sim::population::{CohortParams, CohortSummary, LoadModel};
 pub use v1::ClusterV1;
 pub use v2::ClusterV2;

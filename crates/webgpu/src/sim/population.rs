@@ -205,8 +205,8 @@ impl LoadModel {
         };
         // Diurnal: quiet 2am–8am, busiest evenings (course audience is
         // global but US-evening dominated).
-        let diurnal = 0.35
-            + 0.65 * (0.5 - 0.5 * (std::f64::consts::TAU * (hod as f64 - 3.0) / 24.0).cos());
+        let diurnal =
+            0.35 + 0.65 * (0.5 - 0.5 * (std::f64::consts::TAU * (hod as f64 - 3.0) / 24.0).cos());
         (self.peak_active * base * weekly * diurnal).max(0.0) + self.base_floor * diurnal * 0.3
     }
 
@@ -401,10 +401,7 @@ mod tests {
         let series = m.hourly_series(42);
         let stats = load_stats(&m, &series);
         let (peak, hour) = stats.peak;
-        assert!(
-            (90..=135).contains(&peak),
-            "peak {peak} should be near 112"
-        );
+        assert!((90..=135).contains(&peak), "peak {peak} should be near 112");
         assert_eq!(m.dow(hour), 3, "peak lands on a Wednesday");
         let day = hour / 24;
         assert!((7..14).contains(&day), "peak in week 2 (day {day})");
@@ -439,9 +436,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 100_000;
         let mobile = (0..n)
-            .filter(|_| {
-                !matches!(sample_device(&mut rng), DeviceKind::Desktop)
-            })
+            .filter(|_| !matches!(sample_device(&mut rng), DeviceKind::Desktop))
             .count();
         let frac = mobile as f64 / n as f64;
         assert!((frac - 0.02).abs() < 0.004, "mobile fraction {frac}");

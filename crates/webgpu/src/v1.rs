@@ -166,6 +166,37 @@ impl ClusterV1 {
         }
         Err("every worker in the pool is unreachable".to_string())
     }
+
+    /// Push a batch of independent submissions concurrently: one
+    /// submission lane per pool worker (crossbeam scoped threads), so
+    /// wall-clock time for a rush of jobs scales with the pool instead
+    /// of summing every job's runtime. Each lane is an ordinary
+    /// [`submit`](Self::submit) loop — round-robin placement, dead-node
+    /// retry and failure accounting all behave exactly as they do for
+    /// sequential callers. Results come back in request order.
+    pub fn submit_batch(&self, reqs: &[JobRequest]) -> Vec<Result<JobOutcome, String>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let lanes = self.pool_size().clamp(1, reqs.len());
+        let chunk = reqs.len().div_ceil(lanes);
+        let mut slots: Vec<Option<Result<JobOutcome, String>>> = Vec::new();
+        slots.resize_with(reqs.len(), || None);
+        crossbeam::thread::scope(|s| {
+            for (req_chunk, slot_chunk) in reqs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (req, slot) in req_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(self.submit(req));
+                    }
+                });
+            }
+        })
+        .expect("submission lane panicked");
+        slots
+            .into_iter()
+            .map(|r| r.expect("every slot is filled by its lane"))
+            .collect()
+    }
 }
 
 impl JobDispatcher for ClusterV1 {
@@ -228,6 +259,37 @@ mod tests {
         }
         assert!(c.dispatch_failures() > 0, "the dead node was tried");
         assert_eq!(c.worker(1).unwrap().jobs_done(), 4);
+    }
+
+    #[test]
+    fn batch_submission_completes_everything_in_order() {
+        let c = cluster(4);
+        let reqs: Vec<JobRequest> = (0..12).map(echo).collect();
+        let results = c.submit_batch(&reqs);
+        assert_eq!(results.len(), 12);
+        for (j, r) in results.iter().enumerate() {
+            let out = r.as_ref().expect("pool alive");
+            assert_eq!(out.job_id, j as u64, "results in request order");
+            assert!(out.compiled());
+        }
+        let total: u64 = (0..4).map(|i| c.worker(i).unwrap().jobs_done()).sum();
+        assert_eq!(total, 12, "every job ran exactly once");
+    }
+
+    #[test]
+    fn batch_submission_survives_a_dead_worker() {
+        let c = cluster(3);
+        c.worker(1).unwrap().crash();
+        let reqs: Vec<JobRequest> = (0..9).map(echo).collect();
+        let results = c.submit_batch(&reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(c.worker(1).unwrap().jobs_done(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let c = cluster(1);
+        assert!(c.submit_batch(&[]).is_empty());
     }
 
     #[test]

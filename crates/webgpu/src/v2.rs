@@ -95,6 +95,18 @@ impl ClusterV2 {
         self.broker.depth(now_ms)
     }
 
+    /// Jobs delivered to workers and not yet acknowledged.
+    pub fn in_flight(&self, now_ms: u64) -> usize {
+        self.broker.in_flight(now_ms)
+    }
+
+    /// Number of recorded queueing-delay samples. Every completed job
+    /// contributes exactly one sample: the baseline is written before
+    /// the job becomes visible to any worker.
+    pub fn wait_samples(&self) -> usize {
+        self.state.lock().wait_rounds.len()
+    }
+
     /// Broker counters for the operations dashboard (§VI-A).
     pub fn broker_metrics(&self) -> wb_queue::BrokerMetrics {
         self.broker.metrics()
@@ -120,61 +132,117 @@ impl ClusterV2 {
     }
 
     /// Enqueue a job; returns its broker id.
+    ///
+    /// The latency baseline is recorded *before* the broker enqueue:
+    /// the moment the job enters the broker a concurrently pumping
+    /// worker may complete it, and a baseline recorded after the fact
+    /// would silently drop that job's `wait_rounds` sample.
     pub fn enqueue(&self, req: JobRequest, now_ms: u64) -> u64 {
         let tags = req.spec.tags.clone();
         let job_id = req.job_id;
-        let id = self.broker.enqueue(req, tags, now_ms);
-        let mut g = self.state.lock();
-        let round = g.round;
-        g.enqueue_round.insert(job_id, round);
-        id
+        {
+            let mut g = self.state.lock();
+            let round = g.round;
+            g.enqueue_round.insert(job_id, round);
+        }
+        self.broker.enqueue(req, tags, now_ms)
     }
 
     /// One scheduler round: every live worker syncs config and polls
-    /// once; the autoscaler then adjusts the fleet. Returns the number
-    /// of jobs completed this round.
+    /// once — **concurrently**, one scoped thread per worker — then the
+    /// autoscaler adjusts the fleet. Returns the number of jobs
+    /// completed this round.
+    ///
+    /// Concurrency contract: no cluster lock is held while a worker
+    /// executes a job. The fleet is snapshotted under the state lock,
+    /// each worker runs config-sync / health-beat / poll on its own
+    /// thread against its own interior locks (and the broker's), and
+    /// completion bookkeeping is merged back under the state lock only
+    /// after every thread has joined. Fleet throughput therefore scales
+    /// with fleet size up to the host's core count.
     pub fn pump(&self, now_ms: u64) -> usize {
+        self.pump_inner(now_ms, true)
+    }
+
+    /// The pre-concurrency pump: identical bookkeeping, but workers
+    /// run one after another on the calling thread. Kept as the
+    /// baseline for the `pump_scaling` experiment (and for callers
+    /// that want deterministic single-threaded rounds).
+    pub fn pump_serial(&self, now_ms: u64) -> usize {
+        self.pump_inner(now_ms, false)
+    }
+
+    fn pump_inner(&self, now_ms: u64, concurrent: bool) -> usize {
         let workers: Vec<Arc<WorkerNode>> = {
             let mut g = self.state.lock();
             g.round += 1;
             g.workers.clone()
         };
-        let mut done = 0;
-        for w in &workers {
-            w.sync_config(&self.config);
-            // Persist the worker's health beat to the replicated
-            // metrics database (crashed workers emit nothing, which is
-            // exactly how the dashboard notices them going quiet).
-            if let Some(beat) = w.health(now_ms) {
-                let _ = self.metrics_db.insert(&HealthRecord {
-                    worker_id: beat.worker_id,
-                    at_ms: beat.at_ms,
-                    jobs_done: beat.jobs_done,
-                    restarts: beat.restarts,
-                });
-            }
-            if let Some(outcome) = w.poll_once(self.broker_handle(), now_ms) {
-                let mut g = self.state.lock();
-                g.completed += 1;
-                let round = g.round;
-                if let Some(at) = g.enqueue_round.remove(&outcome.job_id) {
-                    g.wait_rounds.push(round.saturating_sub(at));
+        let outcomes: Vec<JobOutcome> = if !concurrent || workers.len() <= 1 {
+            workers
+                .iter()
+                .filter_map(|w| self.pump_worker(w, now_ms))
+                .collect()
+        } else {
+            // One scoped thread per live worker, exactly as
+            // `minicuda::simt` runs blocks over SM threads. Each thread
+            // writes into its own pre-sized slot, so no lock guards the
+            // results and no thread ever blocks on a sibling.
+            let mut slots: Vec<Option<JobOutcome>> = Vec::new();
+            slots.resize_with(workers.len(), || None);
+            crossbeam::thread::scope(|s| {
+                for (w, slot) in workers.iter().zip(slots.iter_mut()) {
+                    s.spawn(move |_| {
+                        *slot = self.pump_worker(w, now_ms);
+                    });
                 }
-                g.results.insert(outcome.job_id, outcome);
-                done += 1;
-            }
-        }
+            })
+            .expect("pump worker thread panicked");
+            slots.into_iter().flatten().collect()
+        };
+        let done = outcomes.len();
+        self.merge_outcomes(outcomes);
         self.autoscale(now_ms);
         done
     }
 
-    fn broker_handle(&self) -> &wb_queue::Broker<JobRequest> {
-        // Workers poll whichever zone is active; MirroredBroker fronts
-        // that internally, but WorkerNode::poll_once takes a plain
-        // Broker. Expose the active zone's broker through a poll shim.
-        // (MirroredBroker delegates poll/ack to the active zone; the
-        // shim below performs the same delegation.)
-        self.broker.active_broker()
+    /// One worker's share of a round. Runs on the worker's own thread
+    /// under the concurrent pump; touches only the worker's interior
+    /// state, the config service, the metrics database, and the
+    /// broker — never the cluster state lock.
+    fn pump_worker(&self, w: &WorkerNode, now_ms: u64) -> Option<JobOutcome> {
+        w.sync_config(&self.config);
+        // Persist the worker's health beat to the replicated metrics
+        // database (crashed workers emit nothing, which is exactly how
+        // the dashboard notices them going quiet).
+        if let Some(beat) = w.health(now_ms) {
+            let _ = self.metrics_db.insert(&HealthRecord {
+                worker_id: beat.worker_id,
+                at_ms: beat.at_ms,
+                jobs_done: beat.jobs_done,
+                restarts: beat.restarts,
+            });
+        }
+        // The worker polls the mirror itself, so its ack reaches both
+        // zones and a failover cannot re-run completed jobs.
+        w.poll_once(&self.broker, now_ms)
+    }
+
+    /// Post-join completion bookkeeping, under the state lock but
+    /// strictly after all job execution finished.
+    fn merge_outcomes(&self, outcomes: Vec<JobOutcome>) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let mut g = self.state.lock();
+        let round = g.round;
+        for outcome in outcomes {
+            g.completed += 1;
+            if let Some(at) = g.enqueue_round.remove(&outcome.job_id) {
+                g.wait_rounds.push(round.saturating_sub(at));
+            }
+            g.results.insert(outcome.job_id, outcome);
+        }
     }
 
     fn autoscale(&self, now_ms: u64) {
@@ -188,10 +256,17 @@ impl ClusterV2 {
         while g.workers.len() < desired {
             let id = g.next_worker_id;
             g.next_worker_id += 1;
-            g.workers
-                .push(Arc::new(WorkerNode::boot(id, self.device.clone(), &self.config.get())));
+            g.workers.push(Arc::new(WorkerNode::boot(
+                id,
+                self.device.clone(),
+                &self.config.get(),
+            )));
         }
-        while g.workers.len() > desired && g.workers.len() > 1 {
+        // Scale in exactly to the policy's decision: `desired` already
+        // respects the policy floor, so no extra `> 1` clamp — a
+        // hardcoded floor of one both violated `Reactive { min }` and
+        // made the scaled-to-zero guard in `dispatch` unreachable.
+        while g.workers.len() > desired {
             g.workers.pop();
         }
     }
@@ -353,6 +428,68 @@ mod tests {
             c.pump(r);
         }
         assert!(c.mean_wait_rounds() >= 1.0, "later jobs waited in queue");
+        assert_eq!(c.wait_samples(), 4, "every completion has a latency sample");
+    }
+
+    #[test]
+    fn failover_does_not_rerun_completed_jobs() {
+        // Regression: worker acks used to reach only the active zone's
+        // broker, so the standby still held every "completed" job and a
+        // failover re-delivered, re-executed, and double-counted them.
+        let c = ClusterV2::new(1, DeviceConfig::test_small(), AutoscalePolicy::Static(1));
+        c.enqueue(echo(1), 0);
+        let mut done = 0;
+        for r in 0..5 {
+            done += c.pump(r);
+        }
+        assert_eq!(done, 1);
+        assert_eq!(c.completed(), 1);
+        c.broker_failover();
+        for r in 5..15 {
+            done += c.pump(r);
+        }
+        assert_eq!(done, 1, "the standby has nothing to redeliver");
+        assert_eq!(c.completed(), 1, "no double count after failover");
+        assert_eq!(
+            c.worker(0).unwrap().jobs_done(),
+            1,
+            "the job ran exactly once"
+        );
+    }
+
+    #[test]
+    fn scale_in_respects_the_policy_floor() {
+        let c = ClusterV2::new(
+            4,
+            DeviceConfig::test_small(),
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: 2,
+                min: 2,
+                max: 8,
+            },
+        );
+        // Plenty of idle rounds: the cooldown elapses and the fleet
+        // shrinks — but never through the policy minimum.
+        for r in 0..20 {
+            c.pump(r);
+            assert!(
+                c.fleet_size() >= 2,
+                "round {r}: fleet {} dropped below Reactive min 2",
+                c.fleet_size()
+            );
+        }
+        assert_eq!(c.fleet_size(), 2, "idle fleet settles at the floor");
+    }
+
+    #[test]
+    fn scaled_to_zero_fleet_is_reported_by_dispatch() {
+        // With the hardcoded `> 1` scale-in clamp gone, a zero-minimum
+        // policy really can drain the fleet — and dispatch's guard for
+        // "work queued but nobody to run it" is reachable again.
+        let c = ClusterV2::new(0, DeviceConfig::test_small(), AutoscalePolicy::Static(0));
+        assert_eq!(c.fleet_size(), 0);
+        let err = c.dispatch(echo(1), 0).unwrap_err();
+        assert!(err.contains("scaled to zero"), "got: {err}");
     }
 }
 

@@ -6,11 +6,11 @@
 //! cargo run --release --example autoscale_deadline
 //! ```
 
+use wb_labs::LabScale;
+use wb_worker::{JobAction, JobRequest};
 use webgpu::cost::{CostMeter, CostModel};
 use webgpu::sim::population::LoadModel;
 use webgpu::{AutoscalePolicy, ClusterV2};
-use wb_labs::LabScale;
-use wb_worker::{JobAction, JobRequest};
 
 fn vecadd_request(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();

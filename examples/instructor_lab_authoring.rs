@@ -24,11 +24,7 @@ fn author_saxpy() -> LabDefinition {
         let expected: Vec<f32> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
         datasets.push(DatasetCase {
             name: format!("d{k}"),
-            inputs: vec![
-                Dataset::Scalar(a),
-                Dataset::Vector(x),
-                Dataset::Vector(y),
-            ],
+            inputs: vec![Dataset::Scalar(a), Dataset::Vector(x), Dataset::Vector(y)],
             expected: Dataset::Vector(expected),
         });
     }
@@ -95,14 +91,20 @@ fn main() {
 
     // Author and deploy.
     let lab = author_saxpy();
-    println!("authored lab `{}` with {} datasets", lab.id, lab.datasets.len());
+    println!(
+        "authored lab `{}` with {} datasets",
+        lab.id,
+        lab.datasets.len()
+    );
     srv.deploy_lab(ta, lab).unwrap();
     println!("deployed labs: {:?}", srv.lab_ids());
 
     // Validate with the reference solution before opening to students
     // (the TA submits as a scratch account).
     srv.register_student("ta-scratch", "pw").unwrap();
-    let scratch = srv.login("ta-scratch", "pw", DeviceKind::Desktop, 1).unwrap();
+    let scratch = srv
+        .login("ta-scratch", "pw", DeviceKind::Desktop, 1)
+        .unwrap();
     srv.save_code(scratch, "saxpy", REFERENCE, 1_000).unwrap();
     let sub = srv.submit(scratch, "saxpy", 2_000).unwrap();
     println!(

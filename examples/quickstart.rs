@@ -42,8 +42,13 @@ fn main() {
     );
 
     // The student writes the real solution and runs dataset 0.
-    srv.save_code(alice, "vecadd", wb_labs::solution("vecadd").unwrap(), 60_000)
-        .unwrap();
+    srv.save_code(
+        alice,
+        "vecadd",
+        wb_labs::solution("vecadd").unwrap(),
+        60_000,
+    )
+    .unwrap();
     let run = srv.run_dataset(alice, "vecadd", 0, 120_000).unwrap();
     println!("=== Attempt against dataset 0 ===");
     println!("{}", run.report);

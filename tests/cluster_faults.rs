@@ -4,9 +4,9 @@
 
 use std::collections::BTreeSet;
 
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
+use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 
 fn vecadd_request(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();

@@ -40,12 +40,8 @@ fn student_journey(srv: &WebGpuServer, staff: u64, alice: u64) {
     assert!(run.report.contains("correct"));
 
     // 5. Answer the questions and submit for grading.
-    srv.answer_questions(
-        alice,
-        "vecadd",
-        vec!["n flops".into(), "two reads".into()],
-    )
-    .unwrap();
+    srv.answer_questions(alice, "vecadd", vec!["n flops".into(), "two reads".into()])
+        .unwrap();
     let sub = srv.submit(alice, "vecadd", 600_000).unwrap();
     assert!(sub.compiled);
     assert_eq!(sub.passed, sub.total);

@@ -1,9 +1,9 @@
 //! Grading-pipeline integration: rubric composition, attempt views,
 //! peer review over dropout, and the instructor override path.
 
-use webgpu::ClusterV1;
 use wb_labs::LabScale;
 use wb_server::{peer, DeviceKind, WebGpuServer};
+use webgpu::ClusterV1;
 
 fn server() -> (WebGpuServer, u64) {
     let cluster = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
@@ -34,10 +34,12 @@ fn partial_credit_tracks_passed_datasets() {
     // Score is strictly between compile-only and perfect.
     let lab = wb_labs::definition("scan", LabScale::Small).unwrap();
     let per = lab.rubric.dataset_points / sub.total as f64;
-    let expected = lab.rubric.compile_points
-        + per * sub.passed as f64
-        + 5.0; // the __syncthreads keyword bonus still applies
-    assert!((sub.score - expected).abs() < 1e-9, "{} vs {expected}", sub.score);
+    let expected = lab.rubric.compile_points + per * sub.passed as f64 + 5.0; // the __syncthreads keyword bonus still applies
+    assert!(
+        (sub.score - expected).abs() < 1e-9,
+        "{} vs {expected}",
+        sub.score
+    );
 }
 
 #[test]
@@ -53,8 +55,13 @@ fn keyword_points_require_the_technique() {
 
     // Submitting the *untiled* kernel to the tiled lab: correct output,
     // but no __shared__/__syncthreads keywords — and the rubric shows it.
-    srv.save_code(carol, "tiled-matmul", wb_labs::solution("matmul").unwrap(), 1_000)
-        .unwrap();
+    srv.save_code(
+        carol,
+        "tiled-matmul",
+        wb_labs::solution("matmul").unwrap(),
+        1_000,
+    )
+    .unwrap();
     let untiled = srv.submit(carol, "tiled-matmul", 2_000).unwrap();
     assert_eq!(untiled.passed, untiled.total, "correct, just not tiled");
 
@@ -72,14 +79,20 @@ fn keyword_points_require_the_technique() {
         tiled.score,
         untiled.score
     );
-    assert!((tiled.score - untiled.score - 10.0).abs() < 1e-9, "both keywords");
+    assert!(
+        (tiled.score - untiled.score - 10.0).abs() < 1e-9,
+        "both keywords"
+    );
 }
 
 #[test]
 fn override_beats_auto_grade_on_the_roster() {
     let (srv, staff) = server();
-    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
-        .unwrap();
+    srv.deploy_lab(
+        staff,
+        wb_labs::definition("vecadd", LabScale::Small).unwrap(),
+    )
+    .unwrap();
     srv.register_student("dave", "pw").unwrap();
     let dave = srv.login("dave", "pw", DeviceKind::Desktop, 0).unwrap();
     srv.save_code(dave, "vecadd", "int main( {", 1_000).unwrap();
@@ -129,8 +142,11 @@ fn peer_review_starvation_scales_with_dropout() {
 #[test]
 fn rate_limited_student_sees_retry_hint() {
     let (srv, staff) = server();
-    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
-        .unwrap();
+    srv.deploy_lab(
+        staff,
+        wb_labs::definition("vecadd", LabScale::Small).unwrap(),
+    )
+    .unwrap();
     srv.register_student("eve", "pw").unwrap();
     let eve = srv.login("eve", "pw", DeviceKind::Desktop, 0).unwrap();
     srv.save_code(eve, "vecadd", wb_labs::solution("vecadd").unwrap(), 0)
@@ -148,17 +164,25 @@ fn rate_limited_student_sees_retry_hint() {
 
 #[test]
 fn grades_publish_to_the_coursera_gradebook() {
-    use wb_server::{CourseraGradebook, gradebook};
+    use wb_server::{gradebook, CourseraGradebook};
     let (srv, staff) = server();
-    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
-        .unwrap();
+    srv.deploy_lab(
+        staff,
+        wb_labs::definition("vecadd", LabScale::Small).unwrap(),
+    )
+    .unwrap();
     srv.register_student("fred", "pw").unwrap();
     let fred = srv.login("fred", "pw", DeviceKind::Desktop, 0).unwrap();
     // Two submissions: a failure then the real thing.
     srv.save_code(fred, "vecadd", "int main( {", 1_000).unwrap();
     srv.submit(fred, "vecadd", 2_000).unwrap();
-    srv.save_code(fred, "vecadd", wb_labs::solution("vecadd").unwrap(), 100_000)
-        .unwrap();
+    srv.save_code(
+        fred,
+        "vecadd",
+        wb_labs::solution("vecadd").unwrap(),
+        100_000,
+    )
+    .unwrap();
     srv.submit(fred, "vecadd", 101_000).unwrap();
 
     let gb = CourseraGradebook::new();
@@ -178,13 +202,17 @@ fn failing_attempts_carry_automated_hints() {
     // §VIII future work, implemented: a buggy run comes back with the
     // hint a TA would have given.
     let (srv, staff) = server();
-    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
-        .unwrap();
+    srv.deploy_lab(
+        staff,
+        wb_labs::definition("vecadd", LabScale::Small).unwrap(),
+    )
+    .unwrap();
     srv.register_student("gina", "pw").unwrap();
     let gina = srv.login("gina", "pw", DeviceKind::Desktop, 0).unwrap();
-    let buggy = wb_labs::solution("vecadd")
-        .unwrap()
-        .replace("if (i < n) { out[i] = a[i] + b[i]; }", "out[i] = a[i] + b[i];");
+    let buggy = wb_labs::solution("vecadd").unwrap().replace(
+        "if (i < n) { out[i] = a[i] + b[i]; }",
+        "out[i] = a[i] + b[i];",
+    );
     srv.save_code(gina, "vecadd", &buggy, 1_000).unwrap();
     let view = srv.run_dataset(gina, "vecadd", 2, 2_000).unwrap();
     assert!(!view.passed);

@@ -2,11 +2,11 @@
 //! jobs shaped by the Figure-1 load model, snapshot the dashboard,
 //! and check the elasticity invariants end to end.
 
+use wb_labs::LabScale;
+use wb_worker::{JobAction, JobRequest};
 use webgpu::dashboard::Snapshot;
 use webgpu::sim::population::LoadModel;
 use webgpu::{AutoscalePolicy, ClusterV2};
-use wb_labs::LabScale;
-use wb_worker::{JobAction, JobRequest};
 
 fn job(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
@@ -62,7 +62,10 @@ fn v2_cluster_tracks_a_deadline_day() {
     assert_eq!(cluster.completed(), job_id, "every submission graded");
     // The fleet actually moved with the load.
     let max_fleet = *fleet_sizes.iter().max().unwrap();
-    assert!(max_fleet > 1, "rush hours scaled the fleet out: {fleet_sizes:?}");
+    assert!(
+        max_fleet > 1,
+        "rush hours scaled the fleet out: {fleet_sizes:?}"
+    );
 
     // The dashboard agrees with the cluster.
     let snap = Snapshot::capture(&cluster, 12 * 3_600_000);

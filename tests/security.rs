@@ -50,8 +50,14 @@ fn preprocessed_scan_mode_is_the_documented_alternative() {
     let commented = "// asm in a comment only\nint main() { return 0; }";
     let real = "int main() { asm(\"x\"); return 0; }";
     assert!(!raw.permits(commented), "raw scan: false positive");
-    assert!(pre.permits(commented), "preprocessed scan: no false positive");
-    assert!(!raw.permits(real) && !pre.permits(real), "both catch real use");
+    assert!(
+        pre.permits(commented),
+        "preprocessed scan: no false positive"
+    );
+    assert!(
+        !raw.permits(real) && !pre.permits(real),
+        "both catch real use"
+    );
 }
 
 #[test]
@@ -124,10 +130,7 @@ fn memory_bomb_hits_the_device_memory_cap() {
 fn oversized_source_rejected_before_any_work() {
     let huge = format!("int main() {{ return 0; }} // {}", "x".repeat(400 * 1024));
     let out = execute_job(&request_with(&huge), &DeviceConfig::test_small(), 0, 0);
-    assert!(out
-        .compile_error
-        .expect("size gate")
-        .contains("at most"));
+    assert!(out.compile_error.expect("size gate").contains("at most"));
 }
 
 #[test]
@@ -180,13 +183,21 @@ fn worker_isolation_keeps_database_out_of_reach() {
     let srv = WebGpuServer::new(Box::new(cluster));
     srv.register_instructor("prof", "pw").unwrap();
     let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();
-    srv.deploy_lab(staff, wb_labs::definition("vecadd", LabScale::Small).unwrap())
-        .unwrap();
+    srv.deploy_lab(
+        staff,
+        wb_labs::definition("vecadd", LabScale::Small).unwrap(),
+    )
+    .unwrap();
     srv.register_student("mallory", "pw").unwrap();
     let m = srv.login("mallory", "pw", DeviceKind::Desktop, 0).unwrap();
     let users_before = srv.state.users.len();
-    srv.save_code(m, "vecadd", "int main() { while (1) { int x = 0; } return 0; }", 0)
-        .unwrap();
+    srv.save_code(
+        m,
+        "vecadd",
+        "int main() { while (1) { int x = 0; } return 0; }",
+        0,
+    )
+    .unwrap();
     let _ = srv.submit(m, "vecadd", 1_000);
     assert_eq!(srv.state.users.len(), users_before, "user table untouched");
 }
