@@ -1,0 +1,67 @@
+//! Criterion bench: Zipf(1.1) deadline-rush replay, cached vs
+//! uncached cluster. The `cache_rush` binary runs the full 500-job
+//! population with gates; this bench keeps a small population so
+//! Criterion can iterate it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wb_bench::Zipf;
+use wb_labs::LabScale;
+use wb_worker::{JobAction, JobRequest};
+use webgpu::{AutoscalePolicy, ClusterV2};
+
+const JOBS: u64 = 48;
+const VARIANTS: usize = 12;
+const FLEET: usize = 4;
+
+fn replay(cached: bool) {
+    let cluster = if cached {
+        ClusterV2::new(
+            FLEET,
+            minicuda::DeviceConfig::test_small(),
+            AutoscalePolicy::Static(FLEET),
+        )
+    } else {
+        ClusterV2::new_uncached(
+            FLEET,
+            minicuda::DeviceConfig::test_small(),
+            AutoscalePolicy::Static(FLEET),
+        )
+    };
+    let lab = wb_labs::definition("vecadd", LabScale::Small).expect("catalog lab");
+    let base = wb_labs::solution("vecadd").expect("catalog solution");
+    let zipf = Zipf::new(VARIANTS, 1.1);
+    let mut rng = StdRng::seed_from_u64(7);
+    for job_id in 0..JOBS {
+        let rank = zipf.sample(&mut rng);
+        cluster.enqueue(
+            JobRequest {
+                job_id,
+                user: format!("student-{rank}"),
+                source: format!("// deadline-rush variant {rank}\n{base}"),
+                spec: lab.spec.clone(),
+                datasets: lab.datasets.clone(),
+                action: JobAction::FullGrade,
+            },
+            0,
+        );
+    }
+    let mut round = 0u64;
+    while cluster.completed() < JOBS && round < 100_000 {
+        cluster.pump(round);
+        round += 1;
+    }
+    assert_eq!(cluster.completed(), JOBS);
+}
+
+fn bench_cache_rush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_rush/zipf_replay_48");
+    g.sample_size(10);
+    g.bench_function("uncached", |b| b.iter(|| replay(false)));
+    g.bench_function("cached", |b| b.iter(|| replay(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_rush);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Experiment: the submission cache under a Zipf(1.1) deadline rush.
+//!
+//! The night before a deadline the platform sees the same handful of
+//! sources over and over — students resubmit near-identical code and
+//! whole cohorts converge on the reference approach. This experiment
+//! replays that population: submissions drawn Zipf(1.1) over a pool of
+//! source variants, pumped through a fleet of 4 v2 workers twice —
+//! once on an uncached cluster (`ClusterV2::new_uncached`) and once on
+//! a cached one (`ClusterV2::new`) — and reports jobs/sec plus the
+//! cache's own gauges.
+//!
+//! Gates (exit nonzero on failure):
+//! * cache hit rate ≥ 50% — always, including `--smoke`;
+//! * cached throughput ≥ 3× uncached — full mode only (the smoke
+//!   population is too small for a stable timing ratio in CI).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wb_bench::Zipf;
+use wb_cache::CacheMetrics;
+use wb_labs::LabScale;
+use wb_worker::{JobAction, JobRequest};
+use webgpu::{AutoscalePolicy, ClusterV2};
+
+const FLEET: usize = 4;
+const SEED: u64 = 0x5c41e;
+
+struct RushParams {
+    jobs: u64,
+    variants: usize,
+    scale: LabScale,
+}
+
+struct RushOutcome {
+    jobs_per_sec: f64,
+    cache: Option<CacheMetrics>,
+}
+
+/// The rank-`rank` member of the variant pool: the vecadd reference
+/// solution with a distinguishing leading comment. Distinct variants
+/// hash to distinct cache keys; repeats of the same rank hit.
+fn variant_source(base: &str, rank: usize) -> String {
+    format!("// deadline-rush variant {rank}\n{base}")
+}
+
+fn replay(params: &RushParams, cached: bool) -> RushOutcome {
+    let cluster = if cached {
+        ClusterV2::new(
+            FLEET,
+            minicuda::DeviceConfig::default(),
+            AutoscalePolicy::Static(FLEET),
+        )
+    } else {
+        ClusterV2::new_uncached(
+            FLEET,
+            minicuda::DeviceConfig::default(),
+            AutoscalePolicy::Static(FLEET),
+        )
+    };
+    let lab = wb_labs::definition("vecadd", params.scale).expect("catalog lab");
+    let base = wb_labs::solution("vecadd").expect("catalog solution");
+    let zipf = Zipf::new(params.variants, 1.1);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for job_id in 0..params.jobs {
+        let rank = zipf.sample(&mut rng);
+        cluster.enqueue(
+            JobRequest {
+                job_id,
+                user: format!("student-{rank}"),
+                source: variant_source(base, rank),
+                spec: lab.spec.clone(),
+                datasets: lab.datasets.clone(),
+                action: JobAction::FullGrade,
+            },
+            0,
+        );
+    }
+    let start = Instant::now();
+    let mut round = 0u64;
+    while cluster.completed() < params.jobs {
+        cluster.pump(round);
+        round += 1;
+        assert!(round < 1_000_000, "fleet stopped making progress");
+    }
+    RushOutcome {
+        jobs_per_sec: params.jobs as f64 / start.elapsed().as_secs_f64(),
+        cache: cluster.cache_metrics(),
+    }
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        RushParams {
+            jobs: 80,
+            variants: 16,
+            scale: LabScale::Small,
+        }
+    } else {
+        RushParams {
+            jobs: 500,
+            variants: 100,
+            scale: LabScale::Full,
+        }
+    };
+    println!(
+        "cache rush — {} vecadd submissions, Zipf(1.1) over {} variants, fleet {}{}",
+        params.jobs,
+        params.variants,
+        FLEET,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let uncached = replay(&params, false);
+    let cached = replay(&params, true);
+    let speedup = cached.jobs_per_sec / uncached.jobs_per_sec;
+    let metrics = cached.cache.expect("cached cluster reports metrics");
+    let total = metrics.total();
+    let hit_rate = total.hit_rate();
+
+    println!();
+    println!("{:>10}  {:>12}", "mode", "jobs/sec");
+    println!("{:>10}  {:>12.1}", "uncached", uncached.jobs_per_sec);
+    println!("{:>10}  {:>12.1}", "cached", cached.jobs_per_sec);
+    println!();
+    println!(
+        "speedup: {speedup:.2}x | hit rate {:.1}% ({} hits, {} misses, {} coalesced)",
+        hit_rate * 100.0,
+        total.hits,
+        total.misses,
+        total.coalesced
+    );
+    println!(
+        "compile tier: {} misses over {} lookups | grade tier: {} misses over {} lookups",
+        metrics.compile.misses,
+        metrics.compile.lookups(),
+        metrics.grade.misses,
+        metrics.grade.lookups()
+    );
+    println!(
+        "resident: {} KiB, {} evictions",
+        total.resident_bytes / 1024,
+        total.evictions
+    );
+
+    let mut failed = false;
+    if hit_rate < 0.5 {
+        eprintln!("FAIL: hit rate {:.1}% below the 50% gate", hit_rate * 100.0);
+        failed = true;
+    }
+    if !smoke && speedup < 3.0 {
+        eprintln!("FAIL: speedup {speedup:.2}x below the 3x gate");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("PASS");
+        ExitCode::SUCCESS
+    }
+}

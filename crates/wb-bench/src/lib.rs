@@ -14,10 +14,12 @@
 //! | `provisioning` | §II-C — static vs reactive vs scheduled fleets |
 //! | `peer_review` | §IV-D — review starvation vs dropout |
 //! | `faults` | §III — fault injection and recovery |
+//! | `cache_rush` | submission cache under a Zipf(1.1) deadline rush |
 //!
 //! Criterion benches cover the substrates (`population`, `labs`,
 //! `sandbox`, `container`, `queue`, `db`, `device`, `cluster`).
 
+use rand::Rng;
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
 
@@ -33,6 +35,42 @@ pub fn reference_job(lab_id: &str, job_id: u64, scale: LabScale, action: JobActi
         spec: lab.spec,
         datasets: lab.datasets,
         action,
+    }
+}
+
+/// Zipf-distributed rank sampler over `0..n`.
+///
+/// Deadline-rush submission streams are heavily repetitive — most
+/// students iterate on a handful of near-identical sources — and a
+/// Zipf law with exponent just above 1 is the standard model for that
+/// popularity skew. Ranks are sampled by inverting a precomputed CDF,
+/// so any `rand::Rng` drives it without extra distribution crates.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (weights
+    /// `1 / (k+1)^s` for rank `k`).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
 
@@ -63,6 +101,24 @@ mod tests {
         let j = reference_job("vecadd", 7, LabScale::Small, JobAction::FullGrade);
         assert_eq!(j.job_id, 7);
         assert!(!j.datasets.is_empty());
+    }
+
+    #[test]
+    fn zipf_favors_low_ranks() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 100];
+        for _ in 0..5000 {
+            let r = zipf.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        // Rank 0 carries ~1/H_{100,1.1} ≈ 20% of the mass; the tail
+        // rank is two orders of magnitude rarer.
+        assert!(counts[0] > counts[50] * 10);
+        assert!(counts[0] > 500);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Single-flight deduplication.
+//!
+//! The deadline rush delivers N concurrent, byte-identical submissions
+//! (the paper's Figure 1 spike is exactly this population). Without
+//! coordination, N workers each recompile and re-execute the same
+//! work; with single-flight, the first arrival for a key becomes the
+//! **leader** and computes, while the other N−1 block on a condvar and
+//! reuse the leader's result. The value is handed to waiters through
+//! the flight slot itself, so correctness does not depend on the entry
+//! surviving in the LRU until the waiters wake.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+struct Flight<V> {
+    slot: Mutex<Option<V>>,
+    done: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// How a [`SingleFlight::run`] call was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// This call computed the value.
+    Leader,
+    /// This call blocked on a concurrent leader and reused its value.
+    Coalesced,
+}
+
+/// A keyed single-flight group.
+pub struct SingleFlight<K, V> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
+    /// Create an empty group.
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().len()
+    }
+
+    /// Run `compute` for `key`, deduplicating against concurrent calls
+    /// with the same key: exactly one caller executes `compute`, every
+    /// concurrent caller receives a clone of its result.
+    ///
+    /// `on_leader_result` runs on the leader after `compute` but
+    /// *before* waiters are released — the cache uses it to publish
+    /// the value to the LRU store so a later arrival that misses the
+    /// flight map is guaranteed to find the store populated.
+    pub fn run(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> V,
+        on_leader_result: impl FnOnce(&V),
+    ) -> (V, FlightRole) {
+        let (flight, role) = {
+            let mut g = self.flights.lock();
+            match g.get(key) {
+                Some(f) => (Arc::clone(f), FlightRole::Coalesced),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    g.insert(key.clone(), Arc::clone(&f));
+                    (f, FlightRole::Leader)
+                }
+            }
+        };
+        match role {
+            FlightRole::Leader => {
+                let value = compute();
+                on_leader_result(&value);
+                {
+                    let mut slot = flight.slot.lock();
+                    *slot = Some(value.clone());
+                    flight.done.notify_all();
+                }
+                // Remove the flight only after the store was populated
+                // and the slot filled: a new arrival either joins this
+                // flight (slot already full → wakes immediately) or
+                // misses it and hits the store.
+                self.flights.lock().remove(key);
+                (value, FlightRole::Leader)
+            }
+            FlightRole::Coalesced => {
+                let mut slot = flight.slot.lock();
+                while slot.is_none() {
+                    flight.done.wait(&mut slot);
+                }
+                (
+                    slot.clone().expect("slot filled before wake"),
+                    FlightRole::Coalesced,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf: SingleFlight<u32, u32> = SingleFlight::new();
+        let (v, r) = sf.run(&1, || 10, |_| {});
+        assert_eq!((v, r), (10, FlightRole::Leader));
+        let (v, r) = sf.run(&1, || 20, |_| {});
+        assert_eq!(
+            (v, r),
+            (20, FlightRole::Leader),
+            "no store here: a finished flight does not linger"
+        );
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_execute_once() {
+        const THREADS: usize = 8;
+        let sf: Arc<SingleFlight<u32, u64>> = Arc::new(SingleFlight::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let executions = Arc::clone(&executions);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    sf.run(
+                        &7,
+                        || {
+                            executions.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for the
+                            // stragglers to pile up behind it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42u64
+                        },
+                        |_| {},
+                    )
+                })
+            })
+            .collect();
+        let results: Vec<(u64, FlightRole)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let leaders = results
+            .iter()
+            .filter(|(_, r)| *r == FlightRole::Leader)
+            .count();
+        assert_eq!(executions.load(Ordering::SeqCst), leaders);
+        assert!(leaders >= 1, "someone led");
+        assert!(
+            results.iter().all(|(v, _)| *v == 42),
+            "every caller got the leader's value"
+        );
+        assert_eq!(sf.in_flight(), 0, "flight map drains");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|k| {
+                let sf = Arc::clone(&sf);
+                std::thread::spawn(move || sf.run(&k, move || k * 10, |_| {}))
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (v, role) = h.join().unwrap();
+            assert_eq!(v, i as u32 * 10);
+            assert_eq!(role, FlightRole::Leader);
+        }
+    }
+
+    #[test]
+    fn publish_hook_runs_before_waiters_wake() {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let published = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(2));
+        let a = {
+            let (sf, published, gate) = (sf.clone(), published.clone(), gate.clone());
+            std::thread::spawn(move || {
+                sf.run(
+                    &1,
+                    || {
+                        gate.wait(); // both threads inside `run`
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        5
+                    },
+                    |_| {
+                        published.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+            })
+        };
+        let b = {
+            let (sf, published, gate) = (sf.clone(), published.clone(), gate.clone());
+            std::thread::spawn(move || {
+                gate.wait();
+                let (v, role) = sf.run(&1, || unreachable!("leader already in flight"), |_| {});
+                // Regardless of which thread led, the publish hook has
+                // run by the time a coalesced waiter holds the value.
+                if role == FlightRole::Coalesced {
+                    assert_eq!(published.load(Ordering::SeqCst), 1);
+                }
+                (v, role)
+            })
+        };
+        let (va, ra) = a.join().unwrap();
+        let (vb, rb) = b.join().unwrap();
+        assert_eq!(va, 5);
+        assert_eq!(vb, 5);
+        assert!(ra == FlightRole::Leader || rb == FlightRole::Leader);
+    }
+}

@@ -1,0 +1,203 @@
+//! Self-contained content hashing (no external deps).
+//!
+//! Cache keys must be derived from the *content* of a submission, not
+//! its identity, so that two students submitting byte-identical code
+//! land on the same entry. The hasher is FNV-1a widened to 128 bits:
+//! fast on the short inputs we feed it (sources are ≤ 256 KiB, specs a
+//! few hundred bytes) and with a collision probability that is
+//! negligible at cluster scale (2⁻⁶⁴ for billions of distinct keys).
+//!
+//! Every variable-length field is length-prefixed before hashing so
+//! that adjacent fields can never alias (`"ab" + "c"` vs `"a" + "bc"`).
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({:032x})", self.0)
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a-128 hasher with field framing.
+#[derive(Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentHasher {
+    /// Start a fresh digest.
+    pub fn new() -> Self {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the digest (no framing — use the typed
+    /// writers for anything variable-length).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Length-prefixed byte field.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes)
+    }
+
+    /// Length-prefixed UTF-8 field.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Fixed-width integer field.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_raw(&v.to_le_bytes())
+    }
+
+    /// Fixed-width signed integer field.
+    pub fn write_i64(&mut self, v: i64) -> &mut Self {
+        self.write_raw(&v.to_le_bytes())
+    }
+
+    /// `usize` field (hashed as 64-bit for portability).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// `f32` field, hashed by bit pattern (`-0.0` and `0.0` therefore
+    /// key differently — bitwise identity is exactly what "same
+    /// dataset" means for a grader).
+    pub fn write_f32(&mut self, v: f32) -> &mut Self {
+        self.write_raw(&v.to_bits().to_le_bytes())
+    }
+
+    /// Length-prefixed `f32` slice.
+    pub fn write_f32s(&mut self, vs: &[f32]) -> &mut Self {
+        self.write_u64(vs.len() as u64);
+        for &v in vs {
+            self.write_f32(v);
+        }
+        self
+    }
+
+    /// Length-prefixed `usize` slice.
+    pub fn write_usizes(&mut self, vs: &[usize]) -> &mut Self {
+        self.write_u64(vs.len() as u64);
+        for &v in vs {
+            self.write_usize(v);
+        }
+        self
+    }
+
+    /// Boolean field.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_raw(&[v as u8])
+    }
+
+    /// Finish the digest.
+    ///
+    /// Plain FNV-1a diffuses a trailing-byte change into only the low
+    /// bits (the final multiply is its last mixing step), so the state
+    /// is run through a splitmix-style xor-shift/multiply finalizer to
+    /// avalanche the whole 128-bit word.
+    pub fn finish(&self) -> ContentHash {
+        let mut x = self.state;
+        x ^= x >> 67;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b994d049bb133111eb);
+        x ^= x >> 61;
+        x = x.wrapping_mul(0x94d049bb133111ebbf58476d1ce4e5b9);
+        x ^= x >> 64;
+        ContentHash(x)
+    }
+}
+
+/// One-shot digest of a byte string.
+pub fn hash_bytes(bytes: &[u8]) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(b"vecadd"), hash_bytes(b"vecadd"));
+        assert_ne!(hash_bytes(b"vecadd"), hash_bytes(b"vecsub"));
+    }
+
+    #[test]
+    fn empty_input_differs_from_nothing() {
+        let h1 = ContentHasher::new().finish();
+        let h2 = hash_bytes(b"");
+        assert_ne!(h1, h2, "length prefix distinguishes empty field");
+    }
+
+    #[test]
+    fn field_framing_prevents_aliasing() {
+        let a = {
+            let mut h = ContentHasher::new();
+            h.write_str("ab").write_str("c");
+            h.finish()
+        };
+        let b = {
+            let mut h = ContentHasher::new();
+            h.write_str("a").write_str("bc");
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_bit_avalanche() {
+        let a = hash_bytes(&[0b0000_0000]);
+        let b = hash_bytes(&[0b0000_0001]);
+        let differing = (a.0 ^ b.0).count_ones();
+        assert!(differing > 20, "only {differing} bits differ");
+    }
+
+    #[test]
+    fn float_bit_pattern_matters() {
+        let a = {
+            let mut h = ContentHasher::new();
+            h.write_f32(0.0);
+            h.finish()
+        };
+        let b = {
+            let mut h = ContentHasher::new();
+            h.write_f32(-0.0);
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let s = hash_bytes(b"x").to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

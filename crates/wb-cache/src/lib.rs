@@ -1,0 +1,36 @@
+//! wb-cache: content-addressed compile/grade cache with single-flight
+//! deduplication.
+//!
+//! The paper's load profile is dominated by deadline rushes in which
+//! many students submit the *same bytes* against the *same datasets*
+//! within minutes (resubmissions, shared starter code, last-minute
+//! copies). Because the grading toolchain is deterministic, any two
+//! submissions with identical inputs produce identical outcomes — so
+//! the cluster can execute each distinct (source, lab-config, dataset)
+//! combination once and serve every duplicate from cache.
+//!
+//! The crate is three layers:
+//!
+//! * [`hash`] / [`key`] — a self-contained 128-bit content hasher and
+//!   the key-derivation rules: [`CompileKey`] covers everything that
+//!   can change a compile result, [`GradeKey`] everything that can
+//!   change a dataset grade.
+//! * [`store`] — a byte-budgeted, sharded LRU ([`LruStore`]).
+//! * [`flight`] / [`cache`] — Condvar-based single-flight
+//!   ([`SingleFlight`]) and the assembled [`SubmissionCache`] with
+//!   hit/miss/coalesced/eviction counters ([`CacheMetrics`]).
+//!
+//! The worker crate instantiates `SubmissionCache<DatasetOutcome>` and
+//! both cluster implementations share one instance fleet-wide.
+
+pub mod cache;
+pub mod flight;
+pub mod hash;
+pub mod key;
+pub mod store;
+
+pub use cache::{CacheConfig, CacheMetrics, CachedMap, CompiledEntry, MapMetrics, SubmissionCache};
+pub use flight::{FlightRole, SingleFlight};
+pub use hash::{hash_bytes, ContentHash, ContentHasher};
+pub use key::{canonicalize_source, CompileKey, GradeKey};
+pub use store::LruStore;

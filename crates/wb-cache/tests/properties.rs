@@ -1,0 +1,186 @@
+//! Property tests for the submission cache.
+//!
+//! The load-bearing property is **hit ≡ fresh execution**: for any
+//! submission, serving it through the cache must produce a result
+//! byte-identical to executing it fresh — on the first (miss) pass and
+//! on every subsequent (hit) pass. The others pin key separation
+//! (distinct configurations never collide) and the LRU byte budget.
+
+use libwb::Dataset;
+use minicuda::{DeviceConfig, Dialect};
+use proptest::prelude::*;
+use wb_cache::{CacheConfig, CompileKey, LruStore};
+use wb_sandbox::{Blacklist, ResourceLimits, ScanMode};
+use wb_worker::{
+    execute_job, execute_job_cached, new_submission_cache, DatasetCase, JobAction, JobRequest,
+    LabSpec,
+};
+
+/// A vecadd solution parameterized by comment text and grid shape so
+/// distinct strategies produce genuinely distinct programs.
+fn vecadd_source(comment: &str, block: usize) -> String {
+    format!(
+        r#"
+        // {comment}
+        __global__ void vecAdd(float* a, float* b, float* out, int n) {{
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {{ out[i] = a[i] + b[i]; }}
+        }}
+        int main() {{
+            int n;
+            float* a = wbImportVector(0, &n);
+            float* b = wbImportVector(1, &n);
+            float* out = (float*) malloc(n * sizeof(float));
+            float* dA; float* dB; float* dC;
+            cudaMalloc(&dA, n * sizeof(float));
+            cudaMalloc(&dB, n * sizeof(float));
+            cudaMalloc(&dC, n * sizeof(float));
+            cudaMemcpy(dA, a, n * sizeof(float), cudaMemcpyHostToDevice);
+            cudaMemcpy(dB, b, n * sizeof(float), cudaMemcpyHostToDevice);
+            vecAdd<<<(n + {bm}) / {block}, {block}>>>(dA, dB, dC, n);
+            cudaMemcpy(out, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(out, n);
+            return 0;
+        }}
+    "#,
+        comment = comment,
+        block = block,
+        bm = block - 1,
+    )
+}
+
+/// A scalar-reduction solution (a second program shape, exercising a
+/// different solution type through the cache).
+fn sum_source(comment: &str) -> String {
+    format!(
+        r#"
+        // {comment}
+        int main() {{
+            int n;
+            float* a = wbImportVector(0, &n);
+            float acc = 0.0;
+            for (int i = 0; i < n; i = i + 1) {{ acc = acc + a[i]; }}
+            wbSolutionScalar(acc);
+            return 0;
+        }}
+    "#
+    )
+}
+
+fn request(job_id: u64, source: String, inputs: Vec<f32>, expected: Dataset) -> JobRequest {
+    let datasets = vec![DatasetCase {
+        name: "d0".into(),
+        inputs: vec![
+            Dataset::Vector(inputs.clone()),
+            Dataset::Vector(inputs.iter().map(|v| v + 1.0).collect()),
+        ],
+        expected,
+    }];
+    JobRequest {
+        job_id,
+        user: "prop".into(),
+        source,
+        spec: LabSpec::cuda_test("prop-lab"),
+        datasets,
+        action: JobAction::FullGrade,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property (a): a cache hit returns an outcome identical to fresh
+    /// execution, for randomized sources and datasets — including
+    /// wrong answers (expected is offset half the time) and the
+    /// scalar-solution program shape.
+    #[test]
+    fn cache_hit_equals_fresh_execution(
+        comment in "[a-z]{1,12}",
+        block in prop_oneof![Just(32usize), Just(64), Just(128)],
+        data in proptest::collection::vec(-100.0f32..100.0, 1..24),
+        offset in prop_oneof![Just(0.0f32), Just(0.5)],
+        use_sum in any::<bool>(),
+    ) {
+        let device = DeviceConfig::test_small();
+        let (source, expected) = if use_sum {
+            let sum: f32 = data.iter().sum();
+            (sum_source(&comment), Dataset::Scalar(sum + offset))
+        } else {
+            let expected: Vec<f32> = data.iter().map(|v| v + v + 1.0 + offset).collect();
+            (vecadd_source(&comment, block), Dataset::Vector(expected))
+        };
+        let req = request(1, source, data, expected);
+        let fresh = execute_job(&req, &device, 3, 0);
+        let cache = new_submission_cache(CacheConfig::default());
+        let miss_pass = execute_job_cached(&req, &device, 3, 0, "webgpu/cuda", &cache);
+        let hit_pass = execute_job_cached(&req, &device, 3, 0, "webgpu/cuda", &cache);
+        prop_assert_eq!(&fresh, &miss_pass, "miss pass must equal fresh");
+        prop_assert_eq!(&fresh, &hit_pass, "hit pass must equal fresh");
+        let m = cache.metrics();
+        prop_assert_eq!(m.compile.misses, 1);
+        prop_assert_eq!(m.compile.hits, 1);
+    }
+
+    /// Property (b): submissions that differ in any keyed component —
+    /// limits, dialect, or blacklist version — never share a compile
+    /// key, even with identical source bytes.
+    #[test]
+    fn distinct_configurations_never_collide(
+        source in "[a-z ]{0,64}",
+        warp_a in 1i64..1_000_000,
+        warp_b in 1i64..1_000_000,
+        dialect_a in prop_oneof![Just(Dialect::Cuda), Just(Dialect::OpenCl)],
+        dialect_b in prop_oneof![Just(Dialect::Cuda), Just(Dialect::OpenCl)],
+        extra_pattern in proptest::option::of("[a-z]{3,8}"),
+    ) {
+        let limits_a = ResourceLimits {
+            max_warp_instructions: warp_a,
+            ..ResourceLimits::default()
+        };
+        let limits_b = ResourceLimits {
+            max_warp_instructions: warp_b,
+            ..ResourceLimits::default()
+        };
+        let blacklist_a = Blacklist::standard();
+        let blacklist_b = match &extra_pattern {
+            Some(p) => {
+                let mut pats: Vec<String> = blacklist_a.patterns().to_vec();
+                pats.push(p.clone());
+                Blacklist::new(pats, ScanMode::RawText)
+            }
+            None => blacklist_a.clone(),
+        };
+        let key_a = CompileKey::derive(
+            &source, dialect_a, "cuda", "webgpu/cuda", &blacklist_a, &limits_a,
+        );
+        let key_b = CompileKey::derive(
+            &source, dialect_b, "cuda", "webgpu/cuda", &blacklist_b, &limits_b,
+        );
+        let same_config = warp_a == warp_b
+            && dialect_a == dialect_b
+            && extra_pattern.is_none();
+        prop_assert_eq!(key_a == key_b, same_config,
+            "keys must collide exactly when every component matches");
+    }
+
+    /// Property (c): no insertion sequence pushes the store past its
+    /// byte budget, and everything still resident is readable.
+    #[test]
+    fn lru_never_exceeds_budget(
+        budget in 1usize..4096,
+        shards in 1usize..8,
+        inserts in proptest::collection::vec((0u64..64, 1usize..512), 1..128),
+    ) {
+        let store: LruStore<u64, u64> = LruStore::new(budget, shards);
+        for (i, (key, weight)) in inserts.iter().enumerate() {
+            store.insert(*key, i as u64, *weight);
+            prop_assert!(store.resident_bytes() <= budget,
+                "resident {} > budget {budget}", store.resident_bytes());
+        }
+        for (key, _) in &inserts {
+            if let Some(v) = store.peek(key) {
+                prop_assert!((v as usize) < inserts.len());
+            }
+        }
+    }
+}

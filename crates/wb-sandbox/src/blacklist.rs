@@ -84,6 +84,11 @@ impl Blacklist {
         &self.patterns
     }
 
+    /// The active scan mode.
+    pub fn mode(&self) -> ScanMode {
+        self.mode
+    }
+
     /// Scan `source`, returning every violation (empty = clean).
     pub fn scan(&self, source: &str) -> Vec<Violation> {
         let text: String = match self.mode {

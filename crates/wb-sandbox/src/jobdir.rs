@@ -8,9 +8,20 @@
 //! is destroyed (and its byte count audited) when the job finishes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Owner uid given to sandboxed jobs (never 0).
 pub const SANDBOX_UID: u32 = 4242;
+
+/// Directories currently alive in this process. A worker that leaks
+/// scratch directories (the real platform's `/tmp` filling up) shows
+/// up here; the leak regression test asserts this returns to zero.
+static LIVE_DIRS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`JobDir`]s currently alive in this process.
+pub fn live_dir_count() -> usize {
+    LIVE_DIRS.load(Ordering::SeqCst)
+}
 
 /// An isolated scratch directory for one compile+run job.
 #[derive(Debug)]
@@ -47,6 +58,7 @@ impl std::fmt::Display for FsError {
 impl JobDir {
     /// Create the unique directory for a job.
     pub fn create(job_id: u64, quota_bytes: usize) -> Self {
+        LIVE_DIRS.fetch_add(1, Ordering::SeqCst);
         JobDir {
             job_id,
             prefix: format!("/tmp/webgpu/job-{job_id}/"),
@@ -122,9 +134,21 @@ impl JobDir {
     }
 
     /// Destroy the directory, returning the bytes reclaimed (the
-    /// worker's cleanup audit).
+    /// worker's cleanup audit). Cleanup itself is RAII — simply
+    /// dropping a `JobDir` reclaims it — so this exists only for
+    /// callers that want the byte count.
     pub fn destroy(self) -> usize {
         self.used_bytes
+    }
+}
+
+impl Drop for JobDir {
+    fn drop(&mut self) {
+        // RAII cleanup: every exit path — including early returns and
+        // panics — releases the directory. An earlier worker version
+        // required an explicit `destroy()` and leaked the directory
+        // when a pipeline stage bailed out before reaching it.
+        LIVE_DIRS.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

@@ -28,6 +28,6 @@ pub mod whitelist;
 
 pub use blacklist::{Blacklist, ScanMode, Violation};
 pub use container::{ContainerPool, Image, PoolStats};
-pub use jobdir::JobDir;
+pub use jobdir::{live_dir_count, JobDir};
 pub use limits::ResourceLimits;
 pub use whitelist::SyscallWhitelist;

@@ -106,6 +106,12 @@ impl SyscallWhitelist {
     pub fn is_empty(&self) -> bool {
         self.allowed.is_empty()
     }
+
+    /// The whitelisted calls, in sorted order (BTreeSet iteration),
+    /// which makes the sequence stable for content hashing.
+    pub fn calls(&self) -> impl Iterator<Item = &str> {
+        self.allowed.iter().map(|s| s.as_str())
+    }
 }
 
 impl HostcallPolicy for SyscallWhitelist {

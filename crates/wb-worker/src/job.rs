@@ -86,7 +86,11 @@ pub struct JobRequest {
 }
 
 /// Result of one dataset run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` is part of the cache's contract: the hit ≡ fresh
+/// property test asserts a cached outcome is indistinguishable from a
+/// recomputed one, field by field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetOutcome {
     /// Dataset name.
     pub name: String,
@@ -113,7 +117,7 @@ impl DatasetOutcome {
 }
 
 /// The worker's reply for a whole job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobOutcome {
     /// Echoed job id.
     pub job_id: u64,

@@ -17,14 +17,19 @@
 //! * the compile → sandbox → execute → evaluate pipeline ([`pipeline`]);
 //! * the node itself, supporting both the v1 push interface and the v2
 //!   queue-polling driver ([`node`]);
-//! * remote configuration with restart-on-change ([`config`]).
+//! * remote configuration with restart-on-change ([`config`]);
+//! * the cluster-wide submission cache instantiation ([`cache`]):
+//!   `wb-cache`'s generic cache pinned to this crate's
+//!   [`job::DatasetOutcome`].
 
+pub mod cache;
 pub mod config;
 pub mod job;
 pub mod node;
 pub mod pipeline;
 
+pub use cache::{dataset_outcome_weight, new_submission_cache, SubmissionCache};
 pub use config::{ConfigServer, WorkerConfig};
 pub use job::{DatasetCase, JobAction, JobOutcome, JobRequest, LabSpec};
 pub use node::{HealthBeat, WorkerNode};
-pub use pipeline::execute_job;
+pub use pipeline::{compile_phase, execute_job, execute_job_cached, run_dataset_case};

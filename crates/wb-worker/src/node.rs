@@ -1,12 +1,14 @@
 //! The worker node: v1 push interface, v2 queue-polling driver,
 //! health checks, container pool, and restart-on-config-change.
 
+use crate::cache::SubmissionCache;
 use crate::config::{ConfigServer, WorkerConfig};
 use crate::job::{JobOutcome, JobRequest};
-use crate::pipeline::execute_job;
+use crate::pipeline::{execute_job, execute_job_cached};
 use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use wb_queue::BrokerHandle;
 use wb_sandbox::{ContainerPool, Image};
 
@@ -41,15 +43,41 @@ struct NodeState {
 pub struct WorkerNode {
     id: u64,
     device: DeviceConfig,
+    /// Cluster-wide submission cache; `None` runs every job fresh
+    /// (the pre-cache behaviour, kept as the bench baseline).
+    cache: Option<Arc<SubmissionCache>>,
     state: Mutex<NodeState>,
 }
 
 impl WorkerNode {
     /// Boot a node against the current remote configuration.
     pub fn boot(id: u64, device: DeviceConfig, config: &WorkerConfig) -> Self {
+        Self::boot_inner(id, device, config, None)
+    }
+
+    /// Boot a node that consults a shared submission cache before
+    /// compiling or grading. Every node in a cluster receives a clone
+    /// of the same `Arc`, which is what makes deduplication
+    /// cluster-wide rather than per-node.
+    pub fn boot_with_cache(
+        id: u64,
+        device: DeviceConfig,
+        config: &WorkerConfig,
+        cache: Arc<SubmissionCache>,
+    ) -> Self {
+        Self::boot_inner(id, device, config, Some(cache))
+    }
+
+    fn boot_inner(
+        id: u64,
+        device: DeviceConfig,
+        config: &WorkerConfig,
+        cache: Option<Arc<SubmissionCache>>,
+    ) -> Self {
         WorkerNode {
             id,
             device,
+            cache,
             state: Mutex::new(NodeState {
                 config_version: config.version,
                 capabilities: config.capabilities.clone(),
@@ -192,11 +220,17 @@ impl WorkerNode {
         }
         // Check out a fresh container for the job (§VI-B: one job per
         // container, destroyed afterwards).
-        let (container, wait_ms) = {
+        let (container, wait_ms, image_name) = {
             let g = self.state.lock();
-            g.pool.checkout()
+            let (c, w) = g.pool.checkout();
+            (c, w, g.pool.image().name.clone())
         };
-        let outcome = execute_job(req, &self.device, self.id, wait_ms);
+        let outcome = match &self.cache {
+            Some(cache) => {
+                execute_job_cached(req, &self.device, self.id, wait_ms, &image_name, cache)
+            }
+            None => execute_job(req, &self.device, self.id, wait_ms),
+        };
         let busy: u64 = outcome
             .datasets
             .iter()
@@ -346,6 +380,23 @@ mod tests {
         let fat = WorkerNode::boot(2, DeviceConfig::test_small(), &cfg);
         let out = fat.submit(&req).expect("node is up");
         assert!(out.compiled(), "{:?}", out.compile_error);
+    }
+
+    #[test]
+    fn nodes_share_a_cluster_wide_cache() {
+        use crate::cache::new_submission_cache;
+        let cache = new_submission_cache(wb_cache::CacheConfig::default());
+        let cfg = WorkerConfig::default();
+        let a = WorkerNode::boot_with_cache(1, DeviceConfig::test_small(), &cfg, cache.clone());
+        let b = WorkerNode::boot_with_cache(2, DeviceConfig::test_small(), &cfg, cache.clone());
+        let out_a = a.submit(&trivial_request(1)).expect("node a up");
+        // A different student submits the same bytes to a different node.
+        let out_b = b.submit(&trivial_request(2)).expect("node b up");
+        assert_eq!(out_a.datasets, out_b.datasets);
+        assert_eq!(out_b.worker_id, 2, "identity fields stay per-job");
+        let m = cache.metrics();
+        assert_eq!(m.compile.hits, 1, "node b reused node a's compile");
+        assert_eq!(m.grade.hits, 1, "node b reused node a's grade");
     }
 
     #[test]

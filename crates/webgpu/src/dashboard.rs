@@ -10,6 +10,7 @@
 
 use crate::v2::ClusterV2;
 use serde::{Deserialize, Serialize};
+use wb_cache::CacheMetrics;
 use wb_queue::BrokerMetrics;
 
 /// One worker's row on the dashboard.
@@ -47,6 +48,8 @@ pub struct Snapshot {
     pub mean_wait_rounds: f64,
     /// Active config version.
     pub config_version: u64,
+    /// Submission-cache counters (`None` on an uncached cluster).
+    pub cache: Option<CacheMetrics>,
 }
 
 impl Snapshot {
@@ -73,6 +76,7 @@ impl Snapshot {
             completed: cluster.completed(),
             mean_wait_rounds: cluster.mean_wait_rounds(),
             config_version: cluster.config.get().version,
+            cache: cluster.cache_metrics(),
         }
     }
 
@@ -110,6 +114,21 @@ impl Snapshot {
             "jobs completed: {} | mean wait: {:.1} rounds\n",
             self.completed, self.mean_wait_rounds
         ));
+        match &self.cache {
+            Some(cache) => {
+                let t = cache.total();
+                out.push_str(&format!(
+                    "cache: {:.1}% hit rate | {} hits {} misses {} coalesced | {} KiB resident, {} evictions\n",
+                    t.hit_rate() * 100.0,
+                    t.hits,
+                    t.misses,
+                    t.coalesced,
+                    t.resident_bytes / 1024,
+                    t.evictions
+                ));
+            }
+            None => out.push_str("cache: disabled\n"),
+        }
         out.push_str("workers:\n");
         for w in &self.workers {
             out.push_str(&format!(
@@ -192,7 +211,34 @@ mod tests {
             completed: 0,
             mean_wait_rounds: 0.0,
             config_version: 1,
+            cache: None,
         };
         assert_eq!(s.active_fraction(), 0.0);
+    }
+
+    #[test]
+    fn render_reports_cache_hit_rate() {
+        let c = cluster_with_work();
+        // Three identical submissions: after draining, two of three
+        // compile lookups were served by the cache.
+        for r in 0..5 {
+            c.pump(r);
+        }
+        let snap = Snapshot::capture(&c, 5);
+        let cache = snap.cache.expect("v2 clusters cache by default");
+        assert_eq!(cache.compile.misses, 1);
+        assert_eq!(cache.compile.hits + cache.compile.coalesced, 2);
+        let text = snap.render();
+        assert!(text.contains("hit rate"), "operator view shows the gauge");
+        assert!(!text.contains("cache: disabled"));
+        // An uncached cluster renders the disabled marker instead.
+        let bare = ClusterV2::new_uncached(
+            1,
+            minicuda::DeviceConfig::test_small(),
+            AutoscalePolicy::Static(1),
+        );
+        assert!(Snapshot::capture(&bare, 0)
+            .render()
+            .contains("cache: disabled"));
     }
 }

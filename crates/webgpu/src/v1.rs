@@ -6,8 +6,11 @@ use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use wb_cache::{CacheConfig, CacheMetrics};
 use wb_server::JobDispatcher;
-use wb_worker::{JobOutcome, JobRequest, WorkerConfig, WorkerNode};
+use wb_worker::{
+    new_submission_cache, JobOutcome, JobRequest, SubmissionCache, WorkerConfig, WorkerNode,
+};
 
 /// Eviction threshold: a worker missing health checks for this many
 /// virtual ms is dropped from the pool (§III-C).
@@ -26,6 +29,9 @@ struct PoolState {
 pub struct ClusterV1 {
     device: DeviceConfig,
     config: WorkerConfig,
+    /// One submission cache shared by every worker — including those
+    /// added later — so duplicate submissions dedupe cluster-wide.
+    cache: Arc<SubmissionCache>,
     state: Mutex<PoolState>,
 }
 
@@ -50,13 +56,22 @@ impl ClusterV1 {
     /// Boot with an explicit worker configuration (e.g. a CUDA-only
     /// image, to demonstrate why v1 could not afford thin nodes).
     pub fn with_config(n: usize, device: DeviceConfig, config: WorkerConfig) -> Self {
+        let cache = new_submission_cache(CacheConfig::default());
         let workers = (1..=n as u64)
-            .map(|id| Arc::new(WorkerNode::boot(id, device.clone(), &config)))
+            .map(|id| {
+                Arc::new(WorkerNode::boot_with_cache(
+                    id,
+                    device.clone(),
+                    &config,
+                    Arc::clone(&cache),
+                ))
+            })
             .collect::<Vec<_>>();
         let last_beat = workers.iter().map(|w| (w.id(), 0)).collect();
         ClusterV1 {
             device,
             config,
+            cache,
             state: Mutex::new(PoolState {
                 workers,
                 last_beat,
@@ -89,14 +104,25 @@ impl ClusterV1 {
     }
 
     /// Add a worker to the pool (manual pre-deadline scaling, §III).
+    /// New workers join the cluster-wide submission cache.
     pub fn add_worker(&self, now_ms: u64) -> u64 {
         let mut g = self.state.lock();
         let id = g.next_worker_id;
         g.next_worker_id += 1;
-        let w = Arc::new(WorkerNode::boot(id, self.device.clone(), &self.config));
+        let w = Arc::new(WorkerNode::boot_with_cache(
+            id,
+            self.device.clone(),
+            &self.config,
+            Arc::clone(&self.cache),
+        ));
         g.last_beat.insert(id, now_ms);
         g.workers.push(w);
         id
+    }
+
+    /// Snapshot the cluster-wide submission-cache counters.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        self.cache.metrics()
     }
 
     /// Remove the most recently added worker (scale-in).
@@ -248,6 +274,23 @@ mod tests {
         for i in 0..3 {
             assert_eq!(c.worker(i).unwrap().jobs_done(), 2, "even spread");
         }
+    }
+
+    #[test]
+    fn duplicate_submissions_hit_the_cluster_cache() {
+        let c = cluster(3);
+        for j in 0..6 {
+            assert!(c.submit(&echo(j)).unwrap().compiled());
+        }
+        // Six identical sources spread round-robin over three workers:
+        // one compile + one grade ran, the rest were cache hits — the
+        // cache is cluster-wide, not per-node.
+        let m = c.cache_metrics();
+        assert_eq!(m.compile.misses, 1);
+        assert_eq!(m.compile.hits, 5);
+        assert_eq!(m.grade.misses, 1);
+        assert_eq!(m.grade.hits, 5);
+        assert!(m.total().hit_rate() > 0.8);
     }
 
     #[test]

@@ -8,10 +8,14 @@ use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use wb_cache::{CacheConfig, CacheMetrics};
 use wb_db::BlobStore;
 use wb_queue::MirroredBroker;
 use wb_server::JobDispatcher;
-use wb_worker::{ConfigServer, JobOutcome, JobRequest, WorkerConfig, WorkerNode};
+use wb_worker::{
+    new_submission_cache, ConfigServer, JobOutcome, JobRequest, SubmissionCache, WorkerConfig,
+    WorkerNode,
+};
 
 /// A worker health record persisted to the metrics database (§VI-B:
 /// *"Each worker node constantly monitors the system, performing
@@ -39,6 +43,9 @@ pub struct ClusterV2 {
     /// Replicated metrics database receiving worker health beats.
     pub metrics_db: wb_db::ReplicatedTable<HealthRecord>,
     device: DeviceConfig,
+    /// Cluster-wide submission cache (`None` for the uncached
+    /// baseline); autoscaled workers join it on boot.
+    cache: Option<Arc<SubmissionCache>>,
     state: Mutex<FleetState>,
     scaler: Mutex<Autoscaler>,
 }
@@ -55,11 +62,44 @@ struct FleetState {
 }
 
 impl ClusterV2 {
-    /// Boot with an initial fleet and a scaling policy.
+    /// Boot with an initial fleet and a scaling policy. The fleet
+    /// shares one submission cache (default budgets).
     pub fn new(initial_workers: usize, device: DeviceConfig, policy: AutoscalePolicy) -> Self {
+        Self::new_inner(
+            initial_workers,
+            device,
+            policy,
+            Some(new_submission_cache(CacheConfig::default())),
+        )
+    }
+
+    /// Boot without a submission cache: every job compiles and grades
+    /// fresh. This is the pre-cache behaviour, kept as the baseline
+    /// for the `cache_rush` experiment.
+    pub fn new_uncached(
+        initial_workers: usize,
+        device: DeviceConfig,
+        policy: AutoscalePolicy,
+    ) -> Self {
+        Self::new_inner(initial_workers, device, policy, None)
+    }
+
+    fn new_inner(
+        initial_workers: usize,
+        device: DeviceConfig,
+        policy: AutoscalePolicy,
+        cache: Option<Arc<SubmissionCache>>,
+    ) -> Self {
         let config = ConfigServer::new(WorkerConfig::default());
         let workers = (1..=initial_workers as u64)
-            .map(|id| Arc::new(WorkerNode::boot(id, device.clone(), &config.get())))
+            .map(|id| {
+                Arc::new(Self::boot_worker(
+                    id,
+                    &device,
+                    &config.get(),
+                    cache.as_ref(),
+                ))
+            })
             .collect::<Vec<_>>();
         ClusterV2 {
             broker: MirroredBroker::new(60_000, 3),
@@ -67,6 +107,7 @@ impl ClusterV2 {
             store: BlobStore::new(),
             metrics_db: wb_db::ReplicatedTable::new(),
             device,
+            cache,
             state: Mutex::new(FleetState {
                 workers,
                 next_worker_id: initial_workers as u64 + 1,
@@ -80,9 +121,27 @@ impl ClusterV2 {
         }
     }
 
+    fn boot_worker(
+        id: u64,
+        device: &DeviceConfig,
+        config: &WorkerConfig,
+        cache: Option<&Arc<SubmissionCache>>,
+    ) -> WorkerNode {
+        match cache {
+            Some(c) => WorkerNode::boot_with_cache(id, device.clone(), config, Arc::clone(c)),
+            None => WorkerNode::boot(id, device.clone(), config),
+        }
+    }
+
     /// Fleet size.
     pub fn fleet_size(&self) -> usize {
         self.state.lock().workers.len()
+    }
+
+    /// Snapshot the cluster-wide submission-cache counters (`None`
+    /// when the cluster was booted uncached).
+    pub fn cache_metrics(&self) -> Option<CacheMetrics> {
+        self.cache.as_ref().map(|c| c.metrics())
     }
 
     /// Jobs completed.
@@ -256,10 +315,13 @@ impl ClusterV2 {
         while g.workers.len() < desired {
             let id = g.next_worker_id;
             g.next_worker_id += 1;
-            g.workers.push(Arc::new(WorkerNode::boot(
+            // Autoscaled workers join the same cluster-wide cache as
+            // the initial fleet.
+            g.workers.push(Arc::new(Self::boot_worker(
                 id,
-                self.device.clone(),
+                &self.device,
                 &self.config.get(),
+                self.cache.as_ref(),
             )));
         }
         // Scale in exactly to the policy's decision: `desired` already
@@ -350,6 +412,44 @@ mod tests {
         let out = c.dispatch(echo(1), 0).unwrap();
         assert!(out.compiled());
         assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn rush_of_identical_jobs_dedupes_cluster_wide() {
+        // Twelve byte-identical submissions against a fleet of four
+        // pumping concurrently: the cache must compile and grade once,
+        // no matter which workers pick which jobs up.
+        let c = ClusterV2::new(4, DeviceConfig::test_small(), AutoscalePolicy::Static(4));
+        for j in 0..12 {
+            c.enqueue(echo(j), 0);
+        }
+        for r in 0..10 {
+            c.pump(r);
+        }
+        assert_eq!(c.completed(), 12);
+        let m = c.cache_metrics().expect("cached by default");
+        assert_eq!(m.compile.misses, 1, "one compile for twelve identical jobs");
+        assert_eq!(m.grade.misses, 1, "one grade for twelve identical jobs");
+        assert_eq!(m.compile.hits + m.compile.coalesced, 11);
+        // Every job still got a full, correct outcome.
+        for j in 0..12 {
+            let out = c.take_result(j).expect("result recorded");
+            assert!(out.compiled());
+            assert_eq!(out.passed_count(), 1);
+        }
+    }
+
+    #[test]
+    fn uncached_baseline_runs_every_job_fresh() {
+        let c = ClusterV2::new_uncached(2, DeviceConfig::test_small(), AutoscalePolicy::Static(2));
+        assert!(c.cache_metrics().is_none());
+        for j in 0..4 {
+            c.enqueue(echo(j), 0);
+        }
+        for r in 0..10 {
+            c.pump(r);
+        }
+        assert_eq!(c.completed(), 4);
     }
 
     #[test]
