@@ -21,12 +21,15 @@ fn bench_v1(c: &mut Criterion) {
                     let cluster = ClusterV1::new(workers, minicuda::DeviceConfig::test_small());
                     for j in 0..BATCH {
                         cluster
-                            .submit(&reference_job(
-                                "vecadd",
-                                j,
-                                LabScale::Small,
-                                JobAction::RunDataset(0),
-                            ))
+                            .submit(
+                                &reference_job(
+                                    "vecadd",
+                                    j,
+                                    LabScale::Small,
+                                    JobAction::RunDataset(0),
+                                ),
+                                0,
+                            )
                             .unwrap();
                     }
                 })

@@ -22,7 +22,7 @@ fn main() {
         let jobs = 60;
         for j in 0..jobs {
             let req = reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0));
-            cluster.submit(&req).expect("job runs");
+            cluster.submit(&req, 0).expect("job runs");
         }
         let wall = t0.elapsed().as_millis();
         let max_share = (0..workers)
@@ -41,12 +41,10 @@ fn main() {
             cluster.worker(2).unwrap().crash();
         }
         if cluster
-            .submit(&reference_job(
-                "vecadd",
-                j,
-                LabScale::Small,
-                JobAction::RunDataset(0),
-            ))
+            .submit(
+                &reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),
+                0,
+            )
             .is_ok()
         {
             completed += 1;

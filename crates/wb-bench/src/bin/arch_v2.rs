@@ -34,7 +34,7 @@ fn main() {
         } else {
             reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0))
         };
-        let out = v1.submit(&req).expect("pool alive");
+        let out = v1.submit(&req, 0).expect("pool alive");
         if !out.compiled() || !out.datasets.iter().all(|d| d.passed()) {
             v1_failed += 1;
         }

@@ -18,12 +18,10 @@ fn main() {
             v1.worker(1).unwrap().crash();
         }
         if v1
-            .submit(&reference_job(
-                "vecadd",
-                j,
-                LabScale::Small,
-                JobAction::RunDataset(0),
-            ))
+            .submit(
+                &reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),
+                0,
+            )
             .is_ok()
         {
             ok += 1;
@@ -60,7 +58,7 @@ fn main() {
             crashed = true;
         }
         if v2.completed() >= 20 && !zone_failed {
-            v2.broker_failover();
+            v2.broker_failover(100 + rounds);
             zone_failed = true;
         }
         v2.pump(100 + rounds);

@@ -1,0 +1,172 @@
+//! Experiment: the cost of tracing on the hot path.
+//!
+//! The observability layer promises that a no-op recorder keeps
+//! overhead unmeasurable and a live recorder stays cheap enough to run
+//! in production. This experiment replays the `cache_rush` deadline
+//! workload — submissions drawn Zipf(1.1) over a pool of source
+//! variants, pumped through a v2 fleet — twice on identical clusters:
+//! once wired to `Recorder::noop()` and once to a live
+//! `Recorder::traced()` capturing every span, counter, and histogram
+//! sample. It reports both throughputs, the traced run's latency
+//! percentiles, and the relative slowdown.
+//!
+//! Gate (exit nonzero on failure): traced throughput within 5% of
+//! no-op throughput, median of 3 interleaved trials.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wb_bench::Zipf;
+use wb_labs::LabScale;
+use wb_obs::Recorder;
+use wb_worker::{JobAction, JobRequest};
+use webgpu::{format_percentiles, AutoscalePolicy, ClusterV2};
+
+const FLEET: usize = 4;
+const SEED: u64 = 0x0b5e7;
+const TRIALS: usize = 3;
+const MAX_SLOWDOWN: f64 = 0.05;
+
+struct Params {
+    jobs: u64,
+    variants: usize,
+    scale: LabScale,
+}
+
+fn variant_source(base: &str, rank: usize) -> String {
+    format!("// trace-overhead variant {rank}\n{base}")
+}
+
+/// One replay on a fresh cluster sharing `obs`; returns jobs/sec.
+fn replay(params: &Params, obs: Arc<Recorder>) -> f64 {
+    let cluster = ClusterV2::new_traced(
+        FLEET,
+        minicuda::DeviceConfig::default(),
+        AutoscalePolicy::Static(FLEET),
+        obs,
+    );
+    let lab = wb_labs::definition("vecadd", params.scale).expect("catalog lab");
+    let base = wb_labs::solution("vecadd").expect("catalog solution");
+    let zipf = Zipf::new(params.variants, 1.1);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for job_id in 0..params.jobs {
+        let rank = zipf.sample(&mut rng);
+        cluster.enqueue(
+            JobRequest {
+                job_id,
+                user: format!("student-{rank}"),
+                source: variant_source(base, rank),
+                spec: lab.spec.clone(),
+                datasets: lab.datasets.clone(),
+                action: JobAction::FullGrade,
+            },
+            0,
+        );
+    }
+    let start = Instant::now();
+    let mut round = 0u64;
+    while cluster.completed() < params.jobs {
+        cluster.pump(round);
+        round += 1;
+        assert!(round < 1_000_000, "fleet stopped making progress");
+    }
+    params.jobs as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        Params {
+            jobs: 80,
+            variants: 16,
+            scale: LabScale::Small,
+        }
+    } else {
+        Params {
+            jobs: 400,
+            variants: 80,
+            scale: LabScale::Full,
+        }
+    };
+    println!(
+        "trace overhead — {} vecadd submissions, Zipf(1.1) over {} variants, fleet {}{}",
+        params.jobs,
+        params.variants,
+        FLEET,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // Interleave noop/traced trials so drift in machine load hits both
+    // arms equally; keep the last traced recorder for the percentile
+    // report.
+    let mut noop_rates = Vec::new();
+    let mut traced_rates = Vec::new();
+    let mut last_traced = None;
+    for _ in 0..TRIALS {
+        noop_rates.push(replay(&params, Arc::new(Recorder::noop())));
+        let obs = Arc::new(Recorder::traced());
+        traced_rates.push(replay(&params, Arc::clone(&obs)));
+        last_traced = Some(obs);
+    }
+    let noop = median(noop_rates);
+    let traced = median(traced_rates);
+    let slowdown = 1.0 - traced / noop;
+
+    println!();
+    println!("{:>10}  {:>12}", "recorder", "jobs/sec");
+    println!("{:>10}  {:>12.1}", "noop", noop);
+    println!("{:>10}  {:>12.1}", "traced", traced);
+    println!();
+    println!(
+        "slowdown: {:.1}% (gate: {:.0}%)",
+        slowdown.max(0.0) * 100.0,
+        MAX_SLOWDOWN * 100.0
+    );
+
+    let snap = last_traced.expect("ran at least one trial").snapshot();
+    println!(
+        "traced run recorded {} events ({} dropped), {} spans",
+        snap.recent_events.len(),
+        snap.dropped_events,
+        snap.spans_tracked
+    );
+    println!(
+        "queue wait: {}",
+        format_percentiles(&snap.queue_wait_rounds, "rounds")
+    );
+    println!(
+        "compile:    {}",
+        format_percentiles(&snap.compile_micros, "us")
+    );
+    println!(
+        "grade:      {}",
+        format_percentiles(&snap.grade_micros, "us")
+    );
+
+    if snap.counter("jobs_completed") != params.jobs {
+        eprintln!(
+            "FAIL: traced run completed {} of {} jobs in the books",
+            snap.counter("jobs_completed"),
+            params.jobs
+        );
+        return ExitCode::FAILURE;
+    }
+    if slowdown > MAX_SLOWDOWN {
+        eprintln!(
+            "FAIL: tracing costs {:.1}%, above the {:.0}% gate",
+            slowdown * 100.0,
+            MAX_SLOWDOWN * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("PASS");
+    ExitCode::SUCCESS
+}

@@ -50,18 +50,35 @@ impl<K: Hash + Eq + Clone, V: Clone> CachedMap<K, V> {
         weigh: impl FnOnce(&V) -> usize,
         compute: impl FnOnce() -> V,
     ) -> V {
+        self.get_or_compute_traced(key, weigh, compute).0
+    }
+
+    /// [`CachedMap::get_or_compute`], also reporting how the lookup
+    /// was served so callers can annotate job traces.
+    pub fn get_or_compute_traced(
+        &self,
+        key: K,
+        weigh: impl FnOnce(&V) -> usize,
+        compute: impl FnOnce() -> V,
+    ) -> (V, LookupOutcome) {
         if let Some(v) = self.store.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return v;
+            return (v, LookupOutcome::Hit);
         }
         let (value, role) = self.flight.run(&key, compute, |v| {
             self.store.insert(key.clone(), v.clone(), weigh(v));
         });
-        match role {
-            FlightRole::Leader => self.misses.fetch_add(1, Ordering::Relaxed),
-            FlightRole::Coalesced => self.coalesced.fetch_add(1, Ordering::Relaxed),
+        let outcome = match role {
+            FlightRole::Leader => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                LookupOutcome::Miss
+            }
+            FlightRole::Coalesced => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                LookupOutcome::Coalesced
+            }
         };
-        value
+        (value, outcome)
     }
 
     /// Read without counting or recency effects (metrics/tests).
@@ -90,6 +107,25 @@ impl<K: Hash + Eq + Clone, V: Clone> CachedMap<K, V> {
             resident_bytes: self.store.resident_bytes() as u64,
             budget_bytes: self.store.budget_bytes() as u64,
         }
+    }
+}
+
+/// How a cache lookup was served — mirrors the hit/miss/coalesced
+/// counters, but per lookup, so workers can annotate job spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Served from the resident store.
+    Hit,
+    /// Led a fresh computation.
+    Miss,
+    /// Waited on a concurrent leader's computation.
+    Coalesced,
+}
+
+impl LookupOutcome {
+    /// True when no fresh computation ran for this caller.
+    pub fn saved_work(self) -> bool {
+        !matches!(self, LookupOutcome::Miss)
     }
 }
 
@@ -245,14 +281,35 @@ impl<G: Clone> SubmissionCache<G> {
         key: CompileKey,
         compute: impl FnOnce() -> CompiledEntry,
     ) -> CompiledEntry {
+        self.compile_or_traced(key, compute).0
+    }
+
+    /// [`SubmissionCache::compile_or`] plus the lookup outcome for
+    /// trace annotation.
+    pub fn compile_or_traced(
+        &self,
+        key: CompileKey,
+        compute: impl FnOnce() -> CompiledEntry,
+    ) -> (CompiledEntry, LookupOutcome) {
         self.compile
-            .get_or_compute(key, CompiledEntry::weight, compute)
+            .get_or_compute_traced(key, CompiledEntry::weight, compute)
     }
 
     /// Serve a grade outcome from cache, computing it exactly once
     /// across concurrent identical runs.
     pub fn grade_or(&self, key: GradeKey, compute: impl FnOnce() -> G) -> G {
-        self.grade.get_or_compute(key, self.grade_weigher, compute)
+        self.grade_or_traced(key, compute).0
+    }
+
+    /// [`SubmissionCache::grade_or`] plus the lookup outcome for trace
+    /// annotation.
+    pub fn grade_or_traced(
+        &self,
+        key: GradeKey,
+        compute: impl FnOnce() -> G,
+    ) -> (G, LookupOutcome) {
+        self.grade
+            .get_or_compute_traced(key, self.grade_weigher, compute)
     }
 
     /// Snapshot both tiers' counters.

@@ -29,7 +29,9 @@ pub mod hash;
 pub mod key;
 pub mod store;
 
-pub use cache::{CacheConfig, CacheMetrics, CachedMap, CompiledEntry, MapMetrics, SubmissionCache};
+pub use cache::{
+    CacheConfig, CacheMetrics, CachedMap, CompiledEntry, LookupOutcome, MapMetrics, SubmissionCache,
+};
 pub use flight::{FlightRole, SingleFlight};
 pub use hash::{hash_bytes, ContentHash, ContentHasher};
 pub use key::{canonicalize_source, CompileKey, GradeKey};

@@ -1,0 +1,111 @@
+//! Per-job lifecycle spans.
+
+use crate::event::{Annotation, JobPhase};
+
+/// Read-only view of one job's recorded lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanView {
+    /// Platform job id — doubles as the trace id surfaced to clients.
+    pub job_id: u64,
+    /// Phase boundaries as `(phase, at_ms, seq)` in recording order.
+    pub phases: Vec<(JobPhase, u64, u64)>,
+    /// Annotations as `(annotation, at_ms, seq)` in recording order.
+    pub annotations: Vec<(Annotation, u64, u64)>,
+}
+
+impl SpanView {
+    /// A span is complete when it opens with `Queued` and closes with
+    /// exactly one terminal phase (`Graded` or `Failed`) at the end.
+    pub fn is_complete(&self) -> bool {
+        let terminals = self
+            .phases
+            .iter()
+            .filter(|(p, _, _)| p.is_terminal())
+            .count();
+        matches!(self.phases.first(), Some((JobPhase::Queued, _, _)))
+            && terminals == 1
+            && self.phases.last().map(|(p, _, _)| p.is_terminal()) == Some(true)
+    }
+
+    /// A span is ordered when sequence numbers strictly increase and
+    /// phase ranks never regress (`Dispatched` may repeat on
+    /// redelivery; a terminal never precedes a non-terminal).
+    pub fn is_ordered(&self) -> bool {
+        self.phases
+            .windows(2)
+            .all(|w| w[0].2 < w[1].2 && w[0].0.rank() <= w[1].0.rank())
+    }
+
+    /// The terminal phase, if one was recorded.
+    pub fn terminal(&self) -> Option<JobPhase> {
+        self.phases
+            .iter()
+            .rev()
+            .find(|(p, _, _)| p.is_terminal())
+            .map(|(p, _, _)| *p)
+    }
+
+    /// True when the span carries the given annotation.
+    pub fn has(&self, a: Annotation) -> bool {
+        self.annotations.iter().any(|(x, _, _)| *x == a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(phases: &[(JobPhase, u64, u64)]) -> SpanView {
+        SpanView {
+            job_id: 1,
+            phases: phases.to_vec(),
+            annotations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn complete_ordered_chain() {
+        let s = span(&[
+            (JobPhase::Queued, 0, 1),
+            (JobPhase::Dispatched, 1, 2),
+            (JobPhase::Compiled, 2, 3),
+            (JobPhase::Graded, 3, 4),
+        ]);
+        assert!(s.is_complete());
+        assert!(s.is_ordered());
+        assert_eq!(s.terminal(), Some(JobPhase::Graded));
+    }
+
+    #[test]
+    fn orphan_and_duplicate_terminals_are_incomplete() {
+        // No terminal at all.
+        assert!(!span(&[(JobPhase::Queued, 0, 1), (JobPhase::Dispatched, 1, 2)]).is_complete());
+        // Two terminals.
+        assert!(!span(&[
+            (JobPhase::Queued, 0, 1),
+            (JobPhase::Graded, 1, 2),
+            (JobPhase::Failed, 2, 3),
+        ])
+        .is_complete());
+        // Missing the Queued opener.
+        assert!(!span(&[(JobPhase::Dispatched, 0, 1), (JobPhase::Graded, 1, 2)]).is_complete());
+    }
+
+    #[test]
+    fn redelivery_keeps_order_but_regression_breaks_it() {
+        let redelivered = span(&[
+            (JobPhase::Queued, 0, 1),
+            (JobPhase::Dispatched, 1, 2),
+            (JobPhase::Dispatched, 5, 7),
+            (JobPhase::Compiled, 6, 8),
+            (JobPhase::Graded, 7, 9),
+        ]);
+        assert!(redelivered.is_ordered());
+        let regressed = span(&[
+            (JobPhase::Queued, 0, 1),
+            (JobPhase::Compiled, 1, 2),
+            (JobPhase::Dispatched, 2, 3),
+        ]);
+        assert!(!regressed.is_ordered());
+    }
+}

@@ -3,6 +3,8 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use wb_obs::{Counter, Recorder};
 
 /// Metadata carried by every job.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,11 +65,25 @@ pub struct Broker<T> {
     inner: Mutex<Inner<T>>,
     visibility_timeout_ms: u64,
     max_attempts: u32,
+    obs: Arc<Recorder>,
 }
 
 impl<T: Clone> Broker<T> {
     /// Broker with the given visibility timeout and retry budget.
     pub fn new(visibility_timeout_ms: u64, max_attempts: u32) -> Self {
+        Broker::with_recorder(
+            visibility_timeout_ms,
+            max_attempts,
+            Arc::new(Recorder::noop()),
+        )
+    }
+
+    /// Broker that reports queue traffic to a shared recorder.
+    pub fn with_recorder(
+        visibility_timeout_ms: u64,
+        max_attempts: u32,
+        obs: Arc<Recorder>,
+    ) -> Self {
         assert!(max_attempts >= 1, "at least one attempt");
         Broker {
             inner: Mutex::new(Inner {
@@ -78,6 +94,7 @@ impl<T: Clone> Broker<T> {
             }),
             visibility_timeout_ms,
             max_attempts,
+            obs,
         }
     }
 
@@ -97,6 +114,7 @@ impl<T: Clone> Broker<T> {
             payload,
             invisible_until: None,
         });
+        self.obs.bump(Counter::QueueEnqueued);
         id
     }
 
@@ -104,7 +122,7 @@ impl<T: Clone> Broker<T> {
     /// their retry budget. Every observation of the queue (`poll`,
     /// `depth`, `in_flight`) sweeps first so autoscalers never see
     /// phantom depth from jobs that can no longer be delivered.
-    fn sweep(g: &mut Inner<T>, now_ms: u64, max_attempts: u32) {
+    fn sweep(g: &mut Inner<T>, now_ms: u64, max_attempts: u32, obs: &Recorder) {
         // Reclaim expired deliveries.
         let mut timeouts = 0;
         for j in g.jobs.iter_mut() {
@@ -116,6 +134,7 @@ impl<T: Clone> Broker<T> {
             }
         }
         g.metrics.timeouts += timeouts;
+        obs.add(Counter::QueueTimeouts, timeouts);
 
         // Dead-letter jobs that exhausted their attempts.
         let mut k = 0;
@@ -123,6 +142,7 @@ impl<T: Clone> Broker<T> {
             if g.jobs[k].invisible_until.is_none() && g.jobs[k].meta.attempts >= max_attempts {
                 let j = g.jobs.remove(k);
                 g.metrics.dead_lettered += 1;
+                obs.dead_letter(j.meta.id, now_ms);
                 g.dead.push(Delivery {
                     meta: j.meta,
                     payload: j.payload,
@@ -138,7 +158,7 @@ impl<T: Clone> Broker<T> {
     /// reclaimed first.
     pub fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
         let mut g = self.inner.lock();
-        Self::sweep(&mut g, now_ms, self.max_attempts);
+        Self::sweep(&mut g, now_ms, self.max_attempts, &self.obs);
         let idx = g.jobs.iter().position(|j| {
             j.invisible_until.is_none() && j.meta.tags.iter().all(|t| capabilities.contains(t))
         })?;
@@ -150,11 +170,22 @@ impl<T: Clone> Broker<T> {
             payload: job.payload.clone(),
         };
         g.metrics.delivered += 1;
+        self.obs.bump(Counter::QueueDelivered);
         Some(d)
     }
 
     /// Acknowledge successful completion; removes the job.
     pub fn ack(&self, job_id: u64) -> bool {
+        let removed = self.ack_untracked(job_id);
+        if removed {
+            self.obs.bump(Counter::QueueAcked);
+        }
+        removed
+    }
+
+    /// Ack without reporting to the recorder — the mirror uses this on
+    /// the passive zone so a fanned-out ack is counted once.
+    pub(crate) fn ack_untracked(&self, job_id: u64) -> bool {
         let mut g = self.inner.lock();
         let before = g.jobs.len();
         g.jobs.retain(|j| j.meta.id != job_id);
@@ -173,6 +204,7 @@ impl<T: Clone> Broker<T> {
             if j.meta.id == job_id {
                 j.invisible_until = None;
                 g.metrics.nacked += 1;
+                self.obs.bump(Counter::QueueNacked);
                 return true;
             }
         }
@@ -185,7 +217,7 @@ impl<T: Clone> Broker<T> {
     /// depth (a poisoned job must not trigger scale-out forever).
     pub fn depth(&self, now_ms: u64) -> usize {
         let mut g = self.inner.lock();
-        Self::sweep(&mut g, now_ms, self.max_attempts);
+        Self::sweep(&mut g, now_ms, self.max_attempts, &self.obs);
         g.jobs
             .iter()
             .filter(|j| j.invisible_until.is_none())
@@ -195,7 +227,7 @@ impl<T: Clone> Broker<T> {
     /// Jobs in flight (delivered, not yet acked or expired).
     pub fn in_flight(&self, now_ms: u64) -> usize {
         let mut g = self.inner.lock();
-        Self::sweep(&mut g, now_ms, self.max_attempts);
+        Self::sweep(&mut g, now_ms, self.max_attempts, &self.obs);
         g.jobs
             .iter()
             .filter(|j| j.invisible_until.is_some())

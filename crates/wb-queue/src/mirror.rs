@@ -9,6 +9,8 @@
 use crate::broker::{Broker, BrokerMetrics, Delivery};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use wb_obs::Recorder;
 
 /// Which zone is currently serving traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,9 +31,24 @@ pub struct MirroredBroker<T> {
 impl<T: Clone> MirroredBroker<T> {
     /// Build a mirrored pair with identical configuration.
     pub fn new(visibility_timeout_ms: u64, max_attempts: u32) -> Self {
+        MirroredBroker::with_recorder(
+            visibility_timeout_ms,
+            max_attempts,
+            Arc::new(Recorder::noop()),
+        )
+    }
+
+    /// Mirrored pair reporting to a shared recorder. Both zones share
+    /// it; passive-zone bookkeeping stays silent so fanned-out acks and
+    /// mirrored enqueues are counted exactly once.
+    pub fn with_recorder(
+        visibility_timeout_ms: u64,
+        max_attempts: u32,
+        obs: Arc<Recorder>,
+    ) -> Self {
         MirroredBroker {
-            primary: Broker::new(visibility_timeout_ms, max_attempts),
-            standby: Broker::new(visibility_timeout_ms, max_attempts),
+            primary: Broker::with_recorder(visibility_timeout_ms, max_attempts, Arc::clone(&obs)),
+            standby: Broker::with_recorder(visibility_timeout_ms, max_attempts, obs),
             active: Mutex::new(ActiveZone::Primary),
         }
     }
@@ -92,7 +109,7 @@ impl<T: Clone> MirroredBroker<T> {
     /// Ack on both zones so the standby drops completed jobs.
     pub fn ack(&self, job_id: u64) -> bool {
         let ok = self.active().ack(job_id);
-        self.passive().ack(job_id);
+        self.passive().ack_untracked(job_id);
         ok
     }
 

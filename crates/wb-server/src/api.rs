@@ -1,0 +1,236 @@
+//! The typed submission API: one request shape, one outcome shape, one
+//! error taxonomy — shared by the web server and both cluster
+//! generations.
+//!
+//! The original server grew three parallel entry points (`compile`,
+//! `run_dataset`, `submit`) with three return types and a stringly
+//! `Dispatch(String)` error that flattened every failure mode the
+//! clusters could produce. The redesigned surface is a single
+//! [`WebGpuServer::submit`](crate::WebGpuServer::submit) taking a
+//! [`SubmitRequest`] and returning a [`SubmissionOutcome`] whose
+//! `trace_id` joins the result to its recorded span in `wb-obs`.
+//! Failures are a closed [`WbError`] taxonomy, so the UI layer can
+//! branch on *kind* (show a retry countdown, render a compiler diag,
+//! page the operator) instead of grepping message strings.
+
+use crate::session::AuthError;
+
+/// Every way a submission can fail, across the web tier and both
+/// cluster backends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WbError {
+    /// Refused before any work ran: auth failure, unknown lab,
+    /// malformed input, forbidden operation.
+    Rejected {
+        /// Student-facing explanation.
+        reason: String,
+    },
+    /// The per-user token bucket is empty.
+    RateLimited {
+        /// Seconds until the next token accrues.
+        retry_after_s: f64,
+    },
+    /// The student's code did not compile (includes blacklist and
+    /// size-limit rejections — anything the compile phase refuses).
+    CompileError {
+        /// Rendered compiler output, plus any automated hints.
+        report: String,
+    },
+    /// The code compiled but a dataset run crashed, was killed by the
+    /// sandbox, or otherwise errored (wrong *answers* are not errors —
+    /// they come back as a non-passing [`SubmissionOutcome`]).
+    RuntimeError {
+        /// Rendered run output, plus any automated hints.
+        report: String,
+    },
+    /// The platform, not the student: no workers, queue down, fleet
+    /// scaled to zero, job lost.
+    Infra {
+        /// Operator-facing detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WbError::Rejected { reason } => write!(f, "{reason}"),
+            WbError::RateLimited { retry_after_s } => {
+                write!(
+                    f,
+                    "submission rate limit: retry in {retry_after_s:.0} seconds"
+                )
+            }
+            WbError::CompileError { report } => write!(f, "compilation failed:\n{report}"),
+            WbError::RuntimeError { report } => write!(f, "program failed:\n{report}"),
+            WbError::Infra { detail } => write!(f, "could not run your code: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WbError {}
+
+impl From<AuthError> for WbError {
+    fn from(e: AuthError) -> Self {
+        WbError::Rejected {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl WbError {
+    /// Shorthand for an [`WbError::Infra`] failure.
+    pub fn infra(detail: impl Into<String>) -> Self {
+        WbError::Infra {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for an [`WbError::Rejected`] refusal.
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        WbError::Rejected {
+            reason: reason.into(),
+        }
+    }
+
+    /// The student-facing report carried by compile/runtime failures.
+    pub fn report(&self) -> Option<&str> {
+        match self {
+            WbError::CompileError { report } | WbError::RuntimeError { report } => Some(report),
+            _ => None,
+        }
+    }
+}
+
+/// What a submission asks the platform to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitAction {
+    /// Compile only (student action 2).
+    CompileOnly,
+    /// Run against one instructor dataset (student action 3).
+    RunDataset(usize),
+    /// Run every dataset and record a grade (student action 5).
+    FullGrade,
+}
+
+/// A typed submission request, built with the named constructors and
+/// stamped with a virtual time via [`SubmitRequest::at`].
+///
+/// ```
+/// # use wb_server::SubmitRequest;
+/// let req = SubmitRequest::run_dataset(42, "vecadd", 1).at(30_000);
+/// assert_eq!(req.lab, "vecadd");
+/// assert_eq!(req.at_ms, 30_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Session token of the submitting student.
+    pub token: u64,
+    /// Lab id.
+    pub lab: String,
+    /// What to run.
+    pub action: SubmitAction,
+    /// Virtual ms of the request (defaults to 0).
+    pub at_ms: u64,
+}
+
+impl SubmitRequest {
+    fn new(token: u64, lab: &str, action: SubmitAction) -> Self {
+        SubmitRequest {
+            token,
+            lab: lab.to_string(),
+            action,
+            at_ms: 0,
+        }
+    }
+
+    /// A compile-only request.
+    pub fn compile_only(token: u64, lab: &str) -> Self {
+        Self::new(token, lab, SubmitAction::CompileOnly)
+    }
+
+    /// A single-dataset run.
+    pub fn run_dataset(token: u64, lab: &str, dataset: usize) -> Self {
+        Self::new(token, lab, SubmitAction::RunDataset(dataset))
+    }
+
+    /// A full graded submission.
+    pub fn full_grade(token: u64, lab: &str) -> Self {
+        Self::new(token, lab, SubmitAction::FullGrade)
+    }
+
+    /// Stamp the request with a virtual time.
+    pub fn at(mut self, now_ms: u64) -> Self {
+        self.at_ms = now_ms;
+        self
+    }
+}
+
+/// The result of a successful submission, of any [`SubmitAction`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionOutcome {
+    /// The platform job id this submission ran as — also the span id
+    /// under which `wb-obs` recorded its lifecycle, so a slow or odd
+    /// outcome can be joined straight to its trace.
+    pub trace_id: u64,
+    /// Row id of the durable record: an attempt row for
+    /// compile/run-dataset, a submission row for full grades.
+    pub record_id: u64,
+    /// Did the code compile? (Always true for compile/run actions —
+    /// their compile failures surface as [`WbError::CompileError`] —
+    /// but a recorded full grade keeps the flag.)
+    pub compiled: bool,
+    /// Datasets whose output matched.
+    pub passed: usize,
+    /// Datasets that ran.
+    pub total: usize,
+    /// Rubric score — `Some` only for [`SubmitAction::FullGrade`].
+    pub score: Option<f64>,
+    /// Student-facing text: per-dataset summaries, timer report, logs,
+    /// automated hints.
+    pub report: String,
+}
+
+impl SubmissionOutcome {
+    /// True when the code compiled and every dataset that ran matched.
+    pub fn all_passed(&self) -> bool {
+        self.compiled && self.passed == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_stamping() {
+        let r = SubmitRequest::full_grade(7, "scan");
+        assert_eq!(r.at_ms, 0);
+        assert_eq!(r.action, SubmitAction::FullGrade);
+        let r = SubmitRequest::compile_only(7, "scan").at(99);
+        assert_eq!(r.at_ms, 99);
+        assert_eq!(
+            SubmitRequest::run_dataset(7, "scan", 2).action,
+            SubmitAction::RunDataset(2)
+        );
+    }
+
+    #[test]
+    fn error_display_keeps_ui_contracts() {
+        let e = WbError::RateLimited { retry_after_s: 9.4 };
+        assert!(e.to_string().contains("retry in 9 seconds"));
+        let e = WbError::infra("no workers in the pool");
+        assert!(e.to_string().contains("no workers in the pool"));
+        let e = WbError::CompileError {
+            report: "syntax error".into(),
+        };
+        assert_eq!(e.report(), Some("syntax error"));
+        assert!(WbError::rejected("nope").report().is_none());
+    }
+
+    #[test]
+    fn auth_errors_become_rejections() {
+        let e: WbError = AuthError::NotInstructor.into();
+        assert!(matches!(e, WbError::Rejected { .. }));
+    }
+}

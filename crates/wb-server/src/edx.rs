@@ -8,6 +8,7 @@
 //! flow over `wb-queue`, with lab datasets fetched from the blob store
 //! instead of shipped inline.
 
+use crate::api::WbError;
 use crate::server::JobDispatcher;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -119,7 +120,7 @@ impl EdxFrontend {
 }
 
 impl JobDispatcher for EdxFrontend {
-    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, String> {
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         let job_id = req.job_id;
         let tags = req.spec.tags.clone();
         self.broker.enqueue(req, tags, now_ms);
@@ -130,17 +131,16 @@ impl JobDispatcher for EdxFrontend {
                 // tagged beyond the fleet's capabilities or everyone is
                 // down.
                 if self.broker.depth(now_ms + round + 1) > 0 {
-                    return Err(
-                        "no worker in the fleet can run this job (missing capability tags or all down)"
-                            .to_string(),
-                    );
+                    return Err(WbError::infra(
+                        "no worker in the fleet can run this job (missing capability tags or all down)",
+                    ));
                 }
             }
             if let Some(out) = self.take_result(job_id) {
                 return Ok(out);
             }
         }
-        Err("job did not complete".to_string())
+        Err(WbError::infra("job did not complete"))
     }
 }
 
@@ -204,7 +204,8 @@ mod tests {
         let mut req = echo_request(2);
         req.spec.tags = ["mpi".to_string()].into_iter().collect();
         let err = edx.dispatch(req, 0).unwrap_err();
-        assert!(err.contains("capability"));
+        assert!(matches!(err, WbError::Infra { .. }));
+        assert!(err.to_string().contains("capability"));
     }
 
     #[test]
@@ -236,7 +237,7 @@ mod tests {
         let (broker, workers) = fleet(1);
         workers[0].crash();
         let edx = EdxFrontend::new(broker, workers);
-        let err = edx.dispatch(echo_request(3), 0).unwrap_err();
+        let err = edx.dispatch(echo_request(3), 0).unwrap_err().to_string();
         assert!(err.contains("down") || err.contains("capability"));
     }
 }

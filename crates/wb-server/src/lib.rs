@@ -8,6 +8,9 @@
 //!
 //! Modules:
 //!
+//! * [`api`] — the typed submission surface: [`SubmitRequest`],
+//!   [`SubmissionOutcome`], and the unified [`WbError`] taxonomy shared
+//!   by the server and both cluster generations;
 //! * [`server`] — the six student actions (§IV-A), instructor tools and
 //!   roster (§IV-F), behind a [`server::JobDispatcher`] abstraction so
 //!   the same logic runs on the v1 push cluster, the v2 queue cluster,
@@ -22,6 +25,7 @@
 //!   and blob store (§VI-A);
 //! * [`state`] — record types and the database schema.
 
+pub mod api;
 pub mod edx;
 pub mod gradebook;
 pub mod hints;
@@ -33,13 +37,12 @@ pub mod server;
 pub mod session;
 pub mod state;
 
+pub use api::{SubmissionOutcome, SubmitAction, SubmitRequest, WbError};
 pub use edx::EdxFrontend;
 pub use gradebook::{CourseraGradebook, ExternalGradebook, GradePost};
 pub use hints::{hints_for, Hint};
 pub use lab::{LabDefinition, Rubric};
 pub use ratelimit::{RateLimit, RateLimiter};
-pub use server::{
-    AttemptView, JobDispatcher, LocalDispatcher, RosterRow, ServerError, WebGpuServer,
-};
+pub use server::{JobDispatcher, LocalDispatcher, RosterRow, WebGpuServer};
 pub use session::{AuthError, Session, Sessions};
 pub use state::{DeviceKind, Role, ServerState};

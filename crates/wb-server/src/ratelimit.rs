@@ -4,6 +4,7 @@
 //! submission rate…"* — a per-user token bucket over virtual time,
 //! configured per lab.
 
+use crate::api::WbError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -49,8 +50,9 @@ impl RateLimiter {
     }
 
     /// Try to consume one token for `key` at virtual time `now_ms`.
-    /// Returns `Ok(())` or the seconds until the next token.
-    pub fn check(&self, key: &str, now_ms: u64) -> Result<(), f64> {
+    /// Returns `Ok(())` or [`WbError::RateLimited`] carrying the
+    /// seconds until the next token.
+    pub fn check(&self, key: &str, now_ms: u64) -> Result<(), WbError> {
         let mut g = self.buckets.lock();
         let b = g.entry(key.to_string()).or_insert(Bucket {
             tokens: self.limit.burst,
@@ -63,7 +65,9 @@ impl RateLimiter {
             b.tokens -= 1.0;
             Ok(())
         } else {
-            Err((1.0 - b.tokens) / self.limit.per_second)
+            Err(WbError::RateLimited {
+                retry_after_s: (1.0 - b.tokens) / self.limit.per_second,
+            })
         }
     }
 }
@@ -80,8 +84,11 @@ mod tests {
         });
         assert!(rl.check("alice/vecadd", 0).is_ok());
         assert!(rl.check("alice/vecadd", 1).is_ok());
-        let wait = rl.check("alice/vecadd", 2).unwrap_err();
-        assert!(wait > 0.0 && wait <= 10.0);
+        let WbError::RateLimited { retry_after_s } = rl.check("alice/vecadd", 2).unwrap_err()
+        else {
+            panic!("expected a rate-limit error");
+        };
+        assert!(retry_after_s > 0.0 && retry_after_s <= 10.0);
     }
 
     #[test]

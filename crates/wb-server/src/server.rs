@@ -3,24 +3,33 @@
 //!
 //! Job execution is behind the [`JobDispatcher`] trait so the same
 //! server logic runs on the v1 push cluster, the v2 queue cluster, or a
-//! single in-process worker (tests).
+//! single in-process worker (tests). Submissions of every kind go
+//! through one typed entry point, [`WebGpuServer::submit`], which
+//! returns a [`SubmissionOutcome`] or a [`WbError`] and records the
+//! attempt in the per-course metrics of a shared [`Recorder`].
 
+use crate::api::{SubmissionOutcome, SubmitAction, SubmitRequest, WbError};
 use crate::lab::LabDefinition;
 use crate::markdown;
 use crate::ratelimit::{RateLimit, RateLimiter};
-use crate::session::{AuthError, Sessions};
+use crate::session::Sessions;
 use crate::state::{
     AnswerRec, AttemptRec, DeviceKind, RevisionRec, Role, ServerState, SubmissionRec,
 };
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wb_obs::{Counter, MetricsSnapshot, Recorder};
 use wb_worker::{JobAction, JobOutcome, JobRequest};
 
 /// Abstract job execution backend.
 pub trait JobDispatcher: Send + Sync {
     /// Execute a job somewhere, synchronously from the caller's view.
-    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, String>;
+    /// Backend failures come back as [`WbError::Infra`]; the student's
+    /// own compile/runtime failures are *not* errors at this layer —
+    /// they ride inside the [`JobOutcome`].
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError>;
 }
 
 /// A dispatcher running jobs on one in-process worker node (used by
@@ -46,48 +55,26 @@ impl LocalDispatcher {
             ),
         }
     }
-}
 
-impl JobDispatcher for LocalDispatcher {
-    fn dispatch(&self, req: JobRequest, _now_ms: u64) -> Result<JobOutcome, String> {
-        self.node
-            .submit(&req)
-            .ok_or_else(|| "worker unavailable".to_string())
-    }
-}
-
-/// Errors surfaced to the UI layer.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ServerError {
-    /// Authentication / authorization failure.
-    Auth(AuthError),
-    /// Unknown lab id.
-    NoSuchLab(String),
-    /// Rate limited; retry after this many seconds.
-    RateLimited(f64),
-    /// Dispatch failed (no workers, queue down…).
-    Dispatch(String),
-    /// Anything else.
-    Invalid(String),
-}
-
-impl std::fmt::Display for ServerError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServerError::Auth(e) => write!(f, "{e}"),
-            ServerError::NoSuchLab(l) => write!(f, "no lab named {l:?}"),
-            ServerError::RateLimited(s) => {
-                write!(f, "submission rate limit: retry in {s:.0} seconds")
-            }
-            ServerError::Dispatch(m) => write!(f, "could not run your code: {m}"),
-            ServerError::Invalid(m) => write!(f, "{m}"),
+    /// A single worker reporting to a shared recorder.
+    pub fn traced(obs: Arc<Recorder>) -> Self {
+        LocalDispatcher {
+            node: wb_worker::WorkerNode::boot_traced(
+                1,
+                minicuda::DeviceConfig::test_small(),
+                &wb_worker::WorkerConfig::default(),
+                None,
+                obs,
+            ),
         }
     }
 }
 
-impl From<AuthError> for ServerError {
-    fn from(e: AuthError) -> Self {
-        ServerError::Auth(e)
+impl JobDispatcher for LocalDispatcher {
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
+        self.node
+            .submit(&req, now_ms)
+            .ok_or_else(|| WbError::infra("worker unavailable"))
     }
 }
 
@@ -110,20 +97,6 @@ pub struct RosterRow {
     pub last_submission_ms: Option<u64>,
 }
 
-/// The result of a compile or run action, shaped like the attempt view.
-#[derive(Debug, Clone)]
-pub struct AttemptView {
-    /// Attempt row id.
-    pub attempt_id: u64,
-    /// Compiled?
-    pub compiled: bool,
-    /// Output matched (false for compile-only attempts)?
-    pub passed: bool,
-    /// Student-facing text: compile error, mismatch summary, timer
-    /// report and logs.
-    pub report: String,
-}
-
 /// The WebGPU web server.
 pub struct WebGpuServer {
     /// Database tables.
@@ -133,22 +106,42 @@ pub struct WebGpuServer {
     labs: RwLock<HashMap<String, LabDefinition>>,
     dispatcher: Box<dyn JobDispatcher>,
     limiter: RateLimiter,
+    obs: Arc<Recorder>,
     next_job: AtomicU64,
     next_share: AtomicU64,
 }
 
+fn db_err(e: impl std::fmt::Display) -> WbError {
+    WbError::infra(e.to_string())
+}
+
 impl WebGpuServer {
-    /// Build a server over a dispatcher.
+    /// Build a server over a dispatcher (recording disabled).
     pub fn new(dispatcher: Box<dyn JobDispatcher>) -> Self {
+        Self::new_traced(dispatcher, Arc::new(Recorder::noop()))
+    }
+
+    /// Build a server whose attempt/rate-limit counters land in a
+    /// shared recorder. Pass the same `Arc` to the cluster so queue,
+    /// worker, and web-tier metrics compose into one snapshot.
+    pub fn new_traced(dispatcher: Box<dyn JobDispatcher>, obs: Arc<Recorder>) -> Self {
         WebGpuServer {
             state: ServerState::new(),
             sessions: Sessions::new(),
             labs: RwLock::new(HashMap::new()),
             dispatcher,
             limiter: RateLimiter::new(RateLimit::default()),
+            obs,
             next_job: AtomicU64::new(1),
             next_share: AtomicU64::new(1),
         }
+    }
+
+    /// Current metrics: counters, latency percentiles, per-course
+    /// attempt tallies, recent events — the queryable snapshot the
+    /// operations dashboard renders.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     // ---- lab management (instructor, §IV-E) ---------------------------
@@ -156,7 +149,7 @@ impl WebGpuServer {
     /// Deploy a lab. Unlike the rest of the instructor tools, the paper
     /// notes lab creation is a developer-level operation; here it is a
     /// server API guarded by the instructor role.
-    pub fn deploy_lab(&self, token: u64, lab: LabDefinition) -> Result<(), ServerError> {
+    pub fn deploy_lab(&self, token: u64, lab: LabDefinition) -> Result<(), WbError> {
         self.sessions.authenticate_instructor(token)?;
         self.labs.write().insert(lab.id.clone(), lab);
         Ok(())
@@ -169,16 +162,16 @@ impl WebGpuServer {
         v
     }
 
-    fn lab(&self, id: &str) -> Result<LabDefinition, ServerError> {
+    fn lab(&self, id: &str) -> Result<LabDefinition, WbError> {
         self.labs
             .read()
             .get(id)
             .cloned()
-            .ok_or_else(|| ServerError::NoSuchLab(id.to_string()))
+            .ok_or_else(|| WbError::rejected(format!("no lab named {id:?}")))
     }
 
     /// The rendered lab manual + rubric shown to students (§IV-B 1).
-    pub fn lab_description_html(&self, lab_id: &str) -> Result<String, ServerError> {
+    pub fn lab_description_html(&self, lab_id: &str) -> Result<String, WbError> {
         let lab = self.lab(lab_id)?;
         let mut html = markdown::render(&lab.description_md);
         html.push_str(&format!(
@@ -189,7 +182,7 @@ impl WebGpuServer {
     }
 
     /// The skeleton code a student sees on first open (§IV-B 2).
-    pub fn lab_skeleton(&self, lab_id: &str) -> Result<String, ServerError> {
+    pub fn lab_skeleton(&self, lab_id: &str) -> Result<String, WbError> {
         Ok(self.lab(lab_id)?.skeleton)
     }
 
@@ -202,7 +195,7 @@ impl WebGpuServer {
         lab_id: &str,
         source: &str,
         now_ms: u64,
-    ) -> Result<u64, ServerError> {
+    ) -> Result<u64, WbError> {
         let s = self.sessions.authenticate(token)?;
         self.lab(lab_id)?;
         self.state
@@ -213,74 +206,67 @@ impl WebGpuServer {
                 at_ms: now_ms,
                 source: source.to_string(),
             })
-            .map_err(|e| ServerError::Invalid(e.to_string()))
+            .map_err(db_err)
     }
 
     /// The student's latest saved code, or the skeleton.
-    pub fn current_code(&self, token: u64, lab_id: &str) -> Result<String, ServerError> {
+    pub fn current_code(&self, token: u64, lab_id: &str) -> Result<String, WbError> {
         let s = self.sessions.authenticate(token)?;
         let ids = self
             .state
             .revisions
             .find("by_user_lab", &format!("{}/{}", s.user, lab_id))
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .map_err(db_err)?;
         match ids.last() {
-            Some(&id) => Ok(self
-                .state
-                .revisions
-                .get(id)
-                .map_err(|e| ServerError::Invalid(e.to_string()))?
-                .source),
+            Some(&id) => Ok(self.state.revisions.get(id).map_err(db_err)?.source),
             None => self.lab_skeleton(lab_id),
         }
     }
 
-    /// Action 2 — compile only.
-    pub fn compile(
-        &self,
-        token: u64,
-        lab_id: &str,
-        now_ms: u64,
-    ) -> Result<AttemptView, ServerError> {
-        self.run_action(token, lab_id, JobAction::CompileOnly, now_ms)
-    }
-
-    /// Action 3 — run against one instructor dataset.
-    pub fn run_dataset(
-        &self,
-        token: u64,
-        lab_id: &str,
-        dataset: usize,
-        now_ms: u64,
-    ) -> Result<AttemptView, ServerError> {
-        self.run_action(token, lab_id, JobAction::RunDataset(dataset), now_ms)
-    }
-
-    fn run_action(
-        &self,
-        token: u64,
-        lab_id: &str,
-        action: JobAction,
-        now_ms: u64,
-    ) -> Result<AttemptView, ServerError> {
-        let s = self.sessions.authenticate(token)?;
-        let lab = self.lab(lab_id)?;
-        let source = self.current_code(token, lab_id)?;
-        self.limiter
-            .check(&format!("{}/{}", s.user, lab_id), now_ms)
-            .map_err(ServerError::RateLimited)?;
-        let req = JobRequest {
-            job_id: self.next_job.fetch_add(1, Ordering::Relaxed),
+    /// Actions 2, 3, and 5 — the unified submission entry point.
+    ///
+    /// One request type covers compile-only, single-dataset runs, and
+    /// full grades; one outcome type carries the attempt record id and
+    /// the `trace_id` under which `wb-obs` recorded the job's span.
+    /// Failure kinds are typed: the UI shows a countdown for
+    /// [`WbError::RateLimited`], a compiler diagnostic for
+    /// [`WbError::CompileError`], a crash report for
+    /// [`WbError::RuntimeError`], and pages the operator for
+    /// [`WbError::Infra`]. Wrong answers are not errors: they come back
+    /// `Ok` with `passed < total`.
+    ///
+    /// Full grades are the exception to the error taxonomy: grading
+    /// records whatever happened — compile failure included — as a
+    /// scored submission row, because a failed graded submission is a
+    /// gradebook fact, not a transient error.
+    pub fn submit(&self, req: &SubmitRequest) -> Result<SubmissionOutcome, WbError> {
+        let s = self.sessions.authenticate(req.token)?;
+        let lab = self.lab(&req.lab)?;
+        let source = self.current_code(req.token, &req.lab)?;
+        if let Err(e) = self
+            .limiter
+            .check(&format!("{}/{}", s.user, req.lab), req.at_ms)
+        {
+            self.obs.bump(Counter::RateLimited);
+            return Err(e);
+        }
+        let action = match req.action {
+            SubmitAction::CompileOnly => JobAction::CompileOnly,
+            SubmitAction::RunDataset(i) => JobAction::RunDataset(i),
+            SubmitAction::FullGrade => JobAction::FullGrade,
+        };
+        let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.obs.bump(Counter::AttemptsServed);
+        self.obs.bump_scoped(&format!("attempts/{}", req.lab));
+        let job = JobRequest {
+            job_id,
             user: s.user.clone(),
             source: source.clone(),
             spec: lab.spec.clone(),
             datasets: lab.datasets.clone(),
-            action: action.clone(),
+            action,
         };
-        let outcome = self
-            .dispatcher
-            .dispatch(req, now_ms)
-            .map_err(ServerError::Dispatch)?;
+        let outcome = self.dispatcher.dispatch(job, req.at_ms)?;
 
         let (passed, mut report) = render_outcome(&outcome);
         // Automated feedback (the paper's future-work item): hints are
@@ -291,28 +277,66 @@ impl WebGpuServer {
                 report.push_str(&format!("Hint: {}\n", hint.message));
             }
         }
-        let attempt_id = self
+
+        if req.action == SubmitAction::FullGrade {
+            let score = lab.rubric.auto_score(&outcome, &source);
+            let record_id = self
+                .state
+                .submissions
+                .insert(&SubmissionRec {
+                    user: s.user,
+                    lab: req.lab.clone(),
+                    at_ms: req.at_ms,
+                    passed: outcome.passed_count(),
+                    total: outcome.datasets.len(),
+                    compiled: outcome.compiled(),
+                    score,
+                    override_score: None,
+                    source,
+                })
+                .map_err(db_err)?;
+            return Ok(SubmissionOutcome {
+                trace_id: job_id,
+                record_id,
+                compiled: outcome.compiled(),
+                passed: outcome.passed_count(),
+                total: outcome.datasets.len(),
+                score: Some(score),
+                report,
+            });
+        }
+
+        let record_id = self
             .state
             .attempts
             .insert(&AttemptRec {
                 user: s.user,
-                lab: lab_id.to_string(),
-                dataset: match action {
-                    JobAction::RunDataset(i) => Some(i),
+                lab: req.lab.clone(),
+                dataset: match req.action {
+                    SubmitAction::RunDataset(i) => Some(i),
                     _ => None,
                 },
-                at_ms: now_ms,
+                at_ms: req.at_ms,
                 compiled: outcome.compiled(),
                 passed,
                 summary: report.lines().next().unwrap_or_default().to_string(),
                 source,
                 share_token: None,
             })
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
-        Ok(AttemptView {
-            attempt_id,
-            compiled: outcome.compiled(),
-            passed,
+            .map_err(db_err)?;
+        if !outcome.compiled() {
+            return Err(WbError::CompileError { report });
+        }
+        if outcome.datasets.iter().any(|d| d.error.is_some()) {
+            return Err(WbError::RuntimeError { report });
+        }
+        Ok(SubmissionOutcome {
+            trace_id: job_id,
+            record_id,
+            compiled: true,
+            passed: outcome.passed_count(),
+            total: outcome.datasets.len(),
+            score: None,
             report,
         })
     }
@@ -323,11 +347,11 @@ impl WebGpuServer {
         token: u64,
         lab_id: &str,
         answers: Vec<String>,
-    ) -> Result<(), ServerError> {
+    ) -> Result<(), WbError> {
         let s = self.sessions.authenticate(token)?;
         let lab = self.lab(lab_id)?;
         if answers.len() != lab.questions.len() {
-            return Err(ServerError::Invalid(format!(
+            return Err(WbError::rejected(format!(
                 "lab has {} questions, {} answers given",
                 lab.questions.len(),
                 answers.len()
@@ -347,75 +371,22 @@ impl WebGpuServer {
             comment: None,
         };
         match existing.first() {
-            Some(&id) => self
-                .state
-                .answers
-                .update(id, &rec)
-                .map_err(|e| ServerError::Invalid(e.to_string()))?,
+            Some(&id) => self.state.answers.update(id, &rec).map_err(db_err)?,
             None => {
-                self.state
-                    .answers
-                    .insert(&rec)
-                    .map_err(|e| ServerError::Invalid(e.to_string()))?;
+                self.state.answers.insert(&rec).map_err(db_err)?;
             }
         }
         Ok(())
     }
 
-    /// Action 5 — submit for grading: run all datasets, apply the
-    /// rubric, record the grade (§IV-F: "the system assigns a grade
-    /// automatically and records it in the grade book").
-    pub fn submit(
-        &self,
-        token: u64,
-        lab_id: &str,
-        now_ms: u64,
-    ) -> Result<SubmissionRec, ServerError> {
-        let s = self.sessions.authenticate(token)?;
-        let lab = self.lab(lab_id)?;
-        let source = self.current_code(token, lab_id)?;
-        self.limiter
-            .check(&format!("{}/{}", s.user, lab_id), now_ms)
-            .map_err(ServerError::RateLimited)?;
-        let req = JobRequest {
-            job_id: self.next_job.fetch_add(1, Ordering::Relaxed),
-            user: s.user.clone(),
-            source: source.clone(),
-            spec: lab.spec.clone(),
-            datasets: lab.datasets.clone(),
-            action: JobAction::FullGrade,
-        };
-        let outcome = self
-            .dispatcher
-            .dispatch(req, now_ms)
-            .map_err(ServerError::Dispatch)?;
-        let score = lab.rubric.auto_score(&outcome, &source);
-        let rec = SubmissionRec {
-            user: s.user,
-            lab: lab_id.to_string(),
-            at_ms: now_ms,
-            passed: outcome.passed_count(),
-            total: outcome.datasets.len(),
-            compiled: outcome.compiled(),
-            score,
-            override_score: None,
-            source,
-        };
-        self.state
-            .submissions
-            .insert(&rec)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
-        Ok(rec)
-    }
-
     /// Action 6 — code history (§IV-B 5).
-    pub fn history(&self, token: u64, lab_id: &str) -> Result<Vec<RevisionRec>, ServerError> {
+    pub fn history(&self, token: u64, lab_id: &str) -> Result<Vec<RevisionRec>, WbError> {
         let s = self.sessions.authenticate(token)?;
         let ids = self
             .state
             .revisions
             .find("by_user_lab", &format!("{}/{}", s.user, lab_id))
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .map_err(db_err)?;
         Ok(ids
             .into_iter()
             .filter_map(|id| self.state.revisions.get(id).ok())
@@ -423,13 +394,13 @@ impl WebGpuServer {
     }
 
     /// The attempts view (§IV-B 4).
-    pub fn attempts(&self, token: u64, lab_id: &str) -> Result<Vec<AttemptRec>, ServerError> {
+    pub fn attempts(&self, token: u64, lab_id: &str) -> Result<Vec<AttemptRec>, WbError> {
         let s = self.sessions.authenticate(token)?;
         let ids = self
             .state
             .attempts
             .find("by_user_lab", &format!("{}/{}", s.user, lab_id))
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .map_err(db_err)?;
         Ok(ids
             .into_iter()
             .filter_map(|id| self.state.attempts.get(id).ok())
@@ -438,27 +409,16 @@ impl WebGpuServer {
 
     /// Generate a public link for an attempt — only after the lab
     /// deadline has passed (§IV-B 2).
-    pub fn share_attempt(
-        &self,
-        token: u64,
-        attempt_id: u64,
-        now_ms: u64,
-    ) -> Result<u64, ServerError> {
+    pub fn share_attempt(&self, token: u64, attempt_id: u64, now_ms: u64) -> Result<u64, WbError> {
         let s = self.sessions.authenticate(token)?;
-        let mut rec = self
-            .state
-            .attempts
-            .get(attempt_id)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        let mut rec = self.state.attempts.get(attempt_id).map_err(db_err)?;
         if rec.user != s.user {
-            return Err(ServerError::Invalid(
-                "you can only share your own attempts".to_string(),
-            ));
+            return Err(WbError::rejected("you can only share your own attempts"));
         }
         let lab = self.lab(&rec.lab)?;
         if now_ms < lab.deadline_ms {
-            return Err(ServerError::Invalid(
-                "attempts can be shared after the lab deadline".to_string(),
+            return Err(WbError::rejected(
+                "attempts can be shared after the lab deadline",
             ));
         }
         let t = self.next_share.fetch_add(1, Ordering::Relaxed) ^ 0x5bd1e995;
@@ -466,20 +426,20 @@ impl WebGpuServer {
         self.state
             .attempts
             .update(attempt_id, &rec)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .map_err(db_err)?;
         Ok(t)
     }
 
     // ---- instructor tools (§IV-F) ---------------------------------------
 
     /// The roster view: every student with a submission for the lab.
-    pub fn roster(&self, token: u64, lab_id: &str) -> Result<Vec<RosterRow>, ServerError> {
+    pub fn roster(&self, token: u64, lab_id: &str) -> Result<Vec<RosterRow>, WbError> {
         self.sessions.authenticate_instructor(token)?;
         let ids = self
             .state
             .submissions
             .find("by_lab", lab_id)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .map_err(db_err)?;
         let mut per_user: HashMap<String, RosterRow> = HashMap::new();
         for id in ids {
             let sub = match self.state.submissions.get(id) {
@@ -532,18 +492,14 @@ impl WebGpuServer {
         token: u64,
         submission_id: u64,
         score: f64,
-    ) -> Result<(), ServerError> {
+    ) -> Result<(), WbError> {
         self.sessions.authenticate_instructor(token)?;
-        let mut rec = self
-            .state
-            .submissions
-            .get(submission_id)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+        let mut rec = self.state.submissions.get(submission_id).map_err(db_err)?;
         rec.override_score = Some(score);
         self.state
             .submissions
             .update(submission_id, &rec)
-            .map_err(|e| ServerError::Invalid(e.to_string()))
+            .map_err(db_err)
     }
 
     /// Grade a student's short answers and optionally leave a comment.
@@ -554,30 +510,23 @@ impl WebGpuServer {
         lab_id: &str,
         score: f64,
         comment: Option<String>,
-    ) -> Result<(), ServerError> {
+    ) -> Result<(), WbError> {
         self.sessions.authenticate_instructor(token)?;
         let key = format!("{user}/{lab_id}");
         let ids = self
             .state
             .answers
             .find("by_user_lab", &key)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .map_err(db_err)?;
         let id = *ids
             .first()
-            .ok_or_else(|| ServerError::Invalid(format!("{user} has no answers for {lab_id}")))?;
-        let mut rec = self
-            .state
-            .answers
-            .get(id)
-            .map_err(|e| ServerError::Invalid(e.to_string()))?;
+            .ok_or_else(|| WbError::rejected(format!("{user} has no answers for {lab_id}")))?;
+        let mut rec = self.state.answers.get(id).map_err(db_err)?;
         rec.question_score = Some(score);
         if comment.is_some() {
             rec.comment = comment;
         }
-        self.state
-            .answers
-            .update(id, &rec)
-            .map_err(|e| ServerError::Invalid(e.to_string()))
+        self.state.answers.update(id, &rec).map_err(db_err)
     }
 
     /// Publish a lab's grades to an external gradebook (§IV-F:
@@ -589,24 +538,24 @@ impl WebGpuServer {
         lab_id: &str,
         gradebook: &dyn crate::gradebook::ExternalGradebook,
         now_ms: u64,
-    ) -> Result<usize, ServerError> {
+    ) -> Result<usize, WbError> {
         self.sessions.authenticate_instructor(token)?;
         self.lab(lab_id)?;
         crate::gradebook::publish_lab_grades(&self.state, gradebook, lab_id, now_ms)
-            .map_err(ServerError::Invalid)
+            .map_err(WbError::infra)
     }
 
     // ---- registration passthroughs ---------------------------------------
 
     /// Register a student account.
-    pub fn register_student(&self, name: &str, password: &str) -> Result<(), ServerError> {
+    pub fn register_student(&self, name: &str, password: &str) -> Result<(), WbError> {
         Ok(self
             .sessions
             .register(&self.state, name, password, Role::Student)?)
     }
 
     /// Register an instructor account.
-    pub fn register_instructor(&self, name: &str, password: &str) -> Result<(), ServerError> {
+    pub fn register_instructor(&self, name: &str, password: &str) -> Result<(), WbError> {
         Ok(self
             .sessions
             .register(&self.state, name, password, Role::Instructor)?)
@@ -619,7 +568,7 @@ impl WebGpuServer {
         password: &str,
         device: DeviceKind,
         now_ms: u64,
-    ) -> Result<u64, ServerError> {
+    ) -> Result<u64, WbError> {
         Ok(self
             .sessions
             .login(&self.state, name, password, device, now_ms)?
@@ -688,7 +637,7 @@ mod tests {
         let err = srv
             .deploy_lab(student, LabDefinition::test_lab("evil"))
             .unwrap_err();
-        assert_eq!(err, ServerError::Auth(AuthError::NotInstructor));
+        assert!(matches!(err, WbError::Rejected { ref reason } if reason.contains("instructor")));
     }
 
     #[test]
@@ -714,8 +663,12 @@ mod tests {
     fn compile_records_attempt() {
         let (srv, _, student) = server_with_lab();
         srv.save_code(student, "echo", ECHO, 100).unwrap();
-        let view = srv.compile(student, "echo", 200).unwrap();
-        assert!(view.compiled);
+        let out = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(200))
+            .unwrap();
+        assert!(out.compiled);
+        assert_eq!(out.total, 0, "compile-only runs no datasets");
+        assert!(out.trace_id > 0);
         let attempts = srv.attempts(student, "echo").unwrap();
         assert_eq!(attempts.len(), 1);
         assert!(attempts[0].compiled);
@@ -723,12 +676,32 @@ mod tests {
     }
 
     #[test]
+    fn compile_error_is_typed() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", "int main( {", 100).unwrap();
+        let err = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(200))
+            .unwrap_err();
+        let WbError::CompileError { report } = err else {
+            panic!("expected CompileError, got {err:?}");
+        };
+        assert!(report.contains("Compilation failed"));
+        // The failed attempt is still on the record.
+        let attempts = srv.attempts(student, "echo").unwrap();
+        assert_eq!(attempts.len(), 1);
+        assert!(!attempts[0].compiled);
+    }
+
+    #[test]
     fn run_dataset_reports_pass() {
         let (srv, _, student) = server_with_lab();
         srv.save_code(student, "echo", ECHO, 100).unwrap();
-        let view = srv.run_dataset(student, "echo", 0, 200).unwrap();
-        assert!(view.passed, "{}", view.report);
-        assert!(view.report.contains("correct"));
+        let out = srv
+            .submit(&SubmitRequest::run_dataset(student, "echo", 0).at(200))
+            .unwrap();
+        assert!(out.all_passed(), "{}", out.report);
+        assert!(out.report.contains("correct"));
+        assert!(out.score.is_none(), "no rubric score outside full grades");
     }
 
     #[test]
@@ -736,20 +709,36 @@ mod tests {
         let (srv, _, student) = server_with_lab();
         let buggy = ECHO.replace("wbSolution(a, n)", "a[0] = 99.0; wbSolution(a, n)");
         srv.save_code(student, "echo", &buggy, 100).unwrap();
-        let view = srv.run_dataset(student, "echo", 0, 200).unwrap();
-        assert!(!view.passed);
-        assert!(view.report.contains("differs"));
+        let out = srv
+            .submit(&SubmitRequest::run_dataset(student, "echo", 0).at(200))
+            .unwrap();
+        assert!(!out.all_passed(), "wrong answers are outcomes, not errors");
+        assert_eq!((out.passed, out.total), (0, 1));
+        assert!(out.report.contains("differs"));
     }
 
     #[test]
     fn submit_scores_with_rubric() {
         let (srv, _, student) = server_with_lab();
         srv.save_code(student, "echo", ECHO, 100).unwrap();
-        let sub = srv.submit(student, "echo", 200).unwrap();
+        let sub = srv
+            .submit(&SubmitRequest::full_grade(student, "echo").at(200))
+            .unwrap();
         assert!(sub.compiled);
         assert_eq!(sub.passed, 1);
         // 10 compile + 80 datasets = 90 (10 question points pending).
-        assert!((sub.score - 90.0).abs() < 1e-9);
+        assert!((sub.score.unwrap() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_grade_records_even_compile_failures() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", "int main( {", 0).unwrap();
+        let sub = srv
+            .submit(&SubmitRequest::full_grade(student, "echo").at(1))
+            .unwrap();
+        assert!(!sub.compiled);
+        assert_eq!(sub.score, Some(0.0));
     }
 
     #[test]
@@ -758,10 +747,44 @@ mod tests {
         srv.save_code(student, "echo", ECHO, 0).unwrap();
         // Default burst is 3.
         for k in 0..3 {
-            srv.compile(student, "echo", k).unwrap();
+            srv.submit(&SubmitRequest::compile_only(student, "echo").at(k))
+                .unwrap();
         }
-        let err = srv.compile(student, "echo", 4).unwrap_err();
-        assert!(matches!(err, ServerError::RateLimited(_)));
+        let err = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(4))
+            .unwrap_err();
+        assert!(matches!(err, WbError::RateLimited { .. }));
+        assert!(err.to_string().contains("retry in"));
+    }
+
+    #[test]
+    fn attempts_and_rate_limits_land_in_metrics() {
+        let obs = Arc::new(Recorder::traced());
+        let srv =
+            WebGpuServer::new_traced(Box::new(LocalDispatcher::traced(Arc::clone(&obs))), obs);
+        srv.register_instructor("prof", "pw").unwrap();
+        srv.register_student("alice", "pw").unwrap();
+        let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();
+        let student = srv.login("alice", "pw", DeviceKind::Desktop, 0).unwrap();
+        srv.deploy_lab(staff, LabDefinition::test_lab("echo"))
+            .unwrap();
+        srv.save_code(student, "echo", ECHO, 0).unwrap();
+        for k in 0..3 {
+            srv.submit(&SubmitRequest::compile_only(student, "echo").at(k))
+                .unwrap();
+        }
+        let _ = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(4))
+            .unwrap_err();
+        let snap = srv.metrics_snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.counter("attempts_served"), 3);
+        assert_eq!(snap.counter("rate_limited"), 1);
+        assert_eq!(snap.counter("attempts/echo"), 3, "per-course tally");
+        assert_eq!(
+            snap.compile_micros.count, 3,
+            "each dispatched attempt timed its compile"
+        );
     }
 
     #[test]
@@ -785,9 +808,11 @@ mod tests {
     fn roster_aggregates_best_scores() {
         let (srv, staff, student) = server_with_lab();
         srv.save_code(student, "echo", "int main( {", 0).unwrap();
-        srv.submit(student, "echo", 1).unwrap(); // fails: 0 points
+        srv.submit(&SubmitRequest::full_grade(student, "echo").at(1))
+            .unwrap(); // fails: 0 points
         srv.save_code(student, "echo", ECHO, 100_000).unwrap();
-        srv.submit(student, "echo", 200_000).unwrap(); // 90 points
+        srv.submit(&SubmitRequest::full_grade(student, "echo").at(200_000))
+            .unwrap(); // 90 points
         srv.answer_questions(student, "echo", vec!["x".into()])
             .unwrap();
         srv.grade_questions(staff, "alice", "echo", 7.5, None)
@@ -807,7 +832,8 @@ mod tests {
     fn grade_override_applies() {
         let (srv, staff, student) = server_with_lab();
         srv.save_code(student, "echo", ECHO, 0).unwrap();
-        srv.submit(student, "echo", 1).unwrap();
+        srv.submit(&SubmitRequest::full_grade(student, "echo").at(1))
+            .unwrap();
         let ids = srv.state.submissions.find("by_lab", "echo").unwrap();
         srv.override_grade(staff, ids[0], 100.0).unwrap();
         let roster = srv.roster(staff, "echo").unwrap();
@@ -819,12 +845,14 @@ mod tests {
         let (srv, staff, student) = server_with_lab();
         let _ = staff;
         srv.save_code(student, "echo", ECHO, 0).unwrap();
-        let view = srv.compile(student, "echo", 1).unwrap();
-        let before = srv.share_attempt(student, view.attempt_id, 1000);
+        let out = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(1))
+            .unwrap();
+        let before = srv.share_attempt(student, out.record_id, 1000);
         assert!(before.is_err(), "deadline not passed");
         let deadline = 7 * 24 * 3600 * 1000;
         let token = srv
-            .share_attempt(student, view.attempt_id, deadline + 1)
+            .share_attempt(student, out.record_id, deadline + 1)
             .unwrap();
         assert!(token > 0);
     }
@@ -835,11 +863,11 @@ mod tests {
         srv.register_student("bob", "pw").unwrap();
         let bob = srv.login("bob", "pw", DeviceKind::Desktop, 0).unwrap();
         srv.save_code(student, "echo", ECHO, 0).unwrap();
-        let view = srv.compile(student, "echo", 1).unwrap();
-        let err = srv
-            .share_attempt(bob, view.attempt_id, u64::MAX)
-            .unwrap_err();
-        assert!(matches!(err, ServerError::Invalid(_)));
+        let out = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(1))
+            .unwrap();
+        let err = srv.share_attempt(bob, out.record_id, u64::MAX).unwrap_err();
+        assert!(matches!(err, WbError::Rejected { .. }));
     }
 
     #[test]
@@ -853,10 +881,8 @@ mod tests {
     #[test]
     fn unknown_lab_rejected_everywhere() {
         let (srv, _, student) = server_with_lab();
-        assert!(matches!(
-            srv.save_code(student, "nope", "x", 0).unwrap_err(),
-            ServerError::NoSuchLab(_)
-        ));
+        let err = srv.save_code(student, "nope", "x", 0).unwrap_err();
+        assert!(matches!(err, WbError::Rejected { ref reason } if reason.contains("no lab")));
         assert!(srv.lab_description_html("nope").is_err());
     }
 }

@@ -4,11 +4,12 @@
 use crate::cache::SubmissionCache;
 use crate::config::{ConfigServer, WorkerConfig};
 use crate::job::{JobOutcome, JobRequest};
-use crate::pipeline::{execute_job, execute_job_cached};
+use crate::pipeline::{execute_job_cached_traced, execute_job_traced};
 use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use wb_obs::{Annotation, JobPhase, Recorder};
 use wb_queue::BrokerHandle;
 use wb_sandbox::{ContainerPool, Image};
 
@@ -46,13 +47,15 @@ pub struct WorkerNode {
     /// Cluster-wide submission cache; `None` runs every job fresh
     /// (the pre-cache behaviour, kept as the bench baseline).
     cache: Option<Arc<SubmissionCache>>,
+    /// Cluster-wide trace/metrics recorder (noop by default).
+    obs: Arc<Recorder>,
     state: Mutex<NodeState>,
 }
 
 impl WorkerNode {
     /// Boot a node against the current remote configuration.
     pub fn boot(id: u64, device: DeviceConfig, config: &WorkerConfig) -> Self {
-        Self::boot_inner(id, device, config, None)
+        Self::boot_inner(id, device, config, None, Arc::new(Recorder::noop()))
     }
 
     /// Boot a node that consults a shared submission cache before
@@ -65,7 +68,19 @@ impl WorkerNode {
         config: &WorkerConfig,
         cache: Arc<SubmissionCache>,
     ) -> Self {
-        Self::boot_inner(id, device, config, Some(cache))
+        Self::boot_inner(id, device, config, Some(cache), Arc::new(Recorder::noop()))
+    }
+
+    /// Boot a node that reports pipeline phases and cache annotations
+    /// to a shared recorder (in addition to an optional shared cache).
+    pub fn boot_traced(
+        id: u64,
+        device: DeviceConfig,
+        config: &WorkerConfig,
+        cache: Option<Arc<SubmissionCache>>,
+        obs: Arc<Recorder>,
+    ) -> Self {
+        Self::boot_inner(id, device, config, cache, obs)
     }
 
     fn boot_inner(
@@ -73,11 +88,13 @@ impl WorkerNode {
         device: DeviceConfig,
         config: &WorkerConfig,
         cache: Option<Arc<SubmissionCache>>,
+        obs: Arc<Recorder>,
     ) -> Self {
         WorkerNode {
             id,
             device,
             cache,
+            obs,
             state: Mutex::new(NodeState {
                 config_version: config.version,
                 capabilities: config.capabilities.clone(),
@@ -164,14 +181,15 @@ impl WorkerNode {
     /// v1 push interface: the web server calls this directly.
     /// Returns `None` when the node is down (the caller treats it as a
     /// dispatch failure and retries elsewhere).
-    pub fn submit(&self, req: &JobRequest) -> Option<JobOutcome> {
+    pub fn submit(&self, req: &JobRequest, now_ms: u64) -> Option<JobOutcome> {
         {
             let g = self.state.lock();
             if g.crashed {
                 return None;
             }
         }
-        Some(self.run(req))
+        self.obs.phase(req.job_id, JobPhase::Dispatched, now_ms);
+        Some(self.run(req, now_ms))
     }
 
     /// v2 pull interface: poll the broker once; execute and ack a job
@@ -191,12 +209,19 @@ impl WorkerNode {
             g.capabilities.clone()
         };
         let delivery = broker.poll(&caps, now_ms)?;
-        let outcome = self.run(&delivery.payload);
+        let job_id = delivery.payload.job_id;
+        self.obs.phase(job_id, JobPhase::Dispatched, now_ms);
+        if delivery.meta.attempts > 1 {
+            // Visibility-timeout redelivery: this job already went out
+            // at least once and came back unacked.
+            self.obs.annotate(job_id, Annotation::Retry, now_ms);
+        }
+        let outcome = self.run(&delivery.payload, now_ms);
         broker.ack(delivery.meta.id);
         Some(outcome)
     }
 
-    fn run(&self, req: &JobRequest) -> JobOutcome {
+    fn run(&self, req: &JobRequest, now_ms: u64) -> JobOutcome {
         // The container image must provide the lab's toolchain (§VI-B:
         // "a CUDA lab will not, for example, have the PGI OpenACC
         // tools"). A v1 cluster that pushes an MPI job to a CUDA-only
@@ -204,6 +229,7 @@ impl WorkerNode {
         {
             let g = self.state.lock();
             if !g.pool.image().has(&req.spec.toolchain) {
+                self.obs.phase(req.job_id, JobPhase::Failed, now_ms);
                 return JobOutcome {
                     job_id: req.job_id,
                     worker_id: self.id,
@@ -226,10 +252,17 @@ impl WorkerNode {
             (c, w, g.pool.image().name.clone())
         };
         let outcome = match &self.cache {
-            Some(cache) => {
-                execute_job_cached(req, &self.device, self.id, wait_ms, &image_name, cache)
-            }
-            None => execute_job(req, &self.device, self.id, wait_ms),
+            Some(cache) => execute_job_cached_traced(
+                req,
+                &self.device,
+                self.id,
+                wait_ms,
+                &image_name,
+                cache,
+                &self.obs,
+                now_ms,
+            ),
+            None => execute_job_traced(req, &self.device, self.id, wait_ms, &self.obs, now_ms),
         };
         let busy: u64 = outcome
             .datasets
@@ -294,7 +327,7 @@ mod tests {
     #[test]
     fn push_submit_executes() {
         let n = node();
-        let out = n.submit(&trivial_request(1)).expect("node is up");
+        let out = n.submit(&trivial_request(1), 0).expect("node is up");
         assert!(out.compiled());
         assert_eq!(out.passed_count(), 1);
         assert_eq!(n.jobs_done(), 1);
@@ -308,10 +341,10 @@ mod tests {
         n.crash();
         assert!(n.is_crashed());
         assert!(n.health(1).is_none());
-        assert!(n.submit(&trivial_request(1)).is_none());
+        assert!(n.submit(&trivial_request(1), 0).is_none());
         n.recover();
         assert!(n.health(2).is_some());
-        assert!(n.submit(&trivial_request(2)).is_some());
+        assert!(n.submit(&trivial_request(2), 0).is_some());
     }
 
     #[test]
@@ -364,7 +397,7 @@ mod tests {
         let n = node(); // webgpu/cuda image: cuda + opencl only
         let mut req = trivial_request(9);
         req.spec.toolchain = "mpi".to_string();
-        let out = n.submit(&req).expect("node is up");
+        let out = n.submit(&req, 0).expect("node is up");
         assert!(!out.compiled());
         assert!(out
             .compile_error
@@ -378,7 +411,7 @@ mod tests {
             ..Default::default()
         };
         let fat = WorkerNode::boot(2, DeviceConfig::test_small(), &cfg);
-        let out = fat.submit(&req).expect("node is up");
+        let out = fat.submit(&req, 0).expect("node is up");
         assert!(out.compiled(), "{:?}", out.compile_error);
     }
 
@@ -389,9 +422,9 @@ mod tests {
         let cfg = WorkerConfig::default();
         let a = WorkerNode::boot_with_cache(1, DeviceConfig::test_small(), &cfg, cache.clone());
         let b = WorkerNode::boot_with_cache(2, DeviceConfig::test_small(), &cfg, cache.clone());
-        let out_a = a.submit(&trivial_request(1)).expect("node a up");
+        let out_a = a.submit(&trivial_request(1), 0).expect("node a up");
         // A different student submits the same bytes to a different node.
-        let out_b = b.submit(&trivial_request(2)).expect("node b up");
+        let out_b = b.submit(&trivial_request(2), 0).expect("node b up");
         assert_eq!(out_a.datasets, out_b.datasets);
         assert_eq!(out_b.worker_id, 2, "identity fields stay per-job");
         let m = cache.metrics();
@@ -402,8 +435,8 @@ mod tests {
     #[test]
     fn health_beat_carries_progress() {
         let n = node();
-        n.submit(&trivial_request(1)).unwrap();
-        n.submit(&trivial_request(2)).unwrap();
+        n.submit(&trivial_request(1), 0).unwrap();
+        n.submit(&trivial_request(2), 0).unwrap();
         let beat = n.health(500).unwrap();
         assert_eq!(beat.jobs_done, 2);
         assert_eq!(beat.at_ms, 500);

@@ -13,7 +13,9 @@ use crate::job::{DatasetCase, DatasetOutcome, JobAction, JobOutcome, JobRequest,
 use libwb::check;
 use minicuda::{compile, DeviceConfig, Program};
 use std::sync::Arc;
-use wb_cache::{CompileKey, CompiledEntry, GradeKey};
+use std::time::Instant;
+use wb_cache::{CompileKey, CompiledEntry, GradeKey, LookupOutcome};
+use wb_obs::{Annotation, Counter, JobPhase, Recorder, Timer};
 use wb_sandbox::JobDir;
 
 /// Scratch-directory quota per job (mirrors the real worker's tmpfs).
@@ -110,6 +112,28 @@ pub fn execute_job(
     worker_id: u64,
     container_wait_ms: u64,
 ) -> JobOutcome {
+    execute_job_traced(
+        req,
+        device,
+        worker_id,
+        container_wait_ms,
+        &Recorder::noop(),
+        0,
+    )
+}
+
+/// [`execute_job`] with span/timer recording: compile time lands in
+/// [`Timer::CompileMicros`], dataset time in [`Timer::GradeMicros`],
+/// and the job's span advances to `Compiled` then `Graded` (or
+/// straight to `Failed` when compilation is rejected).
+pub fn execute_job_traced(
+    req: &JobRequest,
+    device: &DeviceConfig,
+    worker_id: u64,
+    container_wait_ms: u64,
+    obs: &Recorder,
+    now_ms: u64,
+) -> JobOutcome {
     let mut outcome = JobOutcome {
         job_id: req.job_id,
         worker_id,
@@ -117,19 +141,27 @@ pub fn execute_job(
         datasets: Vec::new(),
         container_wait_ms,
     };
-    let program = match compile_phase(req.job_id, &req.source, &req.spec) {
+    let started = Instant::now();
+    let compiled = compile_phase(req.job_id, &req.source, &req.spec);
+    obs.observe(Timer::CompileMicros, started.elapsed().as_micros() as u64);
+    let program = match compiled {
         Ok(p) => p,
         Err(m) => {
             outcome.compile_error = Some(m);
+            obs.phase(req.job_id, JobPhase::Failed, now_ms);
             return outcome;
         }
     };
+    obs.phase(req.job_id, JobPhase::Compiled, now_ms);
+    let started = Instant::now();
     for idx in case_indexes(&req.action, req.datasets.len()) {
         outcome.datasets.push(match req.datasets.get(idx) {
             Some(case) => run_dataset_case(&program, case, &req.spec, device),
             None => missing_dataset_outcome(idx),
         });
     }
+    obs.observe(Timer::GradeMicros, started.elapsed().as_micros() as u64);
+    obs.phase(req.job_id, JobPhase::Graded, now_ms);
     outcome
 }
 
@@ -152,6 +184,45 @@ pub fn execute_job_cached(
     image: &str,
     cache: &SubmissionCache,
 ) -> JobOutcome {
+    execute_job_cached_traced(
+        req,
+        device,
+        worker_id,
+        container_wait_ms,
+        image,
+        cache,
+        &Recorder::noop(),
+        0,
+    )
+}
+
+/// Record one cache lookup against the job's span: saved work becomes
+/// a `CacheHit`/`Coalesced` annotation, a miss only bumps the
+/// [`Counter::CacheMisses`] counter (misses are the normal path, not a
+/// span-worthy event).
+fn record_lookup(obs: &Recorder, job_id: u64, lookup: LookupOutcome, now_ms: u64) {
+    match lookup {
+        LookupOutcome::Hit => obs.annotate(job_id, Annotation::CacheHit, now_ms),
+        LookupOutcome::Coalesced => obs.annotate(job_id, Annotation::Coalesced, now_ms),
+        LookupOutcome::Miss => obs.bump(Counter::CacheMisses),
+    }
+}
+
+/// [`execute_job_cached`] with span/timer recording. Phase timers
+/// capture what this call actually paid: a compile served from cache
+/// records the (near-zero) lookup time, which is exactly what the
+/// latency histograms should show for deduplicated work.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_job_cached_traced(
+    req: &JobRequest,
+    device: &DeviceConfig,
+    worker_id: u64,
+    container_wait_ms: u64,
+    image: &str,
+    cache: &SubmissionCache,
+    obs: &Recorder,
+    now_ms: u64,
+) -> JobOutcome {
     let mut outcome = JobOutcome {
         job_id: req.job_id,
         worker_id,
@@ -167,17 +238,23 @@ pub fn execute_job_cached(
         &req.spec.blacklist,
         &req.spec.limits,
     );
-    let entry = cache.compile_or(ckey, || CompiledEntry {
+    let started = Instant::now();
+    let (entry, lookup) = cache.compile_or_traced(ckey, || CompiledEntry {
         result: compile_phase(req.job_id, &req.source, &req.spec),
         source_bytes: req.source.len(),
     });
+    obs.observe(Timer::CompileMicros, started.elapsed().as_micros() as u64);
+    record_lookup(obs, req.job_id, lookup, now_ms);
     let program = match entry.result {
         Ok(p) => p,
         Err(m) => {
             outcome.compile_error = Some(m);
+            obs.phase(req.job_id, JobPhase::Failed, now_ms);
             return outcome;
         }
     };
+    obs.phase(req.job_id, JobPhase::Compiled, now_ms);
+    let started = Instant::now();
     for idx in case_indexes(&req.action, req.datasets.len()) {
         outcome.datasets.push(match req.datasets.get(idx) {
             Some(case) => {
@@ -191,13 +268,18 @@ pub fn execute_job_cached(
                     &req.spec.check,
                     &req.spec.limits,
                 );
-                cache.grade_or(gkey, || run_dataset_case(&program, case, &req.spec, device))
+                let (graded, lookup) = cache
+                    .grade_or_traced(gkey, || run_dataset_case(&program, case, &req.spec, device));
+                record_lookup(obs, req.job_id, lookup, now_ms);
+                graded
             }
             // Never cached: trivially cheap, and there is no dataset
             // content to key on.
             None => missing_dataset_outcome(idx),
         });
     }
+    obs.observe(Timer::GradeMicros, started.elapsed().as_micros() as u64);
+    obs.phase(req.job_id, JobPhase::Graded, now_ms);
     outcome
 }
 

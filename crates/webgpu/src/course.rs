@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use wb_labs::{catalog, LabScale};
-use wb_server::{DeviceKind, JobDispatcher, WebGpuServer};
+use wb_server::{DeviceKind, JobDispatcher, SubmitRequest, WbError, WebGpuServer};
 
 use crate::sim::population::sample_device;
 
@@ -145,14 +145,14 @@ pub fn run_course(cfg: &CourseRun, dispatcher: Box<dyn JobDispatcher>) -> Course
                 solution.to_string()
             };
             srv.save_code(*token, lab_id, &source, now).expect("save");
-            let sub = match srv.submit(*token, lab_id, now + 1_000) {
+            let sub = match srv.submit(&SubmitRequest::full_grade(*token, lab_id).at(now + 1_000)) {
                 Ok(s) => s,
                 Err(e) => panic!("submission failed: {e}"),
             };
             jobs += 1;
             report.submitters += 1;
-            score_sum += sub.score;
-            if sub.compiled && sub.passed == sub.total {
+            score_sum += sub.score.unwrap_or(0.0);
+            if sub.all_passed() {
                 report.perfect += 1;
             }
         }
@@ -194,7 +194,7 @@ pub fn run_course_v2(
             &self,
             req: wb_worker::JobRequest,
             now_ms: u64,
-        ) -> Result<wb_worker::JobOutcome, String> {
+        ) -> Result<wb_worker::JobOutcome, WbError> {
             self.0.dispatch(req, now_ms)
         }
     }
@@ -255,7 +255,7 @@ mod tests {
                 &self,
                 req: wb_worker::JobRequest,
                 now_ms: u64,
-            ) -> Result<wb_worker::JobOutcome, String> {
+            ) -> Result<wb_worker::JobOutcome, wb_server::WbError> {
                 self.0.dispatch(req, now_ms)
             }
         }

@@ -11,6 +11,7 @@
 use crate::v2::ClusterV2;
 use serde::{Deserialize, Serialize};
 use wb_cache::CacheMetrics;
+use wb_obs::{EventKind, HistogramSnapshot, MetricsSnapshot};
 use wb_queue::BrokerMetrics;
 
 /// One worker's row on the dashboard.
@@ -50,6 +51,9 @@ pub struct Snapshot {
     pub config_version: u64,
     /// Submission-cache counters (`None` on an uncached cluster).
     pub cache: Option<CacheMetrics>,
+    /// Tracing aggregates — counters, latency percentiles, recent
+    /// events. `MetricsSnapshot::disabled()` on an untraced cluster.
+    pub obs: MetricsSnapshot,
 }
 
 impl Snapshot {
@@ -77,6 +81,7 @@ impl Snapshot {
             mean_wait_rounds: cluster.mean_wait_rounds(),
             config_version: cluster.config.get().version,
             cache: cluster.cache_metrics(),
+            obs: cluster.metrics_snapshot(),
         }
     }
 
@@ -117,6 +122,8 @@ impl Snapshot {
         match &self.cache {
             Some(cache) => {
                 let t = cache.total();
+                // `hit_rate()` is 0.0 (not NaN) when no lookup has
+                // happened yet, so a t=0 snapshot renders "0.0%".
                 out.push_str(&format!(
                     "cache: {:.1}% hit rate | {} hits {} misses {} coalesced | {} KiB resident, {} evictions\n",
                     t.hit_rate() * 100.0,
@@ -129,6 +136,27 @@ impl Snapshot {
             }
             None => out.push_str("cache: disabled\n"),
         }
+        out.push_str(&format!(
+            "utilization: {:.0}% of {} workers active\n",
+            self.active_fraction() * 100.0,
+            self.workers.len()
+        ));
+        if self.obs.enabled {
+            out.push_str(&format!(
+                "latency p50/p95/p99: wait {}/{}/{} rounds | compile {}/{}/{} us | grade {}/{}/{} us\n",
+                self.obs.queue_wait_rounds.p50,
+                self.obs.queue_wait_rounds.p95,
+                self.obs.queue_wait_rounds.p99,
+                self.obs.compile_micros.p50,
+                self.obs.compile_micros.p95,
+                self.obs.compile_micros.p99,
+                self.obs.grade_micros.p50,
+                self.obs.grade_micros.p95,
+                self.obs.grade_micros.p99,
+            ));
+        } else {
+            out.push_str("latency p50/p95/p99: tracing disabled\n");
+        }
         out.push_str("workers:\n");
         for w in &self.workers {
             out.push_str(&format!(
@@ -140,8 +168,42 @@ impl Snapshot {
                 w.busy_ms
             ));
         }
+        if self.obs.enabled {
+            out.push_str(&format!(
+                "recent events ({} dropped since boot):\n",
+                self.obs.dropped_events
+            ));
+            for e in self.obs.recent_events.iter().rev().take(8) {
+                out.push_str(&format!(
+                    "  [{:>4}] t={}ms job={} {}\n",
+                    e.seq,
+                    e.at_ms,
+                    e.job_id,
+                    describe_event(&e.kind)
+                ));
+            }
+        }
         out
     }
+}
+
+/// Operator-readable label for an event record.
+fn describe_event(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Phase(p) => format!("phase={p:?}"),
+        EventKind::Annotated(a) => format!("note={a:?}"),
+        EventKind::DeadLettered => "dead-lettered".to_string(),
+        EventKind::Autoscale { from, to } => format!("autoscale {from}->{to}"),
+    }
+}
+
+/// Shared percentile formatter for experiment harnesses: `"p50 {} /
+/// p95 {} / p99 {}"` with the unit appended.
+pub fn format_percentiles(h: &HistogramSnapshot, unit: &str) -> String {
+    format!(
+        "p50 {} / p95 {} / p99 {} {unit} (n={})",
+        h.p50, h.p95, h.p99, h.count
+    )
 }
 
 #[cfg(test)]
@@ -212,8 +274,66 @@ mod tests {
             mean_wait_rounds: 0.0,
             config_version: 1,
             cache: None,
+            obs: MetricsSnapshot::disabled(),
         };
         assert_eq!(s.active_fraction(), 0.0);
+        // An empty snapshot must render finite numbers everywhere —
+        // no NaN hit-rate, no NaN utilization.
+        let text = s.render();
+        assert!(!text.contains("NaN"), "got: {text}");
+        assert!(text.contains("utilization: 0% of 0 workers"));
+    }
+
+    #[test]
+    fn pristine_cluster_renders_without_nan() {
+        // Snapshot taken before any submission completes: the cache
+        // has zero lookups and no worker has done a job, the two
+        // historical zero-denominator cells.
+        let c = ClusterV2::new(
+            2,
+            minicuda::DeviceConfig::test_small(),
+            AutoscalePolicy::Static(2),
+        );
+        let text = Snapshot::capture(&c, 0).render();
+        assert!(!text.contains("NaN"), "got: {text}");
+        assert!(text.contains("cache: 0.0% hit rate"), "got: {text}");
+        assert!(text.contains("utilization: 0% of 2 workers"));
+    }
+
+    #[test]
+    fn traced_cluster_renders_percentiles_and_events() {
+        let obs = std::sync::Arc::new(wb_obs::Recorder::traced());
+        let c = ClusterV2::new_traced(
+            2,
+            minicuda::DeviceConfig::test_small(),
+            AutoscalePolicy::Static(2),
+            obs,
+        );
+        let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
+        for j in 0..3 {
+            c.enqueue(
+                JobRequest {
+                    job_id: j,
+                    user: "a".into(),
+                    source: wb_labs::solution("vecadd").unwrap().to_string(),
+                    spec: lab.spec.clone(),
+                    datasets: lab.datasets.clone(),
+                    action: JobAction::RunDataset(0),
+                },
+                0,
+            );
+        }
+        for r in 0..5 {
+            c.pump(r);
+        }
+        let snap = Snapshot::capture(&c, 5);
+        assert!(snap.obs.enabled);
+        assert_eq!(snap.obs.counter("jobs_completed"), 3);
+        assert_eq!(snap.obs.queue_wait_rounds.count, 3);
+        let text = snap.render();
+        assert!(text.contains("latency p50/p95/p99"), "got: {text}");
+        assert!(text.contains("recent events"), "got: {text}");
+        assert!(text.contains("phase=Graded"), "got: {text}");
     }
 
     #[test]

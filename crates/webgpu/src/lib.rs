@@ -33,7 +33,7 @@ pub mod v2;
 pub use autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
 pub use cost::{CostModel as AwsCostModel, CostReport};
 pub use course::{CourseReport, CourseRun};
-pub use dashboard::Snapshot as DashboardSnapshot;
+pub use dashboard::{format_percentiles, Snapshot as DashboardSnapshot};
 pub use sim::population::{CohortParams, CohortSummary, LoadModel};
 pub use v1::ClusterV1;
 pub use v2::ClusterV2;

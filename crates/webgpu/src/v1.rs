@@ -7,7 +7,8 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wb_cache::{CacheConfig, CacheMetrics};
-use wb_server::JobDispatcher;
+use wb_obs::{Annotation, Counter, JobPhase, Recorder};
+use wb_server::{JobDispatcher, WbError};
 use wb_worker::{
     new_submission_cache, JobOutcome, JobRequest, SubmissionCache, WorkerConfig, WorkerNode,
 };
@@ -32,6 +33,9 @@ pub struct ClusterV1 {
     /// One submission cache shared by every worker — including those
     /// added later — so duplicate submissions dedupe cluster-wide.
     cache: Arc<SubmissionCache>,
+    /// Cluster-wide recorder shared with every worker (noop unless the
+    /// cluster was built traced).
+    obs: Arc<Recorder>,
     state: Mutex<PoolState>,
 }
 
@@ -42,6 +46,12 @@ impl ClusterV1 {
     /// "provisioned for the highest common multiple of the system
     /// requirements of the labs": the full image with every toolchain.
     pub fn new(n: usize, device: DeviceConfig) -> Self {
+        Self::new_traced(n, device, Arc::new(Recorder::noop()))
+    }
+
+    /// Boot a full-image cluster whose dispatch/retry/pipeline activity
+    /// lands in a shared recorder.
+    pub fn new_traced(n: usize, device: DeviceConfig, obs: Arc<Recorder>) -> Self {
         let config = WorkerConfig {
             image: "webgpu/full".to_string(),
             capabilities: ["cuda", "opencl", "openacc", "mpi", "multi-gpu"]
@@ -50,20 +60,31 @@ impl ClusterV1 {
                 .collect(),
             ..WorkerConfig::default()
         };
-        Self::with_config(n, device, config)
+        Self::with_config_traced(n, device, config, obs)
     }
 
     /// Boot with an explicit worker configuration (e.g. a CUDA-only
     /// image, to demonstrate why v1 could not afford thin nodes).
     pub fn with_config(n: usize, device: DeviceConfig, config: WorkerConfig) -> Self {
+        Self::with_config_traced(n, device, config, Arc::new(Recorder::noop()))
+    }
+
+    /// [`with_config`](Self::with_config) plus a shared recorder.
+    pub fn with_config_traced(
+        n: usize,
+        device: DeviceConfig,
+        config: WorkerConfig,
+        obs: Arc<Recorder>,
+    ) -> Self {
         let cache = new_submission_cache(CacheConfig::default());
         let workers = (1..=n as u64)
             .map(|id| {
-                Arc::new(WorkerNode::boot_with_cache(
+                Arc::new(WorkerNode::boot_traced(
                     id,
                     device.clone(),
                     &config,
-                    Arc::clone(&cache),
+                    Some(Arc::clone(&cache)),
+                    Arc::clone(&obs),
                 ))
             })
             .collect::<Vec<_>>();
@@ -72,6 +93,7 @@ impl ClusterV1 {
             device,
             config,
             cache,
+            obs,
             state: Mutex::new(PoolState {
                 workers,
                 last_beat,
@@ -109,11 +131,12 @@ impl ClusterV1 {
         let mut g = self.state.lock();
         let id = g.next_worker_id;
         g.next_worker_id += 1;
-        let w = Arc::new(WorkerNode::boot_with_cache(
+        let w = Arc::new(WorkerNode::boot_traced(
             id,
             self.device.clone(),
             &self.config,
-            Arc::clone(&self.cache),
+            Some(Arc::clone(&self.cache)),
+            Arc::clone(&self.obs),
         ));
         g.last_beat.insert(id, now_ms);
         g.workers.push(w);
@@ -158,6 +181,7 @@ impl ClusterV1 {
             alive
         });
         for id in &evicted_now {
+            self.obs.bump(Counter::WorkerEvictions);
             g.evicted.push(*id);
             g.last_beat.remove(id);
         }
@@ -168,12 +192,17 @@ impl ClusterV1 {
     /// failed submission marks a dispatch failure and tries the next
     /// worker (the retry behaviour students experienced as a slow
     /// attempt rather than an error page).
-    pub fn submit(&self, req: &JobRequest) -> Result<JobOutcome, String> {
+    pub fn submit(&self, req: &JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
+        // The span opens the moment the web tier hands the job over —
+        // queue wait is zero in a push cluster, but the opener keeps v1
+        // and v2 spans shape-compatible.
+        self.obs.phase(req.job_id, JobPhase::Queued, now_ms);
         // Snapshot candidates to avoid holding the lock during a job.
         let candidates: Vec<Arc<WorkerNode>> = {
             let mut g = self.state.lock();
             if g.workers.is_empty() {
-                return Err("no workers in the pool".to_string());
+                self.obs.phase(req.job_id, JobPhase::Failed, now_ms);
+                return Err(WbError::infra("no workers in the pool"));
             }
             let n = g.workers.len();
             let start = g.rr_cursor % n;
@@ -183,14 +212,18 @@ impl ClusterV1 {
                 .collect()
         };
         for w in candidates {
-            match w.submit(req) {
+            match w.submit(req, now_ms) {
                 Some(outcome) => return Ok(outcome),
                 None => {
+                    // The chosen node was down: account the failure and
+                    // mark the span before trying the next candidate.
+                    self.obs.annotate(req.job_id, Annotation::Retry, now_ms);
                     self.state.lock().dispatch_failures += 1;
                 }
             }
         }
-        Err("every worker in the pool is unreachable".to_string())
+        self.obs.phase(req.job_id, JobPhase::Failed, now_ms);
+        Err(WbError::infra("every worker in the pool is unreachable"))
     }
 
     /// Push a batch of independent submissions concurrently: one
@@ -200,19 +233,23 @@ impl ClusterV1 {
     /// [`submit`](Self::submit) loop — round-robin placement, dead-node
     /// retry and failure accounting all behave exactly as they do for
     /// sequential callers. Results come back in request order.
-    pub fn submit_batch(&self, reqs: &[JobRequest]) -> Vec<Result<JobOutcome, String>> {
+    pub fn submit_batch(
+        &self,
+        reqs: &[JobRequest],
+        now_ms: u64,
+    ) -> Vec<Result<JobOutcome, WbError>> {
         if reqs.is_empty() {
             return Vec::new();
         }
         let lanes = self.pool_size().clamp(1, reqs.len());
         let chunk = reqs.len().div_ceil(lanes);
-        let mut slots: Vec<Option<Result<JobOutcome, String>>> = Vec::new();
+        let mut slots: Vec<Option<Result<JobOutcome, WbError>>> = Vec::new();
         slots.resize_with(reqs.len(), || None);
         crossbeam::thread::scope(|s| {
             for (req_chunk, slot_chunk) in reqs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
                 s.spawn(move |_| {
                     for (req, slot) in req_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(self.submit(req));
+                        *slot = Some(self.submit(req, now_ms));
                     }
                 });
             }
@@ -223,11 +260,16 @@ impl ClusterV1 {
             .map(|r| r.expect("every slot is filled by its lane"))
             .collect()
     }
+
+    /// Current metrics snapshot from the cluster's recorder.
+    pub fn metrics_snapshot(&self) -> wb_obs::MetricsSnapshot {
+        self.obs.snapshot()
+    }
 }
 
 impl JobDispatcher for ClusterV1 {
-    fn dispatch(&self, req: JobRequest, _now_ms: u64) -> Result<JobOutcome, String> {
-        self.submit(&req)
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
+        self.submit(&req, now_ms)
     }
 }
 
@@ -268,7 +310,7 @@ mod tests {
     fn jobs_round_robin_across_workers() {
         let c = cluster(3);
         for j in 0..6 {
-            let out = c.submit(&echo(j)).unwrap();
+            let out = c.submit(&echo(j), 0).unwrap();
             assert!(out.compiled());
         }
         for i in 0..3 {
@@ -280,7 +322,7 @@ mod tests {
     fn duplicate_submissions_hit_the_cluster_cache() {
         let c = cluster(3);
         for j in 0..6 {
-            assert!(c.submit(&echo(j)).unwrap().compiled());
+            assert!(c.submit(&echo(j), 0).unwrap().compiled());
         }
         // Six identical sources spread round-robin over three workers:
         // one compile + one grade ran, the rest were cache hits — the
@@ -298,7 +340,7 @@ mod tests {
         let c = cluster(2);
         c.worker(0).unwrap().crash();
         for j in 0..4 {
-            assert!(c.submit(&echo(j)).is_ok());
+            assert!(c.submit(&echo(j), 0).is_ok());
         }
         assert!(c.dispatch_failures() > 0, "the dead node was tried");
         assert_eq!(c.worker(1).unwrap().jobs_done(), 4);
@@ -308,7 +350,7 @@ mod tests {
     fn batch_submission_completes_everything_in_order() {
         let c = cluster(4);
         let reqs: Vec<JobRequest> = (0..12).map(echo).collect();
-        let results = c.submit_batch(&reqs);
+        let results = c.submit_batch(&reqs, 0);
         assert_eq!(results.len(), 12);
         for (j, r) in results.iter().enumerate() {
             let out = r.as_ref().expect("pool alive");
@@ -324,7 +366,7 @@ mod tests {
         let c = cluster(3);
         c.worker(1).unwrap().crash();
         let reqs: Vec<JobRequest> = (0..9).map(echo).collect();
-        let results = c.submit_batch(&reqs);
+        let results = c.submit_batch(&reqs, 0);
         assert!(results.iter().all(|r| r.is_ok()));
         assert_eq!(c.worker(1).unwrap().jobs_done(), 0);
     }
@@ -332,7 +374,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let c = cluster(1);
-        assert!(c.submit_batch(&[]).is_empty());
+        assert!(c.submit_batch(&[], 0).is_empty());
     }
 
     #[test]
@@ -340,7 +382,7 @@ mod tests {
         let c = cluster(2);
         c.worker(0).unwrap().crash();
         c.worker(1).unwrap().crash();
-        assert!(c.submit(&echo(1)).is_err());
+        assert!(c.submit(&echo(1), 0).is_err());
     }
 
     #[test]
@@ -381,6 +423,6 @@ mod tests {
     fn empty_pool_rejects() {
         let c = cluster(1);
         c.remove_worker();
-        assert!(c.submit(&echo(1)).is_err());
+        assert!(c.submit(&echo(1), 0).is_err());
     }
 }

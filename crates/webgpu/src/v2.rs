@@ -10,8 +10,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use wb_cache::{CacheConfig, CacheMetrics};
 use wb_db::BlobStore;
+use wb_obs::{Annotation, Counter, JobPhase, Recorder, Timer};
 use wb_queue::MirroredBroker;
-use wb_server::JobDispatcher;
+use wb_server::{JobDispatcher, WbError};
 use wb_worker::{
     new_submission_cache, ConfigServer, JobOutcome, JobRequest, SubmissionCache, WorkerConfig,
     WorkerNode,
@@ -46,6 +47,7 @@ pub struct ClusterV2 {
     /// Cluster-wide submission cache (`None` for the uncached
     /// baseline); autoscaled workers join it on boot.
     cache: Option<Arc<SubmissionCache>>,
+    obs: Arc<Recorder>,
     state: Mutex<FleetState>,
     scaler: Mutex<Autoscaler>,
 }
@@ -70,6 +72,7 @@ impl ClusterV2 {
             device,
             policy,
             Some(new_submission_cache(CacheConfig::default())),
+            Arc::new(Recorder::noop()),
         )
     }
 
@@ -81,7 +84,31 @@ impl ClusterV2 {
         device: DeviceConfig,
         policy: AutoscalePolicy,
     ) -> Self {
-        Self::new_inner(initial_workers, device, policy, None)
+        Self::new_inner(
+            initial_workers,
+            device,
+            policy,
+            None,
+            Arc::new(Recorder::noop()),
+        )
+    }
+
+    /// Boot a cached fleet wired to a shared tracing recorder: every
+    /// layer — broker, workers, scheduler — records into the same
+    /// `wb-obs` sink, so a job's span covers its full lifecycle.
+    pub fn new_traced(
+        initial_workers: usize,
+        device: DeviceConfig,
+        policy: AutoscalePolicy,
+        obs: Arc<Recorder>,
+    ) -> Self {
+        Self::new_inner(
+            initial_workers,
+            device,
+            policy,
+            Some(new_submission_cache(CacheConfig::default())),
+            obs,
+        )
     }
 
     fn new_inner(
@@ -89,6 +116,7 @@ impl ClusterV2 {
         device: DeviceConfig,
         policy: AutoscalePolicy,
         cache: Option<Arc<SubmissionCache>>,
+        obs: Arc<Recorder>,
     ) -> Self {
         let config = ConfigServer::new(WorkerConfig::default());
         let workers = (1..=initial_workers as u64)
@@ -98,16 +126,18 @@ impl ClusterV2 {
                     &device,
                     &config.get(),
                     cache.as_ref(),
+                    &obs,
                 ))
             })
             .collect::<Vec<_>>();
         ClusterV2 {
-            broker: MirroredBroker::new(60_000, 3),
+            broker: MirroredBroker::with_recorder(60_000, 3, Arc::clone(&obs)),
             config,
             store: BlobStore::new(),
             metrics_db: wb_db::ReplicatedTable::new(),
             device,
             cache,
+            obs,
             state: Mutex::new(FleetState {
                 workers,
                 next_worker_id: initial_workers as u64 + 1,
@@ -126,11 +156,15 @@ impl ClusterV2 {
         device: &DeviceConfig,
         config: &WorkerConfig,
         cache: Option<&Arc<SubmissionCache>>,
+        obs: &Arc<Recorder>,
     ) -> WorkerNode {
-        match cache {
-            Some(c) => WorkerNode::boot_with_cache(id, device.clone(), config, Arc::clone(c)),
-            None => WorkerNode::boot(id, device.clone(), config),
-        }
+        WorkerNode::boot_traced(
+            id,
+            device.clone(),
+            config,
+            cache.map(Arc::clone),
+            Arc::clone(obs),
+        )
     }
 
     /// Fleet size.
@@ -185,8 +219,17 @@ impl ClusterV2 {
         self.state.lock().workers.get(idx).cloned()
     }
 
-    /// Fail over the broker to its standby zone.
-    pub fn broker_failover(&self) {
+    /// Fail over the broker to its standby zone. Every job still
+    /// waiting (enqueued but not yet completed) gets a `Failover`
+    /// annotation on its span — the operator-visible trace of which
+    /// submissions lived through the zone switch.
+    pub fn broker_failover(&self, now_ms: u64) {
+        {
+            let g = self.state.lock();
+            for &job_id in g.enqueue_round.keys() {
+                self.obs.annotate(job_id, Annotation::Failover, now_ms);
+            }
+        }
         self.broker.failover();
     }
 
@@ -204,6 +247,7 @@ impl ClusterV2 {
             let round = g.round;
             g.enqueue_round.insert(job_id, round);
         }
+        self.obs.phase(job_id, JobPhase::Queued, now_ms);
         self.broker.enqueue(req, tags, now_ms)
     }
 
@@ -275,6 +319,7 @@ impl ClusterV2 {
         // database (crashed workers emit nothing, which is exactly how
         // the dashboard notices them going quiet).
         if let Some(beat) = w.health(now_ms) {
+            self.obs.bump(Counter::HealthBeats);
             let _ = self.metrics_db.insert(&HealthRecord {
                 worker_id: beat.worker_id,
                 at_ms: beat.at_ms,
@@ -298,7 +343,9 @@ impl ClusterV2 {
         for outcome in outcomes {
             g.completed += 1;
             if let Some(at) = g.enqueue_round.remove(&outcome.job_id) {
-                g.wait_rounds.push(round.saturating_sub(at));
+                let wait = round.saturating_sub(at);
+                self.obs.observe(Timer::QueueWaitRounds, wait);
+                g.wait_rounds.push(wait);
             }
             g.results.insert(outcome.job_id, outcome);
         }
@@ -312,6 +359,7 @@ impl ClusterV2 {
         };
         let desired = self.scaler.lock().desired(&metrics);
         let mut g = self.state.lock();
+        self.obs.autoscale(g.workers.len(), desired, now_ms);
         while g.workers.len() < desired {
             let id = g.next_worker_id;
             g.next_worker_id += 1;
@@ -322,6 +370,7 @@ impl ClusterV2 {
                 &self.device,
                 &self.config.get(),
                 self.cache.as_ref(),
+                &self.obs,
             )));
         }
         // Scale in exactly to the policy's decision: `desired` already
@@ -337,10 +386,27 @@ impl ClusterV2 {
     pub fn take_result(&self, job_id: u64) -> Option<JobOutcome> {
         self.state.lock().results.remove(&job_id)
     }
+
+    /// Aggregate metrics snapshot from the shared recorder — counters,
+    /// latency percentiles, recent events. Empty when the cluster was
+    /// booted without tracing.
+    pub fn metrics_snapshot(&self) -> wb_obs::MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// A job's lifecycle span (traced clusters only).
+    pub fn span(&self, job_id: u64) -> Option<wb_obs::SpanView> {
+        self.obs.span(job_id)
+    }
+
+    /// Every tracked span (traced clusters only).
+    pub fn spans(&self) -> Vec<wb_obs::SpanView> {
+        self.obs.spans()
+    }
 }
 
 impl JobDispatcher for ClusterV2 {
-    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, String> {
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         let job_id = req.job_id;
         self.enqueue(req, now_ms);
         for round in 0..10_000u64 {
@@ -349,10 +415,12 @@ impl JobDispatcher for ClusterV2 {
                 return Ok(out);
             }
             if self.broker.depth(now_ms + round) > 0 && self.fleet_size() == 0 {
-                return Err("fleet scaled to zero with work queued".to_string());
+                self.obs.phase(job_id, JobPhase::Failed, now_ms + round);
+                return Err(WbError::infra("fleet scaled to zero with work queued"));
             }
         }
-        Err("job did not complete (no capable worker?)".to_string())
+        self.obs.phase(job_id, JobPhase::Failed, now_ms + 10_000);
+        Err(WbError::infra("job did not complete (no capable worker?)"))
     }
 }
 
@@ -510,7 +578,7 @@ mod tests {
         for j in 0..3 {
             c.enqueue(echo(j), 0);
         }
-        c.broker_failover();
+        c.broker_failover(0);
         let mut done = 0;
         for r in 0..20 {
             done += c.pump(r);
@@ -544,7 +612,7 @@ mod tests {
         }
         assert_eq!(done, 1);
         assert_eq!(c.completed(), 1);
-        c.broker_failover();
+        c.broker_failover(5);
         for r in 5..15 {
             done += c.pump(r);
         }
@@ -588,7 +656,7 @@ mod tests {
         // "work queued but nobody to run it" is reachable again.
         let c = ClusterV2::new(0, DeviceConfig::test_small(), AutoscalePolicy::Static(0));
         assert_eq!(c.fleet_size(), 0);
-        let err = c.dispatch(echo(1), 0).unwrap_err();
+        let err = c.dispatch(echo(1), 0).unwrap_err().to_string();
         assert!(err.contains("scaled to zero"), "got: {err}");
     }
 }

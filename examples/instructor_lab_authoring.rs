@@ -9,7 +9,7 @@
 
 use libwb::{gen, CheckPolicy, Dataset};
 use wb_sandbox::{Blacklist, ResourceLimits, SyscallWhitelist};
-use wb_server::{DeviceKind, LabDefinition, Rubric, WebGpuServer};
+use wb_server::{DeviceKind, LabDefinition, Rubric, SubmitRequest, WbError, WebGpuServer};
 use wb_worker::{DatasetCase, LabSpec};
 use webgpu::ClusterV1;
 
@@ -106,22 +106,30 @@ fn main() {
         .login("ta-scratch", "pw", DeviceKind::Desktop, 1)
         .unwrap();
     srv.save_code(scratch, "saxpy", REFERENCE, 1_000).unwrap();
-    let sub = srv.submit(scratch, "saxpy", 2_000).unwrap();
+    let sub = srv
+        .submit(&SubmitRequest::full_grade(scratch, "saxpy").at(2_000))
+        .unwrap();
     println!(
         "reference run: compiled={} datasets {}/{} score={:.1}",
-        sub.compiled, sub.passed, sub.total, sub.score
+        sub.compiled,
+        sub.passed,
+        sub.total,
+        sub.score.unwrap_or(0.0)
     );
     assert_eq!(sub.passed, sub.total, "reference must be perfect");
 
     // And prove the sandbox config bites: a hostile submission dies.
     srv.save_code(scratch, "saxpy", "int main() { asm(\"x\"); }", 40_000)
         .unwrap();
-    let attempt = srv.compile(scratch, "saxpy", 41_000).unwrap();
+    let err = srv
+        .submit(&SubmitRequest::compile_only(scratch, "saxpy").at(41_000))
+        .unwrap_err();
+    let WbError::CompileError { report } = &err else {
+        panic!("blacklisted source must be a typed compile error, got {err:?}");
+    };
     println!(
-        "hostile submission: compiled={} report={:?}",
-        attempt.compiled,
-        attempt.report.lines().next().unwrap_or("")
+        "hostile submission rejected: {:?}",
+        report.lines().next().unwrap_or("")
     );
-    assert!(!attempt.compiled);
     println!("lab `saxpy` is ready for students.");
 }

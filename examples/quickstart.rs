@@ -6,7 +6,7 @@
 //! ```
 
 use wb_labs::LabScale;
-use wb_server::{DeviceKind, WebGpuServer};
+use wb_server::{DeviceKind, SubmitRequest, WebGpuServer};
 use webgpu::ClusterV1;
 
 fn main() {
@@ -34,10 +34,13 @@ fn main() {
     println!("{}", srv.current_code(alice, "vecadd").unwrap());
 
     // First attempt: compile the skeleton.
-    let attempt = srv.compile(alice, "vecadd", 10_000).unwrap();
+    let attempt = srv
+        .submit(&SubmitRequest::compile_only(alice, "vecadd").at(10_000))
+        .unwrap();
     println!(
-        "Skeleton compile: compiled={} report={}",
+        "Skeleton compile: compiled={} trace_id={} report={}",
         attempt.compiled,
+        attempt.trace_id,
         attempt.report.lines().next().unwrap_or("")
     );
 
@@ -49,15 +52,22 @@ fn main() {
         60_000,
     )
     .unwrap();
-    let run = srv.run_dataset(alice, "vecadd", 0, 120_000).unwrap();
+    let run = srv
+        .submit(&SubmitRequest::run_dataset(alice, "vecadd", 0).at(120_000))
+        .unwrap();
     println!("=== Attempt against dataset 0 ===");
     println!("{}", run.report);
 
     // Submit for grading.
-    let sub = srv.submit(alice, "vecadd", 600_000).unwrap();
+    let sub = srv
+        .submit(&SubmitRequest::full_grade(alice, "vecadd").at(600_000))
+        .unwrap();
     println!(
         "Submission: compiled={} datasets {}/{} score={:.1}",
-        sub.compiled, sub.passed, sub.total, sub.score
+        sub.compiled,
+        sub.passed,
+        sub.total,
+        sub.score.unwrap_or(0.0)
     );
 
     // The instructor checks the roster.

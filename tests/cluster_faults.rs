@@ -24,13 +24,13 @@ fn vecadd_request(job_id: u64) -> JobRequest {
 fn v1_survives_a_mid_course_worker_crash() {
     let c = ClusterV1::new(3, minicuda::DeviceConfig::test_small());
     for j in 0..3 {
-        assert!(c.submit(&vecadd_request(j)).is_ok());
+        assert!(c.submit(&vecadd_request(j), 0).is_ok());
     }
     // One node dies.
     c.worker(1).unwrap().crash();
     // Every subsequent job still completes (retried onto live nodes).
     for j in 3..9 {
-        let out = c.submit(&vecadd_request(j)).unwrap();
+        let out = c.submit(&vecadd_request(j), 0).unwrap();
         assert!(out.datasets[0].passed());
     }
     assert!(c.dispatch_failures() > 0);
@@ -50,7 +50,7 @@ fn v1_recovered_worker_rejoins_before_eviction() {
     c.worker(0).unwrap().recover();
     assert!(c.health_sweep(webgpu::v1::HEALTH_TIMEOUT_MS / 2).is_empty());
     assert_eq!(c.pool_size(), 2);
-    assert!(c.submit(&vecadd_request(1)).is_ok());
+    assert!(c.submit(&vecadd_request(1), 0).is_ok());
 }
 
 #[test]
@@ -64,7 +64,7 @@ fn v2_jobs_survive_broker_zone_failure() {
         c.enqueue(vecadd_request(j), 0);
     }
     // Zone failure before any work happens.
-    c.broker_failover();
+    c.broker_failover(0);
     let mut done = 0;
     for r in 0..30 {
         done += c.pump(r);

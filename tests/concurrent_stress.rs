@@ -108,7 +108,7 @@ fn concurrent_pump_survives_failover_mid_load() {
         t += 1;
         assert!(t < 10_000);
     }
-    c.broker_failover();
+    c.broker_failover(0);
     while c.completed() < 24 {
         c.pump(t);
         t += 1;

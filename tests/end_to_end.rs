@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 use wb_labs::LabScale;
-use wb_server::{DeviceKind, JobDispatcher, WebGpuServer};
+use wb_server::{DeviceKind, JobDispatcher, SubmitRequest, WebGpuServer};
 use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
 
 fn server_on(dispatcher: Box<dyn JobDispatcher>) -> (WebGpuServer, u64, u64) {
@@ -29,23 +29,30 @@ fn student_journey(srv: &WebGpuServer, staff: u64, alice: u64) {
     assert!(code.contains("TODO"));
 
     // 3. First try: the skeleton itself — compiles but fails datasets.
-    let view = srv.compile(alice, "vecadd", 10_000).unwrap();
+    let view = srv
+        .submit(&SubmitRequest::compile_only(alice, "vecadd").at(10_000))
+        .unwrap();
     assert!(view.compiled);
 
     // 4. Iterate: save the real solution, run one dataset.
     let solution = wb_labs::solution("vecadd").unwrap();
     srv.save_code(alice, "vecadd", solution, 60_000).unwrap();
-    let run = srv.run_dataset(alice, "vecadd", 0, 120_000).unwrap();
-    assert!(run.passed, "{}", run.report);
+    let run = srv
+        .submit(&SubmitRequest::run_dataset(alice, "vecadd", 0).at(120_000))
+        .unwrap();
+    assert!(run.all_passed(), "{}", run.report);
     assert!(run.report.contains("correct"));
 
     // 5. Answer the questions and submit for grading.
     srv.answer_questions(alice, "vecadd", vec!["n flops".into(), "two reads".into()])
         .unwrap();
-    let sub = srv.submit(alice, "vecadd", 600_000).unwrap();
+    let sub = srv
+        .submit(&SubmitRequest::full_grade(alice, "vecadd").at(600_000))
+        .unwrap();
     assert!(sub.compiled);
     assert_eq!(sub.passed, sub.total);
-    assert!((sub.score - 90.0).abs() < 1e-9, "rubric: 10 + 80");
+    let score = sub.score.expect("full grades carry a score");
+    assert!((score - 90.0).abs() < 1e-9, "rubric: 10 + 80");
 
     // 6. History shows the revision; attempts show the runs.
     assert_eq!(srv.history(alice, "vecadd").unwrap().len(), 1);
@@ -79,7 +86,7 @@ fn full_journey_on_v2_queue_cluster() {
             &self,
             req: wb_worker::JobRequest,
             now_ms: u64,
-        ) -> Result<wb_worker::JobOutcome, String> {
+        ) -> Result<wb_worker::JobOutcome, wb_server::WbError> {
             self.0.dispatch(req, now_ms)
         }
     }
@@ -113,13 +120,15 @@ fn every_table2_lab_reference_solution_grades_perfectly_through_the_server() {
         // Space submissions out in time so the rate limiter is happy.
         let now = (k as u64 + 1) * 3_600_000;
         srv.save_code(student, id, solution, now).unwrap();
-        let sub = srv.submit(student, id, now + 1_000).unwrap();
+        let sub = srv
+            .submit(&SubmitRequest::full_grade(student, id).at(now + 1_000))
+            .unwrap();
         assert!(sub.compiled, "{id} must compile");
         assert_eq!(sub.passed, sub.total, "{id} must pass all datasets");
+        let score = sub.score.expect("graded");
         assert!(
-            (sub.score - max_auto).abs() < 1e-9,
-            "{id}: score {} != max auto-gradable {max_auto}",
-            sub.score
+            (score - max_auto).abs() < 1e-9,
+            "{id}: score {score} != max auto-gradable {max_auto}"
         );
     }
 }

@@ -2,7 +2,7 @@
 //! peer review over dropout, and the instructor override path.
 
 use wb_labs::LabScale;
-use wb_server::{peer, DeviceKind, WebGpuServer};
+use wb_server::{peer, DeviceKind, SubmitRequest, WbError, WebGpuServer};
 use webgpu::ClusterV1;
 
 fn server() -> (WebGpuServer, u64) {
@@ -27,7 +27,9 @@ fn partial_credit_tracks_passed_datasets() {
         .unwrap()
         .replace("addOffsets<<<blocks, BLOCK>>>(dOut, dSums, n);", "");
     srv.save_code(bob, "scan", &buggy, 1_000).unwrap();
-    let sub = srv.submit(bob, "scan", 2_000).unwrap();
+    let sub = srv
+        .submit(&SubmitRequest::full_grade(bob, "scan").at(2_000))
+        .unwrap();
     assert!(sub.compiled);
     assert!(sub.passed >= 1, "single-block datasets pass");
     assert!(sub.passed < sub.total, "the long dataset fails");
@@ -35,11 +37,8 @@ fn partial_credit_tracks_passed_datasets() {
     let lab = wb_labs::definition("scan", LabScale::Small).unwrap();
     let per = lab.rubric.dataset_points / sub.total as f64;
     let expected = lab.rubric.compile_points + per * sub.passed as f64 + 5.0; // the __syncthreads keyword bonus still applies
-    assert!(
-        (sub.score - expected).abs() < 1e-9,
-        "{} vs {expected}",
-        sub.score
-    );
+    let score = sub.score.expect("graded");
+    assert!((score - expected).abs() < 1e-9, "{score} vs {expected}");
 }
 
 #[test]
@@ -62,7 +61,9 @@ fn keyword_points_require_the_technique() {
         1_000,
     )
     .unwrap();
-    let untiled = srv.submit(carol, "tiled-matmul", 2_000).unwrap();
+    let untiled = srv
+        .submit(&SubmitRequest::full_grade(carol, "tiled-matmul").at(2_000))
+        .unwrap();
     assert_eq!(untiled.passed, untiled.total, "correct, just not tiled");
 
     srv.save_code(
@@ -72,15 +73,16 @@ fn keyword_points_require_the_technique() {
         4_000_000,
     )
     .unwrap();
-    let tiled = srv.submit(carol, "tiled-matmul", 4_100_000).unwrap();
+    let tiled = srv
+        .submit(&SubmitRequest::full_grade(carol, "tiled-matmul").at(4_100_000))
+        .unwrap();
+    let (tiled_score, untiled_score) = (tiled.score.unwrap(), untiled.score.unwrap());
     assert!(
-        tiled.score > untiled.score,
-        "tiled {} must out-score untiled {}",
-        tiled.score,
-        untiled.score
+        tiled_score > untiled_score,
+        "tiled {tiled_score} must out-score untiled {untiled_score}"
     );
     assert!(
-        (tiled.score - untiled.score - 10.0).abs() < 1e-9,
+        (tiled_score - untiled_score - 10.0).abs() < 1e-9,
         "both keywords"
     );
 }
@@ -96,9 +98,11 @@ fn override_beats_auto_grade_on_the_roster() {
     srv.register_student("dave", "pw").unwrap();
     let dave = srv.login("dave", "pw", DeviceKind::Desktop, 0).unwrap();
     srv.save_code(dave, "vecadd", "int main( {", 1_000).unwrap();
-    let sub = srv.submit(dave, "vecadd", 2_000).unwrap();
-    assert!(!sub.compiled);
-    assert_eq!(sub.score, 0.0);
+    let sub = srv
+        .submit(&SubmitRequest::full_grade(dave, "vecadd").at(2_000))
+        .unwrap();
+    assert!(!sub.compiled, "full grades record compile failures as 0s");
+    assert_eq!(sub.score, Some(0.0));
     // The instructor decides the attempt deserves credit anyway.
     let ids = srv.state.submissions.find("by_lab", "vecadd").unwrap();
     srv.override_grade(staff, ids[0], 42.0).unwrap();
@@ -153,7 +157,7 @@ fn rate_limited_student_sees_retry_hint() {
         .unwrap();
     let mut limited = None;
     for k in 0..5 {
-        if let Err(e) = srv.compile(eve, "vecadd", k) {
+        if let Err(e) = srv.submit(&SubmitRequest::compile_only(eve, "vecadd").at(k)) {
             limited = Some(e);
             break;
         }
@@ -175,7 +179,8 @@ fn grades_publish_to_the_coursera_gradebook() {
     let fred = srv.login("fred", "pw", DeviceKind::Desktop, 0).unwrap();
     // Two submissions: a failure then the real thing.
     srv.save_code(fred, "vecadd", "int main( {", 1_000).unwrap();
-    srv.submit(fred, "vecadd", 2_000).unwrap();
+    srv.submit(&SubmitRequest::full_grade(fred, "vecadd").at(2_000))
+        .unwrap();
     srv.save_code(
         fred,
         "vecadd",
@@ -183,7 +188,8 @@ fn grades_publish_to_the_coursera_gradebook() {
         100_000,
     )
     .unwrap();
-    srv.submit(fred, "vecadd", 101_000).unwrap();
+    srv.submit(&SubmitRequest::full_grade(fred, "vecadd").at(101_000))
+        .unwrap();
 
     let gb = CourseraGradebook::new();
     let n = srv.publish_grades(staff, "vecadd", &gb, 200_000).unwrap();
@@ -214,15 +220,21 @@ fn failing_attempts_carry_automated_hints() {
         "out[i] = a[i] + b[i];",
     );
     srv.save_code(gina, "vecadd", &buggy, 1_000).unwrap();
-    let view = srv.run_dataset(gina, "vecadd", 2, 2_000).unwrap();
-    assert!(!view.passed);
-    assert!(view.report.contains("Hint:"), "{}", view.report);
-    assert!(view.report.contains("if (i < n)"), "{}", view.report);
+    let err = srv
+        .submit(&SubmitRequest::run_dataset(gina, "vecadd", 2).at(2_000))
+        .unwrap_err();
+    let WbError::RuntimeError { report } = &err else {
+        panic!("unguarded write faults at runtime, got {err:?}");
+    };
+    assert!(report.contains("Hint:"), "{report}");
+    assert!(report.contains("if (i < n)"), "{report}");
 
     // A clean run carries no hints.
     srv.save_code(gina, "vecadd", wb_labs::solution("vecadd").unwrap(), 60_000)
         .unwrap();
-    let view = srv.run_dataset(gina, "vecadd", 0, 61_000).unwrap();
-    assert!(view.passed);
+    let view = srv
+        .submit(&SubmitRequest::run_dataset(gina, "vecadd", 0).at(61_000))
+        .unwrap();
+    assert!(view.all_passed());
     assert!(!view.report.contains("Hint:"));
 }

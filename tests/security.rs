@@ -177,7 +177,7 @@ fn worker_isolation_keeps_database_out_of_reach() {
     // envelope is the worker's entire interface — it contains no
     // database handles. This test asserts the boundary by running a
     // hostile job and checking the server state afterwards.
-    use wb_server::{DeviceKind, WebGpuServer};
+    use wb_server::{DeviceKind, SubmitRequest, WebGpuServer};
     use webgpu::ClusterV1;
     let cluster = ClusterV1::new(1, DeviceConfig::test_small());
     let srv = WebGpuServer::new(Box::new(cluster));
@@ -198,6 +198,6 @@ fn worker_isolation_keeps_database_out_of_reach() {
         0,
     )
     .unwrap();
-    let _ = srv.submit(m, "vecadd", 1_000);
+    let _ = srv.submit(&SubmitRequest::full_grade(m, "vecadd").at(1_000));
     assert_eq!(srv.state.users.len(), users_before, "user table untouched");
 }
