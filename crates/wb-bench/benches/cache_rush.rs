@@ -9,25 +9,20 @@ use rand::SeedableRng;
 use wb_bench::Zipf;
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const JOBS: u64 = 48;
 const VARIANTS: usize = 12;
 const FLEET: usize = 4;
 
 fn replay(cached: bool) {
+    let builder = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(FLEET)
+        .policy(AutoscalePolicy::Static(FLEET));
     let cluster = if cached {
-        ClusterV2::new(
-            FLEET,
-            minicuda::DeviceConfig::test_small(),
-            AutoscalePolicy::Static(FLEET),
-        )
+        builder.build_v2()
     } else {
-        ClusterV2::new_uncached(
-            FLEET,
-            minicuda::DeviceConfig::test_small(),
-            AutoscalePolicy::Static(FLEET),
-        )
+        builder.uncached().build_v2()
     };
     let lab = wb_labs::definition("vecadd", LabScale::Small).expect("catalog lab");
     let base = wb_labs::solution("vecadd").expect("catalog solution");

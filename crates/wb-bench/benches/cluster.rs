@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wb_bench::reference_job;
 use wb_labs::LabScale;
 use wb_worker::JobAction;
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const BATCH: u64 = 16;
 
@@ -18,7 +18,9 @@ fn bench_v1(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let cluster = ClusterV1::new(workers, minicuda::DeviceConfig::test_small());
+                    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+                        .fleet(workers)
+                        .build_v1();
                     for j in 0..BATCH {
                         cluster
                             .submit(
@@ -48,11 +50,10 @@ fn bench_v2(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let cluster = ClusterV2::new(
-                        workers,
-                        minicuda::DeviceConfig::test_small(),
-                        AutoscalePolicy::Static(workers),
-                    );
+                    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+                        .fleet(workers)
+                        .policy(AutoscalePolicy::Static(workers))
+                        .build_v2();
                     for j in 0..BATCH {
                         cluster.enqueue(
                             reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),

@@ -8,16 +8,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wb_bench::reference_job;
 use wb_labs::LabScale;
 use wb_worker::JobAction;
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const BATCH: u64 = 16;
 
 fn drain(fleet: usize, concurrent: bool) {
-    let cluster = ClusterV2::new(
-        fleet,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(fleet),
-    );
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(fleet)
+        .policy(AutoscalePolicy::Static(fleet))
+        .build_v2();
     for j in 0..BATCH {
         cluster.enqueue(
             reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),

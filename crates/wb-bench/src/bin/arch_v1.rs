@@ -6,7 +6,7 @@ use std::time::Instant;
 use wb_bench::reference_job;
 use wb_labs::LabScale;
 use wb_worker::JobAction;
-use webgpu::ClusterV1;
+use webgpu::ClusterBuilder;
 
 fn main() {
     println!("v1 architecture (web server pushes jobs to a worker pool)\n");
@@ -17,7 +17,9 @@ fn main() {
         "workers", "jobs", "wall (ms)", "jobs/worker max"
     );
     for workers in [1usize, 2, 4, 8] {
-        let cluster = ClusterV1::new(workers, minicuda::DeviceConfig::default());
+        let cluster = ClusterBuilder::new(minicuda::DeviceConfig::default())
+            .fleet(workers)
+            .build_v1();
         let t0 = Instant::now();
         let jobs = 60;
         for j in 0..jobs {
@@ -34,7 +36,9 @@ fn main() {
     println!("(round-robin keeps the per-worker share flat as the pool grows)\n");
 
     // Fault path: crash one of four workers mid-batch.
-    let cluster = ClusterV1::new(4, minicuda::DeviceConfig::default());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(4)
+        .build_v1();
     let mut completed = 0;
     for j in 0..20 {
         if j == 10 {

@@ -11,7 +11,7 @@
 use wb_bench::reference_job;
 use wb_labs::LabScale;
 use wb_worker::JobAction;
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 fn main() {
     let total_jobs = 40u64;
@@ -22,11 +22,10 @@ fn main() {
     // CUDA-only images: an MPI job landing on one fails ("toolchain
     // not installed") — exactly why v1 had to provision every node for
     // the most demanding lab.
-    let v1 = ClusterV1::with_config(
-        4,
-        minicuda::DeviceConfig::default(),
-        wb_worker::WorkerConfig::default(), // webgpu/cuda image
-    );
+    let v1 = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(4)
+        .worker_config(wb_worker::WorkerConfig::default()) // webgpu/cuda image
+        .build_v1();
     let mut v1_failed = 0;
     for j in 0..total_jobs {
         let req = if j % mpi_every == 0 {
@@ -43,11 +42,10 @@ fn main() {
     // ---- v2: pull with capability tags ---------------------------------
     // Half the fleet advertises mpi/multi-gpu; tagged jobs wait for
     // those workers, everything else flows to anyone.
-    let v2 = ClusterV2::new(
-        4,
-        minicuda::DeviceConfig::default(),
-        AutoscalePolicy::Static(4),
-    );
+    let v2 = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(4)
+        .policy(AutoscalePolicy::Static(4))
+        .build_v2();
     v2.config.update(|c| {
         c.capabilities.insert("mpi".into());
         c.capabilities.insert("multi-gpu".into());

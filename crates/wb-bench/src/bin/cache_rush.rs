@@ -5,9 +5,8 @@
 //! whole cohorts converge on the reference approach. This experiment
 //! replays that population: submissions drawn Zipf(1.1) over a pool of
 //! source variants, pumped through a fleet of 4 v2 workers twice —
-//! once on an uncached cluster (`ClusterV2::new_uncached`) and once on
-//! a cached one (`ClusterV2::new`) — and reports jobs/sec plus the
-//! cache's own gauges.
+//! once on an uncached cluster (`ClusterBuilder::uncached`) and once
+//! on a cached one — and reports jobs/sec plus the cache's own gauges.
 //!
 //! Gates (exit nonzero on failure):
 //! * cache hit rate ≥ 50% — always, including `--smoke`;
@@ -23,7 +22,7 @@ use wb_bench::Zipf;
 use wb_cache::CacheMetrics;
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const FLEET: usize = 4;
 const SEED: u64 = 0x5c41e;
@@ -47,18 +46,13 @@ fn variant_source(base: &str, rank: usize) -> String {
 }
 
 fn replay(params: &RushParams, cached: bool) -> RushOutcome {
+    let builder = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(FLEET)
+        .policy(AutoscalePolicy::Static(FLEET));
     let cluster = if cached {
-        ClusterV2::new(
-            FLEET,
-            minicuda::DeviceConfig::default(),
-            AutoscalePolicy::Static(FLEET),
-        )
+        builder.build_v2()
     } else {
-        ClusterV2::new_uncached(
-            FLEET,
-            minicuda::DeviceConfig::default(),
-            AutoscalePolicy::Static(FLEET),
-        )
+        builder.uncached().build_v2()
     };
     let lab = wb_labs::definition("vecadd", params.scale).expect("catalog lab");
     let base = wb_labs::solution("vecadd").expect("catalog solution");

@@ -4,13 +4,15 @@
 use wb_bench::reference_job;
 use wb_labs::LabScale;
 use wb_worker::JobAction;
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 fn main() {
     println!("fault injection: 30 jobs, crash 2 of 4 workers after job 10\n");
 
     // ---- v1 ----
-    let v1 = ClusterV1::new(4, minicuda::DeviceConfig::default());
+    let v1 = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(4)
+        .build_v1();
     let mut ok = 0;
     for j in 0..30 {
         if j == 10 {
@@ -37,11 +39,10 @@ fn main() {
     );
 
     // ---- v2 ----
-    let v2 = ClusterV2::new(
-        4,
-        minicuda::DeviceConfig::default(),
-        AutoscalePolicy::Static(4),
-    );
+    let v2 = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(4)
+        .policy(AutoscalePolicy::Static(4))
+        .build_v2();
     for j in 0..30 {
         v2.enqueue(
             reference_job("vecadd", j, LabScale::Small, JobAction::RunDataset(0)),

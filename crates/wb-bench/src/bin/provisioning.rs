@@ -20,6 +20,8 @@ fn replay(policy: AutoscalePolicy, series: &[u32]) -> (CostReport, f64) {
         backlog += arriving;
         let fleet = scaler.desired(&FleetMetrics {
             queue_depth: backlog,
+            sched_backlog: 0,
+            max_course_backlog: 0,
             fleet_size: 0,
             now_ms: h as u64 * 3_600_000,
         });

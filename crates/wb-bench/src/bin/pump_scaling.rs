@@ -16,16 +16,15 @@ use std::time::Instant;
 use wb_bench::reference_job;
 use wb_labs::LabScale;
 use wb_worker::JobAction;
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const JOBS: u64 = 32;
 
 fn throughput(fleet: usize, concurrent: bool) -> f64 {
-    let c = ClusterV2::new(
-        fleet,
-        minicuda::DeviceConfig::default(),
-        AutoscalePolicy::Static(fleet),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(fleet)
+        .policy(AutoscalePolicy::Static(fleet))
+        .build_v2();
     for j in 0..JOBS {
         c.enqueue(
             reference_job("vecadd", j, LabScale::Full, JobAction::RunDataset(0)),

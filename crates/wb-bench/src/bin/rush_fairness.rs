@@ -1,0 +1,307 @@
+//! Experiment: deadline-rush survival under fair-share scheduling and
+//! admission control.
+//!
+//! Replays the Wednesday shape — three courses on one fleet, one
+//! course submitting 10× the others' rate — through the [`Platform`]
+//! trait on **both** architectures. Per course, it first measures the
+//! fleet-idle p99 wait (one job on an otherwise empty cluster), then
+//! the p99 wait during the combined rush, with the surging course's
+//! backlog bounded so excess load is browned out and then shed instead
+//! of inflating everyone's queue.
+//!
+//! Gates (exit nonzero on failure), per architecture:
+//! * every admitted job completes exactly once;
+//! * every course's rush p99 wait ≤ 5× its fleet-idle baseline;
+//! * at least one submission is shed, and every shed carries a finite,
+//!   positive retry-after hint;
+//! * the recorder's books agree: admitted = completed, sheds counted.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wb_obs::Recorder;
+use wb_server::WbError;
+use webgpu::{ClusterBuilder, CourseLoad, Platform, RushScenario, SchedConfig};
+
+const FLEET: usize = 4;
+const PUMPS_PER_ROUND: u64 = 2;
+const SURGE: usize = 10;
+const MAX_P99_RATIO: f64 = 5.0;
+const BASELINE_JOBS: u64 = 8;
+
+/// The rush deployment: the surging course gets double weight plus the
+/// deadline-proximity boost (its lab is due tonight), and a backlog
+/// budget sized to the fleet so the scheduler sheds its overflow
+/// instead of queueing without bound.
+fn sched_config() -> SchedConfig {
+    let mut cfg = SchedConfig::default()
+        .with_course_weight("ece408", 2)
+        .with_course_deadline("ece408", 3_600_000);
+    cfg.courses.get_mut("ece408").unwrap().backlog_budget = Some(6);
+    cfg
+}
+
+fn p99(waits: &mut [u64]) -> f64 {
+    if waits.is_empty() {
+        return 0.0;
+    }
+    waits.sort_unstable();
+    let idx = ((waits.len() as f64) * 0.99).ceil() as usize;
+    waits[idx.saturating_sub(1)] as f64
+}
+
+/// Fleet-idle baseline: one job at a time on an empty cluster, p99 of
+/// the pump-ticks from admission to completion.
+fn baseline_p99(p: &dyn Platform, course: &CourseLoad, tick0: u64) -> f64 {
+    let mut tick = tick0;
+    let mut waits = Vec::new();
+    let scenario = RushScenario {
+        rounds: 1,
+        courses: vec![CourseLoad::new(&course.course, &course.lab_id, 1)],
+    };
+    for n in 0..BASELINE_JOBS {
+        let mut req = scenario.arrivals(0).remove(0);
+        req.job_id = 1_000_000 + tick0 + n;
+        let id = p.submit_job(req, tick).expect("idle fleet admits");
+        let start = tick;
+        loop {
+            tick += 1;
+            p.pump(tick);
+            if p.take_result(id).is_some() {
+                break;
+            }
+            assert!(tick - start < 100, "idle fleet must complete promptly");
+        }
+        waits.push(tick - start);
+    }
+    p99(&mut waits)
+}
+
+struct CourseOutcome {
+    baseline: f64,
+    rush_p99: f64,
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+}
+
+/// One full rush replay through the Platform trait. Returns per-course
+/// outcomes; panics only on harness bugs, gate failures are reported
+/// by the caller.
+fn run_rush(
+    p: &dyn Platform,
+    scenario: &RushScenario,
+    baselines: &BTreeMap<String, f64>,
+) -> Result<BTreeMap<String, CourseOutcome>, String> {
+    let mut out: BTreeMap<String, CourseOutcome> = baselines
+        .iter()
+        .map(|(course, &baseline)| {
+            (
+                course.clone(),
+                CourseOutcome {
+                    baseline,
+                    rush_p99: 0.0,
+                    admitted: 0,
+                    completed: 0,
+                    shed: 0,
+                },
+            )
+        })
+        .collect();
+    // job id -> (course, tick admitted)
+    let mut outstanding: BTreeMap<u64, (String, u64)> = BTreeMap::new();
+    let mut waits: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut tick = 0u64;
+
+    let drain = |tick: u64,
+                 outstanding: &mut BTreeMap<u64, (String, u64)>,
+                 waits: &mut BTreeMap<String, Vec<u64>>,
+                 out: &mut BTreeMap<String, CourseOutcome>|
+     -> Result<(), String> {
+        let done: Vec<u64> = outstanding
+            .iter()
+            .filter(|(id, _)| p.take_result(**id).is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in done {
+            let (course, admitted_at) = outstanding.remove(&id).unwrap();
+            if p.take_result(id).is_some() {
+                return Err(format!("job {id} yielded two results"));
+            }
+            waits
+                .entry(course.clone())
+                .or_default()
+                .push(tick - admitted_at);
+            out.get_mut(&course).unwrap().completed += 1;
+        }
+        Ok(())
+    };
+
+    for round in 0..scenario.rounds {
+        for req in scenario.arrivals(round) {
+            let course = req.spec.course.clone();
+            let id = req.job_id;
+            let row = out.get_mut(&course).unwrap();
+            match p.submit_job(req, tick) {
+                Ok(_) => {
+                    row.admitted += 1;
+                    outstanding.insert(id, (course, tick));
+                }
+                Err(WbError::Overloaded { retry_after_s }) => {
+                    if !(retry_after_s.is_finite() && retry_after_s > 0.0) {
+                        return Err(format!(
+                            "shed job {id} got a useless retry hint {retry_after_s}"
+                        ));
+                    }
+                    row.shed += 1;
+                }
+                Err(e) => return Err(format!("job {id}: unexpected error {e}")),
+            }
+        }
+        for _ in 0..PUMPS_PER_ROUND {
+            tick += 1;
+            p.pump(tick);
+            drain(tick, &mut outstanding, &mut waits, &mut out)?;
+        }
+    }
+    // Tail-drain everything still admitted.
+    let deadline = tick + 10_000;
+    while !outstanding.is_empty() {
+        tick += 1;
+        if tick > deadline {
+            return Err(format!(
+                "{} admitted jobs never completed",
+                outstanding.len()
+            ));
+        }
+        p.pump(tick);
+        drain(tick, &mut outstanding, &mut waits, &mut out)?;
+    }
+    for (course, mut w) in waits {
+        out.get_mut(&course).unwrap().rush_p99 = p99(&mut w);
+    }
+    Ok(out)
+}
+
+fn gate(arch: &str, p: &dyn Platform, outcomes: &BTreeMap<String, CourseOutcome>) -> bool {
+    let mut ok = true;
+    let mut total_admitted = 0u64;
+    let mut total_shed = 0u64;
+    println!(
+        "{:<4} {:<8} {:>13} {:>10} {:>9} {:>10} {:>6}",
+        "arch", "course", "idle p99 (t)", "rush p99", "admitted", "completed", "shed"
+    );
+    for (course, o) in outcomes {
+        println!(
+            "{:<4} {:<8} {:>13.1} {:>10.1} {:>9} {:>10} {:>6}",
+            arch, course, o.baseline, o.rush_p99, o.admitted, o.completed, o.shed
+        );
+        total_admitted += o.admitted;
+        total_shed += o.shed;
+        if o.completed != o.admitted {
+            eprintln!(
+                "FAIL[{arch}/{course}]: {} admitted, {} completed",
+                o.admitted, o.completed
+            );
+            ok = false;
+        }
+        let bound = MAX_P99_RATIO * o.baseline.max(1.0);
+        if o.rush_p99 > bound {
+            eprintln!(
+                "FAIL[{arch}/{course}]: rush p99 {} exceeds {MAX_P99_RATIO}x idle baseline ({bound})",
+                o.rush_p99
+            );
+            ok = false;
+        }
+    }
+    if total_shed == 0 {
+        eprintln!("FAIL[{arch}]: the 10x rush never tripped admission control");
+        ok = false;
+    }
+    let snap = p.metrics_snapshot();
+    if snap.counter("sched_admitted") < total_admitted {
+        eprintln!(
+            "FAIL[{arch}]: recorder admitted {} < harness {}",
+            snap.counter("sched_admitted"),
+            total_admitted
+        );
+        ok = false;
+    }
+    if snap.counter("sched_shed") != total_shed {
+        eprintln!(
+            "FAIL[{arch}]: recorder sheds {} != harness {}",
+            snap.counter("sched_shed"),
+            total_shed
+        );
+        ok = false;
+    }
+    println!(
+        "{arch}: scheduler books — admitted {} | dequeued {} | browned-out {} | shed {} | aged {}\n",
+        snap.counter("sched_admitted"),
+        snap.counter("sched_dequeues"),
+        snap.counter("sched_brown_outs"),
+        snap.counter("sched_shed"),
+        snap.counter("sched_aged_promotions"),
+    );
+    ok
+}
+
+fn run_arch(arch: &str, scenario: &RushScenario, build: impl Fn() -> Box<dyn Platform>) -> bool {
+    // Baselines on a throwaway idle cluster of the same shape.
+    let idle = build();
+    let mut baselines = BTreeMap::new();
+    for (i, course) in scenario.courses.iter().enumerate() {
+        baselines.insert(
+            course.course.clone(),
+            baseline_p99(idle.as_ref(), course, (i as u64 + 1) * 10_000),
+        );
+    }
+    let rush = build();
+    match run_rush(rush.as_ref(), scenario, &baselines) {
+        Ok(outcomes) => gate(arch, rush.as_ref(), &outcomes),
+        Err(e) => {
+            eprintln!("FAIL[{arch}]: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rounds = if smoke { 4 } else { 12 };
+    let scenario = RushScenario::wednesday(rounds, SURGE);
+    println!(
+        "rush fairness — {} rounds x {} jobs/round (ece408 surging 10x), fleet {}{}\n",
+        scenario.rounds,
+        scenario.per_round(),
+        FLEET,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let v1_ok = run_arch("v1", &scenario, || {
+        Box::new(
+            ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+                .fleet(FLEET)
+                .scheduler(sched_config())
+                .traced(Arc::new(Recorder::traced()))
+                .build_v1(),
+        )
+    });
+    let v2_ok = run_arch("v2", &scenario, || {
+        Box::new(
+            ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+                .fleet(FLEET)
+                .scheduler(sched_config())
+                .traced(Arc::new(Recorder::traced()))
+                .build_v2(),
+        )
+    });
+
+    if v1_ok && v2_ok {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -23,7 +23,7 @@ use wb_bench::Zipf;
 use wb_labs::LabScale;
 use wb_obs::Recorder;
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{format_percentiles, AutoscalePolicy, ClusterV2};
+use webgpu::{format_percentiles, AutoscalePolicy, ClusterBuilder};
 
 const FLEET: usize = 4;
 const SEED: u64 = 0x0b5e7;
@@ -42,12 +42,11 @@ fn variant_source(base: &str, rank: usize) -> String {
 
 /// One replay on a fresh cluster sharing `obs`; returns jobs/sec.
 fn replay(params: &Params, obs: Arc<Recorder>) -> f64 {
-    let cluster = ClusterV2::new_traced(
-        FLEET,
-        minicuda::DeviceConfig::default(),
-        AutoscalePolicy::Static(FLEET),
-        obs,
-    );
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(FLEET)
+        .policy(AutoscalePolicy::Static(FLEET))
+        .traced(obs)
+        .build_v2();
     let lab = wb_labs::definition("vecadd", params.scale).expect("catalog lab");
     let base = wb_labs::solution("vecadd").expect("catalog solution");
     let zipf = Zipf::new(params.variants, 1.1);

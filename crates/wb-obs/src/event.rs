@@ -53,6 +53,12 @@ pub enum Annotation {
     Retry,
     /// The job survived a broker zone failover.
     Failover,
+    /// Admission control downgraded a full-grade request to
+    /// compile-only inside the brown-out band.
+    BrownOut,
+    /// Admission control refused the job outright (backlog budget
+    /// exhausted); the submitter was told to retry later.
+    Shed,
 }
 
 /// What an [`Event`] records.

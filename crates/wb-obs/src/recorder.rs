@@ -54,11 +54,23 @@ pub enum Counter {
     AttemptsServed,
     /// Workers evicted by a health sweep.
     WorkerEvictions,
+    /// Jobs admitted by the fair-share scheduler.
+    SchedAdmitted,
+    /// Jobs refused at admission (backlog budget exhausted).
+    SchedShed,
+    /// Full-grade requests downgraded to compile-only in the
+    /// brown-out band.
+    SchedBrownOuts,
+    /// Starvation-aging promotions: a course dequeued ahead of its
+    /// deficit because its head-of-line job waited too long.
+    SchedAgedPromotions,
+    /// Jobs handed from the scheduler to the execution layer.
+    SchedDequeues,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 26] = [
         Counter::JobsQueued,
         Counter::JobsDispatched,
         Counter::JobsCompleted,
@@ -80,6 +92,11 @@ impl Counter {
         Counter::RateLimited,
         Counter::AttemptsServed,
         Counter::WorkerEvictions,
+        Counter::SchedAdmitted,
+        Counter::SchedShed,
+        Counter::SchedBrownOuts,
+        Counter::SchedAgedPromotions,
+        Counter::SchedDequeues,
     ];
 
     /// Stable snake_case name for snapshots and dashboards.
@@ -106,6 +123,11 @@ impl Counter {
             Counter::RateLimited => "rate_limited",
             Counter::AttemptsServed => "attempts_served",
             Counter::WorkerEvictions => "worker_evictions",
+            Counter::SchedAdmitted => "sched_admitted",
+            Counter::SchedShed => "sched_shed",
+            Counter::SchedBrownOuts => "sched_brown_outs",
+            Counter::SchedAgedPromotions => "sched_aged_promotions",
+            Counter::SchedDequeues => "sched_dequeues",
         }
     }
 
@@ -264,6 +286,8 @@ impl Recorder {
             Annotation::Coalesced => Counter::CacheCoalesced,
             Annotation::Retry => Counter::Retries,
             Annotation::Failover => Counter::Failovers,
+            Annotation::BrownOut => Counter::SchedBrownOuts,
+            Annotation::Shed => Counter::SchedShed,
         };
         i.counters[c.idx()].fetch_add(1, Ordering::Relaxed);
     }

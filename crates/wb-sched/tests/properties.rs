@@ -1,0 +1,147 @@
+//! Property-based tests: fairness and conservation invariants of the
+//! deficit-round-robin scheduler under adversarial arrival mixes.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wb_obs::Recorder;
+use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig};
+
+const COURSES: [&str; 4] = ["ece408", "ece598", "hpp", "pumps"];
+
+fn sched_with_weights(weights: &[u64]) -> FairScheduler<u64> {
+    let mut cfg = SchedConfig {
+        backlog_budget: 10_000,
+        ..SchedConfig::default()
+    };
+    for (i, w) in weights.iter().enumerate() {
+        cfg = cfg.with_course_weight(COURSES[i], *w);
+    }
+    FairScheduler::new(cfg, Arc::new(Recorder::noop()))
+}
+
+proptest! {
+    /// Conservation and order: across any arrival mix, draining one
+    /// slot at a time releases every admitted job exactly once, in
+    /// FIFO order within each course, and terminates within one drain
+    /// per job (every drain over a non-empty backlog makes progress).
+    #[test]
+    fn every_admitted_job_drains_exactly_once(
+        arrivals in prop::collection::vec((0usize..4, any::<u8>()), 1..120),
+        weights in prop::collection::vec(1u64..9, 4),
+    ) {
+        let s = sched_with_weights(&weights);
+        let mut offered: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for (job_id, (course, _)) in arrivals.iter().enumerate() {
+            let adm = s.offer(
+                COURSES[*course],
+                job_id as u64,
+                job_id as u64,
+                GradeClass::Light,
+                0,
+                |_| {},
+            );
+            prop_assert!(adm.admitted(), "budget is generous in this mix");
+            offered.entry(*course).or_default().push(job_id as u64);
+        }
+        let total = arrivals.len();
+        let mut drained: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for round in 0..total {
+            let got = s.drain(1, round as u64);
+            prop_assert_eq!(got.len(), 1, "non-empty backlog always progresses");
+            for (course, job) in got {
+                drained.entry(course).or_default().push(job);
+            }
+        }
+        prop_assert_eq!(s.total_backlog(), 0, "exactly one drain per job empties it");
+        prop_assert!(s.drain(1, total as u64).is_empty());
+        for (i, name) in COURSES.iter().enumerate() {
+            let want = offered.remove(&i).unwrap_or_default();
+            let got = drained.remove(*name).unwrap_or_default();
+            prop_assert_eq!(got, want, "course {} is FIFO and loses nothing", name);
+        }
+    }
+
+    /// No starvation: when each drain's capacity covers the weight sum,
+    /// every course with a non-empty backlog releases at least one job
+    /// on every single round, no matter how lopsided the weights or the
+    /// arrival mix are.
+    #[test]
+    fn no_course_starves_under_adversarial_mixes(
+        backlogs in prop::collection::vec(1usize..40, 4),
+        weights in prop::collection::vec(1u64..9, 4),
+        rounds in 1u64..30,
+    ) {
+        let s = sched_with_weights(&weights);
+        let mut job = 0u64;
+        for (i, n) in backlogs.iter().enumerate() {
+            for _ in 0..*n {
+                s.offer(COURSES[i], job, job, GradeClass::Light, 0, |_| {});
+                job += 1;
+            }
+        }
+        let capacity: u64 = weights.iter().sum();
+        let mut left: Vec<usize> = backlogs.clone();
+        for round in 0..rounds {
+            let got = s.drain(capacity as usize, round);
+            let mut served = [0usize; 4];
+            for (course, _) in &got {
+                let i = COURSES.iter().position(|c| c == course).unwrap();
+                served[i] += 1;
+            }
+            for i in 0..4 {
+                if left[i] > 0 {
+                    prop_assert!(
+                        served[i] >= 1,
+                        "course {} starved on round {round} (served {served:?}, left {left:?})",
+                        COURSES[i]
+                    );
+                }
+                left[i] -= served[i].min(left[i]);
+            }
+        }
+    }
+
+    /// Weighted share: with two contending backlogged courses and the
+    /// drain capacity equal to the weight sum, one round splits the
+    /// capacity exactly by weight.
+    #[test]
+    fn contended_capacity_splits_by_weight(w0 in 1u64..9, w1 in 1u64..9) {
+        let s = sched_with_weights(&[w0, w1, 1, 1]);
+        for job in 0..40u64 {
+            s.offer(COURSES[0], job, job, GradeClass::Light, 0, |_| {});
+            s.offer(COURSES[1], 100 + job, 100 + job, GradeClass::Light, 0, |_| {});
+        }
+        let got = s.drain((w0 + w1) as usize, 0);
+        let c0 = got.iter().filter(|(c, _)| c == COURSES[0]).count() as u64;
+        let c1 = got.iter().filter(|(c, _)| c == COURSES[1]).count() as u64;
+        prop_assert_eq!((c0, c1), (w0, w1));
+    }
+
+    /// Admission control: for any budget, offers admit whole below the
+    /// brown-out band, downgrade inside it, and shed with a finite
+    /// retry-after hint past the budget — in that order.
+    #[test]
+    fn admission_bands_are_ordered(budget in 1usize..50, offers in 1usize..120) {
+        let cfg = SchedConfig {
+            backlog_budget: budget,
+            ..SchedConfig::default()
+        };
+        let s = FairScheduler::new(cfg, Arc::new(Recorder::noop()));
+        let band = ((budget as f64) * 0.75).ceil() as usize;
+        for j in 0..offers {
+            let adm = s.offer("hpp", j as u64, j as u64, GradeClass::Full, 0, |_| {});
+            match adm {
+                Admission::Admitted { browned_out } => {
+                    prop_assert!(j < budget, "admitted only under budget");
+                    prop_assert_eq!(browned_out, j >= band, "band at {} (offer {})", band, j);
+                }
+                Admission::Shed { retry_after_s } => {
+                    prop_assert!(j >= budget, "shed only past budget");
+                    prop_assert!(retry_after_s.is_finite() && retry_after_s > 0.0);
+                }
+            }
+        }
+        prop_assert_eq!(s.backlog("hpp"), offers.min(budget));
+    }
+}

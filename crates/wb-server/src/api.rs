@@ -30,6 +30,14 @@ pub enum WbError {
         /// Seconds until the next token accrues.
         retry_after_s: f64,
     },
+    /// Admission control shed the submission: the course's backlog
+    /// budget is exhausted and queuing more work would only grow
+    /// everyone's wait. Unlike [`WbError::RateLimited`] this is a
+    /// platform-load signal, not a per-user one.
+    Overloaded {
+        /// Suggested client back-off in seconds (always finite).
+        retry_after_s: f64,
+    },
     /// The student's code did not compile (includes blacklist and
     /// size-limit rejections — anything the compile phase refuses).
     CompileError {
@@ -59,6 +67,12 @@ impl std::fmt::Display for WbError {
                 write!(
                     f,
                     "submission rate limit: retry in {retry_after_s:.0} seconds"
+                )
+            }
+            WbError::Overloaded { retry_after_s } => {
+                write!(
+                    f,
+                    "the grading fleet is overloaded: retry in {retry_after_s:.0} seconds"
                 )
             }
             WbError::CompileError { report } => write!(f, "compilation failed:\n{report}"),
@@ -219,6 +233,10 @@ mod tests {
     fn error_display_keeps_ui_contracts() {
         let e = WbError::RateLimited { retry_after_s: 9.4 };
         assert!(e.to_string().contains("retry in 9 seconds"));
+        let e = WbError::Overloaded {
+            retry_after_s: 31.7,
+        };
+        assert!(e.to_string().contains("overloaded: retry in 32 seconds"));
         let e = WbError::infra("no workers in the pool");
         assert!(e.to_string().contains("no workers in the pool"));
         let e = WbError::CompileError {

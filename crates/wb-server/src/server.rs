@@ -59,12 +59,12 @@ impl LocalDispatcher {
     /// A single worker reporting to a shared recorder.
     pub fn traced(obs: Arc<Recorder>) -> Self {
         LocalDispatcher {
-            node: wb_worker::WorkerNode::boot_traced(
+            node: wb_worker::WorkerNode::launch(
                 1,
-                minicuda::DeviceConfig::test_small(),
-                &wb_worker::WorkerConfig::default(),
-                None,
-                obs,
+                &wb_worker::NodeConfig {
+                    obs,
+                    ..wb_worker::NodeConfig::new(minicuda::DeviceConfig::test_small())
+                },
             ),
         }
     }

@@ -25,6 +25,9 @@ pub struct DatasetCase {
 pub struct LabSpec {
     /// Lab identifier (catalog key).
     pub lab_id: String,
+    /// Course offering the lab — the fair-share scheduler's
+    /// arbitration key.
+    pub course: String,
     /// Language surface.
     pub dialect: Dialect,
     /// Compile-time blacklist.
@@ -46,6 +49,7 @@ impl LabSpec {
     pub fn cuda_test(lab_id: impl Into<String>) -> Self {
         LabSpec {
             lab_id: lab_id.into(),
+            course: "default".to_string(),
             dialect: Dialect::Cuda,
             blacklist: Blacklist::standard(),
             whitelist: SyscallWhitelist::cuda_default(),

@@ -40,6 +40,35 @@ struct NodeState {
     busy_ms: u64,
 }
 
+/// Everything a node needs to come up: device, worker configuration,
+/// and the optional cluster-shared cache and recorder. One value
+/// describes a whole fleet — clusters keep a `NodeConfig` and stamp out
+/// workers with [`WorkerNode::launch`].
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// Simulated GPU the node drives.
+    pub device: DeviceConfig,
+    /// Remote worker configuration (image, capabilities, pool target).
+    pub worker: WorkerConfig,
+    /// Cluster-wide submission cache; `None` runs every job fresh
+    /// (the pre-cache behaviour, kept as the bench baseline).
+    pub cache: Option<Arc<SubmissionCache>>,
+    /// Cluster-wide trace/metrics recorder (noop for untraced fleets).
+    pub obs: Arc<Recorder>,
+}
+
+impl NodeConfig {
+    /// A plain node: default worker config, no cache, noop recorder.
+    pub fn new(device: DeviceConfig) -> Self {
+        NodeConfig {
+            device,
+            worker: WorkerConfig::default(),
+            cache: None,
+            obs: Arc::new(Recorder::noop()),
+        }
+    }
+}
+
 /// One worker node with a simulated GPU.
 pub struct WorkerNode {
     id: u64,
@@ -58,10 +87,23 @@ impl WorkerNode {
         Self::boot_inner(id, device, config, None, Arc::new(Recorder::noop()))
     }
 
+    /// Boot a node from a [`NodeConfig`] — the one constructor that
+    /// covers cached, traced, and plain nodes alike.
+    pub fn launch(id: u64, cfg: &NodeConfig) -> Self {
+        Self::boot_inner(
+            id,
+            cfg.device.clone(),
+            &cfg.worker,
+            cfg.cache.clone(),
+            Arc::clone(&cfg.obs),
+        )
+    }
+
     /// Boot a node that consults a shared submission cache before
     /// compiling or grading. Every node in a cluster receives a clone
     /// of the same `Arc`, which is what makes deduplication
     /// cluster-wide rather than per-node.
+    #[deprecated(note = "use WorkerNode::launch(id, &NodeConfig { cache: Some(cache), .. })")]
     pub fn boot_with_cache(
         id: u64,
         device: DeviceConfig,
@@ -73,6 +115,7 @@ impl WorkerNode {
 
     /// Boot a node that reports pipeline phases and cache annotations
     /// to a shared recorder (in addition to an optional shared cache).
+    #[deprecated(note = "use WorkerNode::launch(id, &NodeConfig { cache, obs, .. })")]
     pub fn boot_traced(
         id: u64,
         device: DeviceConfig,
@@ -419,9 +462,12 @@ mod tests {
     fn nodes_share_a_cluster_wide_cache() {
         use crate::cache::new_submission_cache;
         let cache = new_submission_cache(wb_cache::CacheConfig::default());
-        let cfg = WorkerConfig::default();
-        let a = WorkerNode::boot_with_cache(1, DeviceConfig::test_small(), &cfg, cache.clone());
-        let b = WorkerNode::boot_with_cache(2, DeviceConfig::test_small(), &cfg, cache.clone());
+        let cfg = NodeConfig {
+            cache: Some(cache.clone()),
+            ..NodeConfig::new(DeviceConfig::test_small())
+        };
+        let a = WorkerNode::launch(1, &cfg);
+        let b = WorkerNode::launch(2, &cfg);
         let out_a = a.submit(&trivial_request(1), 0).expect("node a up");
         // A different student submits the same bytes to a different node.
         let out_b = b.submit(&trivial_request(2), 0).expect("node b up");
@@ -430,6 +476,26 @@ mod tests {
         let m = cache.metrics();
         assert_eq!(m.compile.hits, 1, "node b reused node a's compile");
         assert_eq!(m.grade.hits, 1, "node b reused node a's grade");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_boot_shims_still_launch_nodes() {
+        // Coverage for the migration shims only — new code goes through
+        // `WorkerNode::launch`.
+        use crate::cache::new_submission_cache;
+        let cache = new_submission_cache(wb_cache::CacheConfig::default());
+        let cfg = WorkerConfig::default();
+        let a = WorkerNode::boot_with_cache(1, DeviceConfig::test_small(), &cfg, cache.clone());
+        assert!(a.submit(&trivial_request(1), 0).is_some());
+        let b = WorkerNode::boot_traced(
+            2,
+            DeviceConfig::test_small(),
+            &cfg,
+            Some(cache),
+            Arc::new(Recorder::traced()),
+        );
+        assert!(b.submit(&trivial_request(2), 0).is_some());
     }
 
     #[test]

@@ -16,12 +16,30 @@ use serde::{Deserialize, Serialize};
 /// Instantaneous fleet observations the policy decides from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetMetrics {
-    /// Jobs visible in the queue.
+    /// Jobs visible in the broker queue.
     pub queue_depth: usize,
+    /// Jobs the fair-share scheduler holds across all courses, not yet
+    /// released to the broker. A rush accumulates here first: the pump
+    /// only releases fleet-sized batches, so broker depth alone stays
+    /// flat while a course's backlog explodes.
+    pub sched_backlog: usize,
+    /// The largest single-course backlog in the scheduler — the
+    /// early-warning signal of a one-course deadline rush.
+    pub max_course_backlog: usize,
     /// Current fleet size.
     pub fleet_size: usize,
     /// Virtual now.
     pub now_ms: u64,
+}
+
+impl FleetMetrics {
+    /// Everything waiting anywhere: broker depth plus scheduler
+    /// backlog. The reactive policies scale to this, so a single-course
+    /// rush held at the scheduler triggers growth before the broker's
+    /// global depth ever moves.
+    pub fn total_pending(&self) -> usize {
+        self.queue_depth + self.sched_backlog
+    }
 }
 
 /// A scaling policy.
@@ -88,7 +106,7 @@ impl Autoscaler {
                 jobs_per_worker,
                 min,
                 max,
-            } => reactive_target(m.queue_depth, *jobs_per_worker, *min, *max),
+            } => reactive_target(m.total_pending(), *jobs_per_worker, *min, *max),
             AutoscalePolicy::Scheduled {
                 jobs_per_worker,
                 min,
@@ -97,7 +115,7 @@ impl Autoscaler {
                 window_ms,
                 floor,
             } => {
-                let base = reactive_target(m.queue_depth, *jobs_per_worker, *min, *max);
+                let base = reactive_target(m.total_pending(), *jobs_per_worker, *min, *max);
                 let in_window = deadlines_ms
                     .iter()
                     .any(|&d| m.now_ms < d && d - m.now_ms <= *window_ms);
@@ -136,9 +154,34 @@ mod tests {
     fn metrics(depth: usize, now: u64) -> FleetMetrics {
         FleetMetrics {
             queue_depth: depth,
+            sched_backlog: 0,
+            max_course_backlog: 0,
             fleet_size: 0,
             now_ms: now,
         }
+    }
+
+    #[test]
+    fn single_course_rush_in_the_scheduler_scales_out() {
+        // The broker shows nothing — the rush is entirely held in one
+        // course's scheduler backlog — and reactive growth still fires.
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: 4,
+                min: 1,
+                max: 10,
+            },
+            1,
+        );
+        let m = FleetMetrics {
+            queue_depth: 0,
+            sched_backlog: 24,
+            max_course_backlog: 24,
+            fleet_size: 1,
+            now_ms: 0,
+        };
+        assert_eq!(m.total_pending(), 24);
+        assert_eq!(a.desired(&m), 6, "scheduler backlog drives scale-out");
     }
 
     #[test]

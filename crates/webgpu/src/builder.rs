@@ -1,0 +1,230 @@
+//! One construction surface for both cluster architectures.
+//!
+//! The constructor zoo (`new` / `new_uncached` / `new_traced` /
+//! `with_config_traced`…) grew one axis at a time — cache, tracing,
+//! worker image — and every new axis doubled it. [`ClusterBuilder`]
+//! replaces the zoo: pick the axes you care about, then `build_v1()`
+//! or `build_v2()`. The old constructors remain as thin deprecated
+//! shims for one release.
+//!
+//! ```
+//! use webgpu::{AutoscalePolicy, ClusterBuilder, SchedConfig};
+//!
+//! let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+//!     .fleet(4)
+//!     .policy(AutoscalePolicy::Reactive { jobs_per_worker: 2, min: 1, max: 8 })
+//!     .scheduler(SchedConfig::default().with_course_weight("ece408", 3))
+//!     .build_v2();
+//! assert_eq!(cluster.fleet_size(), 4);
+//! ```
+
+use crate::autoscaler::AutoscalePolicy;
+use crate::{ClusterV1, ClusterV2};
+use minicuda::DeviceConfig;
+use std::sync::Arc;
+use wb_cache::CacheConfig;
+use wb_obs::Recorder;
+use wb_sched::SchedConfig;
+use wb_worker::{new_submission_cache, WorkerConfig};
+
+/// Builds either cluster architecture from one set of knobs.
+///
+/// Defaults: fleet of 1, static policy sized to the fleet, default
+/// submission cache, noop recorder, default scheduler (admission
+/// effectively unbounded), and the architecture's default worker
+/// image (v1: the full image §VI-A mandates; v2: the base config,
+/// capability tags route jobs to capable nodes).
+pub struct ClusterBuilder {
+    device: DeviceConfig,
+    fleet: usize,
+    policy: Option<AutoscalePolicy>,
+    cache: Option<CacheConfig>,
+    obs: Arc<Recorder>,
+    sched: SchedConfig,
+    worker_config: Option<WorkerConfig>,
+}
+
+impl ClusterBuilder {
+    /// Start from a device; everything else has defaults.
+    pub fn new(device: DeviceConfig) -> Self {
+        ClusterBuilder {
+            device,
+            fleet: 1,
+            policy: None,
+            cache: Some(CacheConfig::default()),
+            obs: Arc::new(Recorder::noop()),
+            sched: SchedConfig::default(),
+            worker_config: None,
+        }
+    }
+
+    /// Initial fleet size (default 1). Without an explicit
+    /// [`policy`](Self::policy) the fleet stays static at this size.
+    pub fn fleet(mut self, n: usize) -> Self {
+        self.fleet = n;
+        self
+    }
+
+    /// Autoscaling policy (v2 obeys it every pump; v1 scales manually,
+    /// so it only sizes the initial pool).
+    pub fn policy(mut self, policy: AutoscalePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Drop the cluster-wide submission cache: every job compiles and
+    /// grades fresh (the pre-cache baseline benches compare against).
+    pub fn uncached(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Use an explicitly-sized submission cache.
+    pub fn cache(mut self, cfg: CacheConfig) -> Self {
+        self.cache = Some(cfg);
+        self
+    }
+
+    /// Record every layer — scheduler, broker, workers — onto a shared
+    /// recorder, so each job's span covers its full lifecycle.
+    pub fn traced(mut self, obs: Arc<Recorder>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Fair-share scheduling and admission-control configuration.
+    pub fn scheduler(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Worker image/capability configuration (overrides the
+    /// architecture default).
+    pub fn worker_config(mut self, config: WorkerConfig) -> Self {
+        self.worker_config = Some(config);
+        self
+    }
+
+    /// Assemble the v1 push cluster.
+    pub fn build_v1(self) -> ClusterV1 {
+        let config = self
+            .worker_config
+            .unwrap_or_else(ClusterV1::full_image_config);
+        ClusterV1::new_inner(
+            self.fleet,
+            self.device,
+            config,
+            self.cache,
+            self.obs,
+            self.sched,
+        )
+    }
+
+    /// Assemble the v2 pull cluster.
+    pub fn build_v2(self) -> ClusterV2 {
+        let policy = self.policy.unwrap_or(AutoscalePolicy::Static(self.fleet));
+        ClusterV2::new_inner(
+            self.fleet,
+            self.device,
+            policy,
+            self.cache.map(new_submission_cache),
+            self.obs,
+            self.sched,
+            self.worker_config.unwrap_or_default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libwb::Dataset;
+    use wb_server::WbError;
+    use wb_worker::{DatasetCase, JobAction, JobRequest, LabSpec};
+
+    fn echo(job_id: u64, course: &str) -> JobRequest {
+        let mut spec = LabSpec::cuda_test("echo");
+        spec.course = course.to_string();
+        JobRequest {
+            job_id,
+            user: "alice".into(),
+            source: r#"
+                int main() {
+                    int n;
+                    float* a = wbImportVector(0, &n);
+                    wbSolution(a, n);
+                    return 0;
+                }
+            "#
+            .to_string(),
+            spec,
+            datasets: vec![DatasetCase {
+                name: "d0".into(),
+                inputs: vec![Dataset::Vector(vec![1.0])],
+                expected: Dataset::Vector(vec![1.0]),
+            }],
+            action: JobAction::FullGrade,
+        }
+    }
+
+    #[test]
+    fn defaults_build_working_clusters() {
+        let v1 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .build_v1();
+        assert_eq!(v1.pool_size(), 2);
+        assert!(v1.submit(&echo(1, "hpp"), 0).unwrap().compiled());
+
+        let v2 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(3)
+            .build_v2();
+        assert_eq!(v2.fleet_size(), 3);
+        v2.submit(echo(2, "hpp"), 0).unwrap();
+        for r in 0..5 {
+            v2.pump(r);
+        }
+        assert_eq!(v2.completed(), 1);
+    }
+
+    #[test]
+    fn uncached_v1_runs_every_job_fresh() {
+        let v1 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .uncached()
+            .build_v1();
+        for j in 0..4 {
+            assert!(v1.submit(&echo(j, "hpp"), 0).unwrap().compiled());
+        }
+        let m = v1.cache_metrics();
+        assert_eq!(m.compile.hits, 0, "workers never consult the cache");
+        assert_eq!(m.compile.misses, 0);
+    }
+
+    #[test]
+    fn scheduler_config_reaches_admission_control() {
+        let v2 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(1)
+            .scheduler(SchedConfig {
+                backlog_budget: 2,
+                ..SchedConfig::default()
+            })
+            .build_v2();
+        v2.submit(echo(1, "hpp"), 0).unwrap();
+        v2.submit(echo(2, "hpp"), 0).unwrap();
+        let err = v2.submit(echo(3, "hpp"), 0).unwrap_err();
+        let WbError::Overloaded { retry_after_s } = err else {
+            panic!("expected a shed, got {err:?}");
+        };
+        assert!(retry_after_s.is_finite() && retry_after_s > 0.0);
+    }
+
+    #[test]
+    fn traced_builds_share_the_recorder() {
+        let obs = Arc::new(Recorder::traced());
+        let v1 = ClusterBuilder::new(DeviceConfig::test_small())
+            .traced(Arc::clone(&obs))
+            .build_v1();
+        v1.submit(&echo(9, "hpp"), 0).unwrap();
+        assert!(obs.span(9).is_some(), "the job's span landed on the sink");
+    }
+}

@@ -87,7 +87,10 @@ pub fn run_course(cfg: &CourseRun, dispatcher: Box<dyn JobDispatcher>) -> Course
     let lab_ids = catalog::labs_for_course(&cfg.course_id);
     assert!(!lab_ids.is_empty(), "unknown course {}", cfg.course_id);
     for id in &lab_ids {
-        let lab = wb_labs::definition(id, LabScale::Small).expect("catalog lab");
+        let mut lab = wb_labs::definition(id, LabScale::Small).expect("catalog lab");
+        // Stamp the offering onto the spec: the fair-share scheduler
+        // arbitrates between courses by this key.
+        lab.spec.course = cfg.course_id.clone();
         srv.deploy_lab(staff, lab).expect("deploy");
     }
 
@@ -173,7 +176,9 @@ pub fn run_course(cfg: &CourseRun, dispatcher: Box<dyn JobDispatcher>) -> Course
 
 /// Convenience: run a course on a fresh v1 cluster of `workers` nodes.
 pub fn run_course_v1(cfg: &CourseRun, workers: usize) -> CourseReport {
-    let cluster = crate::v1::ClusterV1::new(workers, minicuda::DeviceConfig::test_small());
+    let cluster = crate::ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(workers)
+        .build_v1();
     run_course(cfg, Box::new(cluster))
 }
 
@@ -183,11 +188,12 @@ pub fn run_course_v2(
     initial_workers: usize,
     policy: crate::autoscaler::AutoscalePolicy,
 ) -> CourseReport {
-    let cluster = Arc::new(crate::v2::ClusterV2::new(
-        initial_workers,
-        minicuda::DeviceConfig::test_small(),
-        policy,
-    ));
+    let cluster = Arc::new(
+        crate::ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+            .fleet(initial_workers)
+            .policy(policy)
+            .build_v2(),
+    );
     struct Shim(Arc<crate::v2::ClusterV2>);
     impl JobDispatcher for Shim {
         fn dispatch(

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use wb_cache::CacheMetrics;
 use wb_obs::{EventKind, HistogramSnapshot, MetricsSnapshot};
 use wb_queue::BrokerMetrics;
+use wb_sched::SchedSnapshot;
 
 /// One worker's row on the dashboard.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,6 +52,8 @@ pub struct Snapshot {
     pub config_version: u64,
     /// Submission-cache counters (`None` on an uncached cluster).
     pub cache: Option<CacheMetrics>,
+    /// Per-course fair-share scheduler backlogs.
+    pub sched: SchedSnapshot,
     /// Tracing aggregates — counters, latency percentiles, recent
     /// events. `MetricsSnapshot::disabled()` on an untraced cluster.
     pub obs: MetricsSnapshot,
@@ -81,6 +84,7 @@ impl Snapshot {
             mean_wait_rounds: cluster.mean_wait_rounds(),
             config_version: cluster.config.get().version,
             cache: cluster.cache_metrics(),
+            sched: cluster.sched_snapshot(),
             obs: cluster.metrics_snapshot(),
         }
     }
@@ -119,6 +123,31 @@ impl Snapshot {
             "jobs completed: {} | mean wait: {:.1} rounds\n",
             self.completed, self.mean_wait_rounds
         ));
+        if self.sched.courses.is_empty() {
+            out.push_str("scheduler: no backlog\n");
+        } else {
+            out.push_str(&format!(
+                "scheduler: {} held across {} course(s)\n",
+                self.sched.total_backlog,
+                self.sched.courses.len()
+            ));
+            for row in &self.sched.courses {
+                out.push_str(&format!(
+                    "  {:<12} backlog={:<5} deficit={}\n",
+                    row.course, row.backlog, row.deficit
+                ));
+            }
+        }
+        if self.obs.enabled {
+            out.push_str(&format!(
+                "scheduler decisions: admitted {} | dequeued {} | browned-out {} | shed {} | aged promotions {}\n",
+                self.obs.counter("sched_admitted"),
+                self.obs.counter("sched_dequeues"),
+                self.obs.counter("sched_brown_outs"),
+                self.obs.counter("sched_shed"),
+                self.obs.counter("sched_aged_promotions"),
+            ));
+        }
         match &self.cache {
             Some(cache) => {
                 let t = cache.total();
@@ -274,6 +303,7 @@ mod tests {
             mean_wait_rounds: 0.0,
             config_version: 1,
             cache: None,
+            sched: SchedSnapshot::default(),
             obs: MetricsSnapshot::disabled(),
         };
         assert_eq!(s.active_fraction(), 0.0);
@@ -303,12 +333,10 @@ mod tests {
     #[test]
     fn traced_cluster_renders_percentiles_and_events() {
         let obs = std::sync::Arc::new(wb_obs::Recorder::traced());
-        let c = ClusterV2::new_traced(
-            2,
-            minicuda::DeviceConfig::test_small(),
-            AutoscalePolicy::Static(2),
-            obs,
-        );
+        let c = crate::ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+            .fleet(2)
+            .traced(obs)
+            .build_v2();
         let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
         for j in 0..3 {
             c.enqueue(
@@ -352,13 +380,56 @@ mod tests {
         assert!(text.contains("hit rate"), "operator view shows the gauge");
         assert!(!text.contains("cache: disabled"));
         // An uncached cluster renders the disabled marker instead.
-        let bare = ClusterV2::new_uncached(
-            1,
-            minicuda::DeviceConfig::test_small(),
-            AutoscalePolicy::Static(1),
-        );
+        let bare = crate::ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+            .uncached()
+            .build_v2();
         assert!(Snapshot::capture(&bare, 0)
             .render()
             .contains("cache: disabled"));
+    }
+
+    #[test]
+    fn render_shows_scheduler_backlogs_and_decisions() {
+        let obs = std::sync::Arc::new(wb_obs::Recorder::traced());
+        let c = crate::ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+            .fleet(2)
+            .traced(obs)
+            .build_v2();
+        let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
+        for j in 0..3 {
+            let mut spec = lab.spec.clone();
+            spec.course = "ece408".to_string();
+            c.enqueue(
+                JobRequest {
+                    job_id: j,
+                    user: "a".into(),
+                    source: wb_labs::solution("vecadd").unwrap().to_string(),
+                    spec,
+                    datasets: lab.datasets.clone(),
+                    action: JobAction::RunDataset(0),
+                },
+                0,
+            );
+        }
+        let before = Snapshot::capture(&c, 0);
+        assert_eq!(before.sched.total_backlog, 3);
+        let text = before.render();
+        assert!(
+            text.contains("scheduler: 3 held across 1 course(s)"),
+            "got: {text}"
+        );
+        assert!(text.contains("ece408"), "got: {text}");
+        assert!(
+            text.contains("scheduler decisions: admitted 3"),
+            "got: {text}"
+        );
+        for r in 0..5 {
+            c.pump(r);
+        }
+        let after = Snapshot::capture(&c, 5);
+        assert!(after.sched.courses.is_empty());
+        let text = after.render();
+        assert!(text.contains("scheduler: no backlog"), "got: {text}");
+        assert!(text.contains("dequeued 3"), "got: {text}");
     }
 }

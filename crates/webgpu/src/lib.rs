@@ -12,6 +12,10 @@
 //!   message broker, accepting only jobs whose capability tags they
 //!   satisfy; a remote config service restarts drivers; datasets live
 //!   in a blob store; the fleet autoscales;
+//! * [`builder`] — [`ClusterBuilder`], the one construction surface
+//!   for both architectures (cache, tracing, scheduler, worker image);
+//! * [`platform`] — [`Platform`], the architecture-independent cluster
+//!   trait benches and fault harnesses run against;
 //! * [`autoscaler`] — static, reactive, and deadline-aware scaling
 //!   policies (the paper manually added GPUs the day before each
 //!   deadline — the scheduled policy automates exactly that);
@@ -23,17 +27,23 @@
 //!   server, and a cluster together.
 
 pub mod autoscaler;
+pub mod builder;
 pub mod cost;
 pub mod course;
 pub mod dashboard;
+pub mod platform;
 pub mod sim;
 pub mod v1;
 pub mod v2;
 
 pub use autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
+pub use builder::ClusterBuilder;
 pub use cost::{CostModel as AwsCostModel, CostReport};
 pub use course::{CourseReport, CourseRun};
 pub use dashboard::{format_percentiles, Snapshot as DashboardSnapshot};
+pub use platform::Platform;
 pub use sim::population::{CohortParams, CohortSummary, LoadModel};
+pub use sim::rush::{CourseLoad, RushScenario};
 pub use v1::ClusterV1;
 pub use v2::ClusterV2;
+pub use wb_sched::{CourseConfig, SchedConfig, SchedSnapshot};

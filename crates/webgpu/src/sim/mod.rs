@@ -1,3 +1,4 @@
 //! Course-scale simulation: student populations and load shapes.
 
 pub mod population;
+pub mod rush;

@@ -8,10 +8,28 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use wb_cache::{CacheConfig, CacheMetrics};
 use wb_obs::{Annotation, Counter, JobPhase, Recorder};
+use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig, SchedSnapshot};
 use wb_server::{JobDispatcher, WbError};
 use wb_worker::{
-    new_submission_cache, JobOutcome, JobRequest, SubmissionCache, WorkerConfig, WorkerNode,
+    new_submission_cache, JobAction, JobOutcome, JobRequest, NodeConfig, SubmissionCache,
+    WorkerConfig, WorkerNode,
 };
+
+/// Marker for scheduler entries submitted through the generic
+/// [`crate::Platform`] path (their results land in the results map,
+/// not a batch slot).
+const PLATFORM_SLOT: usize = usize::MAX;
+
+/// One executed wave entry: the batch slot it fills and its result.
+type WaveResult = (usize, Result<JobOutcome, WbError>);
+
+fn grade_class(req: &JobRequest) -> GradeClass {
+    if req.action == JobAction::FullGrade {
+        GradeClass::Full
+    } else {
+        GradeClass::Light
+    }
+}
 
 /// Eviction threshold: a worker missing health checks for this many
 /// virtual ms is dropped from the pool (§III-C).
@@ -24,6 +42,10 @@ struct PoolState {
     next_worker_id: u64,
     rr_cursor: usize,
     dispatch_failures: u64,
+    /// Completed outcomes for jobs that entered through the pumped
+    /// [`crate::Platform`] path.
+    results: HashMap<u64, JobOutcome>,
+    completed: u64,
 }
 
 /// The v1 push cluster.
@@ -33,6 +55,13 @@ pub struct ClusterV1 {
     /// One submission cache shared by every worker — including those
     /// added later — so duplicate submissions dedupe cluster-wide.
     cache: Arc<SubmissionCache>,
+    /// Whether workers actually consult the shared cache (an uncached
+    /// build keeps the cache object for metrics, but boots workers
+    /// without it).
+    cached: bool,
+    /// Fair-share scheduler: admission control for every submission
+    /// path, and dequeue order for batched/pumped work.
+    sched: FairScheduler<(usize, JobRequest)>,
     /// Cluster-wide recorder shared with every worker (noop unless the
     /// cluster was built traced).
     obs: Arc<Recorder>,
@@ -45,46 +74,105 @@ impl ClusterV1 {
     /// v1 had no job routing, so — per §VI-A — every node must be
     /// "provisioned for the highest common multiple of the system
     /// requirements of the labs": the full image with every toolchain.
+    /// For anything beyond the defaults, use
+    /// [`ClusterBuilder`](crate::ClusterBuilder).
     pub fn new(n: usize, device: DeviceConfig) -> Self {
-        Self::new_traced(n, device, Arc::new(Recorder::noop()))
+        Self::new_inner(
+            n,
+            device,
+            Self::full_image_config(),
+            Some(CacheConfig::default()),
+            Arc::new(Recorder::noop()),
+            SchedConfig::default(),
+        )
     }
 
     /// Boot a full-image cluster whose dispatch/retry/pipeline activity
     /// lands in a shared recorder.
+    #[deprecated(note = "use webgpu::ClusterBuilder::new(device).fleet(n).traced(obs).build_v1()")]
     pub fn new_traced(n: usize, device: DeviceConfig, obs: Arc<Recorder>) -> Self {
-        let config = WorkerConfig {
-            image: "webgpu/full".to_string(),
-            capabilities: ["cuda", "opencl", "openacc", "mpi", "multi-gpu"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-            ..WorkerConfig::default()
-        };
-        Self::with_config_traced(n, device, config, obs)
+        Self::new_inner(
+            n,
+            device,
+            Self::full_image_config(),
+            Some(CacheConfig::default()),
+            obs,
+            SchedConfig::default(),
+        )
     }
 
     /// Boot with an explicit worker configuration (e.g. a CUDA-only
     /// image, to demonstrate why v1 could not afford thin nodes).
     pub fn with_config(n: usize, device: DeviceConfig, config: WorkerConfig) -> Self {
-        Self::with_config_traced(n, device, config, Arc::new(Recorder::noop()))
+        Self::new_inner(
+            n,
+            device,
+            config,
+            Some(CacheConfig::default()),
+            Arc::new(Recorder::noop()),
+            SchedConfig::default(),
+        )
     }
 
     /// [`with_config`](Self::with_config) plus a shared recorder.
+    #[deprecated(
+        note = "use webgpu::ClusterBuilder::new(device).fleet(n).worker_config(config).traced(obs).build_v1()"
+    )]
     pub fn with_config_traced(
         n: usize,
         device: DeviceConfig,
         config: WorkerConfig,
         obs: Arc<Recorder>,
     ) -> Self {
-        let cache = new_submission_cache(CacheConfig::default());
+        Self::new_inner(
+            n,
+            device,
+            config,
+            Some(CacheConfig::default()),
+            obs,
+            SchedConfig::default(),
+        )
+    }
+
+    /// The image v1 nodes must carry: every toolchain (§VI-A).
+    pub(crate) fn full_image_config() -> WorkerConfig {
+        WorkerConfig {
+            image: "webgpu/full".to_string(),
+            capabilities: ["cuda", "opencl", "openacc", "mpi", "multi-gpu"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ..WorkerConfig::default()
+        }
+    }
+
+    /// The one real constructor — everything else (including
+    /// [`ClusterBuilder`](crate::ClusterBuilder)) funnels here.
+    /// `cache_cfg: None` boots workers without the shared cache (the
+    /// uncached baseline); the cluster still keeps a cache object so
+    /// [`cache_metrics`](Self::cache_metrics) stays callable (all
+    /// zeros).
+    pub(crate) fn new_inner(
+        n: usize,
+        device: DeviceConfig,
+        config: WorkerConfig,
+        cache_cfg: Option<CacheConfig>,
+        obs: Arc<Recorder>,
+        sched: SchedConfig,
+    ) -> Self {
+        let cached = cache_cfg.is_some();
+        let cache = new_submission_cache(cache_cfg.unwrap_or_default());
+        let worker_cache = cached.then(|| Arc::clone(&cache));
         let workers = (1..=n as u64)
             .map(|id| {
-                Arc::new(WorkerNode::boot_traced(
+                Arc::new(WorkerNode::launch(
                     id,
-                    device.clone(),
-                    &config,
-                    Some(Arc::clone(&cache)),
-                    Arc::clone(&obs),
+                    &NodeConfig {
+                        device: device.clone(),
+                        worker: config.clone(),
+                        cache: worker_cache.clone(),
+                        obs: Arc::clone(&obs),
+                    },
                 ))
             })
             .collect::<Vec<_>>();
@@ -93,6 +181,8 @@ impl ClusterV1 {
             device,
             config,
             cache,
+            cached,
+            sched: FairScheduler::new(sched, Arc::clone(&obs)),
             obs,
             state: Mutex::new(PoolState {
                 workers,
@@ -101,6 +191,8 @@ impl ClusterV1 {
                 next_worker_id: n as u64 + 1,
                 rr_cursor: 0,
                 dispatch_failures: 0,
+                results: HashMap::new(),
+                completed: 0,
             }),
         }
     }
@@ -131,12 +223,14 @@ impl ClusterV1 {
         let mut g = self.state.lock();
         let id = g.next_worker_id;
         g.next_worker_id += 1;
-        let w = Arc::new(WorkerNode::boot_traced(
+        let w = Arc::new(WorkerNode::launch(
             id,
-            self.device.clone(),
-            &self.config,
-            Some(Arc::clone(&self.cache)),
-            Arc::clone(&self.obs),
+            &NodeConfig {
+                device: self.device.clone(),
+                worker: self.config.clone(),
+                cache: self.cached.then(|| Arc::clone(&self.cache)),
+                obs: Arc::clone(&self.obs),
+            },
         ));
         g.last_beat.insert(id, now_ms);
         g.workers.push(w);
@@ -188,15 +282,40 @@ impl ClusterV1 {
         evicted_now
     }
 
-    /// Push a job to a worker: round-robin, skipping dead nodes; a
-    /// failed submission marks a dispatch failure and tries the next
-    /// worker (the retry behaviour students experienced as a slow
-    /// attempt rather than an error page).
+    /// Push a job to a worker: admission control first (a shed rush
+    /// returns [`WbError::Overloaded`] instead of melting the pool),
+    /// then round-robin placement skipping dead nodes; a failed
+    /// submission marks a dispatch failure and tries the next worker
+    /// (the retry behaviour students experienced as a slow attempt
+    /// rather than an error page).
     pub fn submit(&self, req: &JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
-        // The span opens the moment the web tier hands the job over —
-        // queue wait is zero in a push cluster, but the opener keeps v1
-        // and v2 spans shape-compatible.
-        self.obs.phase(req.job_id, JobPhase::Queued, now_ms);
+        match self
+            .sched
+            .admit(&req.spec.course, req.job_id, grade_class(req), now_ms)
+        {
+            Admission::Shed { retry_after_s } => {
+                self.obs.phase(req.job_id, JobPhase::Failed, now_ms);
+                Err(WbError::Overloaded { retry_after_s })
+            }
+            Admission::Admitted { browned_out } => {
+                // The span opens the moment the web tier hands the job
+                // over — queue wait is zero in a push cluster, but the
+                // opener keeps v1 and v2 spans shape-compatible.
+                self.obs.phase(req.job_id, JobPhase::Queued, now_ms);
+                if browned_out {
+                    let mut lighter = req.clone();
+                    lighter.action = JobAction::CompileOnly;
+                    self.execute(&lighter, now_ms)
+                } else {
+                    self.execute(req, now_ms)
+                }
+            }
+        }
+    }
+
+    /// Run one admitted job on the pool: round-robin over live workers
+    /// with dead-node retry.
+    fn execute(&self, req: &JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         // Snapshot candidates to avoid holding the lock during a job.
         let candidates: Vec<Arc<WorkerNode>> = {
             let mut g = self.state.lock();
@@ -226,13 +345,15 @@ impl ClusterV1 {
         Err(WbError::infra("every worker in the pool is unreachable"))
     }
 
-    /// Push a batch of independent submissions concurrently: one
-    /// submission lane per pool worker (crossbeam scoped threads), so
-    /// wall-clock time for a rush of jobs scales with the pool instead
-    /// of summing every job's runtime. Each lane is an ordinary
-    /// [`submit`](Self::submit) loop — round-robin placement, dead-node
-    /// retry and failure accounting all behave exactly as they do for
-    /// sequential callers. Results come back in request order.
+    /// Push a batch of independent submissions concurrently. Every
+    /// request passes admission control (shed slots come back as
+    /// [`WbError::Overloaded`] without ever touching a worker, and
+    /// brown-out downgrades full grades to compile-only); admitted jobs
+    /// drain from the fair-share scheduler in deficit-round-robin
+    /// course order, one pool-sized wave at a time, each wave executed
+    /// over parallel lanes (crossbeam scoped threads) so wall-clock
+    /// time for a rush scales with the pool. Results come back in
+    /// request order.
     pub fn submit_batch(
         &self,
         reqs: &[JobRequest],
@@ -241,24 +362,134 @@ impl ClusterV1 {
         if reqs.is_empty() {
             return Vec::new();
         }
-        let lanes = self.pool_size().clamp(1, reqs.len());
-        let chunk = reqs.len().div_ceil(lanes);
         let mut slots: Vec<Option<Result<JobOutcome, WbError>>> = Vec::new();
         slots.resize_with(reqs.len(), || None);
+        for (i, req) in reqs.iter().enumerate() {
+            let class = grade_class(req);
+            let admission = self.sched.offer(
+                &req.spec.course,
+                req.job_id,
+                (i, req.clone()),
+                class,
+                now_ms,
+                |(_, r)| r.action = JobAction::CompileOnly,
+            );
+            match admission {
+                Admission::Admitted { .. } => {
+                    self.obs.phase(req.job_id, JobPhase::Queued, now_ms);
+                }
+                Admission::Shed { retry_after_s } => {
+                    self.obs.phase(req.job_id, JobPhase::Failed, now_ms);
+                    slots[i] = Some(Err(WbError::Overloaded { retry_after_s }));
+                }
+            }
+        }
+        loop {
+            let (executed, batch) = self.drain_wave(now_ms);
+            if executed == 0 {
+                break;
+            }
+            for (slot, res) in batch {
+                slots[slot] = Some(res);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every admitted slot is filled by its wave"))
+            .collect()
+    }
+
+    /// Queue a job for asynchronous execution through admission
+    /// control: the fair-share scheduler holds it until the next
+    /// [`pump`](Self::pump), and its outcome lands in the results map
+    /// ([`take_result`](Self::take_result)).
+    pub fn enqueue(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
+        let job_id = req.job_id;
+        let course = req.spec.course.clone();
+        let class = grade_class(&req);
+        let admission = self.sched.offer(
+            &course,
+            job_id,
+            (PLATFORM_SLOT, req),
+            class,
+            now_ms,
+            |(_, r)| {
+                r.action = JobAction::CompileOnly;
+            },
+        );
+        match admission {
+            Admission::Admitted { .. } => {
+                self.obs.phase(job_id, JobPhase::Queued, now_ms);
+                Ok(job_id)
+            }
+            Admission::Shed { retry_after_s } => {
+                self.obs.phase(job_id, JobPhase::Failed, now_ms);
+                Err(WbError::Overloaded { retry_after_s })
+            }
+        }
+    }
+
+    /// Execute one fair-share wave of queued jobs. Returns how many
+    /// jobs ran this round (successes land in the results map).
+    pub fn pump(&self, now_ms: u64) -> usize {
+        self.drain_wave(now_ms).0
+    }
+
+    /// Take a completed job's outcome off the cluster (pumped path).
+    pub fn take_result(&self, job_id: u64) -> Option<JobOutcome> {
+        self.state.lock().results.remove(&job_id)
+    }
+
+    /// Jobs completed through the pumped path.
+    pub fn completed(&self) -> u64 {
+        self.state.lock().completed
+    }
+
+    /// Jobs the fair-share scheduler is still holding.
+    pub fn queue_depth(&self) -> usize {
+        self.sched.total_backlog()
+    }
+
+    /// Per-course scheduler backlog view.
+    pub fn sched_snapshot(&self) -> SchedSnapshot {
+        self.sched.snapshot()
+    }
+
+    /// Release one fair-share wave (at most one job per pool worker)
+    /// from the scheduler and execute it over parallel lanes. Outcomes
+    /// for platform-queued jobs are routed to the results map; batch
+    /// entries are returned with their request slot. The count of jobs
+    /// executed comes back either way.
+    fn drain_wave(&self, now_ms: u64) -> (usize, Vec<WaveResult>) {
+        let width = self.pool_size().max(1);
+        let wave = self.sched.drain(width, now_ms);
+        if wave.is_empty() {
+            return (0, Vec::new());
+        }
+        let mut cells: Vec<Option<(u64, WaveResult)>> = Vec::new();
+        cells.resize_with(wave.len(), || None);
         crossbeam::thread::scope(|s| {
-            for (req_chunk, slot_chunk) in reqs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            for ((_, (slot, req)), cell) in wave.iter().zip(cells.iter_mut()) {
                 s.spawn(move |_| {
-                    for (req, slot) in req_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(self.submit(req, now_ms));
-                    }
+                    *cell = Some((req.job_id, (*slot, self.execute(req, now_ms))));
                 });
             }
         })
         .expect("submission lane panicked");
-        slots
-            .into_iter()
-            .map(|r| r.expect("every slot is filled by its lane"))
-            .collect()
+        let executed = cells.len();
+        let mut batch = Vec::new();
+        for (job_id, (slot, res)) in cells.into_iter().map(|c| c.expect("lane fills its cell")) {
+            if slot == PLATFORM_SLOT {
+                let mut g = self.state.lock();
+                if let Ok(out) = res {
+                    g.results.insert(job_id, out);
+                    g.completed += 1;
+                }
+            } else {
+                batch.push((slot, res));
+            }
+        }
+        (executed, batch)
     }
 
     /// Current metrics snapshot from the cluster's recorder.

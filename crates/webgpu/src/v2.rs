@@ -12,10 +12,11 @@ use wb_cache::{CacheConfig, CacheMetrics};
 use wb_db::BlobStore;
 use wb_obs::{Annotation, Counter, JobPhase, Recorder, Timer};
 use wb_queue::MirroredBroker;
+use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig, SchedSnapshot};
 use wb_server::{JobDispatcher, WbError};
 use wb_worker::{
-    new_submission_cache, ConfigServer, JobOutcome, JobRequest, SubmissionCache, WorkerConfig,
-    WorkerNode,
+    new_submission_cache, ConfigServer, JobAction, JobOutcome, JobRequest, NodeConfig,
+    SubmissionCache, WorkerConfig, WorkerNode,
 };
 
 /// A worker health record persisted to the metrics database (§VI-B:
@@ -48,6 +49,10 @@ pub struct ClusterV2 {
     /// baseline); autoscaled workers join it on boot.
     cache: Option<Arc<SubmissionCache>>,
     obs: Arc<Recorder>,
+    /// Per-course fair-share scheduler: every submission enters here
+    /// and the pump releases fleet-sized batches into the broker in
+    /// deficit-round-robin order.
+    sched: FairScheduler<JobRequest>,
     state: Mutex<FleetState>,
     scaler: Mutex<Autoscaler>,
 }
@@ -65,7 +70,9 @@ struct FleetState {
 
 impl ClusterV2 {
     /// Boot with an initial fleet and a scaling policy. The fleet
-    /// shares one submission cache (default budgets).
+    /// shares one submission cache (default budgets). Equivalent to
+    /// [`crate::ClusterBuilder`] with defaults — use the builder for
+    /// anything beyond fleet/device/policy.
     pub fn new(initial_workers: usize, device: DeviceConfig, policy: AutoscalePolicy) -> Self {
         Self::new_inner(
             initial_workers,
@@ -73,12 +80,15 @@ impl ClusterV2 {
             policy,
             Some(new_submission_cache(CacheConfig::default())),
             Arc::new(Recorder::noop()),
+            SchedConfig::default(),
+            WorkerConfig::default(),
         )
     }
 
     /// Boot without a submission cache: every job compiles and grades
     /// fresh. This is the pre-cache behaviour, kept as the baseline
     /// for the `cache_rush` experiment.
+    #[deprecated(note = "use webgpu::ClusterBuilder::new(device).uncached().build_v2()")]
     pub fn new_uncached(
         initial_workers: usize,
         device: DeviceConfig,
@@ -90,12 +100,15 @@ impl ClusterV2 {
             policy,
             None,
             Arc::new(Recorder::noop()),
+            SchedConfig::default(),
+            WorkerConfig::default(),
         )
     }
 
     /// Boot a cached fleet wired to a shared tracing recorder: every
     /// layer — broker, workers, scheduler — records into the same
     /// `wb-obs` sink, so a job's span covers its full lifecycle.
+    #[deprecated(note = "use webgpu::ClusterBuilder::new(device).traced(obs).build_v2()")]
     pub fn new_traced(
         initial_workers: usize,
         device: DeviceConfig,
@@ -108,17 +121,21 @@ impl ClusterV2 {
             policy,
             Some(new_submission_cache(CacheConfig::default())),
             obs,
+            SchedConfig::default(),
+            WorkerConfig::default(),
         )
     }
 
-    fn new_inner(
+    pub(crate) fn new_inner(
         initial_workers: usize,
         device: DeviceConfig,
         policy: AutoscalePolicy,
         cache: Option<Arc<SubmissionCache>>,
         obs: Arc<Recorder>,
+        sched: SchedConfig,
+        worker_config: WorkerConfig,
     ) -> Self {
-        let config = ConfigServer::new(WorkerConfig::default());
+        let config = ConfigServer::new(worker_config);
         let workers = (1..=initial_workers as u64)
             .map(|id| {
                 Arc::new(Self::boot_worker(
@@ -137,6 +154,7 @@ impl ClusterV2 {
             metrics_db: wb_db::ReplicatedTable::new(),
             device,
             cache,
+            sched: FairScheduler::new(sched, Arc::clone(&obs)),
             obs,
             state: Mutex::new(FleetState {
                 workers,
@@ -158,12 +176,14 @@ impl ClusterV2 {
         cache: Option<&Arc<SubmissionCache>>,
         obs: &Arc<Recorder>,
     ) -> WorkerNode {
-        WorkerNode::boot_traced(
+        WorkerNode::launch(
             id,
-            device.clone(),
-            config,
-            cache.map(Arc::clone),
-            Arc::clone(obs),
+            &NodeConfig {
+                device: device.clone(),
+                worker: config.clone(),
+                cache: cache.map(Arc::clone),
+                obs: Arc::clone(obs),
+            },
         )
     }
 
@@ -183,9 +203,15 @@ impl ClusterV2 {
         self.state.lock().completed
     }
 
-    /// Queue depth visible to an all-capable worker.
+    /// Jobs waiting platform-wide: the scheduler's per-course backlogs
+    /// plus everything visible in the broker to an all-capable worker.
     pub fn queue_depth(&self, now_ms: u64) -> usize {
-        self.broker.depth(now_ms)
+        self.sched.total_backlog() + self.broker.depth(now_ms)
+    }
+
+    /// Per-course scheduler backlogs, for the dashboard.
+    pub fn sched_snapshot(&self) -> SchedSnapshot {
+        self.sched.snapshot()
     }
 
     /// Jobs delivered to workers and not yet acknowledged.
@@ -233,22 +259,52 @@ impl ClusterV2 {
         self.broker.failover();
     }
 
-    /// Enqueue a job; returns its broker id.
+    /// Offer a job for admission. Admitted jobs enter the fair-share
+    /// scheduler (possibly downgraded to compile-only in the brown-out
+    /// band) and are released to the broker by subsequent pumps; shed
+    /// jobs return [`WbError::Overloaded`] with a finite retry hint.
     ///
-    /// The latency baseline is recorded *before* the broker enqueue:
-    /// the moment the job enters the broker a concurrently pumping
-    /// worker may complete it, and a baseline recorded after the fact
-    /// would silently drop that job's `wait_rounds` sample.
-    pub fn enqueue(&self, req: JobRequest, now_ms: u64) -> u64 {
-        let tags = req.spec.tags.clone();
+    /// The latency baseline is recorded *before* the job becomes
+    /// admissible: the moment it can reach the broker a concurrently
+    /// pumping worker may complete it, and a baseline recorded after
+    /// the fact would silently drop that job's `wait_rounds` sample.
+    pub fn submit(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
         let job_id = req.job_id;
+        let course = req.spec.course.clone();
+        let class = if req.action == JobAction::FullGrade {
+            GradeClass::Full
+        } else {
+            GradeClass::Light
+        };
         {
             let mut g = self.state.lock();
             let round = g.round;
             g.enqueue_round.insert(job_id, round);
         }
-        self.obs.phase(job_id, JobPhase::Queued, now_ms);
-        self.broker.enqueue(req, tags, now_ms)
+        match self.sched.offer(&course, job_id, req, class, now_ms, |r| {
+            r.action = JobAction::CompileOnly;
+        }) {
+            Admission::Admitted { .. } => {
+                self.obs.phase(job_id, JobPhase::Queued, now_ms);
+                Ok(job_id)
+            }
+            Admission::Shed { retry_after_s } => {
+                self.state.lock().enqueue_round.remove(&job_id);
+                self.obs.phase(job_id, JobPhase::Failed, now_ms);
+                Err(WbError::Overloaded { retry_after_s })
+            }
+        }
+    }
+
+    /// Enqueue a job unconditionally; returns its platform job id.
+    ///
+    /// Thin wrapper over [`ClusterV2::submit`] for callers that size
+    /// their own load (tests, benches). Panics if admission control is
+    /// configured tight enough to shed — such callers should use
+    /// `submit` and handle [`WbError::Overloaded`].
+    pub fn enqueue(&self, req: JobRequest, now_ms: u64) -> u64 {
+        self.submit(req, now_ms)
+            .expect("enqueue on a cluster with admission control enabled; use submit")
     }
 
     /// One scheduler round: every live worker syncs config and polls
@@ -281,6 +337,14 @@ impl ClusterV2 {
             g.round += 1;
             g.workers.clone()
         };
+        // Release one fleet-sized batch from the fair-share scheduler
+        // into the broker: workers still pull by capability, but the
+        // *order* jobs become visible is the scheduler's, not raw
+        // arrival order.
+        for (_, req) in self.sched.drain(workers.len(), now_ms) {
+            let tags = req.spec.tags.clone();
+            self.broker.enqueue(req, tags, now_ms);
+        }
         let outcomes: Vec<JobOutcome> = if !concurrent || workers.len() <= 1 {
             workers
                 .iter()
@@ -354,6 +418,8 @@ impl ClusterV2 {
     fn autoscale(&self, now_ms: u64) {
         let metrics = FleetMetrics {
             queue_depth: self.broker.depth(now_ms),
+            sched_backlog: self.sched.total_backlog(),
+            max_course_backlog: self.sched.max_course_backlog(),
             fleet_size: self.fleet_size(),
             now_ms,
         };
@@ -408,13 +474,13 @@ impl ClusterV2 {
 impl JobDispatcher for ClusterV2 {
     fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         let job_id = req.job_id;
-        self.enqueue(req, now_ms);
+        self.submit(req, now_ms)?;
         for round in 0..10_000u64 {
             self.pump(now_ms + round);
             if let Some(out) = self.take_result(job_id) {
                 return Ok(out);
             }
-            if self.broker.depth(now_ms + round) > 0 && self.fleet_size() == 0 {
+            if self.queue_depth(now_ms + round) > 0 && self.fleet_size() == 0 {
                 self.obs.phase(job_id, JobPhase::Failed, now_ms + round);
                 return Err(WbError::infra("fleet scaled to zero with work queued"));
             }
@@ -509,7 +575,10 @@ mod tests {
 
     #[test]
     fn uncached_baseline_runs_every_job_fresh() {
-        let c = ClusterV2::new_uncached(2, DeviceConfig::test_small(), AutoscalePolicy::Static(2));
+        let c = crate::ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .uncached()
+            .build_v2();
         assert!(c.cache_metrics().is_none());
         for j in 0..4 {
             c.enqueue(echo(j), 0);
@@ -518,6 +587,28 @@ mod tests {
             c.pump(r);
         }
         assert_eq!(c.completed(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_build() {
+        // Coverage for the migration shims only — new code goes through
+        // `ClusterBuilder`.
+        let uncached =
+            ClusterV2::new_uncached(1, DeviceConfig::test_small(), AutoscalePolicy::Static(1));
+        assert!(uncached.cache_metrics().is_none());
+        let traced = ClusterV2::new_traced(
+            1,
+            DeviceConfig::test_small(),
+            AutoscalePolicy::Static(1),
+            Arc::new(Recorder::traced()),
+        );
+        traced.enqueue(echo(1), 0);
+        for r in 0..5 {
+            traced.pump(r);
+        }
+        assert_eq!(traced.completed(), 1);
+        assert!(traced.span(1).is_some());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
 use webgpu::cost::{CostMeter, CostModel};
 use webgpu::sim::population::LoadModel;
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 fn vecadd_request(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
@@ -30,7 +30,10 @@ fn replay(policy: AutoscalePolicy, label: &str) {
     let model = LoadModel::default();
     let series = model.hourly_series(1);
     let week2 = &series[7 * 24..14 * 24]; // the busiest week
-    let cluster = ClusterV2::new(2, minicuda::DeviceConfig::test_small(), policy);
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .policy(policy)
+        .build_v2();
     let mut meter = CostMeter::new(CostModel::default());
     let mut job_id = 0u64;
     let mut total_wait_samples = 0f64;

@@ -11,7 +11,7 @@ use libwb::{gen, CheckPolicy, Dataset};
 use wb_sandbox::{Blacklist, ResourceLimits, SyscallWhitelist};
 use wb_server::{DeviceKind, LabDefinition, Rubric, SubmitRequest, WbError, WebGpuServer};
 use wb_worker::{DatasetCase, LabSpec};
-use webgpu::ClusterV1;
+use webgpu::ClusterBuilder;
 
 /// The new lab: SAXPY (`y = a*x + y`).
 fn author_saxpy() -> LabDefinition {
@@ -39,6 +39,7 @@ fn author_saxpy() -> LabDefinition {
         questions: vec!["What is the arithmetic intensity of SAXPY?".to_string()],
         spec: LabSpec {
             lab_id: "saxpy".to_string(),
+            course: "hpp".to_string(),
             dialect: minicuda::Dialect::Cuda,
             blacklist: Blacklist::standard(),
             whitelist: SyscallWhitelist::cuda_default(),
@@ -84,7 +85,9 @@ int main() {
 "#;
 
 fn main() {
-    let cluster = ClusterV1::new(1, minicuda::DeviceConfig::default());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(1)
+        .build_v1();
     let srv = WebGpuServer::new(Box::new(cluster));
     srv.register_instructor("ta", "pw").unwrap();
     let ta = srv.login("ta", "pw", DeviceKind::Desktop, 0).unwrap();

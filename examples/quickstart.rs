@@ -7,11 +7,13 @@
 
 use wb_labs::LabScale;
 use wb_server::{DeviceKind, SubmitRequest, WebGpuServer};
-use webgpu::ClusterV1;
+use webgpu::ClusterBuilder;
 
 fn main() {
     // A two-GPU worker pool behind the original push architecture.
-    let cluster = ClusterV1::new(2, minicuda::DeviceConfig::default());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::default())
+        .fleet(2)
+        .build_v1();
     let srv = WebGpuServer::new(Box::new(cluster));
 
     // Accounts: one instructor, one student.

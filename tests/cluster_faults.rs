@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 fn vecadd_request(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
@@ -22,7 +22,9 @@ fn vecadd_request(job_id: u64) -> JobRequest {
 
 #[test]
 fn v1_survives_a_mid_course_worker_crash() {
-    let c = ClusterV1::new(3, minicuda::DeviceConfig::test_small());
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(3)
+        .build_v1();
     for j in 0..3 {
         assert!(c.submit(&vecadd_request(j), 0).is_ok());
     }
@@ -43,7 +45,9 @@ fn v1_survives_a_mid_course_worker_crash() {
 
 #[test]
 fn v1_recovered_worker_rejoins_before_eviction() {
-    let c = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .build_v1();
     c.health_sweep(0);
     c.worker(0).unwrap().crash();
     // Recovers before the timeout window closes.
@@ -55,11 +59,10 @@ fn v1_recovered_worker_rejoins_before_eviction() {
 
 #[test]
 fn v2_jobs_survive_broker_zone_failure() {
-    let c = ClusterV2::new(
-        2,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(2),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .policy(AutoscalePolicy::Static(2))
+        .build_v2();
     for j in 0..4 {
         c.enqueue(vecadd_request(j), 0);
     }
@@ -74,11 +77,10 @@ fn v2_jobs_survive_broker_zone_failure() {
 
 #[test]
 fn v2_worker_crash_leaves_job_for_the_fleet() {
-    let c = ClusterV2::new(
-        2,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(2),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .policy(AutoscalePolicy::Static(2))
+        .build_v2();
     c.worker(0).unwrap().crash();
     c.enqueue(vecadd_request(1), 0);
     let mut done = 0;
@@ -90,11 +92,10 @@ fn v2_worker_crash_leaves_job_for_the_fleet() {
 
 #[test]
 fn v2_config_push_retargets_the_whole_fleet() {
-    let c = ClusterV2::new(
-        3,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(3),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(3)
+        .policy(AutoscalePolicy::Static(3))
+        .build_v2();
     // An MPI-tagged job sits until a config push adds the capability.
     let lab = wb_labs::definition("mpi-stencil", LabScale::Small).unwrap();
     let req = JobRequest {
@@ -132,18 +133,17 @@ fn v2_deadline_policy_prescales_and_drains() {
     // The paper scaled up the day before each deadline; the scheduled
     // policy automates it.
     let deadline = 1_000_000u64;
-    let c = ClusterV2::new(
-        1,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Scheduled {
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(1)
+        .policy(AutoscalePolicy::Scheduled {
             jobs_per_worker: 2,
             min: 1,
             max: 12,
             deadlines_ms: vec![deadline],
             window_ms: 100_000,
             floor: 6,
-        },
-    );
+        })
+        .build_v2();
     // Far from the deadline: the fleet idles at the minimum.
     c.pump(10);
     assert_eq!(c.fleet_size(), 1);

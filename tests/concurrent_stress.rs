@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const FLEET: usize = 8;
 const JOBS: u64 = 100;
@@ -28,11 +28,10 @@ fn vecadd_request(job_id: u64) -> JobRequest {
 
 #[test]
 fn concurrent_pump_completes_every_job_exactly_once() {
-    let c = ClusterV2::new(
-        FLEET,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(FLEET),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(FLEET)
+        .policy(AutoscalePolicy::Static(FLEET))
+        .build_v2();
     // The whole fleet advertises mpi, so tagged jobs route like any
     // other — what's stressed here is the bookkeeping, not routing.
     c.config.update(|cfg| {
@@ -92,11 +91,10 @@ fn concurrent_pump_completes_every_job_exactly_once() {
 
 #[test]
 fn concurrent_pump_survives_failover_mid_load() {
-    let c = ClusterV2::new(
-        4,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(4),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(4)
+        .policy(AutoscalePolicy::Static(4))
+        .build_v2();
     for j in 0..24 {
         c.enqueue(vecadd_request(j), 0);
     }

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use wb_labs::LabScale;
 use wb_server::{DeviceKind, JobDispatcher, SubmitRequest, WebGpuServer};
-use webgpu::{AutoscalePolicy, ClusterV1, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder, ClusterV2};
 
 fn server_on(dispatcher: Box<dyn JobDispatcher>) -> (WebGpuServer, u64, u64) {
     let srv = WebGpuServer::new(dispatcher);
@@ -68,18 +68,21 @@ fn student_journey(srv: &WebGpuServer, staff: u64, alice: u64) {
 
 #[test]
 fn full_journey_on_v1_push_cluster() {
-    let cluster = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .build_v1();
     let (srv, staff, alice) = server_on(Box::new(cluster));
     student_journey(&srv, staff, alice);
 }
 
 #[test]
 fn full_journey_on_v2_queue_cluster() {
-    let cluster = Arc::new(ClusterV2::new(
-        2,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(2),
-    ));
+    let cluster = Arc::new(
+        ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+            .fleet(2)
+            .policy(AutoscalePolicy::Static(2))
+            .build_v2(),
+    );
     struct Shim(Arc<ClusterV2>);
     impl JobDispatcher for Shim {
         fn dispatch(
@@ -98,7 +101,9 @@ fn full_journey_on_v2_queue_cluster() {
 fn every_table2_lab_reference_solution_grades_perfectly_through_the_server() {
     // The Table II matrix, end to end: deploy all 15 labs and submit
     // each reference solution through the web tier.
-    let cluster = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .build_v1();
     let srv = WebGpuServer::new(Box::new(cluster));
     srv.register_instructor("prof", "pw").unwrap();
     srv.register_student("ref", "pw").unwrap();
@@ -137,7 +142,9 @@ fn every_table2_lab_reference_solution_grades_perfectly_through_the_server() {
 fn mobile_login_statistic_flows_to_the_database() {
     // §II-B: ~2% of logins come from tablets/phones; the servers track
     // it end to end.
-    let cluster = ClusterV1::new(1, minicuda::DeviceConfig::test_small());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(1)
+        .build_v1();
     let srv = WebGpuServer::new(Box::new(cluster));
     for i in 0..50 {
         let name = format!("u{i}");

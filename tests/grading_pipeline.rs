@@ -3,10 +3,12 @@
 
 use wb_labs::LabScale;
 use wb_server::{peer, DeviceKind, SubmitRequest, WbError, WebGpuServer};
-use webgpu::ClusterV1;
+use webgpu::ClusterBuilder;
 
 fn server() -> (WebGpuServer, u64) {
-    let cluster = ClusterV1::new(2, minicuda::DeviceConfig::test_small());
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .build_v1();
     let srv = WebGpuServer::new(Box::new(cluster));
     srv.register_instructor("prof", "pw").unwrap();
     let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();

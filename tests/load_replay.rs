@@ -6,7 +6,7 @@ use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
 use webgpu::dashboard::Snapshot;
 use webgpu::sim::population::LoadModel;
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 fn job(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
@@ -26,15 +26,14 @@ fn v2_cluster_tracks_a_deadline_day() {
     let model = LoadModel::default();
     let series = model.hourly_series(7);
     let wednesday = 10 * 24; // day 10 is the peak Wednesday
-    let cluster = ClusterV2::new(
-        1,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Reactive {
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(1)
+        .policy(AutoscalePolicy::Reactive {
             jobs_per_worker: 2,
             min: 1,
             max: 6,
-        },
-    );
+        })
+        .build_v2();
 
     let mut job_id = 0u64;
     let mut fleet_sizes = Vec::new();
@@ -81,11 +80,10 @@ fn v2_cluster_tracks_a_deadline_day() {
 fn dashboard_detects_a_quiet_crash() {
     // A worker that crashes between deadlines shows up on the
     // dashboard before any student notices.
-    let cluster = ClusterV2::new(
-        3,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(3),
-    );
+    let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(3)
+        .policy(AutoscalePolicy::Static(3))
+        .build_v2();
     cluster.worker(2).unwrap().crash();
     let snap = Snapshot::capture(&cluster, 0);
     let down: Vec<u64> = snap

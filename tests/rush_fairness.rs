@@ -1,0 +1,142 @@
+//! Deadline-rush integration: the Wednesday surge replayed through a
+//! traced cluster with a tight admission budget. Every admitted job
+//! must complete exactly once with a complete, ordered span; overflow
+//! must brown out (full-grade downgraded to compile-only, annotated)
+//! and then shed (`WbError::Overloaded` with a finite retry hint,
+//! annotated) — and the recorder's books must agree with what the
+//! harness saw at the submission boundary.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use wb_obs::{Annotation, Recorder};
+use wb_server::WbError;
+use webgpu::{ClusterBuilder, Platform, RushScenario, SchedConfig};
+
+const FLEET: usize = 2;
+const ROUNDS: usize = 4;
+const SURGE: usize = 8;
+const BUDGET: usize = 4;
+
+fn rush_cluster(obs: Arc<Recorder>) -> impl Platform {
+    ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(FLEET)
+        .scheduler(SchedConfig {
+            backlog_budget: BUDGET,
+            ..SchedConfig::default()
+        })
+        .traced(obs)
+        .build_v2()
+}
+
+#[test]
+fn every_admitted_rush_job_completes_exactly_once_with_an_annotated_span() {
+    let obs = Arc::new(Recorder::traced());
+    let c = rush_cluster(Arc::clone(&obs));
+    let scenario = RushScenario::wednesday(ROUNDS, SURGE);
+
+    // admitted job id -> course; shed job ids with their retry hints.
+    let mut admitted: BTreeMap<u64, String> = BTreeMap::new();
+    let mut shed: Vec<u64> = Vec::new();
+    let mut tick = 0u64;
+    for round in 0..scenario.rounds {
+        for req in scenario.arrivals(round) {
+            let id = req.job_id;
+            let course = req.spec.course.clone();
+            match c.submit_job(req, tick) {
+                Ok(_) => {
+                    admitted.insert(id, course);
+                }
+                Err(WbError::Overloaded { retry_after_s }) => {
+                    assert!(
+                        retry_after_s.is_finite() && retry_after_s > 0.0,
+                        "job {id}: shed without a usable retry hint ({retry_after_s})"
+                    );
+                    shed.push(id);
+                }
+                Err(e) => panic!("job {id}: unexpected submit error {e}"),
+            }
+        }
+        tick += 1;
+        c.pump(tick);
+    }
+    while c.completed() < admitted.len() as u64 {
+        tick += 1;
+        c.pump(tick);
+        assert!(tick < 10_000, "admitted jobs stopped completing");
+    }
+
+    // The surge actually tripped both bands.
+    assert!(
+        !shed.is_empty(),
+        "an 8x surge into budget {BUDGET} must shed"
+    );
+    let snap = c.metrics_snapshot();
+    assert!(
+        snap.counter("sched_brown_outs") > 0,
+        "the band never browned out"
+    );
+
+    // Exactly-once completion, with a complete ordered span per job.
+    let mut brown_spans = 0u64;
+    for (&id, course) in &admitted {
+        let out = c
+            .take_result(id)
+            .unwrap_or_else(|| panic!("admitted job {id} ({course}) has no outcome"));
+        assert!(out.compiled(), "job {id}: reference solutions compile");
+        assert!(c.take_result(id).is_none(), "job {id} completed twice");
+        let span = obs
+            .span(id)
+            .unwrap_or_else(|| panic!("job {id} left no span"));
+        assert!(span.is_complete(), "job {id}: span must close: {span:?}");
+        assert!(span.is_ordered(), "job {id}: span out of order: {span:?}");
+        assert_eq!(
+            span.phases
+                .iter()
+                .filter(|(p, _, _)| p.is_terminal())
+                .count(),
+            1,
+            "job {id}: exactly one terminal phase"
+        );
+        if span.has(Annotation::BrownOut) {
+            brown_spans += 1;
+        }
+        assert!(!span.has(Annotation::Shed), "admitted job {id} marked shed");
+    }
+    assert_eq!(c.completed(), admitted.len() as u64);
+
+    // Shed jobs never ran, and each carries the shed mark on its span.
+    for &id in &shed {
+        assert!(
+            c.take_result(id).is_none(),
+            "shed job {id} produced a result"
+        );
+        let span = obs
+            .span(id)
+            .unwrap_or_else(|| panic!("shed job {id} left no span"));
+        assert!(
+            span.has(Annotation::Shed),
+            "job {id}: shed unannotated: {span:?}"
+        );
+    }
+
+    // The recorder's books agree with the submission boundary.
+    assert_eq!(snap.counter("sched_admitted"), admitted.len() as u64);
+    assert_eq!(snap.counter("sched_shed"), shed.len() as u64);
+    assert_eq!(snap.counter("sched_brown_outs"), brown_spans);
+    assert_eq!(snap.counter("sched_dequeues"), admitted.len() as u64);
+
+    // Fair share reached every course: each one's scoped dequeue tally
+    // covers everything it got admitted.
+    let mut per_course: BTreeMap<&str, u64> = BTreeMap::new();
+    for course in admitted.values() {
+        *per_course.entry(course.as_str()).or_insert(0) += 1;
+    }
+    for (course, n) in per_course {
+        assert_eq!(
+            obs.scoped(&format!("sched/dequeued/{course}")),
+            n,
+            "course {course}: dequeues drifted from admissions"
+        );
+    }
+}

@@ -178,8 +178,8 @@ fn worker_isolation_keeps_database_out_of_reach() {
     // database handles. This test asserts the boundary by running a
     // hostile job and checking the server state afterwards.
     use wb_server::{DeviceKind, SubmitRequest, WebGpuServer};
-    use webgpu::ClusterV1;
-    let cluster = ClusterV1::new(1, DeviceConfig::test_small());
+    use webgpu::ClusterBuilder;
+    let cluster = ClusterBuilder::new(DeviceConfig::test_small()).build_v1();
     let srv = WebGpuServer::new(Box::new(cluster));
     srv.register_instructor("prof", "pw").unwrap();
     let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();

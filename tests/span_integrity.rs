@@ -12,7 +12,7 @@ use std::sync::Arc;
 use wb_labs::LabScale;
 use wb_obs::{Annotation, JobPhase, Recorder};
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{AutoscalePolicy, ClusterV2};
+use webgpu::{AutoscalePolicy, ClusterBuilder};
 
 const FLEET: usize = 8;
 const JOBS: u64 = 96;
@@ -40,12 +40,11 @@ fn vecadd_request(job_id: u64, variant: u64) -> JobRequest {
 #[test]
 fn every_job_leaves_one_complete_ordered_span() {
     let obs = Arc::new(Recorder::traced());
-    let c = ClusterV2::new_traced(
-        FLEET,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(FLEET),
-        Arc::clone(&obs),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(FLEET)
+        .policy(AutoscalePolicy::Static(FLEET))
+        .traced(Arc::clone(&obs))
+        .build_v2();
     c.config.update(|cfg| {
         cfg.capabilities.insert("mpi".into());
     });
@@ -137,12 +136,11 @@ fn every_job_leaves_one_complete_ordered_span() {
 #[test]
 fn failover_and_cache_annotations_land_on_the_right_spans() {
     let obs = Arc::new(Recorder::traced());
-    let c = ClusterV2::new_traced(
-        2,
-        minicuda::DeviceConfig::test_small(),
-        AutoscalePolicy::Static(2),
-        Arc::clone(&obs),
-    );
+    let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+        .fleet(2)
+        .policy(AutoscalePolicy::Static(2))
+        .traced(Arc::clone(&obs))
+        .build_v2();
     for j in 0..12 {
         c.enqueue(vecadd_request(j, j), 0);
     }
