@@ -13,8 +13,13 @@ use webgpu::{AutoscalePolicy, ClusterBuilder};
 const BATCH: u64 = 16;
 
 fn drain(fleet: usize, concurrent: bool) {
+    drain_sharded(fleet, concurrent, 1)
+}
+
+fn drain_sharded(fleet: usize, concurrent: bool, shards: usize) {
     let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
         .fleet(fleet)
+        .shards(shards)
         .policy(AutoscalePolicy::Static(fleet))
         .build_v2();
     for j in 0..BATCH {
@@ -57,5 +62,16 @@ fn bench_concurrent(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_serial, bench_concurrent);
+fn bench_sharded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pump_scaling/sharded4_batch16");
+    g.sample_size(10);
+    for fleet in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(fleet), &fleet, |b, &fleet| {
+            b.iter(|| drain_sharded(fleet, true, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serial, bench_concurrent, bench_sharded);
 criterion_main!(benches);

@@ -31,10 +31,13 @@ pub struct CachedMap<K, V> {
 
 impl<K: Hash + Eq + Clone, V: Clone> CachedMap<K, V> {
     /// Create a tier with a total byte budget split over `shards`.
+    /// The same shard count spreads the single-flight map's locks, so
+    /// neither the store index nor the dedup path is a global
+    /// serialization point.
     pub fn new(budget_bytes: usize, shards: usize) -> Self {
         CachedMap {
             store: LruStore::new(budget_bytes, shards),
-            flight: SingleFlight::new(),
+            flight: SingleFlight::with_shards(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),

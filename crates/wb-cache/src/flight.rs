@@ -11,8 +11,14 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Default lock shards for the flight map. One mutex in front of the
+/// store index serialized every cache lookup cluster-wide once the
+/// control plane itself was sharded; splitting by key hash keeps the
+/// dedup path parallel.
+const FLIGHT_SHARDS: usize = 8;
 
 struct Flight<V> {
     slot: Mutex<Option<V>>,
@@ -37,9 +43,11 @@ pub enum FlightRole {
     Coalesced,
 }
 
-/// A keyed single-flight group.
+/// A keyed single-flight group, lock-sharded by key hash: concurrent
+/// flights for different keys contend on different mutexes, while two
+/// calls for the same key always meet on the same shard.
 pub struct SingleFlight<K, V> {
-    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    shards: Vec<Mutex<HashMap<K, Arc<Flight<V>>>>>,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Default for SingleFlight<K, V> {
@@ -49,16 +57,30 @@ impl<K: Hash + Eq + Clone, V: Clone> Default for SingleFlight<K, V> {
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
-    /// Create an empty group.
+    /// Create an empty group with the default shard count.
     pub fn new() -> Self {
+        SingleFlight::with_shards(FLIGHT_SHARDS)
+    }
+
+    /// Create an empty group with an explicit lock-shard count
+    /// (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
         SingleFlight {
-            flights: Mutex::new(HashMap::new()),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
-    /// Number of keys currently in flight.
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<Flight<V>>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of keys currently in flight, across all shards.
     pub fn in_flight(&self) -> usize {
-        self.flights.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Run `compute` for `key`, deduplicating against concurrent calls
@@ -76,7 +98,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
         on_leader_result: impl FnOnce(&V),
     ) -> (V, FlightRole) {
         let (flight, role) = {
-            let mut g = self.flights.lock();
+            let mut g = self.shard(key).lock();
             match g.get(key) {
                 Some(f) => (Arc::clone(f), FlightRole::Coalesced),
                 None => {
@@ -99,7 +121,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
                 // and the slot filled: a new arrival either joins this
                 // flight (slot already full → wakes immediately) or
                 // misses it and hits the store.
-                self.flights.lock().remove(key);
+                self.shard(key).lock().remove(key);
                 (value, FlightRole::Leader)
             }
             FlightRole::Coalesced => {
@@ -176,6 +198,15 @@ mod tests {
             "every caller got the leader's value"
         );
         assert_eq!(sf.in_flight(), 0, "flight map drains");
+    }
+
+    #[test]
+    fn single_shard_group_still_dedupes() {
+        // The shard count is a lock-spread knob, not a semantic one.
+        let sf: SingleFlight<u32, u32> = SingleFlight::with_shards(1);
+        let (v, r) = sf.run(&9, || 90, |_| {});
+        assert_eq!((v, r), (90, FlightRole::Leader));
+        assert_eq!(sf.in_flight(), 0);
     }
 
     #[test]

@@ -148,6 +148,10 @@ pub enum Timer {
 }
 
 const SPAN_SHARDS: usize = 8;
+/// Lock shards for the scoped-counter map. Per-course counters are the
+/// scheduler's per-dequeue hot path; one `Mutex<BTreeMap>` serialized
+/// every drain in a sharded control plane.
+const SCOPED_SHARDS: usize = 16;
 const MAX_SPANS_PER_SHARD: usize = 2048;
 const DEFAULT_EVENT_CAPACITY: usize = 1024;
 /// Events included inline in a [`MetricsSnapshot`].
@@ -174,7 +178,18 @@ struct Inner {
     events: Mutex<EventRing>,
     spans: [Mutex<HashMap<u64, SpanRecord>>; SPAN_SHARDS],
     dropped_spans: AtomicU64,
-    scoped: Mutex<BTreeMap<String, u64>>,
+    scoped: [Mutex<HashMap<String, u64>>; SCOPED_SHARDS],
+}
+
+/// FNV-1a shard index for a scoped-counter key: a stable string hash,
+/// so a key always lands on the same lock.
+fn scoped_shard(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % SCOPED_SHARDS as u64) as usize
 }
 
 /// The platform-wide recorder, shared as `Arc<Recorder>`.
@@ -214,7 +229,7 @@ impl Recorder {
                 }),
                 spans: std::array::from_fn(|_| Mutex::new(HashMap::new())),
                 dropped_spans: AtomicU64::new(0),
-                scoped: Mutex::new(BTreeMap::new()),
+                scoped: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             }),
         }
     }
@@ -323,16 +338,25 @@ impl Recorder {
     }
 
     /// Increment a free-form scoped counter (e.g. `attempts/vecadd`).
+    /// The map is lock-sharded by key hash so concurrent drains on
+    /// different courses don't serialize here.
     pub fn bump_scoped(&self, key: &str) {
         if let Some(i) = &self.inner {
-            *i.scoped.lock().entry(key.to_string()).or_insert(0) += 1;
+            *i.scoped[scoped_shard(key)]
+                .lock()
+                .entry(key.to_string())
+                .or_insert(0) += 1;
         }
     }
 
     /// Current value of a scoped counter.
     pub fn scoped(&self, key: &str) -> u64 {
         match &self.inner {
-            Some(i) => i.scoped.lock().get(key).copied().unwrap_or(0),
+            Some(i) => i.scoped[scoped_shard(key)]
+                .lock()
+                .get(key)
+                .copied()
+                .unwrap_or(0),
             None => 0,
         }
     }
@@ -406,15 +430,20 @@ impl Recorder {
             queue_wait_rounds: i.queue_wait.snapshot(),
             compile_micros: i.compile.snapshot(),
             grade_micros: i.grade.snapshot(),
-            scoped: i
-                .scoped
-                .lock()
-                .iter()
-                .map(|(k, v)| NamedCount {
-                    name: k.clone(),
-                    value: *v,
-                })
-                .collect(),
+            scoped: {
+                // Merge the lock shards through a BTreeMap so the
+                // snapshot stays sorted by name, exactly as before.
+                let mut merged = BTreeMap::new();
+                for shard in &i.scoped {
+                    for (k, v) in shard.lock().iter() {
+                        merged.insert(k.clone(), *v);
+                    }
+                }
+                merged
+                    .into_iter()
+                    .map(|(name, value)| NamedCount { name, value })
+                    .collect()
+            },
             recent_events: self.recent_events(SNAPSHOT_RECENT),
             dropped_events: i.events.lock().dropped,
             spans_tracked: i.spans.iter().map(|s| s.lock().len() as u64).sum(),

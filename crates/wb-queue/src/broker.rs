@@ -65,6 +65,12 @@ pub struct Broker<T> {
     inner: Mutex<Inner<T>>,
     visibility_timeout_ms: u64,
     max_attempts: u32,
+    /// Distance between consecutive ids this broker issues. A
+    /// standalone broker strides by 1; a lane of a
+    /// [`ShardedBroker`](crate::ShardedBroker) strides by the shard
+    /// count, so ids identify their lane by residue and never collide
+    /// across lanes.
+    id_stride: u64,
     obs: Arc<Recorder>,
 }
 
@@ -84,16 +90,32 @@ impl<T: Clone> Broker<T> {
         max_attempts: u32,
         obs: Arc<Recorder>,
     ) -> Self {
+        Broker::with_id_stride(visibility_timeout_ms, max_attempts, obs, 1, 1)
+    }
+
+    /// Broker issuing ids from the arithmetic progression
+    /// `first_id, first_id + stride, …` — the id-striping scheme that
+    /// lets N shard lanes share one id space without coordination.
+    pub fn with_id_stride(
+        visibility_timeout_ms: u64,
+        max_attempts: u32,
+        obs: Arc<Recorder>,
+        first_id: u64,
+        stride: u64,
+    ) -> Self {
         assert!(max_attempts >= 1, "at least one attempt");
+        assert!(first_id >= 1, "ids start at 1");
+        assert!(stride >= 1, "stride must advance");
         Broker {
             inner: Mutex::new(Inner {
                 jobs: Vec::new(),
                 dead: Vec::new(),
-                next_id: 1,
+                next_id: first_id,
                 metrics: BrokerMetrics::default(),
             }),
             visibility_timeout_ms,
             max_attempts,
+            id_stride: stride,
             obs,
         }
     }
@@ -102,7 +124,7 @@ impl<T: Clone> Broker<T> {
     pub fn enqueue(&self, payload: T, tags: BTreeSet<String>, now_ms: u64) -> u64 {
         let mut g = self.inner.lock();
         let id = g.next_id;
-        g.next_id += 1;
+        g.next_id += self.id_stride;
         g.metrics.enqueued += 1;
         g.jobs.push(QueuedJob {
             meta: JobMeta {
@@ -258,7 +280,12 @@ impl<T: Clone> Broker<T> {
     pub(crate) fn restore_state(&self, jobs: Vec<(JobMeta, T)>) {
         let mut g = self.inner.lock();
         for (meta, payload) in jobs {
-            g.next_id = g.next_id.max(meta.id + 1);
+            // Advance past the restored id while staying on this
+            // broker's id residue class (mirrored zones share a class,
+            // so the standby continues the primary's sequence exactly).
+            while g.next_id <= meta.id {
+                g.next_id += self.id_stride;
+            }
             g.jobs.push(QueuedJob {
                 meta,
                 payload,

@@ -21,7 +21,9 @@
 pub mod broker;
 pub mod handle;
 pub mod mirror;
+pub mod shard;
 
 pub use broker::{Broker, BrokerMetrics, Delivery, JobMeta};
 pub use handle::BrokerHandle;
 pub use mirror::MirroredBroker;
+pub use shard::{shard_for_course, ShardLane, ShardedBroker};

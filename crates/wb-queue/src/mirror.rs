@@ -46,9 +46,36 @@ impl<T: Clone> MirroredBroker<T> {
         max_attempts: u32,
         obs: Arc<Recorder>,
     ) -> Self {
+        MirroredBroker::with_id_stride(visibility_timeout_ms, max_attempts, obs, 1, 1)
+    }
+
+    /// Mirrored pair whose zones both issue ids from the progression
+    /// `first_id, first_id + stride, …` — one lane of a
+    /// [`ShardedBroker`](crate::ShardedBroker). Both zones share the
+    /// residue class, so the standby continues the primary's id
+    /// sequence after failover.
+    pub fn with_id_stride(
+        visibility_timeout_ms: u64,
+        max_attempts: u32,
+        obs: Arc<Recorder>,
+        first_id: u64,
+        stride: u64,
+    ) -> Self {
         MirroredBroker {
-            primary: Broker::with_recorder(visibility_timeout_ms, max_attempts, Arc::clone(&obs)),
-            standby: Broker::with_recorder(visibility_timeout_ms, max_attempts, obs),
+            primary: Broker::with_id_stride(
+                visibility_timeout_ms,
+                max_attempts,
+                Arc::clone(&obs),
+                first_id,
+                stride,
+            ),
+            standby: Broker::with_id_stride(
+                visibility_timeout_ms,
+                max_attempts,
+                obs,
+                first_id,
+                stride,
+            ),
             active: Mutex::new(ActiveZone::Primary),
         }
     }

@@ -1,0 +1,319 @@
+//! [`ShardedBroker`] — N mirrored broker lanes behind one id space.
+//!
+//! A single broker serializes every enqueue, poll, and ack on one
+//! mutex; at MOOC scale the control plane must spread that contention
+//! across cores. The sharded broker splits traffic into `N`
+//! independent [`MirroredBroker`] lanes:
+//!
+//! * **Lane selection** is by course: FNV-1a of the course id mod `N`
+//!   ([`shard_for_course`]), so one course's jobs stay FIFO within a
+//!   lane. Callers that already routed (the sharded scheduler) enqueue
+//!   to an explicit lane with [`ShardedBroker::enqueue_to`].
+//! * **Id striping**: lane `i` issues ids `i+1, i+1+N, i+1+2N, …` —
+//!   every id names its lane by residue (`(id-1) % N`), so acks and
+//!   nacks route without a shared id→lane map, and ids never collide
+//!   across lanes.
+//! * **Work stealing on poll**: a worker polls its home lane first and
+//!   then sweeps the other lanes ([`ShardLane`] implements
+//!   [`BrokerHandle`]), so an idle lane's worker drains a loaded
+//!   sibling instead of starving.
+//!
+//! Depth, in-flight, and metrics aggregate across lanes so the
+//! autoscaler and the reconciliation invariants (`enqueued == acked +
+//! dead_lettered`) see one logical queue.
+
+use crate::broker::{BrokerMetrics, Delivery};
+use crate::handle::BrokerHandle;
+use crate::mirror::MirroredBroker;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use wb_obs::Recorder;
+
+/// Stable lane for a course: FNV-1a over the course id, mod `shards`.
+/// The hash is fixed (not `DefaultHasher`) so lane placement is
+/// reproducible across runs and processes — replayed traces land on
+/// the same lanes.
+pub fn shard_for_course(course: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in course.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// `N` mirrored broker lanes sharing one striped id space.
+pub struct ShardedBroker<T> {
+    lanes: Vec<MirroredBroker<T>>,
+}
+
+impl<T: Clone> ShardedBroker<T> {
+    /// Sharded broker with `shards` lanes (clamped to at least 1).
+    pub fn new(shards: usize, visibility_timeout_ms: u64, max_attempts: u32) -> Self {
+        ShardedBroker::with_recorder(
+            shards,
+            visibility_timeout_ms,
+            max_attempts,
+            Arc::new(Recorder::noop()),
+        )
+    }
+
+    /// Sharded broker whose lanes all report to one recorder.
+    pub fn with_recorder(
+        shards: usize,
+        visibility_timeout_ms: u64,
+        max_attempts: u32,
+        obs: Arc<Recorder>,
+    ) -> Self {
+        let n = shards.max(1);
+        let lanes = (0..n)
+            .map(|i| {
+                MirroredBroker::with_id_stride(
+                    visibility_timeout_ms,
+                    max_attempts,
+                    Arc::clone(&obs),
+                    i as u64 + 1,
+                    n as u64,
+                )
+            })
+            .collect();
+        ShardedBroker { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane that issued `job_id` (ids start at 1 and stripe by lane).
+    pub fn lane_of(&self, job_id: u64) -> usize {
+        debug_assert!(job_id >= 1, "broker ids start at 1");
+        ((job_id - 1) % self.lanes.len() as u64) as usize
+    }
+
+    /// Home lane for a course.
+    pub fn shard_for(&self, course: &str) -> usize {
+        shard_for_course(course, self.lanes.len())
+    }
+
+    /// Enqueue into an explicit lane; returns the striped job id.
+    pub fn enqueue_to(&self, lane: usize, payload: T, tags: BTreeSet<String>, now_ms: u64) -> u64 {
+        self.lanes[lane % self.lanes.len()].enqueue(payload, tags, now_ms)
+    }
+
+    /// Enqueue routed by course hash.
+    pub fn enqueue(&self, course: &str, payload: T, tags: BTreeSet<String>, now_ms: u64) -> u64 {
+        self.enqueue_to(self.shard_for(course), payload, tags, now_ms)
+    }
+
+    /// Poll starting at `home`, stealing from the other lanes in ring
+    /// order if the home lane has nothing deliverable.
+    pub fn poll_from(
+        &self,
+        home: usize,
+        capabilities: &BTreeSet<String>,
+        now_ms: u64,
+    ) -> Option<Delivery<T>> {
+        let n = self.lanes.len();
+        let home = home % n;
+        (0..n).find_map(|k| self.lanes[(home + k) % n].poll(capabilities, now_ms))
+    }
+
+    /// Ack, routed to the issuing lane by id residue.
+    pub fn ack(&self, job_id: u64) -> bool {
+        self.lanes[self.lane_of(job_id)].ack(job_id)
+    }
+
+    /// Nack, routed to the issuing lane by id residue.
+    pub fn nack(&self, job_id: u64) -> bool {
+        self.lanes[self.lane_of(job_id)].nack(job_id)
+    }
+
+    /// Visible depth summed over all lanes.
+    pub fn depth(&self, now_ms: u64) -> usize {
+        self.lanes.iter().map(|l| l.depth(now_ms)).sum()
+    }
+
+    /// In-flight jobs summed over all lanes.
+    pub fn in_flight(&self, now_ms: u64) -> usize {
+        self.lanes.iter().map(|l| l.in_flight(now_ms)).sum()
+    }
+
+    /// Metrics aggregated field-wise over all lanes, so the books
+    /// reconcile cluster-wide exactly as they do for a single broker.
+    pub fn metrics(&self) -> BrokerMetrics {
+        let mut total = BrokerMetrics::default();
+        for l in &self.lanes {
+            let m = l.metrics();
+            total.enqueued += m.enqueued;
+            total.delivered += m.delivered;
+            total.acked += m.acked;
+            total.nacked += m.nacked;
+            total.timeouts += m.timeouts;
+            total.dead_lettered += m.dead_lettered;
+        }
+        total
+    }
+
+    /// Fail every lane over to its standby zone.
+    pub fn failover(&self) {
+        for l in &self.lanes {
+            l.failover();
+        }
+    }
+
+    /// A [`BrokerHandle`] view anchored at `home` — what a worker
+    /// pinned to lane `home` polls through.
+    pub fn lane(&self, home: usize) -> ShardLane<'_, T> {
+        ShardLane { broker: self, home }
+    }
+}
+
+/// A worker's view of the sharded broker: polls prefer the `home`
+/// lane and steal from siblings; receipts route by id residue.
+pub struct ShardLane<'a, T> {
+    broker: &'a ShardedBroker<T>,
+    home: usize,
+}
+
+impl<T: Clone> BrokerHandle<T> for ShardLane<'_, T> {
+    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+        self.broker.poll_from(self.home, capabilities, now_ms)
+    }
+
+    fn ack(&self, job_id: u64) -> bool {
+        self.broker.ack(job_id)
+    }
+
+    fn nack(&self, job_id: u64) -> bool {
+        self.broker.nack(job_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn caps() -> BTreeSet<String> {
+        tags(&["cuda"])
+    }
+
+    #[test]
+    fn course_hash_is_stable_and_in_range() {
+        for shards in 1..9 {
+            for course in ["cs100", "ece408", "hpp", ""] {
+                let s = shard_for_course(course, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for_course(course, shards), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_stripe_by_lane_and_never_collide() {
+        let b: ShardedBroker<u64> = ShardedBroker::new(4, 1000, 3);
+        let mut seen = BTreeSet::new();
+        for lane in 0..4 {
+            for j in 0..8u64 {
+                let id = b.enqueue_to(lane, j, tags(&[]), 0);
+                assert_eq!(b.lane_of(id), lane, "id {id} names its lane");
+                assert!(seen.insert(id), "id {id} issued twice");
+            }
+        }
+    }
+
+    #[test]
+    fn acks_route_across_lanes() {
+        let b: ShardedBroker<&str> = ShardedBroker::new(3, 1000, 3);
+        let mut ids = Vec::new();
+        for lane in 0..3 {
+            ids.push(b.enqueue_to(lane, "job", tags(&[]), 0));
+        }
+        // Deliver everything through one worker's stealing view, then
+        // ack through the same handle: each receipt must reach the
+        // lane that issued it.
+        let view = b.lane(1);
+        let mut delivered = Vec::new();
+        while let Some(d) = view.poll(&caps(), 0) {
+            delivered.push(d.meta.id);
+        }
+        assert_eq!(delivered.len(), 3);
+        for id in delivered {
+            assert!(view.ack(id), "ack {id} routed to its lane");
+        }
+        assert_eq!(b.depth(1), 0);
+        assert_eq!(b.in_flight(1), 0);
+        let m = b.metrics();
+        assert_eq!((m.enqueued, m.delivered, m.acked), (3, 3, 3));
+        assert!(ids.iter().all(|&id| !b.ack(id)), "nothing acks twice");
+    }
+
+    #[test]
+    fn home_lane_drains_before_stealing() {
+        let b: ShardedBroker<&str> = ShardedBroker::new(2, 1000, 3);
+        b.enqueue_to(0, "other lane", tags(&[]), 0);
+        b.enqueue_to(1, "home lane", tags(&[]), 0);
+        let view = b.lane(1);
+        let first = view.poll(&caps(), 0).unwrap();
+        assert_eq!(first.payload, "home lane");
+        let second = view.poll(&caps(), 0).unwrap();
+        assert_eq!(second.payload, "other lane", "idle home steals");
+    }
+
+    #[test]
+    fn stealing_respects_capability_tags() {
+        let b: ShardedBroker<&str> = ShardedBroker::new(2, 1000, 3);
+        b.enqueue_to(0, "mpi job", tags(&["mpi"]), 0);
+        let plain = b.lane(1);
+        assert!(plain.poll(&caps(), 0).is_none(), "steal can't ignore tags");
+        let capable = b.lane(1);
+        let d = capable.poll(&tags(&["cuda", "mpi"]), 1).unwrap();
+        assert_eq!(d.payload, "mpi job");
+    }
+
+    #[test]
+    fn failover_fans_to_every_lane() {
+        let b: ShardedBroker<&str> = ShardedBroker::new(4, 60_000, 3);
+        let mut pending = Vec::new();
+        for lane in 0..4 {
+            pending.push(b.enqueue_to(lane, "survives", tags(&[]), 0));
+        }
+        // One delivery in flight on lane 0; zones die everywhere.
+        let d = b.lane(0).poll(&caps(), 0).unwrap();
+        b.failover();
+        // The in-flight job is redelivered by its standby; nothing lost.
+        assert_eq!(b.depth(1), 4);
+        assert_eq!(b.lane_of(d.meta.id), 0);
+    }
+
+    #[test]
+    fn course_routed_enqueue_keeps_a_course_on_one_lane() {
+        let b: ShardedBroker<u64> = ShardedBroker::new(4, 1000, 3);
+        let lane = b.shard_for("cs100");
+        for j in 0..6 {
+            let id = b.enqueue("cs100", j, tags(&[]), 0);
+            assert_eq!(b.lane_of(id), lane, "course stays on its lane");
+        }
+        // FIFO within the course: the lane preserves offer order.
+        let view = b.lane(lane);
+        for expect in 0..6 {
+            let d = view.poll(&caps(), 1).unwrap();
+            assert_eq!(d.payload, expect);
+            view.ack(d.meta.id);
+        }
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_the_plain_mirror() {
+        let b: ShardedBroker<&str> = ShardedBroker::new(1, 1000, 3);
+        let id1 = b.enqueue("any", "a", tags(&[]), 0);
+        let id2 = b.enqueue("other", "b", tags(&[]), 0);
+        assert_eq!((id1, id2), (1, 2), "stride 1: dense ids");
+        assert_eq!(b.depth(0), 2);
+    }
+}

@@ -203,6 +203,12 @@ impl<T> Default for CourseQueue<T> {
 
 struct SchedState<T> {
     courses: BTreeMap<String, CourseQueue<T>>,
+    /// Courses in first-offer order — the persistent rotation ring.
+    /// The cursor indexes this ring, never a freshly collected list of
+    /// non-empty courses: positional indexing shifted under the cursor
+    /// whenever a course emptied mid-ring, skipping the successor's
+    /// turn for a round.
+    ring: Vec<String>,
     /// Rotation offset shared by the aging and DRR passes; advances
     /// once per drain so ties never favour a fixed course.
     cursor: usize,
@@ -228,6 +234,7 @@ impl<T> FairScheduler<T> {
             obs,
             state: Mutex::new(SchedState {
                 courses: BTreeMap::new(),
+                ring: Vec::new(),
                 cursor: 0,
                 round: 0,
             }),
@@ -255,6 +262,9 @@ impl<T> FairScheduler<T> {
         let budget = self.config.budget_for(course);
         let mut st = self.state.lock();
         let round = st.round;
+        if !st.courses.contains_key(course) {
+            st.ring.push(course.to_string());
+        }
         let cq = st.courses.entry(course.to_string()).or_default();
         if cq.q.len() >= budget {
             let retry_after_s =
@@ -313,55 +323,56 @@ impl<T> FairScheduler<T> {
             let mut st = self.state.lock();
             st.round += 1;
             let round = st.round;
-            let start = st.cursor;
+            let len = st.ring.len();
+            let start = if len == 0 { 0 } else { st.cursor % len };
 
             // Aging pass: any course whose head has waited past the
-            // promotion threshold releases one job, in rotation.
-            let aged: Vec<String> = st
-                .courses
-                .iter()
-                .filter(|(_, cq)| {
-                    cq.q.front()
-                        .is_some_and(|e| round - e.offered_round >= self.config.age_promote_rounds)
-                })
-                .map(|(name, _)| name.clone())
-                .collect();
-            for i in 0..aged.len() {
+            // promotion threshold releases one job, in rotation over
+            // the persistent ring (key-stable: an emptied course is
+            // skipped in place, it never shifts the others' turns).
+            for i in 0..len {
                 if out.len() >= max {
                     break;
                 }
-                let name = &aged[(start + i) % aged.len()];
-                let cq = st.courses.get_mut(name).unwrap();
+                let name = st.ring[(start + i) % len].clone();
+                let Some(cq) = st.courses.get_mut(&name) else {
+                    continue;
+                };
+                let aged =
+                    cq.q.front()
+                        .is_some_and(|e| round - e.offered_round >= self.config.age_promote_rounds);
+                if !aged {
+                    continue;
+                }
                 let e = cq.q.pop_front().unwrap();
                 if cq.q.is_empty() {
                     cq.deficit = 0;
                 }
                 aged_promotions += 1;
-                out.push((name.clone(), e.payload));
+                out.push((name, e.payload));
             }
 
-            // Deficit-round-robin: cycle over the non-empty backlogs
-            // until capacity fills or they empty. Each visit earns the
-            // course its weight; a dequeue spends `quantum`. Contended
-            // capacity therefore divides by weight, while spare
-            // capacity still drains every backlog (work conserving).
+            // Deficit-round-robin: cycle over the ring until capacity
+            // fills or every backlog empties. Each visit earns a
+            // non-empty course its weight; a dequeue spends `quantum`.
+            // Contended capacity therefore divides by weight, while
+            // spare capacity still drains every backlog (work
+            // conserving).
             'drr: while out.len() < max {
-                let names: Vec<String> = st
-                    .courses
-                    .iter()
-                    .filter(|(_, cq)| !cq.q.is_empty())
-                    .map(|(name, _)| name.clone())
-                    .collect();
-                if names.is_empty() {
-                    break;
-                }
-                for i in 0..names.len() {
+                let mut all_empty = true;
+                for i in 0..len {
                     if out.len() >= max {
                         break 'drr;
                     }
-                    let name = &names[(start + i) % names.len()];
-                    let w = self.effective_weight(name, now_ms);
-                    let cq = st.courses.get_mut(name).unwrap();
+                    let name = st.ring[(start + i) % len].clone();
+                    let w = self.effective_weight(&name, now_ms);
+                    let Some(cq) = st.courses.get_mut(&name) else {
+                        continue;
+                    };
+                    if cq.q.is_empty() {
+                        continue;
+                    }
+                    all_empty = false;
                     cq.deficit += w;
                     while cq.deficit >= self.config.quantum && !cq.q.is_empty() && out.len() < max {
                         cq.deficit -= self.config.quantum;
@@ -371,6 +382,9 @@ impl<T> FairScheduler<T> {
                     if cq.q.is_empty() {
                         cq.deficit = 0;
                     }
+                }
+                if all_empty {
+                    break;
                 }
             }
             st.cursor = st.cursor.wrapping_add(1);
@@ -442,6 +456,160 @@ impl<T> FairScheduler<T> {
                     deficit: cq.deficit,
                 })
                 .collect(),
+        }
+    }
+}
+
+/// Stable shard for a course: FNV-1a over the course id, mod `shards`.
+/// Deliberately a fixed hash (not `DefaultHasher`) and deliberately the
+/// same function the sharded broker uses, so a course's scheduler shard
+/// and broker lane agree across crates, runs, and processes.
+pub fn shard_for_course(course: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in course.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// `N` independent [`FairScheduler`] lanes with course-hashed routing
+/// and a work-stealing drain.
+///
+/// Each course lives wholly on one shard (FNV-1a of the course id), so
+/// per-course FIFO order, backlog budgets, brown-out bands, and the
+/// deficit accounting are exactly the single-scheduler semantics — the
+/// shards never split a course. What sharding buys is lock spread:
+/// offers and drains for different courses contend on different
+/// mutexes.
+///
+/// The drain steals: a shard asked for `max` jobs serves its own
+/// backlog first, then pulls the remainder from the most-loaded
+/// sibling shards. Stolen jobs are released through the victim's own
+/// fair-share drain, so course order and fairness survive migration.
+pub struct ShardedScheduler<T> {
+    shards: Vec<FairScheduler<T>>,
+    /// Rotating home for callers without a natural lane (the v1 wave
+    /// drain), so successive waves start at successive shards.
+    next_home: std::sync::atomic::AtomicUsize,
+}
+
+impl<T> ShardedScheduler<T> {
+    /// A sharded scheduler with `shards` lanes (clamped to at least 1),
+    /// each lane reporting to the shared recorder.
+    pub fn new(shards: usize, config: SchedConfig, obs: Arc<Recorder>) -> Self {
+        let n = shards.max(1);
+        ShardedScheduler {
+            shards: (0..n)
+                .map(|_| FairScheduler::new(config.clone(), Arc::clone(&obs)))
+                .collect(),
+            next_home: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of scheduler lanes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a course's jobs are routed to.
+    pub fn shard_for(&self, course: &str) -> usize {
+        shard_for_course(course, self.shards.len())
+    }
+
+    /// The shared configuration (identical across lanes).
+    pub fn config(&self) -> &SchedConfig {
+        self.shards[0].config()
+    }
+
+    /// Offer a job for admission on its course's shard. Same contract
+    /// as [`FairScheduler::offer`].
+    pub fn offer(
+        &self,
+        course: &str,
+        job_id: u64,
+        payload: T,
+        class: GradeClass,
+        now_ms: u64,
+        downgrade: impl FnOnce(&mut T),
+    ) -> Admission {
+        self.shards[self.shard_for(course)].offer(course, job_id, payload, class, now_ms, downgrade)
+    }
+
+    /// Non-queueing admission decision on the course's shard. Same
+    /// contract as [`FairScheduler::admit`].
+    pub fn admit(&self, course: &str, job_id: u64, class: GradeClass, now_ms: u64) -> Admission {
+        self.shards[self.shard_for(course)].admit(course, job_id, class, now_ms)
+    }
+
+    /// Release up to `max` jobs anchored at shard `home`: the home
+    /// shard drains first (its aging clock ticks even when `max` is 0),
+    /// then the remainder is stolen from the other shards in
+    /// descending-backlog order. A victim only ticks when it actually
+    /// has work, so idle shards don't age from their siblings' drains.
+    pub fn drain_stealing(&self, home: usize, max: usize, now_ms: u64) -> Vec<(String, T)> {
+        let n = self.shards.len();
+        let home = home % n;
+        let mut out = self.shards[home].drain(max, now_ms);
+        if out.len() >= max || n == 1 {
+            return out;
+        }
+        let mut victims: Vec<usize> = (0..n).filter(|&i| i != home).collect();
+        victims.sort_by_key(|&i| std::cmp::Reverse(self.shards[i].total_backlog()));
+        for v in victims {
+            if out.len() >= max {
+                break;
+            }
+            if self.shards[v].total_backlog() == 0 {
+                continue;
+            }
+            out.extend(self.shards[v].drain(max - out.len(), now_ms));
+        }
+        out
+    }
+
+    /// Release up to `max` jobs from a rotating home shard — the drain
+    /// for callers that pump the whole cluster rather than one lane.
+    pub fn drain_rotating(&self, max: usize, now_ms: u64) -> Vec<(String, T)> {
+        let home = self
+            .next_home
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.drain_stealing(home % self.shards.len(), max, now_ms)
+    }
+
+    /// A course's unreleased backlog (on its home shard).
+    pub fn backlog(&self, course: &str) -> usize {
+        self.shards[self.shard_for(course)].backlog(course)
+    }
+
+    /// Total unreleased jobs across every shard.
+    pub fn total_backlog(&self) -> usize {
+        self.shards.iter().map(|s| s.total_backlog()).sum()
+    }
+
+    /// The largest single-course backlog across every shard.
+    pub fn max_course_backlog(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.max_course_backlog())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merged dashboard snapshot: every shard's non-empty courses, in
+    /// course-id order (a course lives on exactly one shard, so the
+    /// merge never has to combine rows).
+    pub fn snapshot(&self) -> SchedSnapshot {
+        let mut courses: Vec<CourseBacklog> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.snapshot().courses)
+            .collect();
+        courses.sort_by(|a, b| a.course.cmp(&b.course));
+        SchedSnapshot {
+            total_backlog: courses.iter().map(|c| c.backlog).sum(),
+            courses,
         }
     }
 }
@@ -676,6 +844,157 @@ mod tests {
             panic!("budget exhausted");
         };
         assert!(retry_after_s.is_finite() && retry_after_s >= 10.0);
+    }
+
+    #[test]
+    fn cursor_survives_an_emptied_mid_ring_course() {
+        // Regression: the rotating cursor used to index a freshly
+        // collected list of non-empty courses, so a course emptying
+        // mid-ring compacted the list under the cursor and the next
+        // course's turn was skipped for a round. With courses a, b, c
+        // and capacity 1, emptying b must hand the next round to its
+        // ring successor c — the positional cursor served a again.
+        let s = sched(SchedConfig::default());
+        offer_light(&s, "a", 0);
+        offer_light(&s, "a", 1);
+        offer_light(&s, "b", 10);
+        offer_light(&s, "c", 20);
+        offer_light(&s, "c", 21);
+        let turn = |round: u64| {
+            let got = s.drain(1, round);
+            assert_eq!(got.len(), 1, "round {round} must release one job");
+            got[0].0.clone()
+        };
+        assert_eq!(turn(0), "a");
+        assert_eq!(turn(1), "b", "b empties mid-ring here");
+        assert_eq!(turn(2), "c", "b's successor drains next, not a again");
+        assert_eq!(turn(3), "a");
+        assert_eq!(turn(4), "c", "emptied b is skipped in place");
+        assert_eq!(s.total_backlog(), 0);
+    }
+
+    #[test]
+    fn sharded_routing_keeps_a_course_on_one_shard() {
+        let s: ShardedScheduler<u64> =
+            ShardedScheduler::new(4, SchedConfig::default(), Arc::new(Recorder::noop()));
+        for j in 0..8 {
+            assert!(s
+                .offer("cs100", j, j, GradeClass::Light, 0, |_| {})
+                .admitted());
+        }
+        let home = s.shard_for("cs100");
+        assert_eq!(s.shards[home].backlog("cs100"), 8);
+        for (i, sh) in s.shards.iter().enumerate() {
+            if i != home {
+                assert_eq!(sh.total_backlog(), 0, "course leaked to shard {i}");
+            }
+        }
+        assert_eq!(s.backlog("cs100"), 8);
+        assert_eq!(s.total_backlog(), 8);
+        // FIFO survives the shard hop: home drain releases offer order.
+        let got: Vec<u64> = s
+            .drain_stealing(home, 8, 0)
+            .into_iter()
+            .map(|(_, j)| j)
+            .collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_shards_steal_from_loaded_ones() {
+        let s: ShardedScheduler<u64> =
+            ShardedScheduler::new(4, SchedConfig::default(), Arc::new(Recorder::noop()));
+        for j in 0..12 {
+            s.offer("cs100", j, j, GradeClass::Light, 0, |_| {});
+        }
+        let home = s.shard_for("cs100");
+        let idle = (home + 1) % 4;
+        // A drain anchored on an idle shard must pull the full quota
+        // from the loaded sibling.
+        let got = s.drain_stealing(idle, 4, 0);
+        assert_eq!(got.len(), 4, "idle shard steals the whole quota");
+        assert_eq!(s.total_backlog(), 8);
+        // Stolen work drains in the victim's FIFO order.
+        let ids: Vec<u64> = got.into_iter().map(|(_, j)| j).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rotating_waves_are_work_conserving_and_starve_no_course() {
+        // Two courses, wherever the hash lands them on 3 shards. Every
+        // rotating wave must come back full while any backlog remains
+        // (an idle home steals), and both courses must be fully served
+        // by the time capacity has covered the offered load — no course
+        // starves behind a shard boundary.
+        let s: ShardedScheduler<u64> =
+            ShardedScheduler::new(3, SchedConfig::default(), Arc::new(Recorder::noop()));
+        for j in 0..6 {
+            s.offer("hpp", j, j, GradeClass::Light, 0, |_| {});
+            s.offer("ece408", 100 + j, 100 + j, GradeClass::Light, 0, |_| {});
+        }
+        let mut served: BTreeMap<String, usize> = BTreeMap::new();
+        for round in 0..6 {
+            let got = s.drain_rotating(2, round);
+            assert_eq!(
+                got.len(),
+                2,
+                "round {round}: a wave never runs short while backlog remains"
+            );
+            for (c, _) in got {
+                *served.entry(c).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(s.total_backlog(), 0, "work conserving across shards");
+        assert_eq!(served.get("hpp"), Some(&6));
+        assert_eq!(served.get("ece408"), Some(&6));
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_the_plain_scheduler() {
+        let s: ShardedScheduler<u64> =
+            ShardedScheduler::new(1, SchedConfig::default(), Arc::new(Recorder::noop()));
+        for j in 0..4 {
+            s.offer("c", j, j, GradeClass::Light, 0, |_| {});
+        }
+        let got: Vec<u64> = s
+            .drain_stealing(0, 10, 0)
+            .into_iter()
+            .map(|(_, j)| j)
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_snapshot_merges_sorted_by_course() {
+        let s: ShardedScheduler<u64> =
+            ShardedScheduler::new(4, SchedConfig::default(), Arc::new(Recorder::noop()));
+        s.offer("zeta", 0, 0, GradeClass::Light, 0, |_| {});
+        s.offer("alpha", 1, 1, GradeClass::Light, 0, |_| {});
+        s.offer("alpha", 2, 2, GradeClass::Light, 0, |_| {});
+        let snap = s.snapshot();
+        assert_eq!(snap.total_backlog, 3);
+        let names: Vec<&str> = snap.courses.iter().map(|c| c.course.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(snap.courses[0].backlog, 2);
+        assert_eq!(s.max_course_backlog(), 2);
+    }
+
+    #[test]
+    fn sharded_admission_budgets_are_per_course_not_per_shard() {
+        // Budget 2 per course: the third offer for one course sheds on
+        // its shard even though the other shards are empty.
+        let cfg = SchedConfig {
+            backlog_budget: 2,
+            ..SchedConfig::default()
+        };
+        let s: ShardedScheduler<u64> = ShardedScheduler::new(4, cfg, Arc::new(Recorder::noop()));
+        assert!(s.offer("c", 0, 0, GradeClass::Light, 0, |_| {}).admitted());
+        assert!(s.offer("c", 1, 1, GradeClass::Light, 0, |_| {}).admitted());
+        let Admission::Shed { retry_after_s } = s.offer("c", 2, 2, GradeClass::Light, 0, |_| {})
+        else {
+            panic!("budget exhausted must shed across shards too");
+        };
+        assert!(retry_after_s.is_finite() && retry_after_s > 0.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wb_obs::Recorder;
-use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig};
+use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig, ShardedScheduler};
 
 const COURSES: [&str; 4] = ["ece408", "ece598", "hpp", "pumps"];
 
@@ -143,5 +143,70 @@ proptest! {
             }
         }
         prop_assert_eq!(s.backlog("hpp"), offers.min(budget));
+    }
+
+    /// Cross-shard conservation: for any lane count, adversarial
+    /// arrival mix, anchor-shard sequence, and wave width, stealing
+    /// drains release every admitted job exactly once, keep each
+    /// course FIFO (a course's queue lives on one home shard, whoever
+    /// drains it), always make progress while any shard holds work,
+    /// and the recorder's per-course dequeue books reconcile with the
+    /// offers.
+    #[test]
+    fn stealing_drains_release_every_job_exactly_once_across_shards(
+        shards in 1usize..8,
+        arrivals in prop::collection::vec((0usize..4, any::<u8>()), 1..150),
+        homes in prop::collection::vec(0usize..8, 1..40),
+        wave in 1usize..9,
+    ) {
+        let obs = Arc::new(Recorder::traced());
+        let cfg = SchedConfig {
+            backlog_budget: 10_000,
+            ..SchedConfig::default()
+        };
+        let s: ShardedScheduler<u64> = ShardedScheduler::new(shards, cfg, Arc::clone(&obs));
+        let mut offered: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for (job_id, (course, _)) in arrivals.iter().enumerate() {
+            let adm = s.offer(
+                COURSES[*course],
+                job_id as u64,
+                job_id as u64,
+                GradeClass::Light,
+                0,
+                |_| {},
+            );
+            prop_assert!(adm.admitted(), "budget is generous in this mix");
+            offered.entry(*course).or_default().push(job_id as u64);
+        }
+        let mut drained: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut round = 0u64;
+        let mut anchors = homes.iter().cycle();
+        while s.total_backlog() > 0 {
+            prop_assert!(round < 10_000, "stealing drains must terminate");
+            let home = *anchors.next().unwrap() % shards;
+            let got = s.drain_stealing(home, wave, round);
+            prop_assert!(
+                !got.is_empty(),
+                "backlog {} but the wave anchored at {home} released nothing",
+                s.total_backlog()
+            );
+            for (course, job) in got {
+                drained.entry(course).or_default().push(job);
+            }
+            round += 1;
+        }
+        let mut released = 0usize;
+        for (i, name) in COURSES.iter().enumerate() {
+            let want = offered.remove(&i).unwrap_or_default();
+            let got = drained.remove(*name).unwrap_or_default();
+            released += got.len();
+            prop_assert_eq!(
+                obs.scoped(&format!("sched/dequeued/{}", name)),
+                got.len() as u64,
+                "course {} books reconcile across lanes", name
+            );
+            prop_assert_eq!(got, want, "course {} is FIFO and loses nothing", name);
+        }
+        prop_assert_eq!(released, arrivals.len(), "exactly once, cluster-wide");
     }
 }

@@ -31,7 +31,7 @@ pub mod pipeline;
 pub use cache::{dataset_outcome_weight, new_submission_cache, SubmissionCache};
 pub use config::{ConfigServer, WorkerConfig};
 pub use job::{DatasetCase, JobAction, JobOutcome, JobRequest, LabSpec};
-pub use node::{HealthBeat, NodeConfig, WorkerNode};
+pub use node::{default_shards, HealthBeat, NodeConfig, WorkerNode};
 pub use pipeline::{
     compile_phase, execute_job, execute_job_cached, execute_job_cached_traced, execute_job_traced,
     run_dataset_case,

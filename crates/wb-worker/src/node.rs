@@ -55,18 +55,34 @@ pub struct NodeConfig {
     pub cache: Option<Arc<SubmissionCache>>,
     /// Cluster-wide trace/metrics recorder (noop for untraced fleets).
     pub obs: Arc<Recorder>,
+    /// Control-plane lanes for the cluster this node belongs to: how
+    /// many per-course broker/scheduler shards the submission path is
+    /// split into. Workers don't read it directly — the cluster that
+    /// stamps out the fleet does. Defaults to the host's available
+    /// cores ([`default_shards`]); 1 reproduces the single-lane
+    /// control plane exactly.
+    pub shards: usize,
 }
 
 impl NodeConfig {
-    /// A plain node: default worker config, no cache, noop recorder.
+    /// A plain node: default worker config, no cache, noop recorder,
+    /// one control-plane shard per available core.
     pub fn new(device: DeviceConfig) -> Self {
         NodeConfig {
             device,
             worker: WorkerConfig::default(),
             cache: None,
             obs: Arc::new(Recorder::noop()),
+            shards: default_shards(),
         }
     }
+}
+
+/// The default control-plane shard count: one lane per core the host
+/// exposes, so the control plane scales with the machine (1 when the
+/// parallelism probe fails).
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// One worker node with a simulated GPU.

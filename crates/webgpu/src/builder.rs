@@ -42,6 +42,7 @@ pub struct ClusterBuilder {
     obs: Arc<Recorder>,
     sched: SchedConfig,
     worker_config: Option<WorkerConfig>,
+    shards: Option<usize>,
 }
 
 impl ClusterBuilder {
@@ -55,6 +56,7 @@ impl ClusterBuilder {
             obs: Arc::new(Recorder::noop()),
             sched: SchedConfig::default(),
             worker_config: None,
+            shards: None,
         }
     }
 
@@ -105,8 +107,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Control-plane lane count: the broker, the fair-share scheduler,
+    /// and the `wb-obs`/`wb-cache` hot paths all split `n` ways, and
+    /// workers pin to lanes round-robin. Defaults to the host's core
+    /// count ([`wb_worker::default_shards`]); `1` reproduces the
+    /// single-lane control plane exactly. Clamped to at least 1.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
     /// Assemble the v1 push cluster.
     pub fn build_v1(self) -> ClusterV1 {
+        let shards = self.resolved_shards();
         let config = self
             .worker_config
             .unwrap_or_else(ClusterV1::full_image_config);
@@ -117,11 +130,13 @@ impl ClusterBuilder {
             self.cache,
             self.obs,
             self.sched,
+            shards,
         )
     }
 
     /// Assemble the v2 pull cluster.
     pub fn build_v2(self) -> ClusterV2 {
+        let shards = self.resolved_shards();
         let policy = self.policy.unwrap_or(AutoscalePolicy::Static(self.fleet));
         ClusterV2::new_inner(
             self.fleet,
@@ -131,7 +146,12 @@ impl ClusterBuilder {
             self.obs,
             self.sched,
             self.worker_config.unwrap_or_default(),
+            shards,
         )
+    }
+
+    fn resolved_shards(&self) -> usize {
+        self.shards.unwrap_or_else(wb_worker::default_shards).max(1)
     }
 }
 
@@ -216,6 +236,30 @@ mod tests {
             panic!("expected a shed, got {err:?}");
         };
         assert!(retry_after_s.is_finite() && retry_after_s > 0.0);
+    }
+
+    #[test]
+    fn shards_knob_reaches_both_architectures() {
+        let v2 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .shards(4)
+            .build_v2();
+        assert_eq!(v2.shards(), 4);
+        let courses = ["hpp", "ece408", "cs100", "pmpp"];
+        for j in 0..8u64 {
+            v2.submit(echo(j, courses[j as usize % 4]), 0).unwrap();
+        }
+        for r in 0..10 {
+            v2.pump(r);
+        }
+        assert_eq!(v2.completed(), 8, "multi-lane cluster drains every course");
+
+        let v1 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .shards(0)
+            .build_v1();
+        assert_eq!(v1.shards(), 1, "zero clamps to a single lane");
+        assert!(v1.submit(&echo(9, "hpp"), 0).unwrap().compiled());
     }
 
     #[test]

@@ -46,4 +46,5 @@ pub use sim::population::{CohortParams, CohortSummary, LoadModel};
 pub use sim::rush::{CourseLoad, RushScenario};
 pub use v1::ClusterV1;
 pub use v2::ClusterV2;
-pub use wb_sched::{CourseConfig, SchedConfig, SchedSnapshot};
+pub use wb_sched::{shard_for_course, CourseConfig, SchedConfig, SchedSnapshot};
+pub use wb_worker::default_shards;

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use wb_cache::{CacheConfig, CacheMetrics};
 use wb_obs::{Annotation, Counter, JobPhase, Recorder};
-use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig, SchedSnapshot};
+use wb_sched::{Admission, GradeClass, SchedConfig, SchedSnapshot, ShardedScheduler};
 use wb_server::{JobDispatcher, WbError};
 use wb_worker::{
     new_submission_cache, JobAction, JobOutcome, JobRequest, NodeConfig, SubmissionCache,
@@ -59,9 +59,14 @@ pub struct ClusterV1 {
     /// build keeps the cache object for metrics, but boots workers
     /// without it).
     cached: bool,
-    /// Fair-share scheduler: admission control for every submission
-    /// path, and dequeue order for batched/pumped work.
-    sched: FairScheduler<(usize, JobRequest)>,
+    /// Fair-share scheduler, one lane per control-plane shard:
+    /// admission control for every submission path, and dequeue order
+    /// for batched/pumped work. Waves rotate their anchor shard and
+    /// steal from loaded siblings, so a single hot course never
+    /// serializes the whole pool behind one lane's lock.
+    sched: ShardedScheduler<(usize, JobRequest)>,
+    /// Control-plane lane count.
+    shards: usize,
     /// Cluster-wide recorder shared with every worker (noop unless the
     /// cluster was built traced).
     obs: Arc<Recorder>,
@@ -84,6 +89,7 @@ impl ClusterV1 {
             Some(CacheConfig::default()),
             Arc::new(Recorder::noop()),
             SchedConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
@@ -98,6 +104,7 @@ impl ClusterV1 {
             Some(CacheConfig::default()),
             obs,
             SchedConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
@@ -111,6 +118,7 @@ impl ClusterV1 {
             Some(CacheConfig::default()),
             Arc::new(Recorder::noop()),
             SchedConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
@@ -131,6 +139,7 @@ impl ClusterV1 {
             Some(CacheConfig::default()),
             obs,
             SchedConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
@@ -159,7 +168,9 @@ impl ClusterV1 {
         cache_cfg: Option<CacheConfig>,
         obs: Arc<Recorder>,
         sched: SchedConfig,
+        shards: usize,
     ) -> Self {
+        let shards = shards.max(1);
         let cached = cache_cfg.is_some();
         let cache = new_submission_cache(cache_cfg.unwrap_or_default());
         let worker_cache = cached.then(|| Arc::clone(&cache));
@@ -171,6 +182,7 @@ impl ClusterV1 {
                         device: device.clone(),
                         worker: config.clone(),
                         cache: worker_cache.clone(),
+                        shards,
                         obs: Arc::clone(&obs),
                     },
                 ))
@@ -182,7 +194,8 @@ impl ClusterV1 {
             config,
             cache,
             cached,
-            sched: FairScheduler::new(sched, Arc::clone(&obs)),
+            sched: ShardedScheduler::new(shards, sched, Arc::clone(&obs)),
+            shards,
             obs,
             state: Mutex::new(PoolState {
                 workers,
@@ -200,6 +213,11 @@ impl ClusterV1 {
     /// Number of workers currently in the pool.
     pub fn pool_size(&self) -> usize {
         self.state.lock().workers.len()
+    }
+
+    /// Control-plane lane count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Worker ids evicted so far.
@@ -229,6 +247,7 @@ impl ClusterV1 {
                 device: self.device.clone(),
                 worker: self.config.clone(),
                 cache: self.cached.then(|| Arc::clone(&self.cache)),
+                shards: self.shards,
                 obs: Arc::clone(&self.obs),
             },
         ));
@@ -462,7 +481,7 @@ impl ClusterV1 {
     /// executed comes back either way.
     fn drain_wave(&self, now_ms: u64) -> (usize, Vec<WaveResult>) {
         let width = self.pool_size().max(1);
-        let wave = self.sched.drain(width, now_ms);
+        let wave = self.sched.drain_rotating(width, now_ms);
         if wave.is_empty() {
             return (0, Vec::new());
         }

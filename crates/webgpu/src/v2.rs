@@ -11,8 +11,8 @@ use std::sync::Arc;
 use wb_cache::{CacheConfig, CacheMetrics};
 use wb_db::BlobStore;
 use wb_obs::{Annotation, Counter, JobPhase, Recorder, Timer};
-use wb_queue::MirroredBroker;
-use wb_sched::{Admission, FairScheduler, GradeClass, SchedConfig, SchedSnapshot};
+use wb_queue::ShardedBroker;
+use wb_sched::{Admission, GradeClass, SchedConfig, SchedSnapshot, ShardedScheduler};
 use wb_server::{JobDispatcher, WbError};
 use wb_worker::{
     new_submission_cache, ConfigServer, JobAction, JobOutcome, JobRequest, NodeConfig,
@@ -37,7 +37,7 @@ pub struct HealthRecord {
 
 /// The v2 pull cluster.
 pub struct ClusterV2 {
-    broker: MirroredBroker<JobRequest>,
+    broker: ShardedBroker<JobRequest>,
     /// Remote configuration service all workers watch (§VI-B).
     pub config: ConfigServer,
     /// Dataset bucket (§VI-A ° in Fig. 6).
@@ -49,10 +49,15 @@ pub struct ClusterV2 {
     /// baseline); autoscaled workers join it on boot.
     cache: Option<Arc<SubmissionCache>>,
     obs: Arc<Recorder>,
-    /// Per-course fair-share scheduler: every submission enters here
-    /// and the pump releases fleet-sized batches into the broker in
-    /// deficit-round-robin order.
-    sched: FairScheduler<JobRequest>,
+    /// Per-course fair-share scheduler, one lane per control-plane
+    /// shard: every submission enters its course's shard and the pump
+    /// releases fleet-sized batches into the broker in
+    /// deficit-round-robin order, idle shards stealing from loaded
+    /// ones so no lane strands work.
+    sched: ShardedScheduler<JobRequest>,
+    /// Control-plane lane count, shared by the broker, the scheduler,
+    /// and the worker→lane pinning in the pump.
+    shards: usize,
     state: Mutex<FleetState>,
     scaler: Mutex<Autoscaler>,
 }
@@ -82,6 +87,7 @@ impl ClusterV2 {
             Arc::new(Recorder::noop()),
             SchedConfig::default(),
             WorkerConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
@@ -102,6 +108,7 @@ impl ClusterV2 {
             Arc::new(Recorder::noop()),
             SchedConfig::default(),
             WorkerConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
@@ -123,9 +130,11 @@ impl ClusterV2 {
             obs,
             SchedConfig::default(),
             WorkerConfig::default(),
+            wb_worker::default_shards(),
         )
     }
 
+    #[allow(clippy::too_many_arguments)] // builder-only constructor
     pub(crate) fn new_inner(
         initial_workers: usize,
         device: DeviceConfig,
@@ -134,7 +143,9 @@ impl ClusterV2 {
         obs: Arc<Recorder>,
         sched: SchedConfig,
         worker_config: WorkerConfig,
+        shards: usize,
     ) -> Self {
+        let shards = shards.max(1);
         let config = ConfigServer::new(worker_config);
         let workers = (1..=initial_workers as u64)
             .map(|id| {
@@ -143,18 +154,20 @@ impl ClusterV2 {
                     &device,
                     &config.get(),
                     cache.as_ref(),
+                    shards,
                     &obs,
                 ))
             })
             .collect::<Vec<_>>();
         ClusterV2 {
-            broker: MirroredBroker::with_recorder(60_000, 3, Arc::clone(&obs)),
+            broker: ShardedBroker::with_recorder(shards, 60_000, 3, Arc::clone(&obs)),
             config,
             store: BlobStore::new(),
             metrics_db: wb_db::ReplicatedTable::new(),
             device,
             cache,
-            sched: FairScheduler::new(sched, Arc::clone(&obs)),
+            sched: ShardedScheduler::new(shards, sched, Arc::clone(&obs)),
+            shards,
             obs,
             state: Mutex::new(FleetState {
                 workers,
@@ -174,6 +187,7 @@ impl ClusterV2 {
         device: &DeviceConfig,
         config: &WorkerConfig,
         cache: Option<&Arc<SubmissionCache>>,
+        shards: usize,
         obs: &Arc<Recorder>,
     ) -> WorkerNode {
         WorkerNode::launch(
@@ -182,6 +196,7 @@ impl ClusterV2 {
                 device: device.clone(),
                 worker: config.clone(),
                 cache: cache.map(Arc::clone),
+                shards,
                 obs: Arc::clone(obs),
             },
         )
@@ -190,6 +205,11 @@ impl ClusterV2 {
     /// Fleet size.
     pub fn fleet_size(&self) -> usize {
         self.state.lock().workers.len()
+    }
+
+    /// Control-plane lane count (broker lanes == scheduler shards).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Snapshot the cluster-wide submission-cache counters (`None`
@@ -264,10 +284,15 @@ impl ClusterV2 {
     /// band) and are released to the broker by subsequent pumps; shed
     /// jobs return [`WbError::Overloaded`] with a finite retry hint.
     ///
-    /// The latency baseline is recorded *before* the job becomes
-    /// admissible: the moment it can reach the broker a concurrently
-    /// pumping worker may complete it, and a baseline recorded after
-    /// the fact would silently drop that job's `wait_rounds` sample.
+    /// The latency baseline and the admission decision are one atomic
+    /// step: the state lock is held across the scheduler offer, so an
+    /// admitted job's `wait_rounds` baseline exists before any
+    /// concurrent pump can merge its completion (`merge_outcomes`
+    /// serializes on the same lock), and a shed job never touches
+    /// `enqueue_round` at all. The earlier insert-then-rollback shape
+    /// dropped the lock between the two, leaving a window where a
+    /// concurrent `broker_failover` annotated spans of jobs that had
+    /// already been refused.
     pub fn submit(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
         let job_id = req.job_id;
         let course = req.spec.course.clone();
@@ -276,20 +301,19 @@ impl ClusterV2 {
         } else {
             GradeClass::Light
         };
-        {
-            let mut g = self.state.lock();
-            let round = g.round;
-            g.enqueue_round.insert(job_id, round);
-        }
+        let mut g = self.state.lock();
+        let round = g.round;
         match self.sched.offer(&course, job_id, req, class, now_ms, |r| {
             r.action = JobAction::CompileOnly;
         }) {
             Admission::Admitted { .. } => {
+                g.enqueue_round.insert(job_id, round);
+                drop(g);
                 self.obs.phase(job_id, JobPhase::Queued, now_ms);
                 Ok(job_id)
             }
             Admission::Shed { retry_after_s } => {
-                self.state.lock().enqueue_round.remove(&job_id);
+                drop(g);
                 self.obs.phase(job_id, JobPhase::Failed, now_ms);
                 Err(WbError::Overloaded { retry_after_s })
             }
@@ -332,23 +356,33 @@ impl ClusterV2 {
     }
 
     fn pump_inner(&self, now_ms: u64, concurrent: bool) -> usize {
-        let workers: Vec<Arc<WorkerNode>> = {
+        let (workers, round) = {
             let mut g = self.state.lock();
             g.round += 1;
-            g.workers.clone()
+            (g.workers.clone(), g.round)
         };
         // Release one fleet-sized batch from the fair-share scheduler
-        // into the broker: workers still pull by capability, but the
-        // *order* jobs become visible is the scheduler's, not raw
-        // arrival order.
-        for (_, req) in self.sched.drain(workers.len(), now_ms) {
-            let tags = req.spec.tags.clone();
-            self.broker.enqueue(req, tags, now_ms);
+        // into the broker, lane by lane: each shard drains its own
+        // slice of the fleet's capacity (stealing from loaded siblings
+        // when its backlog is short) into the matching broker lane.
+        // The lane walk is rotated by round so leftover quota from the
+        // `fleet % shards` remainder doesn't always favour lane 0, and
+        // every shard's aging clock ticks even at quota zero.
+        let n = self.shards;
+        let fleet = workers.len();
+        for k in 0..n {
+            let lane = (round as usize + k) % n;
+            let quota = fleet / n + usize::from(k < fleet % n);
+            for (_, req) in self.sched.drain_stealing(lane, quota, now_ms) {
+                let tags = req.spec.tags.clone();
+                self.broker.enqueue_to(lane, req, tags, now_ms);
+            }
         }
         let outcomes: Vec<JobOutcome> = if !concurrent || workers.len() <= 1 {
             workers
                 .iter()
-                .filter_map(|w| self.pump_worker(w, now_ms))
+                .enumerate()
+                .filter_map(|(i, w)| self.pump_worker(i, w, now_ms))
                 .collect()
         } else {
             // One scoped thread per live worker, exactly as
@@ -358,9 +392,9 @@ impl ClusterV2 {
             let mut slots: Vec<Option<JobOutcome>> = Vec::new();
             slots.resize_with(workers.len(), || None);
             crossbeam::thread::scope(|s| {
-                for (w, slot) in workers.iter().zip(slots.iter_mut()) {
+                for ((i, w), slot) in workers.iter().enumerate().zip(slots.iter_mut()) {
                     s.spawn(move |_| {
-                        *slot = self.pump_worker(w, now_ms);
+                        *slot = self.pump_worker(i, w, now_ms);
                     });
                 }
             })
@@ -377,7 +411,7 @@ impl ClusterV2 {
     /// under the concurrent pump; touches only the worker's interior
     /// state, the config service, the metrics database, and the
     /// broker — never the cluster state lock.
-    fn pump_worker(&self, w: &WorkerNode, now_ms: u64) -> Option<JobOutcome> {
+    fn pump_worker(&self, idx: usize, w: &WorkerNode, now_ms: u64) -> Option<JobOutcome> {
         w.sync_config(&self.config);
         // Persist the worker's health beat to the replicated metrics
         // database (crashed workers emit nothing, which is exactly how
@@ -391,9 +425,10 @@ impl ClusterV2 {
                 restarts: beat.restarts,
             });
         }
-        // The worker polls the mirror itself, so its ack reaches both
-        // zones and a failover cannot re-run completed jobs.
-        w.poll_once(&self.broker, now_ms)
+        // The worker polls its pinned lane (stealing from siblings when
+        // the lane is dry); each lane is a mirror, so the ack reaches
+        // both zones and a failover cannot re-run completed jobs.
+        w.poll_once(&self.broker.lane(idx % self.shards), now_ms)
     }
 
     /// Post-join completion bookkeeping, under the state lock but
@@ -416,15 +451,22 @@ impl ClusterV2 {
     }
 
     fn autoscale(&self, now_ms: u64) {
+        // Decision and application share one critical section: the
+        // fleet size the policy sees is the fleet the decision is
+        // applied to. The earlier shape computed `desired` from a
+        // snapshot, dropped the lock, and reacquired it to act — two
+        // racing autoscales could then each apply a decision sized for
+        // a fleet the other had already changed, overshooting the
+        // policy bounds.
+        let mut g = self.state.lock();
         let metrics = FleetMetrics {
             queue_depth: self.broker.depth(now_ms),
             sched_backlog: self.sched.total_backlog(),
             max_course_backlog: self.sched.max_course_backlog(),
-            fleet_size: self.fleet_size(),
+            fleet_size: g.workers.len(),
             now_ms,
         };
         let desired = self.scaler.lock().desired(&metrics);
-        let mut g = self.state.lock();
         self.obs.autoscale(g.workers.len(), desired, now_ms);
         while g.workers.len() < desired {
             let id = g.next_worker_id;
@@ -436,6 +478,7 @@ impl ClusterV2 {
                 &self.device,
                 &self.config.get(),
                 self.cache.as_ref(),
+                self.shards,
                 &self.obs,
             )));
         }
@@ -737,6 +780,49 @@ mod tests {
                 c.fleet_size()
             );
         }
+        assert_eq!(c.fleet_size(), 2, "idle fleet settles at the floor");
+    }
+
+    #[test]
+    fn concurrent_pumps_hold_the_fleet_inside_policy_bounds() {
+        // Regression for the autoscale snapshot race: `desired` used to
+        // be computed from a fleet snapshot taken outside the state
+        // lock, so two racing autoscales could each apply a decision
+        // sized for a fleet the other had already changed. Four threads
+        // pump the same loaded cluster; the fleet must sit inside
+        // [min, max] at every observation.
+        let c = crate::ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .shards(4)
+            .policy(AutoscalePolicy::Reactive {
+                jobs_per_worker: 2,
+                min: 2,
+                max: 8,
+            })
+            .build_v2();
+        for j in 0..64 {
+            c.enqueue(echo(j), 0);
+        }
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move |_| {
+                    for r in 0..30 {
+                        c.pump(t * 1_000 + r);
+                        let fleet = c.fleet_size();
+                        assert!((2..=8).contains(&fleet), "fleet {fleet} escaped [2, 8]");
+                    }
+                });
+            }
+        })
+        .expect("pump thread panicked");
+        // Sequential idle rounds finish any stragglers a final
+        // concurrent release left in the broker, then let the cooldown
+        // elapse so the fleet settles back at the floor.
+        for r in 0..60 {
+            c.pump(10_000 + r);
+        }
+        assert_eq!(c.completed(), 64, "every admitted job completed");
         assert_eq!(c.fleet_size(), 2, "idle fleet settles at the floor");
     }
 
