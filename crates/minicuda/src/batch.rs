@@ -1,0 +1,2306 @@
+//! Warp-batched IR execution.
+//!
+//! Runs one block of a kernel launch by dispatching each IR
+//! instruction across every lane of the block at once, the way the
+//! tree-walk interpreter does for AST nodes — but over a flat register
+//! file instead of name tables, with three structural wins:
+//!
+//! * **No lookups or clones on the hot path.** A register read is an
+//!   index; a register write reuses the destination's existing lane
+//!   buffer. The tree-walk clones a `Vec<Value>` for every variable
+//!   reference and allocates one per expression node.
+//! * **Uniform registers.** A register whose value is provably the
+//!   same in every lane (`blockIdx`, kernel parameters, folded
+//!   constants, uniform arithmetic) is stored as a single scalar and
+//!   computed once per block instead of once per lane. Writes to a
+//!   *fresh* destination may stay uniform even under a partial mask,
+//!   because every later read of that destination is masked by a
+//!   subset of the writing mask; only `Assign` to an existing variable
+//!   under a partial mask must demote to per-lane storage.
+//! * **O(1) mask bookkeeping.** `active_count` and per-warp active
+//!   counts are maintained incrementally, so the per-instruction
+//!   "any lane alive?" check and the warp-instruction charge are
+//!   cheap, and uniform branches/loops skip all per-lane mask work.
+//!
+//! Semantics are bit-identical to `simt.rs` for everything a grader
+//! can observe: dataset bytes, runtime diagnostics (message, position,
+//! block/lane attribution, first-failing-lane order), and the memory
+//! cost counters (transactions, bank conflicts, barriers, atomics,
+//! divergent branches). `warp_instructions`/`device_cycles` are
+//! charged per *executed IR instruction* — the post-optimization cost
+//! the scheduler and brown-out admission should see — so they legally
+//! differ from the tree-walk's per-AST-node charges, which also means
+//! budget-limit diagnostics can trigger at slightly different points
+//! between opt levels right at the budget edge.
+
+// Same rationale as simt.rs: lockstep interpretation indexes parallel
+// per-lane vectors by lane number.
+#![allow(clippy::needless_range_loop)]
+
+use crate::ast::{BinOp, BuiltinVar};
+use crate::cost::CostSummary;
+use crate::diag::{Diag, Phase, Pos};
+use crate::ir::{AtomicKind, BlockId, Inst, IrFunc, IrProgram, OclFn, Reg};
+use crate::memory::SharedMem;
+use crate::simt::KernelEnv;
+use crate::value::{apply_binop, apply_math_op, apply_unop, math_op, Ptr, Space, Value};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// Per-register lane storage: one scalar when every lane holds the
+/// same value, a flat vector otherwise.
+#[derive(Debug, Clone)]
+enum LaneVec {
+    U(Value),
+    P(Vec<Value>),
+}
+
+impl LaneVec {
+    #[inline]
+    fn at(&self, i: usize) -> Value {
+        match self {
+            LaneVec::U(v) => *v,
+            LaneVec::P(v) => v[i],
+        }
+    }
+
+    #[inline]
+    fn is_uniform(&self) -> bool {
+        matches!(self, LaneVec::U(_))
+    }
+}
+
+/// Per-invocation state: the register file plus control-flow masks.
+struct Frame {
+    regs: Vec<LaneVec>,
+    returned: Vec<bool>,
+    any_returned: bool,
+    retvals: LaneVec,
+    loops: Vec<LoopFrame>,
+    kernel_level: bool,
+}
+
+impl Frame {
+    fn new(num_regs: u32, n: usize, kernel_level: bool) -> Self {
+        Frame {
+            regs: vec![LaneVec::U(Value::I(0)); num_regs as usize],
+            returned: vec![false; n],
+            any_returned: false,
+            retvals: LaneVec::U(Value::I(0)),
+            loops: Vec::new(),
+            kernel_level,
+        }
+    }
+}
+
+struct LoopFrame {
+    broke: Vec<bool>,
+    continued: Vec<bool>,
+    any_continued: bool,
+}
+
+impl LoopFrame {
+    fn new(n: usize) -> Self {
+        LoopFrame {
+            broke: vec![false; n],
+            continued: vec![false; n],
+            any_continued: false,
+        }
+    }
+}
+
+/// Execute one block of a kernel launch over the IR. Drop-in
+/// replacement for `simt::run_block`.
+pub fn run_block_ir(
+    env: &KernelEnv<'_>,
+    block_idx: [i64; 3],
+    func: &IrFunc,
+    ir: &IrProgram,
+    args: &[Value],
+) -> Result<CostSummary, Diag> {
+    let n = (env.block_dim[0] * env.block_dim[1] * env.block_dim[2]) as usize;
+    let mut tid = Vec::with_capacity(n);
+    for z in 0..env.block_dim[2] {
+        for y in 0..env.block_dim[1] {
+            for x in 0..env.block_dim[0] {
+                tid.push([x, y, z]);
+            }
+        }
+    }
+    let ws = env.warp_size;
+    let warps = n.div_ceil(ws);
+    let mut warp_active = vec![ws as u32; warps];
+    if !n.is_multiple_of(ws) {
+        warp_active[warps - 1] = (n % ws) as u32;
+    }
+    let mut exec = BatchExec {
+        env,
+        ir,
+        n,
+        block_idx,
+        tid,
+        shared: SharedMem::new(),
+        shared_ids: HashMap::new(),
+        active: vec![true; n],
+        active_count: n,
+        warp_active,
+        kernel_returned: vec![false; n],
+        any_kernel_returned: false,
+        cost: CostSummary::default(),
+        cycles: 0,
+        call_depth: 0,
+        ptr_scratch: Vec::new(),
+        warp_scratch: vec![0; warps],
+        seg_scratch: Vec::new(),
+        bank_scratch: Vec::new(),
+    };
+
+    let mut fr = Frame::new(func.num_regs, n, true);
+    for ((reg, ty), a) in func.params.iter().zip(args) {
+        let v = a.coerce_to(ty).map_err(|m| exec.rt_err(func.pos, m))?;
+        fr.regs[*reg as usize] = LaneVec::U(v);
+    }
+    exec.exec_block(func, &mut fr, 0)?;
+
+    exec.cycles += env.model.block_overhead;
+    exec.cost.device_cycles = exec.cycles;
+    Ok(exec.cost)
+}
+
+struct BatchExec<'a> {
+    env: &'a KernelEnv<'a>,
+    ir: &'a IrProgram,
+    n: usize,
+    block_idx: [i64; 3],
+    tid: Vec<[i64; 3]>,
+    shared: SharedMem,
+    /// Shared allocations deduplicate by *name* across the whole
+    /// block (including device-function declarations), mirroring the
+    /// tree-walk's `shared_ids`.
+    shared_ids: HashMap<String, u32>,
+    active: Vec<bool>,
+    active_count: usize,
+    /// Active-lane count per warp, maintained at every mask mutation.
+    warp_active: Vec<u32>,
+    kernel_returned: Vec<bool>,
+    any_kernel_returned: bool,
+    cost: CostSummary,
+    cycles: u64,
+    call_depth: usize,
+    /// Reused per-lane pointer buffer for memory instructions.
+    ptr_scratch: Vec<Option<Ptr>>,
+    /// Reused per-warp counter snapshot for divergence accounting.
+    warp_scratch: Vec<u32>,
+    /// Reused `(alloc, segment)` buffer for coalescing accounting.
+    seg_scratch: Vec<(u32, i64)>,
+    /// Reused `(bank, offset)` buffer for conflict accounting.
+    bank_scratch: Vec<(i64, i64)>,
+}
+
+/// Representation-preserving assignment conversion: the lane keeps the
+/// value kind it was declared with.
+fn repr_coerce(old: Value, new: Value) -> Result<Value, String> {
+    match old {
+        Value::I(_) => new.as_int().map(Value::I),
+        Value::F(_) => new.as_float().map(Value::F),
+        Value::B(_) => new.truthy().map(Value::B),
+        Value::P(_) => new.as_ptr().map(Value::P),
+    }
+}
+
+impl<'a> BatchExec<'a> {
+    // ---- bookkeeping ---------------------------------------------------
+
+    fn block_linear(&self) -> u32 {
+        (self.block_idx[0]
+            + self.block_idx[1] * self.env.grid[0]
+            + self.block_idx[2] * self.env.grid[0] * self.env.grid[1]) as u32
+    }
+
+    fn rt_err(&self, pos: Pos, message: impl Into<String>) -> Diag {
+        Diag::new(Phase::Runtime, pos, message).with_thread(self.block_linear(), 0)
+    }
+
+    fn lane_err(&self, pos: Pos, lane: usize, message: impl Into<String>) -> Diag {
+        Diag::new(Phase::Runtime, pos, message).with_thread(self.block_linear(), lane as u32)
+    }
+
+    /// First active lane — error attribution for uniform operations
+    /// (the tree-walk reports the first active lane's failure).
+    fn first_active(&self) -> usize {
+        self.active.iter().position(|&a| a).unwrap_or(0)
+    }
+
+    /// Charge one warp-instruction per warp with an active lane.
+    fn charge(&mut self, pos: Pos, cycles_per_warp: u64) -> Result<(), Diag> {
+        let warps = self.warp_active.iter().filter(|&&c| c > 0).count() as u64;
+        if warps == 0 {
+            return Ok(());
+        }
+        self.cost.warp_instructions += warps;
+        self.cycles += cycles_per_warp * warps;
+        if self.env.budget.fetch_sub(warps as i64, Ordering::Relaxed) <= 0 {
+            return Err(Diag::new(
+                Phase::Limit,
+                pos,
+                "kernel exceeded its execution time limit",
+            )
+            .with_thread(self.block_linear(), 0));
+        }
+        Ok(())
+    }
+
+    /// Rebuild `active_count`/`warp_active` after a bulk mask edit.
+    fn recount(&mut self) {
+        self.active_count = 0;
+        self.warp_active.fill(0);
+        let ws = self.env.warp_size;
+        for i in 0..self.n {
+            if self.active[i] {
+                self.active_count += 1;
+                self.warp_active[i / ws] += 1;
+            }
+        }
+    }
+
+    fn set_active_from(&mut self, mask: &[bool]) {
+        self.active.copy_from_slice(mask);
+        self.recount();
+    }
+
+    /// Count a divergent branch for every warp where some but not all
+    /// entering lanes stay (`entered` from the current counters,
+    /// `stayed` from the given per-warp counts).
+    fn note_divergence_counts(&mut self, entered: &[u32], stayed: &[u32]) {
+        for w in 0..entered.len() {
+            if entered[w] > 0 && stayed[w] > 0 && stayed[w] < entered[w] {
+                self.cost.divergent_branches += 1;
+            }
+        }
+    }
+
+    /// Take the destination's lane buffer for in-place reuse. Falls
+    /// back to a fresh allocation when the destination was uniform or
+    /// aliases an operand still to be read.
+    fn take_dst(&self, fr: &mut Frame, dst: usize, operands: &[usize]) -> Vec<Value> {
+        if operands.contains(&dst) {
+            return vec![Value::I(0); self.n];
+        }
+        match std::mem::replace(&mut fr.regs[dst], LaneVec::U(Value::I(0))) {
+            LaneVec::P(v) if v.len() == self.n => v,
+            _ => vec![Value::I(0); self.n],
+        }
+    }
+
+    // ---- execution -----------------------------------------------------
+
+    fn exec_block(&mut self, func: &'a IrFunc, fr: &mut Frame, b: BlockId) -> Result<(), Diag> {
+        for inst in &func.blocks[b as usize].insts {
+            if self.active_count == 0 {
+                break;
+            }
+            self.exec_inst(func, fr, inst)?;
+        }
+        Ok(())
+    }
+
+    fn exec_inst(&mut self, func: &'a IrFunc, fr: &mut Frame, inst: &Inst) -> Result<(), Diag> {
+        let n = self.n;
+        let full = self.active_count == n;
+        match inst {
+            Inst::Const { dst, v } => {
+                fr.regs[*dst as usize] = LaneVec::U(*v);
+            }
+            Inst::Builtin {
+                dst,
+                which,
+                axis,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let ax = *axis as usize;
+                let lv = match which {
+                    BuiltinVar::ThreadIdx => {
+                        let mut buf = self.take_dst(fr, *dst as usize, &[]);
+                        for i in 0..n {
+                            buf[i] = Value::I(self.tid[i][ax]);
+                        }
+                        LaneVec::P(buf)
+                    }
+                    BuiltinVar::BlockIdx => LaneVec::U(Value::I(self.block_idx[ax])),
+                    BuiltinVar::BlockDim => LaneVec::U(Value::I(self.env.block_dim[ax])),
+                    BuiltinVar::GridDim => LaneVec::U(Value::I(self.env.grid[ax])),
+                };
+                fr.regs[*dst as usize] = lv;
+            }
+            Inst::Un { dst, op, a, pos } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let (dst, a) = (*dst as usize, *a as usize);
+                match &fr.regs[a] {
+                    LaneVec::U(x) => {
+                        let v = apply_unop(*op, *x)
+                            .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                        fr.regs[dst] = LaneVec::U(v);
+                    }
+                    _ => {
+                        let mut buf = self.take_dst(fr, dst, &[a]);
+                        let mut err = None;
+                        let av = &fr.regs[a];
+                        for i in 0..n {
+                            if full || self.active[i] {
+                                match apply_unop(*op, av.at(i)) {
+                                    Ok(v) => buf[i] = v,
+                                    Err(m) => {
+                                        err = Some((i, m));
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((i, m)) = err {
+                            return Err(self.lane_err(*pos, i, m));
+                        }
+                        fr.regs[dst] = LaneVec::P(buf);
+                    }
+                }
+            }
+            Inst::Bin { dst, op, a, b, pos } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let (dst, a, b) = (*dst as usize, *a as usize, *b as usize);
+                let op = *op;
+                match (&fr.regs[a], &fr.regs[b]) {
+                    (LaneVec::U(x), LaneVec::U(y)) => {
+                        let v = apply_binop(op, *x, *y)
+                            .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                        fr.regs[dst] = LaneVec::U(v);
+                    }
+                    _ => {
+                        let mut buf = self.take_dst(fr, dst, &[a, b]);
+                        let mut err = None;
+                        let av = &fr.regs[a];
+                        let bv = &fr.regs[b];
+                        // Arithmetic and comparisons dominate kernel
+                        // inner loops; lanes whose operands are plain
+                        // matched numerics take a branch-light path,
+                        // and every other shape (pointers, booleans,
+                        // int↔float mixes) falls through to
+                        // `apply_binop` so coercions and diagnostics
+                        // stay bit-identical with the tree-walk.
+                        match op {
+                            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                                for i in 0..n {
+                                    if full || self.active[i] {
+                                        let (x, y) = (av.at(i), bv.at(i));
+                                        buf[i] = match (x, y) {
+                                            (Value::F(l), Value::F(r)) => Value::F(match op {
+                                                BinOp::Add => l + r,
+                                                BinOp::Sub => l - r,
+                                                _ => l * r,
+                                            }),
+                                            (Value::I(l), Value::I(r)) => Value::I(match op {
+                                                BinOp::Add => l.wrapping_add(r),
+                                                BinOp::Sub => l.wrapping_sub(r),
+                                                _ => l.wrapping_mul(r),
+                                            }),
+                                            _ => match apply_binop(op, x, y) {
+                                                Ok(v) => v,
+                                                Err(m) => {
+                                                    err = Some((i, m));
+                                                    break;
+                                                }
+                                            },
+                                        };
+                                    }
+                                }
+                            }
+                            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                                for i in 0..n {
+                                    if full || self.active[i] {
+                                        let (x, y) = (av.at(i), bv.at(i));
+                                        buf[i] = match (x, y) {
+                                            (Value::I(l), Value::I(r)) => Value::B(match op {
+                                                BinOp::Lt => l < r,
+                                                BinOp::Le => l <= r,
+                                                BinOp::Gt => l > r,
+                                                _ => l >= r,
+                                            }),
+                                            (Value::F(l), Value::F(r)) => Value::B(match op {
+                                                BinOp::Lt => l < r,
+                                                BinOp::Le => l <= r,
+                                                BinOp::Gt => l > r,
+                                                _ => l >= r,
+                                            }),
+                                            _ => match apply_binop(op, x, y) {
+                                                Ok(v) => v,
+                                                Err(m) => {
+                                                    err = Some((i, m));
+                                                    break;
+                                                }
+                                            },
+                                        };
+                                    }
+                                }
+                            }
+                            _ => {
+                                for i in 0..n {
+                                    if full || self.active[i] {
+                                        match apply_binop(op, av.at(i), bv.at(i)) {
+                                            Ok(v) => buf[i] = v,
+                                            Err(m) => {
+                                                err = Some((i, m));
+                                                break;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((i, m)) = err {
+                            return Err(self.lane_err(*pos, i, m));
+                        }
+                        fr.regs[dst] = LaneVec::P(buf);
+                    }
+                }
+            }
+            Inst::Coerce { dst, a, ty, pos } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let (dst, a) = (*dst as usize, *a as usize);
+                match &fr.regs[a] {
+                    LaneVec::U(x) => {
+                        let v = x
+                            .coerce_to(ty)
+                            .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                        fr.regs[dst] = LaneVec::U(v);
+                    }
+                    _ => {
+                        let mut buf = self.take_dst(fr, dst, &[a]);
+                        let mut err = None;
+                        let av = &fr.regs[a];
+                        for i in 0..n {
+                            if full || self.active[i] {
+                                match av.at(i).coerce_to(ty) {
+                                    Ok(v) => buf[i] = v,
+                                    Err(m) => {
+                                        err = Some((i, m));
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((i, m)) = err {
+                            return Err(self.lane_err(*pos, i, m));
+                        }
+                        fr.regs[dst] = LaneVec::P(buf);
+                    }
+                }
+            }
+            Inst::Assign { var, src, pos } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let (var, src) = (*var as usize, *src as usize);
+                if var == src {
+                    // Self-assignment is repr-preserving identity.
+                    return Ok(());
+                }
+                let old_lv = std::mem::replace(&mut fr.regs[var], LaneVec::U(Value::I(0)));
+                let result = match old_lv {
+                    LaneVec::U(old) => match &fr.regs[src] {
+                        LaneVec::U(nv) if full => {
+                            let v = repr_coerce(old, *nv).map_err(|m| self.rt_err(*pos, m))?;
+                            LaneVec::U(v)
+                        }
+                        srcv => {
+                            // Partial-mask write to a uniform variable:
+                            // demote, keeping the old value in inactive
+                            // lanes (they may rejoin later).
+                            let mut buf = vec![old; n];
+                            let mut err = None;
+                            for i in 0..n {
+                                if full || self.active[i] {
+                                    match repr_coerce(old, srcv.at(i)) {
+                                        Ok(v) => buf[i] = v,
+                                        Err(m) => {
+                                            err = Some(m);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(m) = err {
+                                return Err(self.rt_err(*pos, m));
+                            }
+                            LaneVec::P(buf)
+                        }
+                    },
+                    LaneVec::P(mut buf) => {
+                        let mut err = None;
+                        let srcv = &fr.regs[src];
+                        for i in 0..n {
+                            if full || self.active[i] {
+                                match repr_coerce(buf[i], srcv.at(i)) {
+                                    Ok(v) => buf[i] = v,
+                                    Err(m) => {
+                                        err = Some(m);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(m) = err {
+                            return Err(self.rt_err(*pos, m));
+                        }
+                        LaneVec::P(buf)
+                    }
+                };
+                fr.regs[var] = result;
+            }
+            Inst::DeclShared { dst, spec, pos } => {
+                let sp = &func.shared[*spec as usize];
+                let id = match self.shared_ids.get(&sp.name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = self.shared.declare(sp.dims.clone(), sp.elem);
+                        if self.shared.bytes() > self.env.max_shared_bytes {
+                            return Err(self.rt_err(
+                                *pos,
+                                format!(
+                                    "block uses {} bytes of shared memory (limit {})",
+                                    self.shared.bytes(),
+                                    self.env.max_shared_bytes
+                                ),
+                            ));
+                        }
+                        self.shared_ids.insert(sp.name.clone(), id);
+                        id
+                    }
+                };
+                fr.regs[*dst as usize] = LaneVec::U(Value::P(Ptr {
+                    space: Space::Shared,
+                    alloc: id,
+                    offset: 0,
+                    elem: sp.elem,
+                    level: 0,
+                }));
+            }
+            Inst::Load {
+                dst,
+                base,
+                idx,
+                pos,
+            } => self.exec_load(fr, *dst as usize, *base as usize, *idx as usize, *pos)?,
+            Inst::Store {
+                base,
+                idx,
+                val,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.issue)?;
+                self.exec_store(fr, *base as usize, *idx as usize, *val as usize, *pos)?;
+            }
+            Inst::Addr {
+                dst,
+                base,
+                idx,
+                pos,
+            } => self.exec_addr(fr, *dst as usize, *base as usize, *idx as usize, *pos)?,
+            Inst::LoadPtr { dst, ptr, pos } => {
+                self.exec_load_ptr(fr, *dst as usize, *ptr as usize, *pos)?;
+            }
+            Inst::StorePtr { ptr, val, pos } => {
+                self.charge(*pos, self.env.model.issue)?;
+                self.exec_store_ptr(fr, *ptr as usize, *val as usize, *pos)?;
+            }
+            Inst::Math {
+                dst,
+                name,
+                args,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.sfu)?;
+                let dst = *dst as usize;
+                // Resolve the intrinsic once; only the enum dispatch
+                // runs inside the lane loop.
+                let op = math_op(name).expect("is_math_intrinsic");
+                if args.iter().all(|&r| fr.regs[r as usize].is_uniform()) {
+                    let vals: Vec<Value> =
+                        args.iter().map(|&r| fr.regs[r as usize].at(0)).collect();
+                    let v = apply_math_op(op, name, &vals)
+                        .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                    fr.regs[dst] = LaneVec::U(v);
+                } else if let [a, b] = args[..] {
+                    // Two-argument intrinsics (min/max and friends) are
+                    // index-arithmetic staples; feed lanes through a
+                    // stack pair instead of a heap argument buffer.
+                    let (a, b) = (a as usize, b as usize);
+                    let mut buf = self.take_dst(fr, dst, &[a, b]);
+                    let mut err = None;
+                    let av = &fr.regs[a];
+                    let bv = &fr.regs[b];
+                    for i in 0..n {
+                        if full || self.active[i] {
+                            match apply_math_op(op, name, &[av.at(i), bv.at(i)]) {
+                                Ok(v) => buf[i] = v,
+                                Err(m) => {
+                                    err = Some((i, m));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if let Some((i, m)) = err {
+                        return Err(self.lane_err(*pos, i, m));
+                    }
+                    fr.regs[dst] = LaneVec::P(buf);
+                } else if let [a] = args[..] {
+                    let a = a as usize;
+                    let mut buf = self.take_dst(fr, dst, &[a]);
+                    let mut err = None;
+                    let av = &fr.regs[a];
+                    for i in 0..n {
+                        if full || self.active[i] {
+                            match apply_math_op(op, name, &[av.at(i)]) {
+                                Ok(v) => buf[i] = v,
+                                Err(m) => {
+                                    err = Some((i, m));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if let Some((i, m)) = err {
+                        return Err(self.lane_err(*pos, i, m));
+                    }
+                    fr.regs[dst] = LaneVec::P(buf);
+                } else {
+                    let operands: Vec<usize> = args.iter().map(|&r| r as usize).collect();
+                    let mut buf = self.take_dst(fr, dst, &operands);
+                    let mut lane_args = vec![Value::I(0); args.len()];
+                    let mut err = None;
+                    for i in 0..n {
+                        if full || self.active[i] {
+                            for (k, &r) in args.iter().enumerate() {
+                                lane_args[k] = fr.regs[r as usize].at(i);
+                            }
+                            match apply_math_op(op, name, &lane_args) {
+                                Ok(v) => buf[i] = v,
+                                Err(m) => {
+                                    err = Some((i, m));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if let Some((i, m)) = err {
+                        return Err(self.lane_err(*pos, i, m));
+                    }
+                    fr.regs[dst] = LaneVec::P(buf);
+                }
+            }
+            Inst::Atomic {
+                dst,
+                kind,
+                ptr,
+                val,
+                pos,
+            } => {
+                let (dst, ptr, val) = (*dst as usize, *ptr as usize, *val as usize);
+                let mut buf = self.take_dst(fr, dst, &[ptr, val]);
+                let mut lanes = 0u64;
+                for i in 0..n {
+                    if !self.active[i] {
+                        continue;
+                    }
+                    lanes += 1;
+                    let p = fr.regs[ptr]
+                        .at(i)
+                        .as_ptr()
+                        .map_err(|m| self.lane_err(*pos, i, m))?;
+                    let v = fr.regs[val].at(i);
+                    let old = match p.space {
+                        Space::Global => match kind {
+                            AtomicKind::Add => self.env.global.atomic_add(p, v),
+                            AtomicKind::Min => self.env.global.atomic_min(p, v),
+                            AtomicKind::Max => self.env.global.atomic_max(p, v),
+                            AtomicKind::Exch => self.env.global.atomic_exch(p, v),
+                        },
+                        Space::Shared => self.shared_atomic(*kind, p, v),
+                        _ => {
+                            return Err(self.lane_err(
+                                *pos,
+                                i,
+                                format!("{} requires a global or shared pointer", kind.name()),
+                            ))
+                        }
+                    };
+                    buf[i] = old.map_err(|e| self.lane_err(*pos, i, e.0))?;
+                }
+                self.cost.atomics += lanes;
+                self.cycles += self.env.model.atomic * lanes;
+                self.charge(*pos, 0)?;
+                fr.regs[dst] = LaneVec::P(buf);
+            }
+            Inst::AtomicCas {
+                dst,
+                ptr,
+                cmp,
+                val,
+                pos,
+            } => {
+                let (dst, ptr, cmp, val) =
+                    (*dst as usize, *ptr as usize, *cmp as usize, *val as usize);
+                let mut buf = self.take_dst(fr, dst, &[ptr, cmp, val]);
+                let mut lanes = 0u64;
+                for i in 0..n {
+                    if !self.active[i] {
+                        continue;
+                    }
+                    lanes += 1;
+                    let p = fr.regs[ptr]
+                        .at(i)
+                        .as_ptr()
+                        .map_err(|m| self.lane_err(*pos, i, m))?;
+                    let c = fr.regs[cmp]
+                        .at(i)
+                        .as_int()
+                        .map_err(|m| self.lane_err(*pos, i, m))?;
+                    let v = fr.regs[val]
+                        .at(i)
+                        .as_int()
+                        .map_err(|m| self.lane_err(*pos, i, m))?;
+                    let old = match p.space {
+                        Space::Global => self.env.global.atomic_cas(p, c, v),
+                        Space::Shared => match self.shared.load(p) {
+                            Ok(cur) => {
+                                let cur_i = cur.as_int().unwrap_or(0);
+                                if cur_i == c {
+                                    self.shared.store(p, Value::I(v)).map(|_| Value::I(cur_i))
+                                } else {
+                                    Ok(Value::I(cur_i))
+                                }
+                            }
+                            Err(e) => Err(e),
+                        },
+                        _ => {
+                            return Err(self.lane_err(
+                                *pos,
+                                i,
+                                "atomicCAS requires a global or shared pointer",
+                            ))
+                        }
+                    };
+                    buf[i] = old.map_err(|e| self.lane_err(*pos, i, e.0))?;
+                }
+                self.cost.atomics += lanes;
+                self.cycles += self.env.model.atomic * lanes;
+                self.charge(*pos, 0)?;
+                fr.regs[dst] = LaneVec::P(buf);
+            }
+            Inst::Barrier { pos } => {
+                if !full {
+                    for i in 0..n {
+                        if !self.kernel_returned[i] && !self.active[i] {
+                            return Err(Diag::new(
+                                Phase::Runtime,
+                                *pos,
+                                "__syncthreads() reached with divergent threads (barrier divergence)",
+                            )
+                            .with_thread(self.block_linear(), i as u32));
+                        }
+                    }
+                }
+                if self.any_kernel_returned && self.active_count > 0 {
+                    return Err(Diag::new(
+                        Phase::Runtime,
+                        *pos,
+                        "__syncthreads() after some threads returned (barrier divergence)",
+                    )
+                    .with_thread(self.block_linear(), 0));
+                }
+                self.cost.barriers += 1;
+                self.charge(*pos, self.env.model.barrier)?;
+            }
+            Inst::OclId {
+                dst,
+                which,
+                dim,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let (dst, dim) = (*dst as usize, *dim as usize);
+                match &fr.regs[dim] {
+                    LaneVec::U(dv) => {
+                        let d = dv
+                            .as_int()
+                            .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                        if !(0..3).contains(&d) {
+                            return Err(self.lane_err(
+                                *pos,
+                                self.first_active(),
+                                "work-item dimension must be 0..3",
+                            ));
+                        }
+                        let d = d as usize;
+                        let lv = match which {
+                            OclFn::GroupId => LaneVec::U(Value::I(self.block_idx[d])),
+                            OclFn::LocalSize => LaneVec::U(Value::I(self.env.block_dim[d])),
+                            OclFn::NumGroups => LaneVec::U(Value::I(self.env.grid[d])),
+                            OclFn::GlobalSize => {
+                                LaneVec::U(Value::I(self.env.grid[d] * self.env.block_dim[d]))
+                            }
+                            OclFn::LocalId | OclFn::GlobalId => {
+                                let base = if *which == OclFn::GlobalId {
+                                    self.block_idx[d] * self.env.block_dim[d]
+                                } else {
+                                    0
+                                };
+                                let mut buf = self.take_dst(fr, dst, &[]);
+                                for i in 0..n {
+                                    buf[i] = Value::I(base + self.tid[i][d]);
+                                }
+                                LaneVec::P(buf)
+                            }
+                        };
+                        fr.regs[dst] = lv;
+                    }
+                    _ => {
+                        let mut buf = self.take_dst(fr, dst, &[dim]);
+                        let mut err = None;
+                        let dv = &fr.regs[dim];
+                        for i in 0..n {
+                            if full || self.active[i] {
+                                let d = match dv.at(i).as_int() {
+                                    Ok(d) => d,
+                                    Err(m) => {
+                                        err = Some((i, m));
+                                        break;
+                                    }
+                                };
+                                if !(0..3).contains(&d) {
+                                    err = Some((i, "work-item dimension must be 0..3".to_string()));
+                                    break;
+                                }
+                                let d = d as usize;
+                                let v = match which {
+                                    OclFn::LocalId => self.tid[i][d],
+                                    OclFn::GroupId => self.block_idx[d],
+                                    OclFn::LocalSize => self.env.block_dim[d],
+                                    OclFn::NumGroups => self.env.grid[d],
+                                    OclFn::GlobalSize => self.env.grid[d] * self.env.block_dim[d],
+                                    OclFn::GlobalId => {
+                                        self.block_idx[d] * self.env.block_dim[d] + self.tid[i][d]
+                                    }
+                                };
+                                buf[i] = Value::I(v);
+                            }
+                        }
+                        if let Some((i, m)) = err {
+                            return Err(self.lane_err(*pos, i, m));
+                        }
+                        fr.regs[dst] = LaneVec::P(buf);
+                    }
+                }
+            }
+            Inst::Call {
+                dst,
+                callee,
+                args,
+                pos,
+            } => {
+                let f = self
+                    .ir
+                    .funcs
+                    .get(callee)
+                    .ok_or_else(|| self.rt_err(*pos, format!("unknown function `{callee}`")))?;
+                if self.call_depth >= 32 {
+                    return Err(
+                        self.rt_err(*pos, format!("recursion limit reached calling `{callee}`"))
+                    );
+                }
+                self.charge(*pos, self.env.model.issue)?;
+                let mut newf = Frame::new(f.num_regs, n, false);
+                for ((preg, ty), &arg) in f.params.iter().zip(args) {
+                    let lv = self.coerce_lanes_lv(&fr.regs[arg as usize], ty, *pos)?;
+                    newf.regs[*preg as usize] = lv;
+                }
+                let saved_active = self.active.clone();
+                let saved_count = self.active_count;
+                let saved_warps = self.warp_active.clone();
+                self.call_depth += 1;
+                let result = self.exec_block(f, &mut newf, 0);
+                self.call_depth -= 1;
+                self.active = saved_active;
+                self.active_count = saved_count;
+                self.warp_active = saved_warps;
+                result?;
+                fr.regs[*dst as usize] = newf.retvals;
+            }
+            Inst::Trap { msg, pos } => return Err(self.rt_err(*pos, msg.clone())),
+            Inst::If {
+                cond,
+                then_b,
+                else_b,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.issue)?;
+                match &fr.regs[*cond as usize] {
+                    LaneVec::U(cv) => {
+                        let t = cv
+                            .truthy()
+                            .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                        // Uniform condition: the taken path runs under
+                        // the unchanged mask; the merge is the identity.
+                        if t {
+                            self.exec_block(func, fr, *then_b)?;
+                        } else if let Some(eb) = else_b {
+                            self.exec_block(func, fr, *eb)?;
+                        }
+                    }
+                    LaneVec::P(_) => {
+                        self.exec_if_divergent(func, fr, *cond, *then_b, *else_b, *pos)?;
+                    }
+                }
+            }
+            Inst::Ternary {
+                dst,
+                cond,
+                then_b,
+                then_r,
+                else_b,
+                else_r,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.issue)?;
+                match &fr.regs[*cond as usize] {
+                    LaneVec::U(cv) => {
+                        let t = cv
+                            .truthy()
+                            .map_err(|m| self.lane_err(*pos, self.first_active(), m))?;
+                        let (blk, res) = if t {
+                            (*then_b, *then_r)
+                        } else {
+                            (*else_b, *else_r)
+                        };
+                        self.exec_block(func, fr, blk)?;
+                        let v = fr.regs[res as usize].clone();
+                        fr.regs[*dst as usize] = v;
+                    }
+                    LaneVec::P(_) => {
+                        self.exec_ternary_divergent(
+                            func, fr, *dst, *cond, *then_b, *then_r, *else_b, *else_r, *pos,
+                        )?;
+                    }
+                }
+            }
+            Inst::Logic {
+                dst,
+                op,
+                a,
+                rhs_b,
+                rhs_r,
+                pos,
+            } => {
+                self.charge(*pos, self.env.model.issue)?;
+                self.exec_logic(func, fr, *dst, *op, *a, *rhs_b, *rhs_r, *pos)?;
+            }
+            Inst::Loop {
+                cond_b,
+                cond_r,
+                body_b,
+                step_b,
+                pos,
+            } => {
+                let entry = self.active.clone();
+                let entry_count = self.active_count;
+                let entry_warps = self.warp_active.clone();
+                fr.loops.push(LoopFrame::new(n));
+                let r = self.run_loop(func, fr, *cond_b, *cond_r, *body_b, *step_b, *pos, &entry);
+                fr.loops.pop();
+                r?;
+                // Lanes that entered resume after the loop unless they
+                // returned inside it.
+                if fr.any_returned {
+                    for i in 0..n {
+                        self.active[i] = entry[i] && !fr.returned[i];
+                    }
+                    self.recount();
+                } else {
+                    self.active.copy_from_slice(&entry);
+                    self.active_count = entry_count;
+                    self.warp_active.copy_from_slice(&entry_warps);
+                }
+            }
+            Inst::Break { pos } => {
+                let Some(lp) = fr.loops.last_mut() else {
+                    return Err(Diag::new(Phase::Runtime, *pos, "break outside of a loop"));
+                };
+                for i in 0..n {
+                    if self.active[i] {
+                        lp.broke[i] = true;
+                    }
+                }
+                self.active.fill(false);
+                self.active_count = 0;
+                self.warp_active.fill(0);
+            }
+            Inst::Continue { pos } => {
+                let Some(lp) = fr.loops.last_mut() else {
+                    return Err(Diag::new(
+                        Phase::Runtime,
+                        *pos,
+                        "continue outside of a loop",
+                    ));
+                };
+                for i in 0..n {
+                    if self.active[i] {
+                        lp.continued[i] = true;
+                    }
+                }
+                lp.any_continued = true;
+                self.active.fill(false);
+                self.active_count = 0;
+                self.warp_active.fill(0);
+            }
+            Inst::Return { val, pos } => {
+                self.charge(*pos, self.env.model.issue)?;
+                let src = match val {
+                    Some(v) => fr.regs[*v as usize].clone(),
+                    None => LaneVec::U(Value::I(0)),
+                };
+                // Masked write: lanes returned earlier keep their values.
+                let old = std::mem::replace(&mut fr.retvals, LaneVec::U(Value::I(0)));
+                fr.retvals = match old {
+                    LaneVec::U(_) if full => src,
+                    LaneVec::U(o) => {
+                        let mut buf = vec![o; n];
+                        for i in 0..n {
+                            if self.active[i] {
+                                buf[i] = src.at(i);
+                            }
+                        }
+                        LaneVec::P(buf)
+                    }
+                    LaneVec::P(mut buf) => {
+                        for i in 0..n {
+                            if self.active[i] {
+                                buf[i] = src.at(i);
+                            }
+                        }
+                        LaneVec::P(buf)
+                    }
+                };
+                for i in 0..n {
+                    if self.active[i] {
+                        fr.returned[i] = true;
+                        if fr.kernel_level {
+                            self.kernel_returned[i] = true;
+                        }
+                    }
+                }
+                fr.any_returned = true;
+                if fr.kernel_level {
+                    self.any_kernel_returned = true;
+                }
+                self.active.fill(false);
+                self.active_count = 0;
+                self.warp_active.fill(0);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- control flow (divergent paths) --------------------------------
+
+    fn exec_if_divergent(
+        &mut self,
+        func: &'a IrFunc,
+        fr: &mut Frame,
+        cond: Reg,
+        then_b: BlockId,
+        else_b: Option<BlockId>,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let ws = self.env.warp_size;
+        // Pass 1: lane counts only. A per-lane condition usually still
+        // agrees across every active lane (boundary checks in interior
+        // blocks), and that case must not pay for masks or merges.
+        let mut then_warps = std::mem::take(&mut self.warp_scratch);
+        then_warps.fill(0);
+        let mut then_count = 0usize;
+        let mut cond_err = None;
+        {
+            let cv = &fr.regs[cond as usize];
+            for i in 0..n {
+                if self.active[i] {
+                    match cv.at(i).truthy() {
+                        Ok(true) => {
+                            then_count += 1;
+                            then_warps[i / ws] += 1;
+                        }
+                        Ok(false) => {}
+                        Err(m) => {
+                            cond_err = Some((i, m));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        for w in 0..then_warps.len() {
+            if self.warp_active[w] > 0 && then_warps[w] > 0 && then_warps[w] < self.warp_active[w] {
+                self.cost.divergent_branches += 1;
+            }
+        }
+        self.warp_scratch = then_warps;
+        if let Some((i, m)) = cond_err {
+            return Err(self.lane_err(pos, i, m));
+        }
+        let else_count = self.active_count - then_count;
+        // Warp-uniform outcome: the taken path runs under the unchanged
+        // mask and the merge is the identity, exactly as in the general
+        // path below with one arm empty.
+        if else_count == 0 {
+            return self.exec_block(func, fr, then_b);
+        }
+        if then_count == 0 {
+            if let Some(eb) = else_b {
+                return self.exec_block(func, fr, eb);
+            }
+            return Ok(());
+        }
+        // Pass 2 (genuinely mixed lanes): build the masks. `truthy` is
+        // pure, so re-evaluating it is free of side effects.
+        let mut then_mask = vec![false; n];
+        let mut else_mask = vec![false; n];
+        {
+            let cv = &fr.regs[cond as usize];
+            for i in 0..n {
+                if self.active[i] {
+                    let t = cv.at(i).truthy().map_err(|m| self.lane_err(pos, i, m))?;
+                    then_mask[i] = t;
+                    else_mask[i] = !t;
+                }
+            }
+        }
+        let mut after_then = vec![false; n];
+        if then_count > 0 {
+            self.set_active_from(&then_mask);
+            self.exec_block(func, fr, then_b)?;
+            after_then.copy_from_slice(&self.active);
+        }
+        let mut after_else = vec![false; n];
+        if let Some(eb) = else_b {
+            if else_count > 0 {
+                self.set_active_from(&else_mask);
+                self.exec_block(func, fr, eb)?;
+                after_else.copy_from_slice(&self.active);
+            }
+        } else {
+            after_else.copy_from_slice(&else_mask);
+        }
+        for i in 0..n {
+            self.active[i] = after_then[i] || after_else[i];
+        }
+        self.recount();
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_ternary_divergent(
+        &mut self,
+        func: &'a IrFunc,
+        fr: &mut Frame,
+        dst: Reg,
+        cond: Reg,
+        then_b: BlockId,
+        then_r: Reg,
+        else_b: BlockId,
+        else_r: Reg,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let saved = self.active.clone();
+        let saved_count = self.active_count;
+        let saved_warps = self.warp_active.clone();
+        let mut t_mask = vec![false; n];
+        let mut f_mask = vec![false; n];
+        let mut t_count = 0usize;
+        let mut f_count = 0usize;
+        {
+            let cv = &fr.regs[cond as usize];
+            for i in 0..n {
+                if saved[i] {
+                    let t = cv.at(i).truthy().map_err(|m| self.lane_err(pos, i, m))?;
+                    t_mask[i] = t;
+                    f_mask[i] = !t;
+                    if t {
+                        t_count += 1;
+                    } else {
+                        f_count += 1;
+                    }
+                }
+            }
+        }
+        // Each arm runs only for the lanes that select it; no
+        // divergence is counted for ternaries (matching the tree-walk).
+        if t_count > 0 {
+            self.set_active_from(&t_mask);
+            self.exec_block(func, fr, then_b)?;
+        }
+        if f_count > 0 {
+            self.set_active_from(&f_mask);
+            self.exec_block(func, fr, else_b)?;
+        }
+        self.active.copy_from_slice(&saved);
+        self.active_count = saved_count;
+        self.warp_active = saved_warps;
+        let mut buf = self.take_dst(
+            fr,
+            dst as usize,
+            &[cond as usize, then_r as usize, else_r as usize],
+        );
+        {
+            let tv = &fr.regs[then_r as usize];
+            let fv = &fr.regs[else_r as usize];
+            for i in 0..n {
+                if saved[i] {
+                    buf[i] = if t_mask[i] { tv.at(i) } else { fv.at(i) };
+                }
+            }
+        }
+        fr.regs[dst as usize] = LaneVec::P(buf);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_logic(
+        &mut self,
+        func: &'a IrFunc,
+        fr: &mut Frame,
+        dst: Reg,
+        op: crate::ast::BinOp,
+        a: Reg,
+        rhs_b: BlockId,
+        rhs_r: Reg,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        use crate::ast::BinOp;
+        let n = self.n;
+        let is_and = op == BinOp::And;
+        match &fr.regs[a as usize] {
+            LaneVec::U(av) => {
+                let at = av
+                    .truthy()
+                    .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+                let need = if is_and { at } else { !at };
+                if !need {
+                    fr.regs[dst as usize] = LaneVec::U(Value::B(at));
+                    return Ok(());
+                }
+                // Every active lane needs the right side: unchanged mask.
+                self.exec_block(func, fr, rhs_b)?;
+                match &fr.regs[rhs_r as usize] {
+                    LaneVec::U(bv) => {
+                        let v = bv
+                            .truthy()
+                            .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+                        let out = if is_and { at && v } else { at || v };
+                        fr.regs[dst as usize] = LaneVec::U(Value::B(out));
+                    }
+                    _ => {
+                        let mut buf = self.take_dst(fr, dst as usize, &[rhs_r as usize]);
+                        let mut err = None;
+                        let bv = &fr.regs[rhs_r as usize];
+                        for i in 0..n {
+                            if self.active[i] {
+                                match bv.at(i).truthy() {
+                                    Ok(v) => {
+                                        buf[i] = Value::B(if is_and { at && v } else { at || v });
+                                    }
+                                    Err(m) => {
+                                        err = Some((i, m));
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((i, m)) = err {
+                            return Err(self.lane_err(pos, i, m));
+                        }
+                        fr.regs[dst as usize] = LaneVec::P(buf);
+                    }
+                }
+            }
+            LaneVec::P(_) => {
+                let saved = self.active.clone();
+                let saved_count = self.active_count;
+                let saved_warps = self.warp_active.clone();
+                let mut need = vec![false; n];
+                let mut need_count = 0usize;
+                {
+                    let av = &fr.regs[a as usize];
+                    for i in 0..n {
+                        if saved[i] {
+                            let at = av.at(i).truthy().map_err(|m| self.lane_err(pos, i, m))?;
+                            need[i] = if is_and { at } else { !at };
+                            if need[i] {
+                                need_count += 1;
+                            }
+                        }
+                    }
+                }
+                if need_count > 0 {
+                    self.set_active_from(&need);
+                    let r = self.exec_block(func, fr, rhs_b);
+                    self.active.copy_from_slice(&saved);
+                    self.active_count = saved_count;
+                    self.warp_active = saved_warps;
+                    r?;
+                } else {
+                    self.active.copy_from_slice(&saved);
+                    self.active_count = saved_count;
+                    self.warp_active = saved_warps;
+                }
+                let mut buf = self.take_dst(fr, dst as usize, &[a as usize, rhs_r as usize]);
+                let mut err = None;
+                {
+                    let av = &fr.regs[a as usize];
+                    let bv = &fr.regs[rhs_r as usize];
+                    for i in 0..n {
+                        if saved[i] {
+                            let at = av.at(i).truthy().unwrap_or(false);
+                            let v = if need[i] {
+                                match bv.at(i).truthy() {
+                                    Ok(v) => v,
+                                    Err(m) => {
+                                        err = Some((i, m));
+                                        break;
+                                    }
+                                }
+                            } else {
+                                at // short-circuited: && false, || true
+                            };
+                            buf[i] = Value::B(if is_and { at && v } else { at || v });
+                        }
+                    }
+                }
+                if let Some((i, m)) = err {
+                    return Err(self.lane_err(pos, i, m));
+                }
+                fr.regs[dst as usize] = LaneVec::P(buf);
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop(
+        &mut self,
+        func: &'a IrFunc,
+        fr: &mut Frame,
+        cond_b: Option<BlockId>,
+        cond_r: Reg,
+        body_b: BlockId,
+        step_b: Option<BlockId>,
+        pos: Pos,
+        entry: &[bool],
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        loop {
+            // Invariant: at the loop head, `active` already equals
+            // entry ∧ ¬broke ∧ ¬returned (breaks/returns deactivate
+            // immediately; `continue` lanes rejoined at body end), so
+            // no re-arm recompute is needed.
+            if self.active_count == 0 {
+                break;
+            }
+            if let Some(cb) = cond_b {
+                self.charge(pos, self.env.model.issue)?;
+                self.exec_block(func, fr, cb)?;
+                if self.active_count == 0 {
+                    break;
+                }
+                match &fr.regs[cond_r as usize] {
+                    LaneVec::U(cv) => {
+                        let t = cv
+                            .truthy()
+                            .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+                        if !t {
+                            // All active lanes exit together: no
+                            // divergence, loop is done.
+                            let lp = fr.loops.last_mut().expect("loop frame");
+                            for i in 0..n {
+                                if self.active[i] {
+                                    lp.broke[i] = true;
+                                }
+                            }
+                            self.active.fill(false);
+                            self.active_count = 0;
+                            self.warp_active.fill(0);
+                            break;
+                        }
+                    }
+                    LaneVec::P(_) => {
+                        self.warp_scratch.copy_from_slice(&self.warp_active);
+                        let ws = self.env.warp_size;
+                        let mut err = None;
+                        {
+                            let Frame { regs, loops, .. } = fr;
+                            let cv = &regs[cond_r as usize];
+                            let lp = loops.last_mut().expect("loop frame");
+                            for i in 0..n {
+                                if self.active[i] {
+                                    match cv.at(i).truthy() {
+                                        Ok(t) => {
+                                            if !t {
+                                                self.active[i] = false;
+                                                self.active_count -= 1;
+                                                self.warp_active[i / ws] -= 1;
+                                                lp.broke[i] = true;
+                                            }
+                                        }
+                                        Err(m) => {
+                                            err = Some((i, m));
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((i, m)) = err {
+                            return Err(self.lane_err(pos, i, m));
+                        }
+                        let entered = std::mem::take(&mut self.warp_scratch);
+                        self.note_divergence_counts(&entered, &self.warp_active.clone());
+                        self.warp_scratch = entered;
+                        if self.active_count == 0 {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                // Condition-less `for (;;)`: charge once per iteration
+                // so an empty body cannot spin outside the budget.
+                self.charge(pos, self.env.model.issue)?;
+            }
+            self.exec_block(func, fr, body_b)?;
+            // Lanes that `continue`d rejoin for the step/condition.
+            let lp = fr.loops.last_mut().expect("loop frame");
+            if lp.any_continued {
+                for i in 0..n {
+                    if lp.continued[i] {
+                        lp.continued[i] = false;
+                        self.active[i] = entry[i] && !lp.broke[i] && !fr.returned[i];
+                    }
+                }
+                lp.any_continued = false;
+                self.recount();
+            }
+            if let Some(sb) = step_b {
+                if self.active_count > 0 {
+                    self.exec_block(func, fr, sb)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- memory --------------------------------------------------------
+
+    /// Advance a pointer by an index (identical to the tree-walk).
+    fn index_ptr(&self, p: Ptr, i: i64) -> Result<(Ptr, bool), String> {
+        if p.space == Space::Shared {
+            let arr = self
+                .shared
+                .array(p.alloc)
+                .ok_or_else(|| "invalid shared array".to_string())?;
+            let level = p.level as usize;
+            if level + 1 < arr.dims.len() {
+                let stride: usize = arr.dims[level + 1..].iter().product();
+                let mut q = p;
+                q.offset += i * stride as i64;
+                q.level += 1;
+                return Ok((q, false));
+            }
+            let mut q = p;
+            q.offset += i;
+            q.level += 1;
+            return Ok((q, true));
+        }
+        let mut q = p;
+        q.offset += i;
+        Ok((q, true))
+    }
+
+    fn load_one(&mut self, p: Ptr, pos: Pos, lane: usize) -> Result<Value, Diag> {
+        let v = match p.space {
+            Space::Global => self.env.global.load(p),
+            Space::Shared => self.shared.load(p),
+            Space::Constant => self.env.consts.load(p),
+            Space::Host => {
+                if self.env.allow_host_space {
+                    self.env.host.load(p)
+                } else {
+                    return Err(self.lane_err(
+                        pos,
+                        lane,
+                        "kernel dereferenced a host pointer (did you forget cudaMemcpy?)",
+                    ));
+                }
+            }
+        };
+        v.map_err(|e| self.lane_err(pos, lane, e.0))
+    }
+
+    fn store_one(&mut self, p: Ptr, v: Value, pos: Pos, lane: usize) -> Result<(), Diag> {
+        let r = match p.space {
+            Space::Global => self.env.global.store(p, v),
+            Space::Shared => self.shared.store(p, v),
+            Space::Constant => {
+                return Err(self.lane_err(pos, lane, "constant memory is read-only"))
+            }
+            Space::Host => {
+                if self.env.allow_host_space {
+                    self.env.host.store(p, v)
+                } else {
+                    return Err(self.lane_err(
+                        pos,
+                        lane,
+                        "kernel wrote through a host pointer (did you forget cudaMemcpy?)",
+                    ));
+                }
+            }
+        };
+        r.map_err(|e| self.lane_err(pos, lane, e.0))
+    }
+
+    /// Coalescing-aware memory charge for per-lane pointers —
+    /// byte-for-byte the tree-walk's accounting. Allocation-free: the
+    /// segment/bank work lists live in reused scratch buffers, because
+    /// this runs once per memory instruction per warp on the hot path.
+    fn charge_memory(&mut self, ptrs: &[Option<Ptr>], pos: Pos) -> Result<(), Diag> {
+        self.charge(pos, 0)?;
+        let m = self.env.model;
+        let tw = m.transaction_words as i64;
+        let ws = self.env.warp_size;
+        let mut segs = std::mem::take(&mut self.seg_scratch);
+        let mut banks = std::mem::take(&mut self.bank_scratch);
+        for w in 0..self.n.div_ceil(ws) {
+            let lo = w * ws;
+            let hi = (lo + ws).min(self.n);
+            segs.clear();
+            banks.clear();
+            let mut global_count = 0u64;
+            let mut first_const: Option<i64> = None;
+            let mut const_uniform = true;
+            let mut has_const = false;
+            for p in ptrs[lo..hi].iter().flatten() {
+                match p.space {
+                    Space::Global | Space::Host => {
+                        global_count += 1;
+                        segs.push((p.alloc, p.offset / tw));
+                    }
+                    Space::Shared => {
+                        banks.push((p.offset.rem_euclid(m.shared_banks as i64), p.offset));
+                    }
+                    Space::Constant => {
+                        has_const = true;
+                        match first_const {
+                            None => first_const = Some(p.offset),
+                            Some(o) => const_uniform &= o == p.offset,
+                        }
+                    }
+                }
+            }
+            if global_count > 0 {
+                // Coalesced warps produce already-sorted segment lists;
+                // count distinct entries in one scan and only sort the
+                // scattered case.
+                let mut distinct = 1u64;
+                let mut sorted = true;
+                for k in 1..segs.len() {
+                    if segs[k] < segs[k - 1] {
+                        sorted = false;
+                        break;
+                    }
+                    if segs[k] != segs[k - 1] {
+                        distinct += 1;
+                    }
+                }
+                if !sorted {
+                    segs.sort_unstable();
+                    segs.dedup();
+                    distinct = segs.len() as u64;
+                }
+                self.cost.global_accesses += global_count;
+                self.cost.global_transactions += distinct;
+                self.cycles += m.global_transaction * distinct;
+            }
+            if !banks.is_empty() {
+                // Conflict degree = max number of *distinct* offsets
+                // hitting one bank: dedup `(bank, offset)` pairs, then
+                // the longest same-bank run is that maximum.
+                banks.sort_unstable();
+                banks.dedup();
+                let mut degree = 1usize;
+                let mut run = 0usize;
+                let mut cur = None;
+                for &(b, _) in banks.iter() {
+                    run = if Some(b) == cur { run + 1 } else { 1 };
+                    cur = Some(b);
+                    degree = degree.max(run);
+                }
+                self.cost.shared_accesses += 1;
+                self.cost.shared_conflicts += degree.saturating_sub(1) as u64;
+                self.cycles += m.shared_access + m.shared_conflict * (degree as u64 - 1);
+            }
+            if has_const {
+                self.cycles += if const_uniform {
+                    m.shared_access
+                } else {
+                    m.global_transaction
+                };
+            }
+        }
+        self.seg_scratch = segs;
+        self.bank_scratch = banks;
+        Ok(())
+    }
+
+    /// Memory charge when every active lane touches the same pointer —
+    /// the closed-form result of [`Self::charge_memory`].
+    fn charge_memory_uniform(&mut self, p: Ptr, pos: Pos) -> Result<(), Diag> {
+        self.charge(pos, 0)?;
+        let m = self.env.model;
+        match p.space {
+            Space::Global | Space::Host => {
+                for w in 0..self.warp_active.len() {
+                    let lanes = self.warp_active[w];
+                    if lanes > 0 {
+                        self.cost.global_accesses += lanes as u64;
+                        self.cost.global_transactions += 1;
+                        self.cycles += m.global_transaction;
+                    }
+                }
+            }
+            Space::Shared => {
+                for w in 0..self.warp_active.len() {
+                    if self.warp_active[w] > 0 {
+                        self.cost.shared_accesses += 1;
+                        self.cycles += m.shared_access;
+                    }
+                }
+            }
+            Space::Constant => {
+                for w in 0..self.warp_active.len() {
+                    if self.warp_active[w] > 0 {
+                        self.cycles += m.shared_access;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_load(
+        &mut self,
+        fr: &mut Frame,
+        dst: usize,
+        base: usize,
+        idx: usize,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let full = self.active_count == n;
+        if let (LaneVec::U(bv), LaneVec::U(iv)) = (&fr.regs[base], &fr.regs[idx]) {
+            let p = bv
+                .as_ptr()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            let k = iv
+                .as_int()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            let (q, terminal) = self
+                .index_ptr(p, k)
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            if !terminal {
+                fr.regs[dst] = LaneVec::U(Value::P(q));
+            } else {
+                self.charge_memory_uniform(q, pos)?;
+                let v = self.load_one(q, pos, self.first_active())?;
+                fr.regs[dst] = LaneVec::U(v);
+            }
+            return Ok(());
+        }
+        let mut ptrs = std::mem::take(&mut self.ptr_scratch);
+        ptrs.clear();
+        ptrs.resize(n, None);
+        let mut all_terminal = true;
+        let mut err = None;
+        {
+            let bv = &fr.regs[base];
+            let iv = &fr.regs[idx];
+            // Uniform non-shared base (the overwhelmingly common
+            // `param[expr]` shape): indexing is a terminal offset add,
+            // so skip the per-lane pointer match and space dispatch.
+            let uniform_base = match bv {
+                LaneVec::U(Value::P(p)) if p.space != Space::Shared => Some(*p),
+                _ => None,
+            };
+            if let Some(p) = uniform_base {
+                for i in 0..n {
+                    if full || self.active[i] {
+                        match iv.at(i).as_int() {
+                            Ok(k) => {
+                                let mut q = p;
+                                q.offset += k;
+                                ptrs[i] = Some(q);
+                            }
+                            Err(m) => {
+                                err = Some((i, m));
+                                break;
+                            }
+                        }
+                    }
+                }
+            } else {
+                for i in 0..n {
+                    if full || self.active[i] {
+                        let r = bv
+                            .at(i)
+                            .as_ptr()
+                            .and_then(|p| iv.at(i).as_int().map(|k| (p, k)))
+                            .and_then(|(p, k)| self.index_ptr(p, k));
+                        match r {
+                            Ok((q, terminal)) => {
+                                if !terminal {
+                                    all_terminal = false;
+                                }
+                                ptrs[i] = Some(q);
+                            }
+                            Err(m) => {
+                                err = Some((i, m));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((i, m)) = err {
+            return Err(self.lane_err(pos, i, m));
+        }
+        if !all_terminal {
+            let mut buf = self.take_dst(fr, dst, &[base, idx]);
+            for i in 0..n {
+                buf[i] = match ptrs[i] {
+                    Some(p) => Value::P(p),
+                    None => Value::I(0),
+                };
+            }
+            fr.regs[dst] = LaneVec::P(buf);
+        } else {
+            self.charge_memory(&ptrs, pos)?;
+            let mut buf = self.take_dst(fr, dst, &[base, idx]);
+            // A warp-wide gather almost always hits one global
+            // allocation; validate it once and skip the per-lane
+            // space dispatch and allocation lookup.
+            match self.grouped_global(&ptrs) {
+                Some((i0, alloc)) => {
+                    let a = self
+                        .env
+                        .global
+                        .view(alloc)
+                        .map_err(|e| self.lane_err(pos, i0, e.0))?;
+                    for i in i0..n {
+                        if let Some(p) = ptrs[i] {
+                            match a.load_at(p) {
+                                Ok(v) => buf[i] = v,
+                                Err(e) => return Err(self.lane_err(pos, i, e.0)),
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for i in 0..n {
+                        if let Some(p) = ptrs[i] {
+                            buf[i] = self.load_one(p, pos, i)?;
+                        }
+                    }
+                }
+            }
+            fr.regs[dst] = LaneVec::P(buf);
+        }
+        self.ptr_scratch = ptrs;
+        Ok(())
+    }
+
+    /// If every present pointer targets the same *global* allocation,
+    /// return `(first_lane, alloc)`; otherwise `None` (mixed spaces,
+    /// mixed allocations, or host pointers take the per-lane path).
+    fn grouped_global(&self, ptrs: &[Option<Ptr>]) -> Option<(usize, u32)> {
+        let mut first = None;
+        for (i, p) in ptrs.iter().enumerate() {
+            if let Some(p) = p {
+                match first {
+                    None => {
+                        if p.space != Space::Global {
+                            return None;
+                        }
+                        first = Some((i, p.alloc));
+                    }
+                    Some((_, a0)) => {
+                        if p.space != Space::Global || p.alloc != a0 {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        first
+    }
+
+    fn exec_store(
+        &mut self,
+        fr: &mut Frame,
+        base: usize,
+        idx: usize,
+        val: usize,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let full = self.active_count == n;
+        if let (LaneVec::U(bv), LaneVec::U(iv)) = (&fr.regs[base], &fr.regs[idx]) {
+            let p = bv
+                .as_ptr()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            let k = iv
+                .as_int()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            let (q, terminal) = self
+                .index_ptr(p, k)
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            if !terminal {
+                return Err(self.lane_err(
+                    pos,
+                    self.first_active(),
+                    "assignment to a whole array row (missing an index?)",
+                ));
+            }
+            self.charge_memory_uniform(q, pos)?;
+            match &fr.regs[val] {
+                LaneVec::U(v) => {
+                    let v = *v;
+                    self.store_one(q, v, pos, self.first_active())?;
+                }
+                vv => {
+                    // Lanes store in order; the last active lane wins,
+                    // as in the tree-walk's sequential store loop.
+                    let mut last = None;
+                    for i in 0..n {
+                        if self.active[i] {
+                            last = Some((i, vv.at(i)));
+                        }
+                    }
+                    if let Some((i, v)) = last {
+                        self.store_one(q, v, pos, i)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let mut ptrs = std::mem::take(&mut self.ptr_scratch);
+        ptrs.clear();
+        ptrs.resize(n, None);
+        let mut err = None;
+        {
+            let bv = &fr.regs[base];
+            let iv = &fr.regs[idx];
+            // Same uniform non-shared base fast path as `exec_load`;
+            // the result is always a terminal element pointer.
+            let uniform_base = match bv {
+                LaneVec::U(Value::P(p)) if p.space != Space::Shared => Some(*p),
+                _ => None,
+            };
+            if let Some(p) = uniform_base {
+                for i in 0..n {
+                    if full || self.active[i] {
+                        match iv.at(i).as_int() {
+                            Ok(k) => {
+                                let mut q = p;
+                                q.offset += k;
+                                ptrs[i] = Some(q);
+                            }
+                            Err(m) => {
+                                err = Some((i, m));
+                                break;
+                            }
+                        }
+                    }
+                }
+            } else {
+                for i in 0..n {
+                    if full || self.active[i] {
+                        let r = bv
+                            .at(i)
+                            .as_ptr()
+                            .and_then(|p| iv.at(i).as_int().map(|k| (p, k)))
+                            .and_then(|(p, k)| self.index_ptr(p, k));
+                        match r {
+                            Ok((q, true)) => ptrs[i] = Some(q),
+                            Ok((_, false)) => {
+                                err = Some((
+                                    i,
+                                    "assignment to a whole array row (missing an index?)"
+                                        .to_string(),
+                                ));
+                                break;
+                            }
+                            Err(m) => {
+                                err = Some((i, m));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((i, m)) = err {
+            return Err(self.lane_err(pos, i, m));
+        }
+        self.charge_memory(&ptrs, pos)?;
+        // Same single-allocation fast path as `exec_load`.
+        if let Some((i0, alloc)) = self.grouped_global(&ptrs) {
+            let a = self
+                .env
+                .global
+                .view(alloc)
+                .map_err(|e| self.lane_err(pos, i0, e.0))?;
+            let vv = &fr.regs[val];
+            for i in i0..n {
+                if let Some(p) = ptrs[i] {
+                    if let Err(e) = a.store_at(p, vv.at(i)) {
+                        return Err(self.lane_err(pos, i, e.0));
+                    }
+                }
+            }
+            self.ptr_scratch = ptrs;
+            return Ok(());
+        }
+        {
+            let vv = &fr.regs[val];
+            for i in 0..n {
+                if let Some(p) = ptrs[i] {
+                    let v = vv.at(i);
+                    let r = match p.space {
+                        Space::Global => self.env.global.store(p, v),
+                        Space::Shared => self.shared.store(p, v),
+                        Space::Constant => {
+                            return Err(self.lane_err(pos, i, "constant memory is read-only"))
+                        }
+                        Space::Host => {
+                            if self.env.allow_host_space {
+                                self.env.host.store(p, v)
+                            } else {
+                                return Err(self.lane_err(
+                                    pos,
+                                    i,
+                                    "kernel wrote through a host pointer (did you forget cudaMemcpy?)",
+                                ));
+                            }
+                        }
+                    };
+                    r.map_err(|e| self.lane_err(pos, i, e.0))?;
+                }
+            }
+        }
+        self.ptr_scratch = ptrs;
+        Ok(())
+    }
+
+    fn exec_addr(
+        &mut self,
+        fr: &mut Frame,
+        dst: usize,
+        base: usize,
+        idx: usize,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let full = self.active_count == n;
+        if let (LaneVec::U(bv), LaneVec::U(iv)) = (&fr.regs[base], &fr.regs[idx]) {
+            let p = bv
+                .as_ptr()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            let k = iv
+                .as_int()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            let (q, terminal) = self
+                .index_ptr(p, k)
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            if !terminal {
+                return Err(self.lane_err(
+                    pos,
+                    self.first_active(),
+                    "assignment to a whole array row (missing an index?)",
+                ));
+            }
+            fr.regs[dst] = LaneVec::U(Value::P(q));
+            return Ok(());
+        }
+        let mut buf = self.take_dst(fr, dst, &[base, idx]);
+        let mut err = None;
+        {
+            let bv = &fr.regs[base];
+            let iv = &fr.regs[idx];
+            for i in 0..n {
+                if full || self.active[i] {
+                    let r = bv
+                        .at(i)
+                        .as_ptr()
+                        .and_then(|p| iv.at(i).as_int().map(|k| (p, k)))
+                        .and_then(|(p, k)| self.index_ptr(p, k));
+                    match r {
+                        Ok((q, true)) => buf[i] = Value::P(q),
+                        Ok((_, false)) => {
+                            err = Some((
+                                i,
+                                "assignment to a whole array row (missing an index?)".to_string(),
+                            ));
+                            break;
+                        }
+                        Err(m) => {
+                            err = Some((i, m));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((i, m)) = err {
+            return Err(self.lane_err(pos, i, m));
+        }
+        fr.regs[dst] = LaneVec::P(buf);
+        Ok(())
+    }
+
+    fn exec_load_ptr(
+        &mut self,
+        fr: &mut Frame,
+        dst: usize,
+        ptr: usize,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let full = self.active_count == n;
+        if let LaneVec::U(pv) = &fr.regs[ptr] {
+            let p = pv
+                .as_ptr()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            self.charge_memory_uniform(p, pos)?;
+            let v = self.load_one(p, pos, self.first_active())?;
+            fr.regs[dst] = LaneVec::U(v);
+            return Ok(());
+        }
+        let mut ptrs = std::mem::take(&mut self.ptr_scratch);
+        ptrs.clear();
+        ptrs.resize(n, None);
+        let mut err = None;
+        {
+            let pv = &fr.regs[ptr];
+            for i in 0..n {
+                if full || self.active[i] {
+                    match pv.at(i).as_ptr() {
+                        Ok(p) => ptrs[i] = Some(p),
+                        Err(m) => {
+                            err = Some((i, m));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((i, m)) = err {
+            return Err(self.lane_err(pos, i, m));
+        }
+        self.charge_memory(&ptrs, pos)?;
+        let mut buf = self.take_dst(fr, dst, &[ptr]);
+        for i in 0..n {
+            if let Some(p) = ptrs[i] {
+                buf[i] = self.load_one(p, pos, i)?;
+            }
+        }
+        fr.regs[dst] = LaneVec::P(buf);
+        self.ptr_scratch = ptrs;
+        Ok(())
+    }
+
+    fn exec_store_ptr(
+        &mut self,
+        fr: &mut Frame,
+        ptr: usize,
+        val: usize,
+        pos: Pos,
+    ) -> Result<(), Diag> {
+        let n = self.n;
+        let full = self.active_count == n;
+        if let LaneVec::U(pv) = &fr.regs[ptr] {
+            let p = pv
+                .as_ptr()
+                .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+            self.charge_memory_uniform(p, pos)?;
+            match &fr.regs[val] {
+                LaneVec::U(v) => {
+                    let v = *v;
+                    self.store_one(p, v, pos, self.first_active())?;
+                }
+                vv => {
+                    let mut last = None;
+                    for i in 0..n {
+                        if self.active[i] {
+                            last = Some((i, vv.at(i)));
+                        }
+                    }
+                    if let Some((i, v)) = last {
+                        self.store_one(p, v, pos, i)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let mut ptrs = std::mem::take(&mut self.ptr_scratch);
+        ptrs.clear();
+        ptrs.resize(n, None);
+        let mut err = None;
+        {
+            let pv = &fr.regs[ptr];
+            for i in 0..n {
+                if full || self.active[i] {
+                    match pv.at(i).as_ptr() {
+                        Ok(p) => ptrs[i] = Some(p),
+                        Err(m) => {
+                            err = Some((i, m));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((i, m)) = err {
+            return Err(self.lane_err(pos, i, m));
+        }
+        self.charge_memory(&ptrs, pos)?;
+        // Same single-allocation fast path as `exec_load`.
+        if let Some((i0, alloc)) = self.grouped_global(&ptrs) {
+            let a = self
+                .env
+                .global
+                .view(alloc)
+                .map_err(|e| self.lane_err(pos, i0, e.0))?;
+            let vv = &fr.regs[val];
+            for i in i0..n {
+                if let Some(p) = ptrs[i] {
+                    if let Err(e) = a.store_at(p, vv.at(i)) {
+                        return Err(self.lane_err(pos, i, e.0));
+                    }
+                }
+            }
+            self.ptr_scratch = ptrs;
+            return Ok(());
+        }
+        {
+            let vv = &fr.regs[val];
+            for i in 0..n {
+                if let Some(p) = ptrs[i] {
+                    let v = vv.at(i);
+                    let r = match p.space {
+                        Space::Global => self.env.global.store(p, v),
+                        Space::Shared => self.shared.store(p, v),
+                        Space::Constant => {
+                            return Err(self.lane_err(pos, i, "constant memory is read-only"))
+                        }
+                        Space::Host => {
+                            if self.env.allow_host_space {
+                                self.env.host.store(p, v)
+                            } else {
+                                return Err(self.lane_err(
+                                    pos,
+                                    i,
+                                    "kernel wrote through a host pointer (did you forget cudaMemcpy?)",
+                                ));
+                            }
+                        }
+                    };
+                    r.map_err(|e| self.lane_err(pos, i, e.0))?;
+                }
+            }
+        }
+        self.ptr_scratch = ptrs;
+        Ok(())
+    }
+
+    /// Coerce an argument's lanes to a parameter type (active lanes
+    /// only, errors at the call position like the tree-walk).
+    fn coerce_lanes_lv(
+        &self,
+        src: &LaneVec,
+        ty: &crate::ast::Type,
+        pos: Pos,
+    ) -> Result<LaneVec, Diag> {
+        match src {
+            LaneVec::U(v) => {
+                let c = v
+                    .coerce_to(ty)
+                    .map_err(|m| self.lane_err(pos, self.first_active(), m))?;
+                Ok(LaneVec::U(c))
+            }
+            LaneVec::P(vals) => {
+                let mut out = vals.clone();
+                for i in 0..self.n {
+                    if self.active[i] {
+                        out[i] = out[i].coerce_to(ty).map_err(|m| self.lane_err(pos, i, m))?;
+                    }
+                }
+                Ok(LaneVec::P(out))
+            }
+        }
+    }
+
+    fn shared_atomic(
+        &mut self,
+        kind: AtomicKind,
+        p: Ptr,
+        v: Value,
+    ) -> Result<Value, crate::memory::MemError> {
+        match kind {
+            AtomicKind::Add => self.shared.atomic_add(p, v),
+            AtomicKind::Exch => {
+                let old = self.shared.load(p)?;
+                self.shared.store(p, v)?;
+                Ok(old)
+            }
+            AtomicKind::Min | AtomicKind::Max => {
+                let old = self.shared.load(p)?;
+                let new = match (old, kind) {
+                    (Value::F(a), AtomicKind::Min) => {
+                        Value::F(a.min(v.as_float().map_err(crate::memory::MemError)?))
+                    }
+                    (Value::F(a), _) => {
+                        Value::F(a.max(v.as_float().map_err(crate::memory::MemError)?))
+                    }
+                    (Value::I(a), AtomicKind::Min) => {
+                        Value::I(a.min(v.as_int().map_err(crate::memory::MemError)?))
+                    }
+                    (Value::I(a), _) => {
+                        Value::I(a.max(v.as_int().map_err(crate::memory::MemError)?))
+                    }
+                    _ => {
+                        return Err(crate::memory::MemError(
+                            "atomic on non-numeric element".to_string(),
+                        ))
+                    }
+                };
+                self.shared.store(p, new)?;
+                Ok(old)
+            }
+        }
+    }
+}

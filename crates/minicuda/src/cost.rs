@@ -8,6 +8,24 @@
 //! matrix multiply therefore beats the naive kernel by roughly the
 //! reuse factor, which is exactly the signal WebGPU's timing report
 //! gives students.
+//!
+//! # Instruction accounting is IR-based
+//!
+//! `warp_instructions` (and the `issue` cycles charged for them) count
+//! **kernel-IR instructions executed per active warp** by the batched
+//! executor (`batch`), not source AST nodes: one `Bin` is one issue,
+//! one `Load` is one issue plus its memory transactions, and an
+//! expression the optimizer folded or hoisted out of a loop is never
+//! charged inside it. Instruction counts therefore *drop* when the
+//! middle-end optimizes a kernel — that is the observable the
+//! opt-level exists to improve — while every memory-system counter
+//! (`global_transactions`, `shared_conflicts`, `barriers`, `atomics`,
+//! `divergent_branches`, access counts) is bit-identical across
+//! executors and opt levels, because passes never create, delete, or
+//! move a memory or control instruction. The `O0` tree-walk fallback
+//! (`simt`) approximates the same accounting by charging per evaluated
+//! expression/statement node, which is why cycle totals — but nothing
+//! else — differ between levels.
 
 use serde::{Deserialize, Serialize};
 

@@ -166,13 +166,27 @@ pub fn launch(
         }
     }
 
+    // Executor selection: programs compiled at O1+ carry middle-end IR
+    // and run each block warp-batched; otherwise fall back to the
+    // tree-walk interpreter.
+    let batched = program
+        .ir()
+        .and_then(|ir| ir.funcs.get(&kernel.name))
+        .map(|f| (f, program.ir().unwrap()));
+    let exec_one = |bi: [i64; 3]| -> Result<CostSummary, Diag> {
+        match batched {
+            Some((f, ir)) => crate::batch::run_block_ir(&env, bi, f, ir, args),
+            None => run_block(&env, bi, kernel, args),
+        }
+    };
+
     let num_blocks = block_ids.len();
     let mut block_costs: Vec<Option<CostSummary>> = vec![None; num_blocks];
 
     if config.deterministic || config.num_sms <= 1 || num_blocks <= 1 {
         let mut first_err = None;
         for (slot, idx) in block_costs.iter_mut().zip(&block_ids) {
-            match run_block(&env, *idx, kernel, args) {
+            match exec_one(*idx) {
                 Ok(c) => *slot = Some(c),
                 Err(e) => {
                     first_err = Some(e);
@@ -188,9 +202,9 @@ pub fn launch(
         let error: Mutex<Option<Diag>> = Mutex::new(None);
         let workers = config.num_sms.min(num_blocks);
         let chunk = num_blocks.div_ceil(workers);
-        let env_ref = &env;
         let error_ref = &error;
         let ids_ref = &block_ids;
+        let exec_ref = &exec_one;
         crossbeam::thread::scope(|s| {
             for (w, costs_chunk) in block_costs.chunks_mut(chunk).enumerate() {
                 s.spawn(move |_| {
@@ -199,7 +213,7 @@ pub fn launch(
                             return;
                         }
                         let bi = ids_ref[w * chunk + k];
-                        match run_block(env_ref, bi, kernel, args) {
+                        match exec_ref(bi) {
                             Ok(c) => *slot = Some(c),
                             Err(e) => {
                                 let mut g = error_ref.lock();

@@ -64,16 +64,20 @@
 //! ```
 
 pub mod ast;
+pub mod batch;
 pub mod cost;
 pub mod device;
 pub mod diag;
 pub mod dialect;
 pub mod host;
 pub mod hostcall;
+pub mod ir;
 pub mod lexer;
+pub mod lower;
 pub mod memory;
 pub mod mpi;
 pub mod parser;
+pub mod passes;
 pub mod preprocessor;
 pub mod sema;
 pub mod simt;
@@ -88,18 +92,71 @@ pub use host::{run, run_with_policy, RunOptions, RunOutcome};
 pub use hostcall::{AllowAll, HostcallPolicy};
 pub use sema::Program;
 
+/// How much of the middle-end a compile runs.
+///
+/// The level is part of a program's execution contract — `wb-cache`
+/// folds [`OptLevel::fingerprint`] into the compile key so a grade
+/// produced at one level is never served for another.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OptLevel {
+    /// No IR: kernels run on the tree-walking interpreter.
+    O0,
+    /// Lower to the kernel IR and execute warp-batched, no rewrites.
+    O1,
+    /// Lower plus the full pass pipeline (fold, CSE, LICM, DCE).
+    #[default]
+    O2,
+}
+
+impl OptLevel {
+    /// Cache-key component: distinguishes levels *and* IR revisions,
+    /// so cached grades go stale when either changes.
+    pub fn fingerprint(self) -> String {
+        match self {
+            OptLevel::O0 => "O0".to_string(),
+            OptLevel::O1 => format!("O1/{}", ir::IR_VERSION),
+            OptLevel::O2 => format!("O2/{}", ir::IR_VERSION),
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+        })
+    }
+}
+
 /// Compile `source` under the given dialect into an executable program.
 ///
 /// Runs the full front end: preprocessing (comment stripping, object
 /// macros), dialect canonicalization, lexing, parsing, and semantic
 /// analysis. The first diagnostic encountered is returned, formatted the
-/// way students see it in the WebGPU code view.
+/// way students see it in the WebGPU code view. Kernels execute on the
+/// optimizing middle-end ([`OptLevel::O2`]); use [`compile_with`] to
+/// select a different level.
 pub fn compile(source: &str, dialect: Dialect) -> Result<Program, Diag> {
+    compile_with(source, dialect, OptLevel::default())
+}
+
+/// [`compile`] with an explicit middle-end level.
+pub fn compile_with(source: &str, dialect: Dialect, opt: OptLevel) -> Result<Program, Diag> {
     let pre = preprocessor::preprocess(source)?;
     let canonical = dialect::canonicalize(&pre, dialect);
     let tokens = lexer::lex(&canonical)?;
     let unit = parser::parse(tokens)?;
-    sema::analyze(unit, dialect)
+    let mut program = sema::analyze(unit, dialect)?;
+    if opt != OptLevel::O0 {
+        let mut lowered = lower::lower_program(&program);
+        if opt == OptLevel::O2 {
+            passes::optimize_program(&mut lowered);
+        }
+        program.attach_ir(lowered);
+    }
+    Ok(program)
 }
 
 #[cfg(test)]

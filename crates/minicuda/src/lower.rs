@@ -1,0 +1,582 @@
+//! AST → IR lowering.
+//!
+//! Lowering resolves all *lexical* structure at compile time so the
+//! executor never touches a name table:
+//!
+//! * every variable declaration binds its name to a fresh virtual
+//!   register in a lowering-time scope stack (shadowing and `for`-init
+//!   scopes behave exactly like the tree-walk's runtime scopes);
+//! * every expression node writes a fresh single-definition register,
+//!   which is what makes the optimization passes simple;
+//! * name resolution follows the tree-walk's cascade — local scope,
+//!   then `__constant__` symbols, then predefined integer constants —
+//!   and unresolvable names become [`Inst::Trap`]s that only fire if
+//!   the code actually executes with live lanes, preserving the
+//!   interpreter's lazy runtime errors.
+//!
+//! One deliberate semantic difference from the historical tree-walk is
+//! compound index assignment: `a[i] += v` lowers to a single
+//! [`Inst::Addr`] whose element pointer feeds both the load and the
+//! store, so the index expression's side effects happen exactly once
+//! (the C rule). `simt.rs` was fixed to match; see the regression test
+//! in `tests/language.rs`.
+//!
+//! A second, narrower difference: the recursion-depth check fires at
+//! the `Call` instruction (after argument evaluation) rather than
+//! before it. The diagnostic and position are identical; only side
+//! effects inside arguments of the depth-exceeding call differ.
+
+use crate::ast::*;
+use crate::diag::Pos;
+use crate::ir::*;
+use crate::sema::{const_eval, predefined, Program};
+use crate::value::{ElemType, Value};
+use std::collections::HashMap;
+
+/// Lower every function of a program (kernels, device helpers, and —
+/// for exact call-semantics parity with the tree-walk — host functions
+/// too, since the interpreter resolves device calls against the whole
+/// function table).
+pub fn lower_program(p: &Program) -> IrProgram {
+    let mut out = IrProgram::default();
+    for f in p.funcs() {
+        let lowered = Lower::new(p).lower_func(f);
+        out.funcs.insert(f.name.clone(), lowered);
+    }
+    out
+}
+
+struct Lower<'a> {
+    prog: &'a Program,
+    blocks: Vec<IrBlock>,
+    cur: BlockId,
+    next_reg: Reg,
+    scopes: Vec<HashMap<String, Reg>>,
+    shared: Vec<SharedSpec>,
+    shared_by_name: HashMap<String, u32>,
+}
+
+impl<'a> Lower<'a> {
+    fn new(prog: &'a Program) -> Self {
+        Lower {
+            prog,
+            blocks: vec![IrBlock::default()],
+            cur: 0,
+            next_reg: 0,
+            scopes: vec![HashMap::new()],
+            shared: Vec::new(),
+            shared_by_name: HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.blocks[self.cur as usize].insts.push(inst);
+    }
+
+    /// Run `f` with a fresh block as the emission target; returns the
+    /// block id.
+    fn in_new_block<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> (BlockId, T) {
+        let id = self.blocks.len() as BlockId;
+        self.blocks.push(IrBlock::default());
+        let saved = self.cur;
+        self.cur = id;
+        let r = f(self);
+        self.cur = saved;
+        (id, r)
+    }
+
+    fn bind(&mut self, name: &str, reg: Reg) {
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(name.to_string(), reg);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Reg> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn lower_func(mut self, f: &FuncDef) -> IrFunc {
+        let mut params = Vec::with_capacity(f.params.len());
+        for p in &f.params {
+            let r = self.fresh();
+            self.bind(&p.name, r);
+            params.push((r, p.ty.clone()));
+        }
+        self.lower_block_into_current(&f.body);
+        IrFunc {
+            name: f.name.clone(),
+            params,
+            blocks: self.blocks,
+            num_regs: self.next_reg,
+            shared: self.shared,
+            kernel: f.kind == FuncKind::Kernel,
+            pos: f.pos,
+        }
+    }
+
+    /// Lower a `{}` block's statements into the current IR block under
+    /// a fresh lexical scope.
+    fn lower_block_into_current(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    /// Lower a `{}` block into a brand-new IR block (branch arms, loop
+    /// bodies).
+    fn lower_block_child(&mut self, b: &Block) -> BlockId {
+        self.in_new_block(|l| l.lower_block_into_current(b)).0
+    }
+
+    fn trap(&mut self, pos: Pos, msg: impl Into<String>) -> Reg {
+        self.emit(Inst::Trap {
+            msg: msg.into(),
+            pos,
+        });
+        // The trap aborts execution when reached, so this register is
+        // never read; it exists so expression lowering always yields a
+        // register.
+        self.fresh()
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                pos,
+            } => {
+                let dst = match init {
+                    Some(e) => {
+                        let r = self.lower_expr(e);
+                        let dst = self.fresh();
+                        self.emit(Inst::Coerce {
+                            dst,
+                            a: r,
+                            ty: ty.clone(),
+                            pos: *pos,
+                        });
+                        dst
+                    }
+                    None => {
+                        let dst = self.fresh();
+                        self.emit(Inst::Const {
+                            dst,
+                            v: Value::zero_of(ty),
+                        });
+                        dst
+                    }
+                };
+                self.bind(name, dst);
+            }
+            Stmt::SharedDecl {
+                elem,
+                name,
+                dims,
+                pos,
+            } => {
+                // Allocation deduplicates by name (first declaration's
+                // dims win), mirroring the tree-walk's `shared_ids`.
+                let spec = match self.shared_by_name.get(name) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.shared.len() as u32;
+                        self.shared.push(SharedSpec {
+                            name: name.clone(),
+                            dims: dims
+                                .iter()
+                                .map(|d| const_eval(d).expect("sema checked") as usize)
+                                .collect(),
+                            elem: ElemType::of(elem),
+                        });
+                        self.shared_by_name.insert(name.clone(), i);
+                        i
+                    }
+                };
+                let dst = self.fresh();
+                self.emit(Inst::DeclShared {
+                    dst,
+                    spec,
+                    pos: *pos,
+                });
+                self.bind(name, dst);
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                pos,
+            } => self.lower_assign(target, *op, value, *pos),
+            Stmt::Expr(e) => {
+                self.lower_expr(e);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                pos,
+            } => {
+                let c = self.lower_expr(cond);
+                let then_b = self.lower_block_child(then_blk);
+                let else_b = else_blk.as_ref().map(|b| self.lower_block_child(b));
+                self.emit(Inst::If {
+                    cond: c,
+                    then_b,
+                    else_b,
+                    pos: *pos,
+                });
+            }
+            Stmt::While { cond, body, pos } => {
+                let (cond_b, cond_r) = self.in_new_block(|l| l.lower_expr(cond));
+                let body_b = self.lower_block_child(body);
+                self.emit(Inst::Loop {
+                    cond_b: Some(cond_b),
+                    cond_r,
+                    body_b,
+                    step_b: None,
+                    pos: *pos,
+                });
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                pos,
+            } => {
+                // The init statement runs once in the enclosing block —
+                // that block is the natural preheader for invariant
+                // hoisting.
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i);
+                }
+                let cond_lowered = cond
+                    .as_ref()
+                    .map(|c| self.in_new_block(|l| l.lower_expr(c)));
+                let body_b = self.lower_block_child(body);
+                let step_b = step
+                    .as_deref()
+                    .map(|st| self.in_new_block(|l| l.lower_stmt(st)).0);
+                let (cond_b, cond_r) = match cond_lowered {
+                    Some((b, r)) => (Some(b), r),
+                    None => (None, 0),
+                };
+                self.emit(Inst::Loop {
+                    cond_b,
+                    cond_r,
+                    body_b,
+                    step_b,
+                    pos: *pos,
+                });
+                self.scopes.pop();
+            }
+            Stmt::Return { value, pos } => {
+                let val = value.as_ref().map(|e| self.lower_expr(e));
+                self.emit(Inst::Return { val, pos: *pos });
+            }
+            Stmt::Break(pos) => self.emit(Inst::Break { pos: *pos }),
+            Stmt::Continue(pos) => self.emit(Inst::Continue { pos: *pos }),
+            Stmt::Block(b) => self.lower_block_into_current(b),
+            Stmt::Launch { pos, .. } => {
+                self.trap(*pos, "nested kernel launch");
+            }
+            Stmt::AccParallelLoop { pos, .. } => {
+                self.trap(*pos, "OpenACC pragma inside device code");
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, target: &Expr, op: Option<BinOp>, value: &Expr, pos: Pos) {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                let Some(var) = self.lookup(name) else {
+                    self.trap(pos, format!("assignment to unknown variable `{name}`"));
+                    return;
+                };
+                let rhs = self.lower_expr(value);
+                let src = match op {
+                    Some(op) => {
+                        let t = self.fresh();
+                        self.emit(Inst::Bin {
+                            dst: t,
+                            op,
+                            a: var,
+                            b: rhs,
+                            pos,
+                        });
+                        t
+                    }
+                    None => rhs,
+                };
+                self.emit(Inst::Assign { var, src, pos });
+            }
+            ExprKind::Index(base, idx) => {
+                let rhs = self.lower_expr(value);
+                let b = self.lower_expr(base);
+                let i = self.lower_expr(idx);
+                match op {
+                    Some(op) => {
+                        // Element address computed once: the load and
+                        // the store go through the same pointer.
+                        let p = self.fresh();
+                        self.emit(Inst::Addr {
+                            dst: p,
+                            base: b,
+                            idx: i,
+                            pos,
+                        });
+                        let cur = self.fresh();
+                        self.emit(Inst::LoadPtr {
+                            dst: cur,
+                            ptr: p,
+                            pos,
+                        });
+                        let t = self.fresh();
+                        self.emit(Inst::Bin {
+                            dst: t,
+                            op,
+                            a: cur,
+                            b: rhs,
+                            pos,
+                        });
+                        self.emit(Inst::StorePtr {
+                            ptr: p,
+                            val: t,
+                            pos,
+                        });
+                    }
+                    None => self.emit(Inst::Store {
+                        base: b,
+                        idx: i,
+                        val: rhs,
+                        pos,
+                    }),
+                }
+            }
+            _ => {
+                self.trap(pos, "left side of assignment is not assignable");
+            }
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn lower_expr(&mut self, e: &Expr) -> Reg {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.constant(Value::I(*v)),
+            ExprKind::FloatLit(v) => self.constant(Value::F(*v)),
+            ExprKind::StrLit(_) => self.trap(e.pos, "strings are not device values"),
+            ExprKind::SizeOf(t) => self.constant(Value::I(t.size_of())),
+            ExprKind::Var(name) => {
+                if let Some(r) = self.lookup(name) {
+                    return r;
+                }
+                if let Some(id) = self.prog.constant_id(name) {
+                    let spec = &self.prog.constants()[id as usize];
+                    return self.constant(Value::P(crate::value::Ptr {
+                        space: crate::value::Space::Constant,
+                        alloc: id,
+                        offset: 0,
+                        elem: spec.elem,
+                        level: 0,
+                    }));
+                }
+                if let Some(v) = predefined(name) {
+                    return self.constant(Value::I(v));
+                }
+                self.trap(e.pos, format!("unknown variable `{name}`"))
+            }
+            ExprKind::Builtin(which, axis) => {
+                let dst = self.fresh();
+                self.emit(Inst::Builtin {
+                    dst,
+                    which: *which,
+                    axis: *axis,
+                    pos: e.pos,
+                });
+                dst
+            }
+            ExprKind::Unary(op, inner) => {
+                let a = self.lower_expr(inner);
+                let dst = self.fresh();
+                self.emit(Inst::Un {
+                    dst,
+                    op: *op,
+                    a,
+                    pos: e.pos,
+                });
+                dst
+            }
+            ExprKind::Binary(op, a, b) => {
+                if op.is_logical() {
+                    let ar = self.lower_expr(a);
+                    let (rhs_b, rhs_r) = self.in_new_block(|l| l.lower_expr(b));
+                    let dst = self.fresh();
+                    self.emit(Inst::Logic {
+                        dst,
+                        op: *op,
+                        a: ar,
+                        rhs_b,
+                        rhs_r,
+                        pos: e.pos,
+                    });
+                    return dst;
+                }
+                let ar = self.lower_expr(a);
+                let br = self.lower_expr(b);
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    dst,
+                    op: *op,
+                    a: ar,
+                    b: br,
+                    pos: e.pos,
+                });
+                dst
+            }
+            ExprKind::Ternary(c, a, b) => {
+                let cr = self.lower_expr(c);
+                let (then_b, then_r) = self.in_new_block(|l| l.lower_expr(a));
+                let (else_b, else_r) = self.in_new_block(|l| l.lower_expr(b));
+                let dst = self.fresh();
+                self.emit(Inst::Ternary {
+                    dst,
+                    cond: cr,
+                    then_b,
+                    then_r,
+                    else_b,
+                    else_r,
+                    pos: e.pos,
+                });
+                dst
+            }
+            ExprKind::Index(base, idx) => {
+                let b = self.lower_expr(base);
+                let i = self.lower_expr(idx);
+                let dst = self.fresh();
+                self.emit(Inst::Load {
+                    dst,
+                    base: b,
+                    idx: i,
+                    pos: e.pos,
+                });
+                dst
+            }
+            ExprKind::Cast(ty, inner) => {
+                let a = self.lower_expr(inner);
+                let dst = self.fresh();
+                self.emit(Inst::Coerce {
+                    dst,
+                    a,
+                    ty: ty.clone(),
+                    pos: e.pos,
+                });
+                dst
+            }
+            ExprKind::AddrOf(_) => self.trap(e.pos, "address-of is not supported in device code"),
+            ExprKind::Call(name, args) => self.lower_call(name, args, e.pos),
+        }
+    }
+
+    fn constant(&mut self, v: Value) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Const { dst, v });
+        dst
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr], pos: Pos) -> Reg {
+        match name {
+            "__syncthreads" | "barrier" => {
+                if let Some(flag) = args.first() {
+                    // barrier(fence_flag): evaluated, irrelevant.
+                    self.lower_expr(flag);
+                }
+                self.emit(Inst::Barrier { pos });
+                self.constant(Value::I(0))
+            }
+            "atomicAdd" | "atomicMin" | "atomicMax" | "atomicExch" => {
+                let kind = match name {
+                    "atomicAdd" => AtomicKind::Add,
+                    "atomicMin" => AtomicKind::Min,
+                    "atomicMax" => AtomicKind::Max,
+                    _ => AtomicKind::Exch,
+                };
+                let p = self.lower_expr(&args[0]);
+                let v = self.lower_expr(&args[1]);
+                let dst = self.fresh();
+                self.emit(Inst::Atomic {
+                    dst,
+                    kind,
+                    ptr: p,
+                    val: v,
+                    pos,
+                });
+                dst
+            }
+            "atomicCAS" => {
+                let p = self.lower_expr(&args[0]);
+                let c = self.lower_expr(&args[1]);
+                let v = self.lower_expr(&args[2]);
+                let dst = self.fresh();
+                self.emit(Inst::AtomicCas {
+                    dst,
+                    ptr: p,
+                    cmp: c,
+                    val: v,
+                    pos,
+                });
+                dst
+            }
+            _ if OclFn::from_name(name).is_some() => {
+                let which = OclFn::from_name(name).expect("checked");
+                let dim = self.lower_expr(&args[0]);
+                let dst = self.fresh();
+                self.emit(Inst::OclId {
+                    dst,
+                    which,
+                    dim,
+                    pos,
+                });
+                dst
+            }
+            _ if crate::value::is_math_intrinsic(name) => {
+                let regs: Vec<Reg> = args.iter().map(|a| self.lower_expr(a)).collect();
+                let dst = self.fresh();
+                self.emit(Inst::Math {
+                    dst,
+                    name: name.to_string(),
+                    args: regs,
+                    pos,
+                });
+                dst
+            }
+            _ => {
+                if self.prog.func(name).is_none() {
+                    return self.trap(pos, format!("unknown function `{name}`"));
+                }
+                let regs: Vec<Reg> = args.iter().map(|a| self.lower_expr(a)).collect();
+                let dst = self.fresh();
+                self.emit(Inst::Call {
+                    dst,
+                    callee: name.to_string(),
+                    args: regs,
+                    pos,
+                });
+                dst
+            }
+        }
+    }
+}

@@ -44,6 +44,25 @@ impl Alloc {
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
     }
+
+    /// Load through `ptr` against this allocation (bounds-checked).
+    ///
+    /// Same checks and messages as [`MemPool::load`], minus the
+    /// per-access allocation lookup — for executors that gather a whole
+    /// warp from one allocation.
+    pub fn load_at(&self, ptr: Ptr) -> Result<Value, MemError> {
+        let idx = bounds(ptr, self.len())?;
+        Ok(decode(self.words[idx].load(Ordering::Relaxed), ptr.elem))
+    }
+
+    /// Store through `ptr` against this allocation (bounds-checked);
+    /// the batched counterpart of [`MemPool::store`].
+    pub fn store_at(&self, ptr: Ptr, v: Value) -> Result<(), MemError> {
+        let idx = bounds(ptr, self.len())?;
+        let v = v.coerce_to_elem(ptr.elem).map_err(MemError)?;
+        self.words[idx].store(encode(v), Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 fn decode(bits: u32, elem: ElemType) -> Value {
@@ -137,6 +156,12 @@ impl MemPool {
     /// Length in elements of an allocation.
     pub fn len_of(&self, id: u32) -> Result<usize, MemError> {
         Ok(self.get(id)?.len())
+    }
+
+    /// Checked allocation lookup (null / invalid / freed), returning
+    /// the allocation for repeated per-lane access.
+    pub fn view(&self, id: u32) -> Result<&Alloc, MemError> {
+        self.get(id)
     }
 
     /// Load the element at `offset` through a pointer's element type.

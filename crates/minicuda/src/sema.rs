@@ -20,6 +20,10 @@ pub struct Program {
     kernel_names: Vec<String>,
     constants: Vec<ConstantSpec>,
     dialect: Dialect,
+    /// Lowered (and possibly optimized) middle-end IR, attached by
+    /// `compile_with` at `O1`+. `None` means kernels execute on the
+    /// tree-walk interpreter.
+    ir: Option<std::sync::Arc<crate::ir::IrProgram>>,
 }
 
 /// A `__constant__` symbol after constant folding.
@@ -60,6 +64,22 @@ impl Program {
     /// Dialect the program was compiled under.
     pub fn dialect(&self) -> Dialect {
         self.dialect
+    }
+
+    /// All function definitions, in arbitrary order.
+    pub fn funcs(&self) -> impl Iterator<Item = &FuncDef> {
+        self.funcs.values()
+    }
+
+    /// The attached middle-end IR, if this program was compiled with
+    /// the batched executor enabled.
+    pub fn ir(&self) -> Option<&crate::ir::IrProgram> {
+        self.ir.as_deref()
+    }
+
+    /// Attach lowered IR (done by `compile_with` after optimization).
+    pub fn attach_ir(&mut self, ir: crate::ir::IrProgram) {
+        self.ir = Some(std::sync::Arc::new(ir));
     }
 }
 
@@ -177,6 +197,7 @@ pub fn analyze(unit: Unit, dialect: Dialect) -> Result<Program, Diag> {
         kernel_names,
         constants,
         dialect,
+        ir: None,
     };
 
     // Second pass: check every function body.

@@ -309,6 +309,42 @@ impl<'a> BlockExec<'a> {
                 pos,
             } => {
                 let mut rhs = self.eval(value)?;
+                if let (ExprKind::Index(base, idx), Some(op)) = (&target.kind, op) {
+                    // Compound index assignment: compute the element
+                    // address once and route both the load and the
+                    // store through it, so a side-effecting index
+                    // (`out[atomicAdd(&c[0], 1)] += x`) is evaluated
+                    // exactly once, as in C.
+                    let bvals = self.eval(base)?;
+                    let ivals = self.eval(idx)?;
+                    let mut ptrs = vec![None; self.n];
+                    for i in 0..self.n {
+                        if self.active[i] {
+                            let p = bvals[i].as_ptr().map_err(|m| self.lane_err(*pos, i, m))?;
+                            let k = ivals[i].as_int().map_err(|m| self.lane_err(*pos, i, m))?;
+                            let (q, terminal) = self
+                                .index_ptr(p, k)
+                                .map_err(|m| self.lane_err(*pos, i, m))?;
+                            if !terminal {
+                                return Err(self.lane_err(
+                                    *pos,
+                                    i,
+                                    "assignment to a whole array row (missing an index?)",
+                                ));
+                            }
+                            ptrs[i] = Some(q);
+                        }
+                    }
+                    let cur = self.load_lanes(&ptrs, *pos)?;
+                    for i in 0..self.n {
+                        if self.active[i] {
+                            rhs[i] = apply_binop(*op, cur[i], rhs[i])
+                                .map_err(|m| self.lane_err(*pos, i, m))?;
+                        }
+                    }
+                    self.charge_op(*pos, self.env.model.issue)?;
+                    return self.store_lanes(&ptrs, &rhs, *pos);
+                }
                 if let Some(op) = op {
                     let cur = self.eval(target)?;
                     for i in 0..self.n {

@@ -367,11 +367,58 @@ pub fn apply_unop(op: UnOp, v: Value) -> Result<Value, String> {
     }
 }
 
-/// Evaluate a pure math intrinsic on already-coerced arguments.
-///
-/// Returns `None` when `name` is not a math intrinsic. Shared by the
-/// host and device interpreters so `sqrtf` behaves identically in both.
-pub fn apply_math(name: &str, args: &[Value]) -> Option<Result<Value, String>> {
+/// A resolved math intrinsic. Executors resolve the *name* once per
+/// instruction ([`math_op`]) and then apply the enum per lane
+/// ([`apply_math_op`]), so warp-batched dispatch never string-matches
+/// inside a lane loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathOp {
+    Sqrt,
+    Rsqrt,
+    Exp,
+    Log,
+    Log2,
+    Sin,
+    Cos,
+    Fabs,
+    Ceil,
+    Floor,
+    Pow,
+    Fmod,
+    Fmin,
+    Fmax,
+    Abs,
+    Min,
+    Max,
+}
+
+/// Resolve a math intrinsic name (CUDA and C spellings).
+pub fn math_op(name: &str) -> Option<MathOp> {
+    Some(match name {
+        "sqrtf" | "sqrt" => MathOp::Sqrt,
+        "rsqrtf" => MathOp::Rsqrt,
+        "expf" | "exp" => MathOp::Exp,
+        "logf" | "log" => MathOp::Log,
+        "log2f" => MathOp::Log2,
+        "sinf" | "sin" => MathOp::Sin,
+        "cosf" | "cos" => MathOp::Cos,
+        "fabsf" | "fabs" => MathOp::Fabs,
+        "ceilf" | "ceil" => MathOp::Ceil,
+        "floorf" | "floor" => MathOp::Floor,
+        "powf" | "pow" => MathOp::Pow,
+        "fmodf" => MathOp::Fmod,
+        "fminf" | "fmin" => MathOp::Fmin,
+        "fmaxf" | "fmax" => MathOp::Fmax,
+        "abs" => MathOp::Abs,
+        "min" => MathOp::Min,
+        "max" => MathOp::Max,
+        _ => return None,
+    })
+}
+
+/// Apply a resolved intrinsic. `name` is only for error messages, so
+/// diagnostics match the name the kernel actually called.
+pub fn apply_math_op(op: MathOp, name: &str, args: &[Value]) -> Result<Value, String> {
     let unary = |f: fn(f32) -> f32| -> Result<Value, String> {
         if args.len() != 1 {
             return Err(format!("{name} expects 1 argument"));
@@ -384,94 +431,67 @@ pub fn apply_math(name: &str, args: &[Value]) -> Option<Result<Value, String>> {
         }
         Ok(Value::F(f(args[0].as_float()?, args[1].as_float()?)))
     };
-    Some(match name {
-        "sqrtf" | "sqrt" => unary(f32::sqrt),
-        "rsqrtf" => unary(|x| 1.0 / x.sqrt()),
-        "expf" | "exp" => unary(f32::exp),
-        "logf" | "log" => unary(f32::ln),
-        "log2f" => unary(f32::log2),
-        "sinf" | "sin" => unary(f32::sin),
-        "cosf" | "cos" => unary(f32::cos),
-        "fabsf" | "fabs" => unary(f32::abs),
-        "ceilf" | "ceil" => unary(f32::ceil),
-        "floorf" | "floor" => unary(f32::floor),
-        "powf" | "pow" => binary_f(f32::powf),
-        "fmodf" => binary_f(|a, b| a % b),
-        "fminf" | "fmin" => binary_f(f32::min),
-        "fmaxf" | "fmax" => binary_f(f32::max),
-        "abs" => {
+    match op {
+        MathOp::Sqrt => unary(f32::sqrt),
+        MathOp::Rsqrt => unary(|x| 1.0 / x.sqrt()),
+        MathOp::Exp => unary(f32::exp),
+        MathOp::Log => unary(f32::ln),
+        MathOp::Log2 => unary(f32::log2),
+        MathOp::Sin => unary(f32::sin),
+        MathOp::Cos => unary(f32::cos),
+        MathOp::Fabs => unary(f32::abs),
+        MathOp::Ceil => unary(f32::ceil),
+        MathOp::Floor => unary(f32::floor),
+        MathOp::Pow => binary_f(f32::powf),
+        MathOp::Fmod => binary_f(|a, b| a % b),
+        MathOp::Fmin => binary_f(f32::min),
+        MathOp::Fmax => binary_f(f32::max),
+        MathOp::Abs => {
             if args.len() != 1 {
-                return Some(Err("abs expects 1 argument".to_string()));
+                return Err("abs expects 1 argument".to_string());
             }
             match args[0] {
                 Value::F(x) => Ok(Value::F(x.abs())),
                 other => other.as_int().map(|v| Value::I(v.abs())),
             }
         }
-        "min" | "max" => {
+        MathOp::Min | MathOp::Max => {
             if args.len() != 2 {
-                return Some(Err(format!("{name} expects 2 arguments")));
+                return Err(format!("{name} expects 2 arguments"));
             }
             let float_mode = matches!(args[0], Value::F(_)) || matches!(args[1], Value::F(_));
             if float_mode {
-                let a = match args[0].as_float() {
-                    Ok(v) => v,
-                    Err(e) => return Some(Err(e)),
-                };
-                let b = match args[1].as_float() {
-                    Ok(v) => v,
-                    Err(e) => return Some(Err(e)),
-                };
-                Ok(Value::F(if name == "min" { a.min(b) } else { a.max(b) }))
+                let a = args[0].as_float()?;
+                let b = args[1].as_float()?;
+                Ok(Value::F(if op == MathOp::Min {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }))
             } else {
-                let a = match args[0].as_int() {
-                    Ok(v) => v,
-                    Err(e) => return Some(Err(e)),
-                };
-                let b = match args[1].as_int() {
-                    Ok(v) => v,
-                    Err(e) => return Some(Err(e)),
-                };
-                Ok(Value::I(if name == "min" { a.min(b) } else { a.max(b) }))
+                let a = args[0].as_int()?;
+                let b = args[1].as_int()?;
+                Ok(Value::I(if op == MathOp::Min {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }))
             }
         }
-        _ => return None,
-    })
+    }
+}
+
+/// Evaluate a pure math intrinsic on already-coerced arguments.
+///
+/// Returns `None` when `name` is not a math intrinsic. Shared by the
+/// host and device interpreters so `sqrtf` behaves identically in both.
+pub fn apply_math(name: &str, args: &[Value]) -> Option<Result<Value, String>> {
+    math_op(name).map(|op| apply_math_op(op, name, args))
 }
 
 /// True when `name` is a pure math intrinsic handled by [`apply_math`].
 pub fn is_math_intrinsic(name: &str) -> bool {
-    matches!(
-        name,
-        "sqrtf"
-            | "sqrt"
-            | "rsqrtf"
-            | "expf"
-            | "exp"
-            | "logf"
-            | "log"
-            | "log2f"
-            | "sinf"
-            | "sin"
-            | "cosf"
-            | "cos"
-            | "fabsf"
-            | "fabs"
-            | "ceilf"
-            | "ceil"
-            | "floorf"
-            | "floor"
-            | "powf"
-            | "pow"
-            | "fmodf"
-            | "fminf"
-            | "fmin"
-            | "fmaxf"
-            | "fmax"
-            | "abs"
-            | "min"
-            | "max"
-    )
+    math_op(name).is_some()
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! host-interpreter arithmetic vs a Rust oracle.
 
 use libwb::Dataset;
-use minicuda::{compile, Dialect, RunOptions};
+use minicuda::{compile, compile_with, Dialect, OptLevel, RunOptions};
 use proptest::prelude::*;
 
 /// An arithmetic expression tree we can render to minicuda source and
@@ -72,6 +72,148 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             )),
         ]
     })
+}
+
+/// A statement expression for random straight-line kernels: leaves are
+/// literals or a variable slot resolved against whatever is in scope
+/// at the statement's position (`i`, `x`, earlier temporaries).
+/// Division and remainder are deliberately included so the optimizer's
+/// trap-preservation is exercised: a `/ 0` must produce the identical
+/// diagnostic at every opt level, never be folded away or hoisted.
+#[derive(Debug, Clone)]
+enum K {
+    Lit(i32),
+    Var(usize),
+    Add(Box<K>, Box<K>),
+    Sub(Box<K>, Box<K>),
+    Mul(Box<K>, Box<K>),
+    Div(Box<K>, Box<K>),
+    Rem(Box<K>, Box<K>),
+    Min(Box<K>, Box<K>),
+    Max(Box<K>, Box<K>),
+    Neg(Box<K>),
+    Ternary(Box<K>, Box<K>, Box<K>),
+}
+
+impl K {
+    /// Render with `temps` temporaries in scope; variable slots wrap
+    /// around `i`, `x`, `t0..t{temps-1}` so any raw index is valid.
+    fn render(&self, temps: usize) -> String {
+        match self {
+            K::Lit(v) => format!("({v})"),
+            K::Var(r) => match r % (temps + 2) {
+                0 => "i".to_string(),
+                1 => "x".to_string(),
+                j => format!("t{}", j - 2),
+            },
+            K::Add(a, b) => format!("({} + {})", a.render(temps), b.render(temps)),
+            K::Sub(a, b) => format!("({} - {})", a.render(temps), b.render(temps)),
+            K::Mul(a, b) => format!("({} * {})", a.render(temps), b.render(temps)),
+            K::Div(a, b) => format!("({} / {})", a.render(temps), b.render(temps)),
+            K::Rem(a, b) => format!("({} % {})", a.render(temps), b.render(temps)),
+            K::Min(a, b) => format!("min({}, {})", a.render(temps), b.render(temps)),
+            K::Max(a, b) => format!("max({}, {})", a.render(temps), b.render(temps)),
+            K::Neg(a) => format!("(-{})", a.render(temps)),
+            K::Ternary(c, a, b) => format!(
+                "(({}) > 0 ? {} : {})",
+                c.render(temps),
+                a.render(temps),
+                b.render(temps)
+            ),
+        }
+    }
+}
+
+fn kernel_expr_strategy() -> impl Strategy<Value = K> {
+    let leaf = prop_oneof![(-40i32..40).prop_map(K::Lit), (0usize..64).prop_map(K::Var),];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Rem(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| K::Max(a.into(), b.into())),
+            inner.clone().prop_map(|a| K::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| K::Ternary(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
+        ]
+    })
+}
+
+/// Run a generated straight-line kernel at one opt level.
+fn run_straight_line(stmts: &[K], n: usize, seed: u64, opt: OptLevel) -> minicuda::RunOutcome {
+    let mut body = String::new();
+    for (k, e) in stmts.iter().enumerate() {
+        body.push_str(&format!("                int t{k} = {};\n", e.render(k)));
+    }
+    let last = stmts.len() - 1;
+    let src = format!(
+        r#"
+        __global__ void k(float* a, float* out, int n) {{
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {{
+                int x = (int) a[i];
+{body}                out[i] = (float) t{last};
+            }}
+        }}
+        int main() {{
+            int n;
+            float* a = wbImportVector(0, &n);
+            float* out = (float*) malloc(n * sizeof(float));
+            float* dA; float* dOut;
+            cudaMalloc(&dA, n * sizeof(float));
+            cudaMalloc(&dOut, n * sizeof(float));
+            cudaMemcpy(dA, a, n * sizeof(float), cudaMemcpyHostToDevice);
+            k<<<(n + 31) / 32, 32>>>(dA, dOut, n);
+            cudaMemcpy(out, dOut, n * sizeof(float), cudaMemcpyDeviceToHost);
+            wbSolution(out, n);
+            return 0;
+        }}
+        "#
+    );
+    // Small signed values with zeros and negatives, so `/ x` and `% x`
+    // sometimes trap and signed overflow stays reachable through `*`.
+    let a: Vec<f32> = (0..n)
+        .map(|k| (((seed >> (k % 48)) & 31) as i64 - 15) as f32)
+        .collect();
+    let program = compile_with(&src, Dialect::Cuda, opt).expect("generated kernel compiles");
+    minicuda::run(&program, &[Dataset::Vector(a)], &RunOptions::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Optimizer soundness: a random straight-line kernel computes the
+    /// identical result — same solution bytes, same diagnostic (message,
+    /// position, thread) on failure, same memory-system counters — at
+    /// `O0` (tree-walk) and `O2` (full pass pipeline), including runs
+    /// that trap on division by zero or wrap on overflow.
+    #[test]
+    fn straight_line_kernels_identical_at_o0_and_o2(
+        stmts in prop::collection::vec(kernel_expr_strategy(), 1..6),
+        n in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let o0 = run_straight_line(&stmts, n, seed, OptLevel::O0);
+        let o2 = run_straight_line(&stmts, n, seed, OptLevel::O2);
+        prop_assert_eq!(&o0.error, &o2.error, "diagnostics diverged");
+        prop_assert_eq!(&o0.solution, &o2.solution, "solutions diverged");
+        prop_assert_eq!(o0.exit_code, o2.exit_code);
+        let (ca, cb) = (&o0.cost, &o2.cost);
+        prop_assert_eq!(ca.global_transactions, cb.global_transactions);
+        prop_assert_eq!(ca.global_accesses, cb.global_accesses);
+        prop_assert_eq!(ca.shared_accesses, cb.shared_accesses);
+        prop_assert_eq!(ca.shared_conflicts, cb.shared_conflicts);
+        prop_assert_eq!(ca.atomics, cb.atomics);
+        prop_assert_eq!(ca.barriers, cb.barriers);
+        prop_assert_eq!(ca.divergent_branches, cb.divergent_branches);
+        prop_assert_eq!(ca.kernel_launches, cb.kernel_launches);
+    }
 }
 
 proptest! {

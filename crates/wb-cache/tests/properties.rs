@@ -7,7 +7,7 @@
 //! (distinct configurations never collide) and the LRU byte budget.
 
 use libwb::Dataset;
-use minicuda::{DeviceConfig, Dialect};
+use minicuda::{DeviceConfig, Dialect, OptLevel};
 use proptest::prelude::*;
 use wb_cache::{CacheConfig, CompileKey, LruStore};
 use wb_sandbox::{Blacklist, ResourceLimits, ScanMode};
@@ -122,8 +122,8 @@ proptest! {
     }
 
     /// Property (b): submissions that differ in any keyed component —
-    /// limits, dialect, or blacklist version — never share a compile
-    /// key, even with identical source bytes.
+    /// limits, dialect, opt level, or blacklist version — never share
+    /// a compile key, even with identical source bytes.
     #[test]
     fn distinct_configurations_never_collide(
         source in "[a-z ]{0,64}",
@@ -131,6 +131,8 @@ proptest! {
         warp_b in 1i64..1_000_000,
         dialect_a in prop_oneof![Just(Dialect::Cuda), Just(Dialect::OpenCl)],
         dialect_b in prop_oneof![Just(Dialect::Cuda), Just(Dialect::OpenCl)],
+        opt_a in prop_oneof![Just(OptLevel::O0), Just(OptLevel::O1), Just(OptLevel::O2)],
+        opt_b in prop_oneof![Just(OptLevel::O0), Just(OptLevel::O1), Just(OptLevel::O2)],
         extra_pattern in proptest::option::of("[a-z]{3,8}"),
     ) {
         let limits_a = ResourceLimits {
@@ -151,13 +153,14 @@ proptest! {
             None => blacklist_a.clone(),
         };
         let key_a = CompileKey::derive(
-            &source, dialect_a, "cuda", "webgpu/cuda", &blacklist_a, &limits_a,
+            &source, dialect_a, opt_a, "cuda", "webgpu/cuda", &blacklist_a, &limits_a,
         );
         let key_b = CompileKey::derive(
-            &source, dialect_b, "cuda", "webgpu/cuda", &blacklist_b, &limits_b,
+            &source, dialect_b, opt_b, "cuda", "webgpu/cuda", &blacklist_b, &limits_b,
         );
         let same_config = warp_a == warp_b
             && dialect_a == dialect_b
+            && opt_a == opt_b
             && extra_pattern.is_none();
         prop_assert_eq!(key_a == key_b, same_config,
             "keys must collide exactly when every component matches");

@@ -1,0 +1,221 @@
+//! Differential grading: every Table II lab must grade **identically**
+//! under the tree-walking interpreter (`O0`) and the warp-batched IR
+//! executor (`O1` unoptimized, `O2` with the full pass pipeline).
+//!
+//! "Identically" means everything a student or grader can see: check
+//! verdicts, runtime diagnostics (message, position, and thread
+//! attribution), and log output — plus the memory-system counters
+//! (transactions, bank conflicts, barriers, atomics, divergence),
+//! which lab feedback asserts on. Only `warp_instructions` and
+//! `device_cycles` may differ: shrinking those is what the optimizer
+//! is *for*.
+
+use minicuda::{DeviceConfig, OptLevel};
+use wb_labs::{definition, lab_ids, solution, LabScale};
+use wb_worker::{execute_job, JobAction, JobOutcome, JobRequest};
+
+fn graded(lab_id: &str, source: &str, opt: OptLevel) -> JobOutcome {
+    let lab = definition(lab_id, LabScale::Small).unwrap();
+    let mut spec = lab.spec;
+    spec.opt_level = opt;
+    let req = JobRequest {
+        job_id: 1,
+        user: "differential".into(),
+        source: source.to_string(),
+        spec,
+        datasets: lab.datasets,
+        action: JobAction::FullGrade,
+    };
+    execute_job(&req, &DeviceConfig::test_small(), 0, 0)
+}
+
+/// Assert two outcomes are indistinguishable to a student, dataset by
+/// dataset. Cost is compared field-by-field so the executor-dependent
+/// fields (`warp_instructions`, `device_cycles`, and the elapsed-cycle
+/// makespan derived from them) can be exempted explicitly.
+fn assert_same_grading(lab: &str, lvl: OptLevel, base: &JobOutcome, other: &JobOutcome) {
+    assert_eq!(
+        base.compile_error, other.compile_error,
+        "{lab}@{lvl}: compile verdict diverged"
+    );
+    assert_eq!(
+        base.datasets.len(),
+        other.datasets.len(),
+        "{lab}@{lvl}: dataset count diverged"
+    );
+    for (a, b) in base.datasets.iter().zip(&other.datasets) {
+        let ctx = format!("{lab}@{lvl} dataset {}", a.name);
+        assert_eq!(a.name, b.name, "{ctx}: name");
+        assert_eq!(a.check, b.check, "{ctx}: check verdict");
+        assert_eq!(a.error, b.error, "{ctx}: diagnostic");
+        assert_eq!(a.log_text, b.log_text, "{ctx}: log output");
+        let (ca, cb) = (&a.cost, &b.cost);
+        assert_eq!(
+            ca.global_transactions, cb.global_transactions,
+            "{ctx}: global transactions"
+        );
+        assert_eq!(
+            ca.global_accesses, cb.global_accesses,
+            "{ctx}: global accesses"
+        );
+        assert_eq!(
+            ca.shared_accesses, cb.shared_accesses,
+            "{ctx}: shared accesses"
+        );
+        assert_eq!(
+            ca.shared_conflicts, cb.shared_conflicts,
+            "{ctx}: bank conflicts"
+        );
+        assert_eq!(ca.atomics, cb.atomics, "{ctx}: atomics");
+        assert_eq!(ca.barriers, cb.barriers, "{ctx}: barriers");
+        assert_eq!(
+            ca.divergent_branches, cb.divergent_branches,
+            "{ctx}: divergent branches"
+        );
+        assert_eq!(
+            ca.kernel_launches, cb.kernel_launches,
+            "{ctx}: kernel launches"
+        );
+        assert_eq!(ca.words_h2d, cb.words_h2d, "{ctx}: H2D words");
+        assert_eq!(ca.words_d2h, cb.words_d2h, "{ctx}: D2H words");
+    }
+}
+
+#[test]
+fn every_lab_reference_grades_identically_at_all_levels() {
+    for id in lab_ids() {
+        let src = solution(id).unwrap();
+        let o0 = graded(id, src, OptLevel::O0);
+        assert!(o0.compiled(), "{id}: {:?}", o0.compile_error);
+        assert_eq!(
+            o0.passed_count(),
+            o0.datasets.len(),
+            "{id}: reference solution must pass at O0"
+        );
+        for lvl in [OptLevel::O1, OptLevel::O2] {
+            let out = graded(id, src, lvl);
+            assert_same_grading(id, lvl, &o0, &out);
+        }
+    }
+}
+
+/// Student-bug archetypes with runtime diagnostics: the *failure* must
+/// also be identical — same message, same position, same thread.
+#[test]
+fn buggy_kernels_fail_identically_at_all_levels() {
+    let cases: &[(&str, &str)] = &[
+        // Missing boundary check → out-of-bounds global access.
+        (
+            "vecadd",
+            r#"
+            __global__ void vecAdd(float* a, float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                out[i] = a[i] + b[i];
+            }
+            int main() {
+                int n;
+                float* a = wbImportVector(0, &n);
+                float* b = wbImportVector(1, &n);
+                float* out = (float*) malloc(n * sizeof(float));
+                float* dA; float* dB; float* dC;
+                cudaMalloc(&dA, n * sizeof(float));
+                cudaMalloc(&dB, n * sizeof(float));
+                cudaMalloc(&dC, n * sizeof(float));
+                cudaMemcpy(dA, a, n * sizeof(float), cudaMemcpyHostToDevice);
+                cudaMemcpy(dB, b, n * sizeof(float), cudaMemcpyHostToDevice);
+                vecAdd<<<(n + 63) / 64, 64>>>(dA, dB, dC, n);
+                cudaMemcpy(out, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+                wbSolution(out, n);
+                return 0;
+            }
+            "#,
+        ),
+        // Integer division by zero inside a divergent branch.
+        (
+            "vecadd",
+            r#"
+            __global__ void divZero(float* a, float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { out[i] = a[i] + (i / (i - 1)); }
+            }
+            int main() {
+                int n;
+                float* a = wbImportVector(0, &n);
+                float* b = wbImportVector(1, &n);
+                float* out = (float*) malloc(n * sizeof(float));
+                float* dA; float* dB; float* dC;
+                cudaMalloc(&dA, n * sizeof(float));
+                cudaMalloc(&dB, n * sizeof(float));
+                cudaMalloc(&dC, n * sizeof(float));
+                cudaMemcpy(dA, a, n * sizeof(float), cudaMemcpyHostToDevice);
+                cudaMemcpy(dB, b, n * sizeof(float), cudaMemcpyHostToDevice);
+                divZero<<<(n + 63) / 64, 64>>>(dA, dB, dC, n);
+                cudaMemcpy(out, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+                wbSolution(out, n);
+                return 0;
+            }
+            "#,
+        ),
+        // Dereferencing the host pointer on the device.
+        (
+            "vecadd",
+            r#"
+            __global__ void hostDeref(float* a, float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { out[i] = a[i] + b[i]; }
+            }
+            int main() {
+                int n;
+                float* a = wbImportVector(0, &n);
+                float* b = wbImportVector(1, &n);
+                float* out = (float*) malloc(n * sizeof(float));
+                float* dC;
+                cudaMalloc(&dC, n * sizeof(float));
+                hostDeref<<<(n + 63) / 64, 64>>>(a, b, dC, n);
+                cudaMemcpy(out, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+                wbSolution(out, n);
+                return 0;
+            }
+            "#,
+        ),
+        // Barrier inside a divergent branch.
+        (
+            "vecadd",
+            r#"
+            __global__ void divBarrier(float* a, float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (threadIdx.x < 7) { __syncthreads(); }
+                if (i < n) { out[i] = a[i] + b[i]; }
+            }
+            int main() {
+                int n;
+                float* a = wbImportVector(0, &n);
+                float* b = wbImportVector(1, &n);
+                float* out = (float*) malloc(n * sizeof(float));
+                float* dA; float* dB; float* dC;
+                cudaMalloc(&dA, n * sizeof(float));
+                cudaMalloc(&dB, n * sizeof(float));
+                cudaMalloc(&dC, n * sizeof(float));
+                cudaMemcpy(dA, a, n * sizeof(float), cudaMemcpyHostToDevice);
+                cudaMemcpy(dB, b, n * sizeof(float), cudaMemcpyHostToDevice);
+                divBarrier<<<(n + 63) / 64, 64>>>(dA, dB, dC, n);
+                cudaMemcpy(out, dC, n * sizeof(float), cudaMemcpyDeviceToHost);
+                wbSolution(out, n);
+                return 0;
+            }
+            "#,
+        ),
+    ];
+    for (i, (lab, src)) in cases.iter().enumerate() {
+        let o0 = graded(lab, src, OptLevel::O0);
+        assert!(o0.compiled(), "case {i}: {:?}", o0.compile_error);
+        assert!(
+            o0.datasets.iter().any(|d| d.error.is_some()),
+            "case {i} should produce a runtime diagnostic at O0"
+        );
+        for lvl in [OptLevel::O1, OptLevel::O2] {
+            let out = graded(lab, src, lvl);
+            assert_same_grading(&format!("buggy-case-{i}"), lvl, &o0, &out);
+        }
+    }
+}

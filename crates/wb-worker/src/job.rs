@@ -42,6 +42,10 @@ pub struct LabSpec {
     pub tags: BTreeSet<String>,
     /// Toolchain the container image must provide.
     pub toolchain: String,
+    /// Middle-end level kernels compile at. Part of the compile cache
+    /// key: a grade produced at one level is never served for another.
+    #[serde(default)]
+    pub opt_level: minicuda::OptLevel,
 }
 
 impl LabSpec {
@@ -57,6 +61,7 @@ impl LabSpec {
             check: CheckPolicy::default(),
             tags: BTreeSet::new(),
             toolchain: "cuda".to_string(),
+            opt_level: minicuda::OptLevel::default(),
         }
     }
 }

@@ -11,7 +11,7 @@
 use crate::cache::SubmissionCache;
 use crate::job::{DatasetCase, DatasetOutcome, JobAction, JobOutcome, JobRequest, LabSpec};
 use libwb::check;
-use minicuda::{compile, DeviceConfig, Program};
+use minicuda::{compile_with, DeviceConfig, Program};
 use std::sync::Arc;
 use std::time::Instant;
 use wb_cache::{CompileKey, CompiledEntry, GradeKey, LookupOutcome};
@@ -39,7 +39,7 @@ pub fn compile_phase(job_id: u64, source: &str, spec: &LabSpec) -> Result<Arc<Pr
     dir.write("solution.cu", source.as_bytes())
         .map_err(|e| e.to_string())?;
 
-    match compile(source, spec.dialect) {
+    match compile_with(source, spec.dialect, spec.opt_level) {
         Ok(p) => Ok(Arc::new(p)),
         Err(d) => Err(d.to_string()),
     }
@@ -233,6 +233,7 @@ pub fn execute_job_cached_traced(
     let ckey = CompileKey::derive(
         &req.source,
         req.spec.dialect,
+        req.spec.opt_level,
         &req.spec.toolchain,
         image,
         &req.spec.blacklist,

@@ -47,6 +47,7 @@ fn author_saxpy() -> LabDefinition {
             check: CheckPolicy::default(),
             tags: Default::default(),
             toolchain: "cuda".to_string(),
+            opt_level: minicuda::OptLevel::default(),
         },
         rubric: Rubric {
             compile_points: 10.0,
