@@ -1,14 +1,20 @@
 //! Experiment F2 — characterize the v1 push architecture (Fig. 2):
 //! throughput scaling with worker count, load spread, and the
 //! health-check eviction path under a crash.
+//!
+//! Emits `BENCH_arch_v1.json` in the shared `wb-bench/v1` schema; the
+//! fault-path counts are deterministic and gate exactly.
 
+use std::process::ExitCode;
 use std::time::Instant;
+
 use wb_bench::reference_job;
+use wb_bench::report::{obj, BenchReport, Gate, Json};
 use wb_labs::LabScale;
 use wb_worker::JobAction;
 use webgpu::ClusterBuilder;
 
-fn main() {
+fn main() -> ExitCode {
     println!("v1 architecture (web server pushes jobs to a worker pool)\n");
 
     // Throughput scaling: the same 60-job batch over growing pools.
@@ -16,6 +22,7 @@ fn main() {
         "{:>8} {:>10} {:>14} {:>16}",
         "workers", "jobs", "wall (ms)", "jobs/worker max"
     );
+    let mut scaling_rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let cluster = ClusterBuilder::new(minicuda::DeviceConfig::default())
             .fleet(workers)
@@ -32,6 +39,12 @@ fn main() {
             .max()
             .unwrap();
         println!("{workers:>8} {jobs:>10} {wall:>14} {max_share:>16}");
+        scaling_rows.push(obj([
+            ("workers", Json::from(workers)),
+            ("jobs", Json::from(jobs)),
+            ("wall_ms", Json::from(wall as u64)),
+            ("max_jobs_per_worker", Json::from(max_share)),
+        ]));
     }
     println!("(round-robin keeps the per-worker share flat as the pool grows)\n");
 
@@ -66,4 +79,19 @@ fn main() {
         evicted,
         cluster.pool_size()
     );
+
+    BenchReport::new("arch_v1")
+        .metric("fault_jobs_completed", completed as u64)
+        .metric("dispatch_failures", cluster.dispatch_failures())
+        .metric("evicted_workers", evicted.len())
+        .metric("pool_after_sweep", cluster.pool_size())
+        .table("throughput_scaling", scaling_rows)
+        .gate(Gate::exactly("fault_jobs_completed", completed as u64, 20))
+        .gate(Gate::exactly("evicted_workers", evicted.len() as u64, 1))
+        .gate(Gate::exactly(
+            "pool_after_sweep",
+            cluster.pool_size() as u64,
+            3,
+        ))
+        .finish()
 }

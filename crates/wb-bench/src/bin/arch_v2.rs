@@ -5,17 +5,29 @@
 //! The paper's motivation for the rewrite: *"we do not need to
 //! provision our worker nodes to have the resources for the highest
 //! common multiple of the system requirements of the labs."* The
-//! experiment shows (a) v2 routes tagged jobs only to capable workers,
-//! and (b) pull balances a mixed-duration load better than push.
+//! experiment shows (a) a tag-blind push fleet on the thin image fails
+//! every MPI run outright, while (b) v2's pull queue holds tagged jobs
+//! — failing nothing — until the config service upgrades the fleet,
+//! at which point the drivers restart into the fat image and drain the
+//! backlog. The fat image is paid for only while MPI demand exists,
+//! not all semester on every node.
+//!
+//! Emits `BENCH_arch_v2.json` in the shared `wb-bench/v1` schema;
+//! every count is deterministic (an MPI job on a CUDA-only image
+//! always fails, tag routing always holds it back) and gates exactly.
+
+use std::process::ExitCode;
 
 use wb_bench::reference_job;
+use wb_bench::report::{BenchReport, Gate};
 use wb_labs::LabScale;
 use wb_worker::JobAction;
 use webgpu::{AutoscalePolicy, ClusterBuilder};
 
-fn main() {
+fn main() -> ExitCode {
     let total_jobs = 40u64;
     let mpi_every = 8; // every 8th job is the tagged MPI lab
+    let mpi_jobs = total_jobs / mpi_every;
 
     // ---- v1: push, tag-blind -------------------------------------------
     // In v1 the server pushes to any worker. Give the pool thin
@@ -40,30 +52,13 @@ fn main() {
     }
 
     // ---- v2: pull with capability tags ---------------------------------
-    // Half the fleet advertises mpi/multi-gpu; tagged jobs wait for
-    // those workers, everything else flows to anyone.
+    // Phase 1: the whole fleet runs the thin CUDA image. Tagged MPI
+    // jobs are not routed to anyone — they wait in the mirrored queue
+    // instead of failing on an incapable node.
     let v2 = ClusterBuilder::new(minicuda::DeviceConfig::default())
         .fleet(4)
         .policy(AutoscalePolicy::Static(4))
         .build_v2();
-    v2.config.update(|c| {
-        c.capabilities.insert("mpi".into());
-        c.capabilities.insert("multi-gpu".into());
-        c.image = "webgpu/full".to_string();
-    });
-    // Only workers 0 and 1 pick up the new config (simulate a partial
-    // fleet upgrade by syncing just those two before freezing config).
-    v2.worker(0).unwrap().sync_config(&v2.config);
-    v2.worker(1).unwrap().sync_config(&v2.config);
-    v2.config.update(|c| {
-        c.capabilities.remove("mpi");
-        c.capabilities.remove("multi-gpu");
-        c.image = "webgpu/cuda".to_string();
-    });
-    v2.worker(2).unwrap().sync_config(&v2.config);
-    v2.worker(3).unwrap().sync_config(&v2.config);
-
-    let mut v2_failed = 0;
     for j in 0..total_jobs {
         let req = if j % mpi_every == 0 {
             reference_job("mpi-stencil", j, LabScale::Small, JobAction::RunDataset(0))
@@ -73,10 +68,28 @@ fn main() {
         v2.enqueue(req, j);
     }
     let mut rounds = 0u64;
+    while v2.completed() < total_jobs - mpi_jobs && rounds < 10_000 {
+        v2.pump(total_jobs + rounds);
+        rounds += 1;
+    }
+    let completed_thin = v2.completed();
+    let waiting_thin = v2.queue_depth((total_jobs + rounds) * 10);
+
+    // Phase 2: MPI demand is real, so push the fat image through the
+    // config service. Every worker restarts into it on its next pump
+    // and the tagged backlog drains.
+    v2.config.update(|c| {
+        c.capabilities.insert("mpi".into());
+        c.capabilities.insert("multi-gpu".into());
+        c.image = "webgpu/full".to_string();
+    });
     while v2.completed() < total_jobs && rounds < 10_000 {
         v2.pump(total_jobs + rounds);
         rounds += 1;
     }
+    let restarts: u64 = (0..4).map(|i| v2.worker(i).unwrap().restarts()).sum();
+
+    let mut v2_failed = 0;
     for j in 0..total_jobs {
         if let Some(out) = v2.take_result(j) {
             if !out.compiled() || !out.datasets.iter().all(|d| d.passed()) {
@@ -93,11 +106,40 @@ fn main() {
     );
     println!(
         "{:<36} {:>10} {:>10}",
-        "fleet provisioned for MPI", "4 of 4", "2 of 4"
+        "fat image provisioned", "all semester", "on demand"
     );
     println!(
-        "\nv1 must equip *every* node for the most demanding lab (or fail\n\
-{v1_failed} runs, as above); v2's tag routing lets a partial fleet serve\n\
-the same mix with {v2_failed} failures — the §VI-A cost argument."
+        "\nthin-image phase: {completed_thin}/{total_jobs} CUDA jobs done, {waiting_thin} tagged MPI\n\
+jobs waiting (0 failed); config push restarted {restarts} drivers into the\n\
+fat image and the backlog drained."
     );
+    println!(
+        "\nv1 must equip *every* node for the most demanding lab all semester\n\
+(or fail {v1_failed} runs, as above); v2's tag routing holds tagged work in\n\
+the queue until the fleet is upgraded, finishing the same mix with\n\
+{v2_failed} failures — the §VI-A cost argument."
+    );
+
+    BenchReport::new("arch_v2")
+        .config("total_jobs", total_jobs)
+        .config("mpi_every", mpi_every)
+        .metric("v1_failed_runs", v1_failed as u64)
+        .metric("v2_failed_runs", v2_failed as u64)
+        .metric("v2_completed_thin_phase", completed_thin)
+        .metric("v2_mpi_waiting_thin_phase", waiting_thin)
+        .metric("v2_driver_restarts", restarts)
+        .metric("v2_completed", v2.completed())
+        .gate(Gate::exactly(
+            "v1_fails_every_mpi_job",
+            v1_failed as u64,
+            mpi_jobs,
+        ))
+        .gate(Gate::exactly(
+            "thin_phase_holds_tagged_jobs",
+            waiting_thin as u64,
+            mpi_jobs,
+        ))
+        .gate(Gate::exactly("v2_failed_runs", v2_failed as u64, 0))
+        .gate(Gate::exactly("v2_completed", v2.completed(), total_jobs))
+        .finish()
 }

@@ -1,0 +1,53 @@
+//! CI schema lint: check every `BENCH_*.json` named on the command
+//! line (or found in the current directory when none are named) is a
+//! well-formed `wb-bench/v1` report — required fields present and
+//! typed, every gate complete, top-level `passed` consistent with the
+//! enforced gates. Exits nonzero if any artifact is invalid: a bench
+//! that writes garbage must fail the build even when its own gates
+//! passed.
+
+use std::process::ExitCode;
+
+use wb_bench::report::validate_report;
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        if let Ok(entries) = std::fs::read_dir(".") {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with("BENCH_") && name.ends_with(".json") {
+                    paths.push(name);
+                }
+            }
+        }
+        paths.sort();
+    }
+    if paths.is_empty() {
+        eprintln!("FAIL: no BENCH_*.json artifacts to lint");
+        return ExitCode::FAILURE;
+    }
+
+    let mut bad = 0usize;
+    for path in &paths {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| validate_report(&text));
+        match verdict {
+            Ok(s) => println!(
+                "ok   {path}: bench={} smoke={} gates={} passed={}",
+                s.bench, s.smoke, s.gates, s.passed
+            ),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                bad += 1;
+            }
+        }
+    }
+    println!("{} artifact(s) linted, {bad} invalid", paths.len());
+    if bad > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -5,12 +5,19 @@
 //! cost is the boot; the pool hides it. This binary measures the
 //! per-job container wait under three worker setups.
 
+//! Emits `BENCH_container_overhead.json` in the shared `wb-bench/v1`
+//! schema; waits are virtual milliseconds, so every number is
+//! deterministic and the pooled-beats-cold ordering gates.
+
+use std::process::ExitCode;
+
 use wb_bench::reference_job;
+use wb_bench::report::{BenchReport, Gate};
 use wb_labs::LabScale;
 use wb_sandbox::{ContainerPool, Image};
 use wb_worker::JobAction;
 
-fn main() {
+fn main() -> ExitCode {
     let jobs = 50;
 
     println!("container acquisition wait per job (virtual ms)\n");
@@ -39,6 +46,7 @@ fn main() {
         "{:<28} warm hits {} / cold boots {} / boot-ms paid in background: {}",
         "", s.warm_hits, s.cold_boots, s.boot_ms_total
     );
+    let pooled_mean = total as f64 / jobs as f64;
 
     // Cold start per job (the ablation baseline).
     let cold = ContainerPool::cold_start_only(Image::cuda());
@@ -55,6 +63,7 @@ fn main() {
         total,
         total as f64 / jobs as f64
     );
+    let cold_mean = total as f64 / jobs as f64;
 
     // Cold starts of the fat image are even worse.
     let fat = ContainerPool::cold_start_only(Image::full());
@@ -76,4 +85,24 @@ fn main() {
         a.datasets[0].elapsed_cycles, b.datasets[0].elapsed_cycles
     );
     assert_eq!(a.datasets[0].elapsed_cycles, b.datasets[0].elapsed_cycles);
+
+    BenchReport::new("container_overhead")
+        .config("jobs", jobs as u64)
+        .metric("pooled_mean_wait_ms", pooled_mean)
+        .metric("cold_mean_wait_ms", cold_mean)
+        .metric("full_image_cold_wait_ms", wait)
+        .metric("warm_hits", s.warm_hits)
+        .metric("cold_boots", s.cold_boots)
+        .metric("background_boot_ms", s.boot_ms_total)
+        .gate(Gate::at_most(
+            "pooled_vs_cold_wait_ratio",
+            pooled_mean / cold_mean.max(1.0),
+            0.5,
+        ))
+        .gate(Gate::exactly(
+            "container_independent_cycles",
+            a.datasets[0].elapsed_cycles,
+            b.datasets[0].elapsed_cycles,
+        ))
+        .finish()
 }

@@ -1,12 +1,18 @@
 //! Experiment S4 — fault injection across both architectures: crash
 //! workers and a broker zone mid-load and account for every job.
+//!
+//! Emits `BENCH_faults.json` in the shared `wb-bench/v1` schema; every
+//! count below is deterministic, so the exactly-once accounting gates.
+
+use std::process::ExitCode;
 
 use wb_bench::reference_job;
+use wb_bench::report::{BenchReport, Gate};
 use wb_labs::LabScale;
 use wb_worker::JobAction;
 use webgpu::{AutoscalePolicy, ClusterBuilder};
 
-fn main() {
+fn main() -> ExitCode {
     println!("fault injection: 30 jobs, crash 2 of 4 workers after job 10\n");
 
     // ---- v1 ----
@@ -70,4 +76,16 @@ fn main() {
         v2.completed()
     );
     println!("\nNo job was lost in either architecture; v2 additionally needed no\ndispatcher retries — unpolled jobs simply waited in the mirrored queue.");
+
+    BenchReport::new("faults")
+        .metric("v1_jobs_completed", ok as u64)
+        .metric("v1_dispatch_retries", v1.dispatch_failures())
+        .metric("v1_evicted_workers", evicted.len())
+        .metric("v1_pool_after_sweep", v1.pool_size())
+        .metric("v2_jobs_completed", v2.completed())
+        .metric("v2_pump_rounds", rounds)
+        .gate(Gate::exactly("v1_jobs_completed", ok as u64, 30))
+        .gate(Gate::exactly("v1_evicted_workers", evicted.len() as u64, 2))
+        .gate(Gate::exactly("v2_jobs_completed", v2.completed(), 30))
+        .finish()
 }

@@ -8,33 +8,31 @@
 //! pipeline, and executes warps as batched lane-vectors. The ratio of
 //! wall-clock grading times is the middle-end's headline number.
 //!
-//! The run always writes `BENCH_kernel_exec.json`. On hosts with at
-//! least [`GATE_MIN_CORES`] cores the speedup on the arithmetic-dense
-//! gate labs ([`GATE_LABS`]) is enforced as a CI gate (exit 1 below
-//! [`GATE_THRESHOLD`]); smaller hosts report the ratios without
-//! enforcing them, since a loaded one-core box times too noisily to
-//! fail a build over.
+//! The run always writes `BENCH_kernel_exec.json` (shared
+//! `wb-bench/v1` schema). On hosts with at least
+//! [`wb_bench::report::GATE_MIN_CORES`] cores the speedup on the
+//! arithmetic-dense gate labs ([`GATE_LABS`]) is enforced as a CI gate
+//! (exit nonzero below [`GATE_THRESHOLD`]); smaller hosts report the
+//! ratios without enforcing them, since a loaded one-core box times
+//! too noisily to fail a build over.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use minicuda::{DeviceConfig, OptLevel};
 use wb_bench::reference_job;
+use wb_bench::report::{host_cores, obj, BenchReport, Gate, Json};
 use wb_labs::LabScale;
 use wb_worker::{execute_job, JobAction};
 
 /// Arithmetic-dense labs where batching must pay for itself.
 const GATE_LABS: [&str; 3] = ["matmul", "tiled-matmul", "stencil"];
 const GATE_THRESHOLD: f64 = 2.0;
-const GATE_MIN_CORES: usize = 4;
 /// Best-of attempts for gated labs, to damp timing noise on shared CI
 /// hosts.
 const GATE_ATTEMPTS: usize = 3;
 /// Timed repetitions per (lab, level); the fastest is reported.
 const REPS: usize = 3;
-
-fn host_cores() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
-}
 
 /// Grade `lab` at `opt`, returning the best-of-[`REPS`] wall time in
 /// milliseconds. Panics if grading ever stops passing — a bench that
@@ -67,23 +65,7 @@ struct Row {
     gated: bool,
 }
 
-fn json_report(cores: usize, smoke: bool, rows: &[Row], enforced: bool, passed: bool) -> String {
-    let lab_json: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                r#"    {{"lab": "{}", "o0_ms": {:.2}, "o2_ms": {:.2}, "speedup": {:.3}, "gated": {}}}"#,
-                r.lab, r.o0_ms, r.o2_ms, r.speedup, r.gated
-            )
-        })
-        .collect();
-    format!(
-        "{{\n  \"bench\": \"kernel_exec\",\n  \"host_cores\": {cores},\n  \"smoke\": {smoke},\n  \"labs\": [\n{}\n  ],\n  \"gate\": {{\"labs\": [\"matmul\", \"tiled-matmul\", \"stencil\"], \"threshold\": {GATE_THRESHOLD}, \"enforced\": {enforced}, \"passed\": {passed}}}\n}}\n",
-        lab_json.join(",\n"),
-    )
-}
-
-fn main() {
+fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cores = host_cores();
     let scale = if smoke {
@@ -134,22 +116,29 @@ fn main() {
         .filter(|r| r.gated)
         .map(|r| r.speedup)
         .fold(f64::INFINITY, f64::min);
-    let enforced = cores >= GATE_MIN_CORES;
-    let passed = worst_gated >= GATE_THRESHOLD;
-    let report = json_report(cores, smoke, &rows, enforced, passed);
-    std::fs::write("BENCH_kernel_exec.json", &report).expect("write BENCH_kernel_exec.json");
     println!();
-    println!("wrote BENCH_kernel_exec.json");
-    println!(
-        "gate: worst batched speedup over {GATE_LABS:?} = {worst_gated:.2}x \
-         (bar {GATE_THRESHOLD}x, {} on this {cores}-core host)",
-        if enforced { "enforced" } else { "report-only" }
-    );
-    if enforced && !passed {
-        eprintln!(
-            "FAIL: warp-batched executor did not clear {GATE_THRESHOLD}x \
-             over the tree-walk on every gate lab"
-        );
-        std::process::exit(1);
-    }
+    BenchReport::new("kernel_exec")
+        .smoke(smoke)
+        .config(
+            "gate_labs",
+            Json::Arr(GATE_LABS.iter().map(|&l| Json::from(l)).collect()),
+        )
+        .config("reps", REPS)
+        .metric("worst_gated_speedup", worst_gated)
+        .table(
+            "labs",
+            rows.iter()
+                .map(|r| {
+                    obj([
+                        ("lab", Json::from(r.lab)),
+                        ("o0_ms", Json::from(r.o0_ms)),
+                        ("o2_ms", Json::from(r.o2_ms)),
+                        ("speedup", Json::from(r.speedup)),
+                        ("gated", Json::from(r.gated)),
+                    ])
+                })
+                .collect(),
+        )
+        .gate(Gate::at_least("worst_gated_speedup", worst_gated, GATE_THRESHOLD).on_multi_core())
+        .finish()
 }

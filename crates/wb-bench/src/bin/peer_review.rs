@@ -6,9 +6,15 @@
 //! active students "were offering reviews without receiving them",
 //! the weight was cut from 10% to 5%, and the feature was removed.
 
+//! Emits `BENCH_peer_review.json` in the shared `wb-bench/v1` schema;
+//! the assignment is seeded, so the starvation curve is deterministic.
+
+use std::process::ExitCode;
+
+use wb_bench::report::{obj, BenchReport, Gate, Json};
 use wb_server::{peer, ServerState};
 
-fn main() {
+fn main() -> ExitCode {
     let cohort: Vec<String> = (0..300).map(|i| format!("s{i}")).collect();
     let k = 3;
 
@@ -21,6 +27,8 @@ fn main() {
         "active (%)", "active reviewed (%)", "reviews received by active"
     );
 
+    let mut curve = Vec::new();
+    let mut coverage_by_pct = Vec::new();
     for active_pct in [100usize, 50, 25, 10, 5, 3] {
         let st = ServerState::new();
         peer::assign_reviews(&st, "mp", &cohort, k, 1234);
@@ -54,6 +62,15 @@ fn main() {
             100.0 * covered,
             total as f64 / active.len() as f64
         );
+        coverage_by_pct.push((active_pct, 100.0 * covered));
+        curve.push(obj([
+            ("active_pct", Json::from(active_pct)),
+            ("active_reviewed_pct", Json::from(100.0 * covered)),
+            (
+                "mean_reviews_received",
+                Json::from(total as f64 / active.len() as f64),
+            ),
+        ]));
     }
 
     println!(
@@ -62,4 +79,18 @@ expected completed-reviews-received falls toward {k} × active%, so most\n\
 reviewers get nothing back — the observed inequity that forced the\n\
 10% → 5% → removed progression of the feature."
     );
+
+    // The starvation claim: coverage at MOOC dropout levels (3% active)
+    // must sit far below the full-participation coverage.
+    let full = coverage_by_pct.first().map_or(0.0, |&(_, c)| c);
+    let starved = coverage_by_pct.last().map_or(100.0, |&(_, c)| c);
+    BenchReport::new("peer_review")
+        .config("students", cohort.len())
+        .config("reviews_per_student", k as u64)
+        .config("seed", 1234u64)
+        .metric("coverage_full_participation_pct", full)
+        .metric("coverage_3pct_active_pct", starved)
+        .table("starvation_curve", curve)
+        .gate(Gate::at_most("starved_coverage_pct", starved, full / 2.0))
+        .finish()
 }

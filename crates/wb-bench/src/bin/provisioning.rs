@@ -1,7 +1,14 @@
 //! Experiment S3 — provisioning cost over the full course (§II-C):
 //! a statically peak-sized fleet vs reactive vs deadline-aware
 //! scheduled scaling, replayed over the Figure-1 load trace.
+//!
+//! Emits `BENCH_provisioning.json` in the shared `wb-bench/v1`
+//! schema; the replay is seeded and deterministic, so the §II-C cost
+//! claim (demand-following beats peak provisioning) gates.
 
+use std::process::ExitCode;
+
+use wb_bench::report::{obj, BenchReport, Gate, Json};
 use webgpu::autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
 use webgpu::cost::{CostMeter, CostModel, CostReport};
 use webgpu::sim::population::LoadModel;
@@ -39,7 +46,7 @@ fn replay(policy: AutoscalePolicy, series: &[u32]) -> (CostReport, f64) {
     (meter.finish(), backlog_hours / series.len() as f64)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let model = LoadModel::default();
     let series = model.hourly_series(2015);
     // The course's Thursday deadlines (day 4 of each week, end of day).
@@ -87,10 +94,15 @@ fn main() {
     ];
 
     let mut static_cost = 0.0;
+    let mut reactive_cost = f64::INFINITY;
+    let mut policy_rows = Vec::new();
     for (label, policy) in cases {
         let (report, mean_backlog) = replay(policy, &series);
         if label.starts_with("static") {
             static_cost = report.dollars;
+        }
+        if label == "reactive" {
+            reactive_cost = report.dollars;
         }
         let saving = if static_cost > 0.0 && !label.starts_with("static") {
             format!(" ({:.1}x cheaper)", static_cost / report.dollars)
@@ -106,6 +118,14 @@ fn main() {
             100.0 * report.utilization(),
             mean_backlog,
         );
+        policy_rows.push(obj([
+            ("policy", Json::from(label.as_str())),
+            ("gpu_hours", Json::from(report.gpu_hours)),
+            ("peak_fleet", Json::from(report.peak_fleet)),
+            ("dollars", Json::from(report.dollars)),
+            ("utilization_pct", Json::from(100.0 * report.utilization())),
+            ("mean_backlog", Json::from(mean_backlog)),
+        ]));
     }
     println!(
         "\nShape check (§II-C): the statically peak-provisioned fleet is \
@@ -114,4 +134,18 @@ GPU spend several-fold\nwhile the scheduled floor keeps deadline-eve \
 backlogs short — the automated version\nof \"we increased the number of \
 GPUs available the day before the deadline\"."
     );
+
+    BenchReport::new("provisioning")
+        .config("jobs_per_worker_hour", JOBS_PER_WORKER_HOUR)
+        .config("static_fleet", static_fleet)
+        .metric("static_dollars", static_cost)
+        .metric("reactive_dollars", reactive_cost)
+        .metric("reactive_savings_factor", static_cost / reactive_cost)
+        .table("policies", policy_rows)
+        .gate(Gate::at_least(
+            "reactive_savings_factor",
+            static_cost / reactive_cost,
+            2.0,
+        ))
+        .finish()
 }

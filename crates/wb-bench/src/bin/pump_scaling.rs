@@ -14,16 +14,19 @@
 //!    courses, several scheduler threads) through `shards(1)` and
 //!    `shards(host cores)` clusters and reports jobs/sec.
 //!
-//! The run always writes `BENCH_pump_scaling.json`. On hosts with at
-//! least [`GATE_MIN_CORES`] cores the fleet-8 sharded/single-lane
-//! ratio is enforced as a CI gate (exit 1 below [`GATE_THRESHOLD`]);
-//! smaller hosts report the ratio without enforcing it, since a
-//! one-core box serializes the lanes anyway.
+//! The run always writes `BENCH_pump_scaling.json` (shared
+//! `wb-bench/v1` schema). On hosts with at least
+//! [`wb_bench::report::GATE_MIN_CORES`] cores the fleet-8
+//! sharded/single-lane ratio is enforced as a CI gate (exit 1 below
+//! [`GATE_THRESHOLD`]); smaller hosts report the ratio without
+//! enforcing it, since a one-core box serializes the lanes anyway.
 
+use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use wb_bench::reference_job;
+use wb_bench::report::{host_cores, obj, BenchReport, Gate, Json};
 use wb_labs::LabScale;
 use wb_worker::JobAction;
 use webgpu::{AutoscalePolicy, ClusterBuilder};
@@ -32,14 +35,9 @@ const FLEETS: [usize; 4] = [1, 2, 4, 8];
 const PUMP_THREADS: usize = 4;
 const GATE_FLEET: usize = 8;
 const GATE_THRESHOLD: f64 = 2.5;
-const GATE_MIN_CORES: usize = 4;
 /// Best-of attempts for the gated fleet-8 pair, to damp scheduler
 /// noise on shared CI hosts.
 const GATE_ATTEMPTS: usize = 3;
-
-fn host_cores() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
-}
 
 /// Serial-vs-concurrent axis: one enqueuer, execution-bound jobs.
 fn exec_throughput(fleet: usize, concurrent: bool, jobs: u64, scale: LabScale) -> f64 {
@@ -112,49 +110,7 @@ struct LaneRow {
     speedup: f64,
 }
 
-struct Gate {
-    enforced: bool,
-    speedup: f64,
-    passed: bool,
-}
-
-fn json_report(
-    cores: usize,
-    shards: usize,
-    smoke: bool,
-    exec_rows: &[ExecRow],
-    lane_rows: &[LaneRow],
-    gate: &Gate,
-) -> String {
-    let exec_json: Vec<String> = exec_rows
-        .iter()
-        .map(|r| {
-            format!(
-                r#"    {{"fleet": {}, "serial_jps": {:.1}, "concurrent_jps": {:.1}, "speedup": {:.3}}}"#,
-                r.fleet, r.serial_jps, r.concurrent_jps, r.speedup
-            )
-        })
-        .collect();
-    let lane_json: Vec<String> = lane_rows
-        .iter()
-        .map(|r| {
-            format!(
-                r#"    {{"fleet": {}, "single_lane_jps": {:.1}, "sharded_jps": {:.1}, "speedup": {:.3}}}"#,
-                r.fleet, r.single_lane_jps, r.sharded_jps, r.speedup
-            )
-        })
-        .collect();
-    format!(
-        "{{\n  \"bench\": \"pump_scaling\",\n  \"host_cores\": {cores},\n  \"shards\": {shards},\n  \"smoke\": {smoke},\n  \"serial_vs_concurrent\": [\n{}\n  ],\n  \"single_lane_vs_sharded\": [\n{}\n  ],\n  \"gate\": {{\"fleet\": {GATE_FLEET}, \"threshold\": {GATE_THRESHOLD}, \"enforced\": {}, \"speedup\": {:.3}, \"passed\": {}}}\n}}\n",
-        exec_json.join(",\n"),
-        lane_json.join(",\n"),
-        gate.enforced,
-        gate.speedup,
-        gate.passed,
-    )
-}
-
-fn main() {
+fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cores = host_cores();
     let shards = cores.max(2);
@@ -228,30 +184,42 @@ fn main() {
         .iter()
         .find(|r| r.fleet == GATE_FLEET)
         .map_or(0.0, |r| r.speedup);
-    let gate_enforced = cores >= GATE_MIN_CORES;
-    let gate = Gate {
-        enforced: gate_enforced,
-        speedup: gate_speedup,
-        passed: gate_speedup >= GATE_THRESHOLD,
-    };
-    let report = json_report(cores, shards, smoke, &exec_rows, &lane_rows, &gate);
-    std::fs::write("BENCH_pump_scaling.json", &report).expect("write BENCH_pump_scaling.json");
     println!();
-    println!("wrote BENCH_pump_scaling.json");
-    println!(
-        "gate: fleet-{GATE_FLEET} sharded vs single-lane = {gate_speedup:.2}x \
-         (bar {GATE_THRESHOLD}x, {} on this {cores}-core host)",
-        if gate_enforced {
-            "enforced"
-        } else {
-            "report-only"
-        }
-    );
-    if gate.enforced && !gate.passed {
-        eprintln!(
-            "FAIL: sharded control plane did not clear {GATE_THRESHOLD}x \
-             over single-lane at fleet {GATE_FLEET}"
-        );
-        std::process::exit(1);
-    }
+    BenchReport::new("pump_scaling")
+        .smoke(smoke)
+        .config("shards", shards)
+        .config("exec_jobs", exec_jobs)
+        .config("lane_jobs", lane_jobs)
+        .config("pump_threads", PUMP_THREADS)
+        .metric("lane_speedup_fleet8", gate_speedup)
+        .table(
+            "serial_vs_concurrent",
+            exec_rows
+                .iter()
+                .map(|r| {
+                    obj([
+                        ("fleet", Json::from(r.fleet)),
+                        ("serial_jps", Json::from(r.serial_jps)),
+                        ("concurrent_jps", Json::from(r.concurrent_jps)),
+                        ("speedup", Json::from(r.speedup)),
+                    ])
+                })
+                .collect(),
+        )
+        .table(
+            "single_lane_vs_sharded",
+            lane_rows
+                .iter()
+                .map(|r| {
+                    obj([
+                        ("fleet", Json::from(r.fleet)),
+                        ("single_lane_jps", Json::from(r.single_lane_jps)),
+                        ("sharded_jps", Json::from(r.sharded_jps)),
+                        ("speedup", Json::from(r.speedup)),
+                    ])
+                })
+                .collect(),
+        )
+        .gate(Gate::at_least("lane_speedup_fleet8", gate_speedup, GATE_THRESHOLD).on_multi_core())
+        .finish()
 }

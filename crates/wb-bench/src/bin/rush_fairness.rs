@@ -15,11 +15,14 @@
 //! * at least one submission is shed, and every shed carries a finite,
 //!   positive retry-after hint;
 //! * the recorder's books agree: admitted = completed, sheds counted.
+//!
+//! Emits `BENCH_rush_fairness.json` in the shared `wb-bench/v1` schema.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use wb_bench::report::{obj, BenchReport, Gate, Json};
 use wb_obs::Recorder;
 use wb_server::WbError;
 use webgpu::{ClusterBuilder, CourseLoad, Platform, RushScenario, SchedConfig};
@@ -184,10 +187,17 @@ fn run_rush(
     Ok(out)
 }
 
-fn gate(arch: &str, p: &dyn Platform, outcomes: &BTreeMap<String, CourseOutcome>) -> bool {
-    let mut ok = true;
+/// Fold one architecture's outcomes into the shared report: a table
+/// row per course plus the per-course and books gates.
+fn report_arch(
+    mut report: BenchReport,
+    arch: &str,
+    p: &dyn Platform,
+    outcomes: &BTreeMap<String, CourseOutcome>,
+) -> BenchReport {
     let mut total_admitted = 0u64;
     let mut total_shed = 0u64;
+    let mut rows = Vec::new();
     println!(
         "{:<4} {:<8} {:>13} {:>10} {:>9} {:>10} {:>6}",
         "arch", "course", "idle p99 (t)", "rush p99", "admitted", "completed", "shed"
@@ -199,43 +209,27 @@ fn gate(arch: &str, p: &dyn Platform, outcomes: &BTreeMap<String, CourseOutcome>
         );
         total_admitted += o.admitted;
         total_shed += o.shed;
-        if o.completed != o.admitted {
-            eprintln!(
-                "FAIL[{arch}/{course}]: {} admitted, {} completed",
-                o.admitted, o.completed
-            );
-            ok = false;
-        }
-        let bound = MAX_P99_RATIO * o.baseline.max(1.0);
-        if o.rush_p99 > bound {
-            eprintln!(
-                "FAIL[{arch}/{course}]: rush p99 {} exceeds {MAX_P99_RATIO}x idle baseline ({bound})",
-                o.rush_p99
-            );
-            ok = false;
-        }
-    }
-    if total_shed == 0 {
-        eprintln!("FAIL[{arch}]: the 10x rush never tripped admission control");
-        ok = false;
+        rows.push(obj([
+            ("course", Json::from(course.as_str())),
+            ("idle_p99", Json::from(o.baseline)),
+            ("rush_p99", Json::from(o.rush_p99)),
+            ("admitted", Json::from(o.admitted)),
+            ("completed", Json::from(o.completed)),
+            ("shed", Json::from(o.shed)),
+        ]));
+        report = report
+            .gate(Gate::exactly(
+                &format!("{arch}_{course}_exactly_once"),
+                o.completed,
+                o.admitted,
+            ))
+            .gate(Gate::at_most(
+                &format!("{arch}_{course}_p99_ratio"),
+                o.rush_p99 / o.baseline.max(1.0),
+                MAX_P99_RATIO,
+            ));
     }
     let snap = p.metrics_snapshot();
-    if snap.counter("sched_admitted") < total_admitted {
-        eprintln!(
-            "FAIL[{arch}]: recorder admitted {} < harness {}",
-            snap.counter("sched_admitted"),
-            total_admitted
-        );
-        ok = false;
-    }
-    if snap.counter("sched_shed") != total_shed {
-        eprintln!(
-            "FAIL[{arch}]: recorder sheds {} != harness {}",
-            snap.counter("sched_shed"),
-            total_shed
-        );
-        ok = false;
-    }
     println!(
         "{arch}: scheduler books — admitted {} | dequeued {} | browned-out {} | shed {} | aged {}\n",
         snap.counter("sched_admitted"),
@@ -244,10 +238,35 @@ fn gate(arch: &str, p: &dyn Platform, outcomes: &BTreeMap<String, CourseOutcome>
         snap.counter("sched_shed"),
         snap.counter("sched_aged_promotions"),
     );
-    ok
+    report
+        .table(&format!("{arch}_courses"), rows)
+        .metric(
+            &format!("{arch}_brown_outs"),
+            snap.counter("sched_brown_outs"),
+        )
+        .gate(Gate::at_least(
+            &format!("{arch}_sheds"),
+            total_shed as f64,
+            1.0,
+        ))
+        .gate(Gate::at_least(
+            &format!("{arch}_recorder_admitted"),
+            snap.counter("sched_admitted") as f64,
+            total_admitted as f64,
+        ))
+        .gate(Gate::exactly(
+            &format!("{arch}_recorder_sheds"),
+            snap.counter("sched_shed"),
+            total_shed,
+        ))
 }
 
-fn run_arch(arch: &str, scenario: &RushScenario, build: impl Fn() -> Box<dyn Platform>) -> bool {
+fn run_arch(
+    report: BenchReport,
+    arch: &str,
+    scenario: &RushScenario,
+    build: impl Fn() -> Box<dyn Platform>,
+) -> BenchReport {
     // Baselines on a throwaway idle cluster of the same shape.
     let idle = build();
     let mut baselines = BTreeMap::new();
@@ -259,10 +278,12 @@ fn run_arch(arch: &str, scenario: &RushScenario, build: impl Fn() -> Box<dyn Pla
     }
     let rush = build();
     match run_rush(rush.as_ref(), scenario, &baselines) {
-        Ok(outcomes) => gate(arch, rush.as_ref(), &outcomes),
+        Ok(outcomes) => report_arch(report, arch, rush.as_ref(), &outcomes),
         Err(e) => {
             eprintln!("FAIL[{arch}]: {e}");
-            false
+            // A harness error is unconditionally fatal: record it as an
+            // impossible exact gate so the artifact says why.
+            report.gate(Gate::exactly(&format!("{arch}_harness_ok"), 0, 1))
         }
     }
 }
@@ -279,7 +300,14 @@ fn main() -> ExitCode {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let v1_ok = run_arch("v1", &scenario, || {
+    let mut report = BenchReport::new("rush_fairness")
+        .smoke(smoke)
+        .config("rounds", scenario.rounds)
+        .config("per_round", scenario.per_round())
+        .config("surge", SURGE)
+        .config("fleet", FLEET)
+        .config("max_p99_ratio", MAX_P99_RATIO);
+    report = run_arch(report, "v1", &scenario, || {
         Box::new(
             ClusterBuilder::new(minicuda::DeviceConfig::test_small())
                 .fleet(FLEET)
@@ -288,7 +316,7 @@ fn main() -> ExitCode {
                 .build_v1(),
         )
     });
-    let v2_ok = run_arch("v2", &scenario, || {
+    report = run_arch(report, "v2", &scenario, || {
         Box::new(
             ClusterBuilder::new(minicuda::DeviceConfig::test_small())
                 .fleet(FLEET)
@@ -297,11 +325,5 @@ fn main() -> ExitCode {
                 .build_v2(),
         )
     });
-
-    if v1_ok && v2_ok {
-        println!("PASS");
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    report.finish()
 }

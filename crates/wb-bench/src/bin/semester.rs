@@ -1,0 +1,177 @@
+//! `semester` — the million-student semester replay (the Figure-1
+//! trace at 100–1000×, driven through the full production stack).
+//!
+//! ```text
+//! semester [--smoke] [--scale N] [--days N] [--seed N]
+//! ```
+//!
+//! `--smoke` replays one week at 3× with a deliberately small fleet —
+//! the CI gate. The default full run replays the whole 67-day trace at
+//! 100×. Emits `BENCH_semester.json` in the `wb-bench/v1` schema; the
+//! exactly-once gates are enforced everywhere (they are deterministic
+//! bookkeeping, not timing), the throughput gate only on ≥4-core hosts.
+
+use std::process::ExitCode;
+use wb_bench::report::{obj, BenchReport, Gate, Json};
+use wb_bench::semester::{run_semester, SemesterParams};
+
+fn arg_value(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut p = if smoke {
+        SemesterParams::smoke()
+    } else {
+        SemesterParams::full(100.0)
+    };
+    if let Some(s) = arg_value(&args, "--scale") {
+        p.scale = s;
+    }
+    if let Some(d) = arg_value(&args, "--days") {
+        p.days = d as u32;
+    }
+    if let Some(s) = arg_value(&args, "--seed") {
+        p.seed = s as u64;
+    }
+
+    println!(
+        "semester replay: {} days at {:.0}x the 2012 trace (seed {:#x})",
+        p.days, p.scale, p.seed
+    );
+    let o = run_semester(&p);
+
+    println!("\nweek  offered  admitted  shed  completed  fleet  dollars");
+    for w in &o.weeks {
+        println!(
+            "{:>4}  {:>7}  {:>8}  {:>4}  {:>9}  {:>5}  {:>7.2}",
+            w.week, w.offered, w.admitted, w.shed, w.completed, w.peak_fleet, w.dollars
+        );
+    }
+    println!(
+        "\noffered {} = admitted {} + shed {} + rate-limited {}",
+        o.offered, o.admitted, o.shed, o.rate_limited
+    );
+    println!(
+        "completed {} (graded {}, compile-failed {}, runtime-failed {}, brown-outs {})",
+        o.completed, o.graded, o.compile_failed, o.runtime_failed, o.brown_outs
+    );
+    println!(
+        "queue wait p50/p95/p99 = {}/{}/{} rounds; cache reuse {:.1}%; \
+         ${:.2} for {:.0} GPU-hours ({:.0}% busy, peak fleet {})",
+        o.queue_wait.p50,
+        o.queue_wait.p95,
+        o.queue_wait.p99,
+        100.0 * o.cache_reuse_rate(),
+        o.cost.dollars,
+        o.cost.gpu_hours,
+        100.0 * o.cost.utilization(),
+        o.cost.peak_fleet
+    );
+    println!(
+        "{} jobs in {:.1}s wall = {:.0} jobs/sec",
+        o.completed, o.wall_secs, o.jobs_per_sec
+    );
+
+    let weekly: Vec<Json> = o
+        .weeks
+        .iter()
+        .map(|w| {
+            obj([
+                ("week", Json::from(u64::from(w.week))),
+                ("offered", Json::from(w.offered)),
+                ("admitted", Json::from(w.admitted)),
+                ("shed", Json::from(w.shed)),
+                ("completed", Json::from(w.completed)),
+                ("peak_fleet", Json::from(w.peak_fleet)),
+                ("dollars", Json::from(w.dollars)),
+            ])
+        })
+        .collect();
+    let (compile_tier, grade_tier) = match &o.cache {
+        Some(c) => (
+            obj([
+                ("lookups", Json::from(c.compile.lookups())),
+                ("misses", Json::from(c.compile.misses)),
+                ("reused", Json::from(c.compile.hits + c.compile.coalesced)),
+                ("evictions", Json::from(c.compile.evictions)),
+            ]),
+            obj([
+                ("lookups", Json::from(c.grade.lookups())),
+                ("misses", Json::from(c.grade.misses)),
+                ("reused", Json::from(c.grade.hits + c.grade.coalesced)),
+                ("evictions", Json::from(c.grade.evictions)),
+            ]),
+        ),
+        None => (Json::Null, Json::Null),
+    };
+
+    BenchReport::new("semester")
+        .smoke(smoke)
+        .config("scale", p.scale)
+        .config("days", u64::from(p.days))
+        .config("seed", p.seed)
+        .config("submit_prob", p.submit_prob)
+        .config("fleet_max", p.fleet_max)
+        .config("pumps_per_hour", u64::from(p.pumps_per_hour))
+        .config("labs_per_course", p.labs_per_course)
+        .config("variants_per_lab", p.variants_per_lab)
+        .config("backlog_budget", p.backlog_budget)
+        .metric("offered", o.offered)
+        .metric("admitted", o.admitted)
+        .metric("shed", o.shed)
+        .metric(
+            "shed_rate",
+            if o.offered > 0 {
+                o.shed as f64 / o.offered as f64
+            } else {
+                0.0
+            },
+        )
+        .metric("rate_limited", o.rate_limited)
+        .metric("completed", o.completed)
+        .metric("graded", o.graded)
+        .metric("compile_failed", o.compile_failed)
+        .metric("runtime_failed", o.runtime_failed)
+        .metric("brown_outs", o.brown_outs)
+        .metric("drain_rounds", o.drain_rounds)
+        .metric("queue_wait_p50_rounds", o.queue_wait.p50)
+        .metric("queue_wait_p95_rounds", o.queue_wait.p95)
+        .metric("queue_wait_p99_rounds", o.queue_wait.p99)
+        .metric("queue_wait_mean_rounds", o.queue_wait.mean)
+        .metric("cache_reuse_rate", o.cache_reuse_rate())
+        .metric("cache_compile_tier", compile_tier)
+        .metric("cache_grade_tier", grade_tier)
+        .metric("cost_dollars", o.cost.dollars)
+        .metric("cost_gpu_hours", o.cost.gpu_hours)
+        .metric("cost_utilization", o.cost.utilization())
+        .metric("peak_fleet", o.cost.peak_fleet)
+        .metric("wall_secs", o.wall_secs)
+        .metric("jobs_per_sec", o.jobs_per_sec)
+        .metric("deterministic_digest", o.deterministic_digest())
+        .table("weekly", weekly)
+        .gate(Gate::exactly(
+            "reaped_equals_admitted",
+            o.completed,
+            o.admitted,
+        ))
+        .gate(Gate::exactly(
+            "offered_split",
+            o.admitted + o.shed + o.rate_limited,
+            o.offered,
+        ))
+        .gate(Gate::exactly("shed_books", o.shed, o.sched_shed))
+        .gate(Gate::exactly("infra_errors", o.infra_errors, 0))
+        .gate(Gate::at_least(
+            "cache_reuse_rate",
+            o.cache_reuse_rate(),
+            0.30,
+        ))
+        .gate(Gate::at_least("jobs_per_sec", o.jobs_per_sec, 500.0).on_multi_core())
+        .finish()
+}

@@ -11,7 +11,8 @@
 //! percentiles, and the relative slowdown.
 //!
 //! Gate (exit nonzero on failure): traced throughput within 5% of
-//! no-op throughput, median of 3 interleaved trials.
+//! no-op throughput, median of 3 interleaved trials. Emits
+//! `BENCH_trace_overhead.json` in the shared `wb-bench/v1` schema.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -19,6 +20,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wb_bench::report::{BenchReport, Gate};
 use wb_bench::Zipf;
 use wb_labs::LabScale;
 use wb_obs::Recorder;
@@ -150,22 +152,30 @@ fn main() -> ExitCode {
         format_percentiles(&snap.grade_micros, "us")
     );
 
-    if snap.counter("jobs_completed") != params.jobs {
-        eprintln!(
-            "FAIL: traced run completed {} of {} jobs in the books",
+    BenchReport::new("trace_overhead")
+        .smoke(smoke)
+        .config("jobs", params.jobs)
+        .config("variants", params.variants)
+        .config("fleet", FLEET)
+        .config("seed", SEED)
+        .config("trials", TRIALS)
+        .metric("noop_jobs_per_sec", noop)
+        .metric("traced_jobs_per_sec", traced)
+        .metric("slowdown", slowdown.max(0.0))
+        .metric("events_dropped", snap.dropped_events)
+        .metric("spans_tracked", snap.spans_tracked)
+        .metric("queue_wait_p99_rounds", snap.queue_wait_rounds.p99)
+        .metric("compile_p99_us", snap.compile_micros.p99)
+        .metric("grade_p99_us", snap.grade_micros.p99)
+        .gate(Gate::exactly(
+            "traced_jobs_completed",
             snap.counter("jobs_completed"),
-            params.jobs
-        );
-        return ExitCode::FAILURE;
-    }
-    if slowdown > MAX_SLOWDOWN {
-        eprintln!(
-            "FAIL: tracing costs {:.1}%, above the {:.0}% gate",
-            slowdown * 100.0,
-            MAX_SLOWDOWN * 100.0
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("PASS");
-    ExitCode::SUCCESS
+            params.jobs,
+        ))
+        .gate(Gate::at_most(
+            "tracing_slowdown",
+            slowdown.max(0.0),
+            MAX_SLOWDOWN,
+        ))
+        .finish()
 }

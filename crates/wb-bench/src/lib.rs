@@ -1,6 +1,10 @@
 //! `wb-bench` — experiment harness regenerating every table and figure
 //! of the paper (see DESIGN.md's experiment index).
 //!
+//! Every binary emits a `BENCH_<name>.json` artifact in the shared
+//! [`report`] schema (`wb-bench/v1`), so one parser — `bench_schema`,
+//! also the CI lint — reads the whole trajectory PR-over-PR.
+//!
 //! Binaries (one per artifact):
 //!
 //! | Binary | Paper artifact |
@@ -15,9 +19,14 @@
 //! | `peer_review` | §IV-D — review starvation vs dropout |
 //! | `faults` | §III — fault injection and recovery |
 //! | `cache_rush` | submission cache under a Zipf(1.1) deadline rush |
+//! | `semester` | Figure 1 at 100–1000× through the full stack ([`semester`]) |
+//! | `bench_schema` | validates every `BENCH_*.json` against `wb-bench/v1` |
 //!
 //! Criterion benches cover the substrates (`population`, `labs`,
 //! `sandbox`, `container`, `queue`, `db`, `device`, `cluster`).
+
+pub mod report;
+pub mod semester;
 
 use rand::Rng;
 use wb_labs::LabScale;

@@ -1,0 +1,897 @@
+//! The unified bench-report schema: every `BENCH_*.json` in this repo
+//! is written — and parsed — through this module.
+//!
+//! Before this existed each bin hand-rolled its own JSON shape and gate
+//! logic, so the artifact trail was not machine-comparable PR-over-PR.
+//! Now a bin builds a [`BenchReport`], attaches [`Gate`]s, and calls
+//! [`BenchReport::finish`]; the result is one top-level schema
+//! (`wb-bench/v1`) for all fourteen bins:
+//!
+//! ```json
+//! {
+//!   "schema": "wb-bench/v1",
+//!   "bench": "pump_scaling",
+//!   "host": {"cores": 8, "smoke": true},
+//!   "config": { ... knobs that shaped the run ... },
+//!   "metrics": { ... headline scalars ... },
+//!   "tables": {"lanes": [ {row}, {row} ]},
+//!   "gates": [
+//!     {"name": "speedup", "value": 2.4, "threshold": 2.0,
+//!      "op": ">=", "enforced": true, "passed": true}
+//!   ],
+//!   "passed": true
+//! }
+//! ```
+//!
+//! The workspace deliberately has no `serde_json`, so the module
+//! carries its own small JSON value type with a serializer and a
+//! parser; the parser is what `bench_schema` (the CI lint) and the
+//! trajectory tooling read artifacts back with.
+//!
+//! Gate enforcement keeps the convention the gated bins established:
+//! timing gates are enforced only on hosts with at least
+//! [`GATE_MIN_CORES`] cores ([`Gate::on_multi_core`]) and are
+//! report-only below that, since a loaded one-core box times too
+//! noisily to fail a build over. Counting gates (exactly-once books)
+//! stay enforced everywhere.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Top-level schema tag; bump when the shape changes incompatibly.
+pub const SCHEMA: &str = "wb-bench/v1";
+
+/// Timing gates are enforced only on hosts at least this wide; below,
+/// they are reported but cannot fail the run.
+pub const GATE_MIN_CORES: usize = 4;
+
+/// Cores on this host, for the enforcement decision and the report.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+// ---------------------------------------------------------------------------
+// JSON value
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON document tree. Objects keep insertion order so the
+/// emitted artifacts diff cleanly PR-over-PR.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_str(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Errors carry a byte offset and a short
+    /// description — enough for the schema lint to point at the spot.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is the least-lying encoding.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// Build an object row from `(key, value)` pairs, e.g. for table rows.
+pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("json error at byte {}: {}", self.pos, what)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates render as the replacement char;
+                            // the reports never emit them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, however many bytes.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gates
+// ---------------------------------------------------------------------------
+
+/// How a gate compares its measured value against the bar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateOp {
+    /// Pass when `value >= threshold` (speedups, hit rates).
+    AtLeast,
+    /// Pass when `value <= threshold` (overheads, tail latencies).
+    AtMost,
+    /// Pass when `value == threshold` exactly (conservation counts).
+    Exactly,
+}
+
+impl GateOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            GateOp::AtLeast => ">=",
+            GateOp::AtMost => "<=",
+            GateOp::Exactly => "==",
+        }
+    }
+
+    fn from_symbol(s: &str) -> Option<GateOp> {
+        match s {
+            ">=" => Some(GateOp::AtLeast),
+            "<=" => Some(GateOp::AtMost),
+            "==" => Some(GateOp::Exactly),
+            _ => None,
+        }
+    }
+}
+
+/// A self-gating check: a measured value, a bar, and whether failing
+/// the bar may fail the run on this host.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    pub name: String,
+    pub value: f64,
+    pub threshold: f64,
+    pub op: GateOp,
+    pub enforced: bool,
+}
+
+impl Gate {
+    pub fn at_least(name: &str, value: f64, threshold: f64) -> Gate {
+        Gate {
+            name: name.to_string(),
+            value,
+            threshold,
+            op: GateOp::AtLeast,
+            enforced: true,
+        }
+    }
+
+    pub fn at_most(name: &str, value: f64, threshold: f64) -> Gate {
+        Gate {
+            name: name.to_string(),
+            value,
+            threshold,
+            op: GateOp::AtMost,
+            enforced: true,
+        }
+    }
+
+    /// Exact-count gate for conservation checks (admitted = completed +
+    /// shed and friends). Values must be integers below 2^53.
+    pub fn exactly(name: &str, value: u64, expected: u64) -> Gate {
+        Gate {
+            name: name.to_string(),
+            value: value as f64,
+            threshold: expected as f64,
+            op: GateOp::Exactly,
+            enforced: true,
+        }
+    }
+
+    /// The repo's timing-gate convention: enforce only on hosts with at
+    /// least [`GATE_MIN_CORES`] cores, report-only below.
+    pub fn on_multi_core(self) -> Gate {
+        self.enforce_if(host_cores() >= GATE_MIN_CORES)
+    }
+
+    /// Keep the gate enforced only when `cond` holds (e.g. full mode
+    /// only: `.enforce_if(!smoke)`); composes with [`Gate::on_multi_core`].
+    pub fn enforce_if(mut self, cond: bool) -> Gate {
+        self.enforced = self.enforced && cond;
+        self
+    }
+
+    /// Record the measurement without ever failing the run.
+    pub fn report_only(mut self) -> Gate {
+        self.enforced = false;
+        self
+    }
+
+    pub fn passed(&self) -> bool {
+        match self.op {
+            GateOp::AtLeast => self.value >= self.threshold,
+            GateOp::AtMost => self.value <= self.threshold,
+            GateOp::Exactly => self.value == self.threshold,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("value".into(), Json::Num(self.value)),
+            ("threshold".into(), Json::Num(self.threshold)),
+            ("op".into(), Json::Str(self.op.symbol().into())),
+            ("enforced".into(), Json::Bool(self.enforced)),
+            ("passed".into(), Json::Bool(self.passed())),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport
+// ---------------------------------------------------------------------------
+
+/// Builder for one `BENCH_<name>.json` artifact.
+pub struct BenchReport {
+    name: String,
+    smoke: bool,
+    config: Vec<(String, Json)>,
+    metrics: Vec<(String, Json)>,
+    tables: Vec<(String, Vec<Json>)>,
+    gates: Vec<Gate>,
+}
+
+impl BenchReport {
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            smoke: false,
+            config: Vec::new(),
+            metrics: Vec::new(),
+            tables: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    pub fn smoke(mut self, smoke: bool) -> BenchReport {
+        self.smoke = smoke;
+        self
+    }
+
+    /// A knob that shaped the run (scale, seed, fleet, ...).
+    pub fn config(mut self, key: &str, value: impl Into<Json>) -> BenchReport {
+        self.config.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// A headline scalar (jobs/sec, p99 wait, hit rate, ...).
+    pub fn metric(mut self, key: &str, value: impl Into<Json>) -> BenchReport {
+        self.metrics.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// A named array of row objects (per-lab, per-lane, per-course ...).
+    pub fn table(mut self, name: &str, rows: Vec<Json>) -> BenchReport {
+        self.tables.push((name.to_string(), rows));
+        self
+    }
+
+    pub fn gate(mut self, gate: Gate) -> BenchReport {
+        self.gates.push(gate);
+        self
+    }
+
+    /// True when every *enforced* gate passes. Report-only gates never
+    /// fail a run; they exist to be plotted PR-over-PR.
+    pub fn passed(&self) -> bool {
+        self.gates.iter().all(|g| !g.enforced || g.passed())
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("bench".into(), Json::Str(self.name.clone())),
+            (
+                "host".into(),
+                Json::Obj(vec![
+                    ("cores".into(), Json::from(host_cores())),
+                    ("smoke".into(), Json::Bool(self.smoke)),
+                ]),
+            ),
+            ("config".into(), Json::Obj(self.config.clone())),
+            ("metrics".into(), Json::Obj(self.metrics.clone())),
+        ];
+        if !self.tables.is_empty() {
+            fields.push((
+                "tables".into(),
+                Json::Obj(
+                    self.tables
+                        .iter()
+                        .map(|(name, rows)| (name.clone(), Json::Arr(rows.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push((
+            "gates".into(),
+            Json::Arr(self.gates.iter().map(Gate::to_json).collect()),
+        ));
+        fields.push(("passed".into(), Json::Bool(self.passed())));
+        Json::Obj(fields)
+    }
+
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Write `BENCH_<name>.json` to the current directory, returning
+    /// the file name.
+    pub fn write(&self) -> std::io::Result<String> {
+        let path = format!("BENCH_{}.json", self.name);
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Write the artifact, print the gate verdicts, and return the
+    /// process exit code: failure iff an *enforced* gate failed.
+    pub fn finish(self) -> ExitCode {
+        match self.write() {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("FAIL: could not write BENCH_{}.json: {e}", self.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        let mut failed = false;
+        for gate in &self.gates {
+            let mode = if gate.enforced {
+                "enforced"
+            } else {
+                "report-only"
+            };
+            println!(
+                "gate: {} = {:.3} ({} {:.3}, {mode}) {}",
+                gate.name,
+                gate.value,
+                gate.op.symbol(),
+                gate.threshold,
+                if gate.passed() { "ok" } else { "MISSED" }
+            );
+            if gate.enforced && !gate.passed() {
+                eprintln!(
+                    "FAIL: gate '{}' — {:.3} not {} {:.3}",
+                    gate.name,
+                    gate.value,
+                    gate.op.symbol(),
+                    gate.threshold
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            println!("PASS");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation (the CI schema lint reads artifacts back through this)
+// ---------------------------------------------------------------------------
+
+/// What the lint learned about a valid report.
+#[derive(Debug)]
+pub struct ReportSummary {
+    pub bench: String,
+    pub smoke: bool,
+    pub passed: bool,
+    pub gates: usize,
+}
+
+/// Check that `text` is a well-formed `wb-bench/v1` report: required
+/// fields present and typed, every gate complete, and the top-level
+/// `passed` consistent with the enforced gates.
+pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' is not '{SCHEMA}'"));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .filter(|b| !b.is_empty())
+        .ok_or("missing or empty 'bench'")?
+        .to_string();
+    let host = doc.get("host").ok_or("missing 'host'")?;
+    host.get("cores")
+        .and_then(Json::as_f64)
+        .filter(|c| *c >= 1.0)
+        .ok_or("host.cores must be a number >= 1")?;
+    let smoke = host
+        .get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("host.smoke must be a bool")?;
+    for section in ["config", "metrics"] {
+        match doc.get(section) {
+            Some(Json::Obj(_)) => {}
+            _ => return Err(format!("'{section}' must be an object")),
+        }
+    }
+    let gates = doc
+        .get("gates")
+        .and_then(Json::as_arr)
+        .ok_or("'gates' must be an array")?;
+    let mut enforced_ok = true;
+    for (i, gate) in gates.iter().enumerate() {
+        let ctx = |field: &str| format!("gates[{i}].{field}");
+        gate.get("name")
+            .and_then(Json::as_str)
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| ctx("name"))?;
+        let value = gate
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ctx("value"))?;
+        let threshold = gate
+            .get("threshold")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ctx("threshold"))?;
+        let op = gate
+            .get("op")
+            .and_then(Json::as_str)
+            .and_then(GateOp::from_symbol)
+            .ok_or_else(|| ctx("op"))?;
+        let enforced = gate
+            .get("enforced")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ctx("enforced"))?;
+        let recorded_pass = gate
+            .get("passed")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ctx("passed"))?;
+        let recomputed = match op {
+            GateOp::AtLeast => value >= threshold,
+            GateOp::AtMost => value <= threshold,
+            GateOp::Exactly => value == threshold,
+        };
+        if recomputed != recorded_pass {
+            return Err(format!(
+                "gates[{i}] verdict {recorded_pass} disagrees with {value} {} {threshold}",
+                op.symbol()
+            ));
+        }
+        if enforced && !recorded_pass {
+            enforced_ok = false;
+        }
+    }
+    let passed = doc
+        .get("passed")
+        .and_then(Json::as_bool)
+        .ok_or("'passed' must be a bool")?;
+    if passed != enforced_ok {
+        return Err(format!(
+            "top-level passed={passed} disagrees with the enforced gates ({enforced_ok})"
+        ));
+    }
+    Ok(ReportSummary {
+        bench,
+        smoke,
+        passed,
+        gates: gates.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = BenchReport::new("unit")
+            .smoke(true)
+            .config("scale", 100u64)
+            .config("seed", 0x5eedu64)
+            .metric("jobs_per_sec", 123.456)
+            .metric("label", "hello \"quoted\"\n")
+            .table(
+                "rows",
+                vec![obj([
+                    ("lab", Json::from("vecadd")),
+                    ("ms", Json::from(1.5)),
+                ])],
+            )
+            .gate(Gate::at_least("speedup", 2.4, 2.0).on_multi_core())
+            .gate(Gate::exactly("books", 7, 7));
+        let text = report.render();
+        let summary = validate_report(&text).expect("valid report");
+        assert_eq!(summary.bench, "unit");
+        assert!(summary.smoke);
+        assert!(summary.passed);
+        assert_eq!(summary.gates, 2);
+
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("metrics").unwrap().get("jobs_per_sec").unwrap(),
+            &Json::Num(123.456)
+        );
+        assert_eq!(
+            doc.get("metrics")
+                .unwrap()
+                .get("label")
+                .and_then(Json::as_str),
+            Some("hello \"quoted\"\n")
+        );
+    }
+
+    #[test]
+    fn enforced_failure_flips_the_verdict() {
+        let report = BenchReport::new("unit").gate(Gate::at_least("speedup", 1.0, 2.0));
+        assert!(!report.passed());
+        let summary = validate_report(&report.render()).expect("still schema-valid");
+        assert!(!summary.passed);
+    }
+
+    #[test]
+    fn report_only_gates_never_fail() {
+        let report =
+            BenchReport::new("unit").gate(Gate::at_least("speedup", 1.0, 2.0).report_only());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_cooked_verdicts() {
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report("not json").is_err());
+        let mut text = BenchReport::new("unit")
+            .gate(Gate::at_least("g", 1.0, 2.0))
+            .render();
+        // Cook the books: claim the failed gate passed.
+        text = text.replacen("\"passed\": false", "\"passed\": true", 1);
+        assert!(validate_report(&text).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_nesting_and_errors() {
+        let doc = Json::parse(r#"{"a": [1, -2.5e3, "A\n"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Str("A\n".into())
+        );
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("[] []").is_err());
+    }
+}

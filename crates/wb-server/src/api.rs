@@ -146,6 +146,12 @@ pub struct SubmitRequest {
     pub action: SubmitAction,
     /// Virtual ms of the request (defaults to 0).
     pub at_ms: u64,
+    /// Inline source for this submission. `None` — the common
+    /// interactive path — submits the student's latest autosaved
+    /// revision; `Some` carries the code in the request itself, the
+    /// way batch clients and the semester replay submit without a
+    /// round-trip through the revisions table.
+    pub source: Option<String>,
 }
 
 impl SubmitRequest {
@@ -155,6 +161,7 @@ impl SubmitRequest {
             lab: lab.to_string(),
             action,
             at_ms: 0,
+            source: None,
         }
     }
 
@@ -176,6 +183,12 @@ impl SubmitRequest {
     /// Stamp the request with a virtual time.
     pub fn at(mut self, now_ms: u64) -> Self {
         self.at_ms = now_ms;
+        self
+    }
+
+    /// Carry the source inline instead of reading the latest revision.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
         self
     }
 }
@@ -221,8 +234,11 @@ mod tests {
         let r = SubmitRequest::full_grade(7, "scan");
         assert_eq!(r.at_ms, 0);
         assert_eq!(r.action, SubmitAction::FullGrade);
+        assert_eq!(r.source, None);
         let r = SubmitRequest::compile_only(7, "scan").at(99);
         assert_eq!(r.at_ms, 99);
+        let r = SubmitRequest::full_grade(7, "scan").with_source("int main() {}");
+        assert_eq!(r.source.as_deref(), Some("int main() {}"));
         assert_eq!(
             SubmitRequest::run_dataset(7, "scan", 2).action,
             SubmitAction::RunDataset(2)

@@ -24,18 +24,76 @@ use wb_obs::{Counter, MetricsSnapshot, Recorder};
 use wb_worker::{JobAction, JobOutcome, JobRequest};
 
 /// Abstract job execution backend.
+///
+/// Two execution styles share the trait. [`dispatch`] is the
+/// interactive path: run the job and block until its outcome is in
+/// hand. The queued trio — [`submit_queued`] / [`advance`] /
+/// [`poll_queued`] — is the throughput path the semester replay
+/// drives: admission happens at submit time, execution happens in
+/// pumped rounds, and outcomes are collected when they surface.
+/// Backends without a queue keep the defaults and remain plain
+/// synchronous dispatchers.
+///
+/// [`dispatch`]: JobDispatcher::dispatch
+/// [`submit_queued`]: JobDispatcher::submit_queued
+/// [`advance`]: JobDispatcher::advance
+/// [`poll_queued`]: JobDispatcher::poll_queued
 pub trait JobDispatcher: Send + Sync {
     /// Execute a job somewhere, synchronously from the caller's view.
     /// Backend failures come back as [`WbError::Infra`]; the student's
     /// own compile/runtime failures are *not* errors at this layer —
     /// they ride inside the [`JobOutcome`].
     fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError>;
+
+    /// Offer a job through the backend's admission control without
+    /// waiting for execution; `Ok(job_id)` when queued,
+    /// [`WbError::Overloaded`] when shed.
+    fn submit_queued(&self, _req: JobRequest, _now_ms: u64) -> Result<u64, WbError> {
+        Err(WbError::infra("this dispatcher has no queued path"))
+    }
+
+    /// Take the outcome of a previously queued job, if it finished.
+    fn poll_queued(&self, _job_id: u64) -> Option<JobOutcome> {
+        None
+    }
+
+    /// Drive queued work one scheduling round; returns jobs completed
+    /// this round.
+    fn advance(&self, _now_ms: u64) -> usize {
+        0
+    }
+}
+
+/// Dispatchers pass through `Arc` unchanged, so a cluster can be
+/// shared between a [`WebGpuServer`] and a harness that reads its
+/// gauges directly.
+impl<D: JobDispatcher + ?Sized> JobDispatcher for Arc<D> {
+    fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
+        (**self).dispatch(req, now_ms)
+    }
+
+    fn submit_queued(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
+        (**self).submit_queued(req, now_ms)
+    }
+
+    fn poll_queued(&self, job_id: u64) -> Option<JobOutcome> {
+        (**self).poll_queued(job_id)
+    }
+
+    fn advance(&self, now_ms: u64) -> usize {
+        (**self).advance(now_ms)
+    }
 }
 
 /// A dispatcher running jobs on one in-process worker node (used by
 /// tests and the quickstart example).
 pub struct LocalDispatcher {
     node: wb_worker::WorkerNode,
+    /// Outcomes of queued jobs. The single local node executes at
+    /// submit time, so "queued" work is already done and merely waits
+    /// to be polled — which is exactly what server-level tests of the
+    /// queued path need.
+    done: parking_lot::Mutex<HashMap<u64, JobOutcome>>,
 }
 
 impl Default for LocalDispatcher {
@@ -53,6 +111,7 @@ impl LocalDispatcher {
                 minicuda::DeviceConfig::test_small(),
                 &wb_worker::WorkerConfig::default(),
             ),
+            done: parking_lot::Mutex::new(HashMap::new()),
         }
     }
 
@@ -66,6 +125,7 @@ impl LocalDispatcher {
                     ..wb_worker::NodeConfig::new(minicuda::DeviceConfig::test_small())
                 },
             ),
+            done: parking_lot::Mutex::new(HashMap::new()),
         }
     }
 }
@@ -75,6 +135,17 @@ impl JobDispatcher for LocalDispatcher {
         self.node
             .submit(&req, now_ms)
             .ok_or_else(|| WbError::infra("worker unavailable"))
+    }
+
+    fn submit_queued(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
+        let job_id = req.job_id;
+        let outcome = self.dispatch(req, now_ms)?;
+        self.done.lock().insert(job_id, outcome);
+        Ok(job_id)
+    }
+
+    fn poll_queued(&self, job_id: u64) -> Option<JobOutcome> {
+        self.done.lock().remove(&job_id)
     }
 }
 
@@ -109,6 +180,19 @@ pub struct WebGpuServer {
     obs: Arc<Recorder>,
     next_job: AtomicU64,
     next_share: AtomicU64,
+    /// Submissions queued on the dispatcher whose outcomes have not
+    /// been reaped yet, keyed by job id.
+    pending: parking_lot::Mutex<HashMap<u64, PendingSubmission>>,
+}
+
+/// Everything [`WebGpuServer::reap_queued`] needs to finish a
+/// submission's record-keeping once its outcome surfaces.
+struct PendingSubmission {
+    user: String,
+    lab: String,
+    action: SubmitAction,
+    at_ms: u64,
+    source: String,
 }
 
 fn db_err(e: impl std::fmt::Display) -> WbError {
@@ -134,7 +218,15 @@ impl WebGpuServer {
             obs,
             next_job: AtomicU64::new(1),
             next_share: AtomicU64::new(1),
+            pending: parking_lot::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Replace the default per-student submission rate limit (burst 3,
+    /// one token per 15 s).
+    pub fn with_rate_limit(mut self, limit: RateLimit) -> Self {
+        self.limiter = RateLimiter::new(limit);
+        self
     }
 
     /// Current metrics: counters, latency percentiles, per-course
@@ -240,9 +332,75 @@ impl WebGpuServer {
     /// scored submission row, because a failed graded submission is a
     /// gradebook fact, not a transient error.
     pub fn submit(&self, req: &SubmitRequest) -> Result<SubmissionOutcome, WbError> {
+        let (lab, meta, job) = self.prepare_submission(req)?;
+        let job_id = job.job_id;
+        let outcome = self.dispatcher.dispatch(job, req.at_ms)?;
+        self.record_outcome(&lab, meta, job_id, &outcome)
+    }
+
+    /// The queued half of the submission API: everything up to and
+    /// including admission happens now — auth, lab lookup, rate limit,
+    /// the dispatcher's own admission control — but execution does
+    /// not. Returns the job id to poll; record-keeping happens when
+    /// [`reap_queued`](Self::reap_queued) collects the outcome. A shed
+    /// ([`WbError::Overloaded`]) leaves no record, exactly like a
+    /// synchronous dispatch failure.
+    pub fn submit_queued(&self, req: &SubmitRequest) -> Result<u64, WbError> {
+        let (_, meta, job) = self.prepare_submission(req)?;
+        let job_id = job.job_id;
+        self.dispatcher.submit_queued(job, req.at_ms)?;
+        self.pending.lock().insert(job_id, meta);
+        Ok(job_id)
+    }
+
+    /// Drive the dispatcher one scheduling round (no-op for purely
+    /// synchronous backends); returns jobs completed this round.
+    pub fn advance(&self, now_ms: u64) -> usize {
+        self.dispatcher.advance(now_ms)
+    }
+
+    /// Collect every queued submission whose outcome is ready and
+    /// finish its record-keeping — rubric scoring, submission/attempt
+    /// rows, hints — identically to the synchronous path. Returns
+    /// `(job_id, result)` pairs in job-id order.
+    #[allow(clippy::type_complexity)]
+    pub fn reap_queued(&self) -> Vec<(u64, Result<SubmissionOutcome, WbError>)> {
+        let mut ids: Vec<u64> = self.pending.lock().keys().copied().collect();
+        ids.sort_unstable();
+        let mut reaped = Vec::new();
+        for job_id in ids {
+            let Some(outcome) = self.dispatcher.poll_queued(job_id) else {
+                continue;
+            };
+            let Some(meta) = self.pending.lock().remove(&job_id) else {
+                continue;
+            };
+            let result = self
+                .lab(&meta.lab)
+                .and_then(|lab| self.record_outcome(&lab, meta, job_id, &outcome));
+            reaped.push((job_id, result));
+        }
+        reaped
+    }
+
+    /// Queued submissions not yet reaped.
+    pub fn pending_queued(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// The shared front half of both submission paths: authenticate,
+    /// resolve lab and source, rate-limit, count the attempt, and
+    /// build the job.
+    fn prepare_submission(
+        &self,
+        req: &SubmitRequest,
+    ) -> Result<(LabDefinition, PendingSubmission, JobRequest), WbError> {
         let s = self.sessions.authenticate(req.token)?;
         let lab = self.lab(&req.lab)?;
-        let source = self.current_code(req.token, &req.lab)?;
+        let source = match &req.source {
+            Some(src) => src.clone(),
+            None => self.current_code(req.token, &req.lab)?,
+        };
         if let Err(e) = self
             .limiter
             .check(&format!("{}/{}", s.user, req.lab), req.at_ms)
@@ -266,27 +424,51 @@ impl WebGpuServer {
             datasets: lab.datasets.clone(),
             action,
         };
-        let outcome = self.dispatcher.dispatch(job, req.at_ms)?;
+        let meta = PendingSubmission {
+            user: s.user,
+            lab: req.lab.clone(),
+            action: req.action,
+            at_ms: req.at_ms,
+            source,
+        };
+        Ok((lab, meta, job))
+    }
 
-        let (passed, mut report) = render_outcome(&outcome);
+    /// The shared back half: render the outcome, append hints, write
+    /// the durable row, and shape the typed result.
+    fn record_outcome(
+        &self,
+        lab: &LabDefinition,
+        meta: PendingSubmission,
+        job_id: u64,
+        outcome: &JobOutcome,
+    ) -> Result<SubmissionOutcome, WbError> {
+        let PendingSubmission {
+            user,
+            lab: lab_id,
+            action,
+            at_ms,
+            source,
+        } = meta;
+        let (passed, mut report) = render_outcome(outcome);
         // Automated feedback (the paper's future-work item): hints are
         // appended to failing attempts only — passing students are not
         // second-guessed.
         if !passed {
-            for hint in crate::hints::hints_for(&outcome, &source) {
+            for hint in crate::hints::hints_for(outcome, &source) {
                 report.push_str(&format!("Hint: {}\n", hint.message));
             }
         }
 
-        if req.action == SubmitAction::FullGrade {
-            let score = lab.rubric.auto_score(&outcome, &source);
+        if action == SubmitAction::FullGrade {
+            let score = lab.rubric.auto_score(outcome, &source);
             let record_id = self
                 .state
                 .submissions
                 .insert(&SubmissionRec {
-                    user: s.user,
-                    lab: req.lab.clone(),
-                    at_ms: req.at_ms,
+                    user,
+                    lab: lab_id,
+                    at_ms,
                     passed: outcome.passed_count(),
                     total: outcome.datasets.len(),
                     compiled: outcome.compiled(),
@@ -310,13 +492,13 @@ impl WebGpuServer {
             .state
             .attempts
             .insert(&AttemptRec {
-                user: s.user,
-                lab: req.lab.clone(),
-                dataset: match req.action {
+                user,
+                lab: lab_id,
+                dataset: match action {
                     SubmitAction::RunDataset(i) => Some(i),
                     _ => None,
                 },
-                at_ms: req.at_ms,
+                at_ms,
                 compiled: outcome.compiled(),
                 passed,
                 summary: report.lines().next().unwrap_or_default().to_string(),
@@ -785,6 +967,115 @@ mod tests {
             snap.compile_micros.count, 3,
             "each dispatched attempt timed its compile"
         );
+    }
+
+    #[test]
+    fn queued_submission_records_like_the_sync_path() {
+        let (srv, _, student) = server_with_lab();
+        srv.save_code(student, "echo", ECHO, 100).unwrap();
+        let job_id = srv
+            .submit_queued(&SubmitRequest::full_grade(student, "echo").at(200))
+            .unwrap();
+        assert_eq!(srv.pending_queued(), 1);
+        let reaped = srv.reap_queued();
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].0, job_id);
+        let out = reaped[0].1.as_ref().expect("grade lands");
+        assert_eq!(out.trace_id, job_id);
+        assert!((out.score.unwrap() - 90.0).abs() < 1e-9);
+        assert_eq!(srv.pending_queued(), 0);
+        // The submission row is identical to what submit() writes.
+        let ids = srv.state.submissions.find("by_lab", "echo").unwrap();
+        assert_eq!(ids.len(), 1);
+        let rec = srv.state.submissions.get(ids[0]).unwrap();
+        assert_eq!(rec.user, "alice");
+        assert!(rec.compiled);
+        // Reaping again finds nothing.
+        assert!(srv.reap_queued().is_empty());
+    }
+
+    #[test]
+    fn queued_submission_takes_inline_source() {
+        let (srv, _, student) = server_with_lab();
+        // No save_code: the source rides in the request.
+        let job_id = srv
+            .submit_queued(
+                &SubmitRequest::compile_only(student, "echo")
+                    .at(50)
+                    .with_source(ECHO),
+            )
+            .unwrap();
+        let reaped = srv.reap_queued();
+        assert_eq!(reaped[0].0, job_id);
+        assert!(reaped[0].1.as_ref().unwrap().compiled);
+        let attempts = srv.attempts(student, "echo").unwrap();
+        assert_eq!(attempts.len(), 1);
+        assert!(attempts[0].source.contains("wbSolution"));
+        // The revisions table stayed empty — no autosave round-trip.
+        assert!(srv.history(student, "echo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn queued_failures_are_typed_and_recorded() {
+        let (srv, _, student) = server_with_lab();
+        srv.submit_queued(
+            &SubmitRequest::compile_only(student, "echo")
+                .at(10)
+                .with_source("int main( {"),
+        )
+        .unwrap();
+        let reaped = srv.reap_queued();
+        assert!(matches!(
+            reaped[0].1.as_ref().unwrap_err(),
+            WbError::CompileError { .. }
+        ));
+        // The failed attempt is on the record, same as the sync path.
+        let attempts = srv.attempts(student, "echo").unwrap();
+        assert_eq!(attempts.len(), 1);
+        assert!(!attempts[0].compiled);
+    }
+
+    #[test]
+    fn queued_rate_limit_applies_at_submit_time() {
+        let (srv, _, student) = server_with_lab();
+        for k in 0..3 {
+            srv.submit_queued(
+                &SubmitRequest::compile_only(student, "echo")
+                    .at(k)
+                    .with_source(ECHO),
+            )
+            .unwrap();
+        }
+        let err = srv
+            .submit_queued(
+                &SubmitRequest::compile_only(student, "echo")
+                    .at(4)
+                    .with_source(ECHO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, WbError::RateLimited { .. }));
+        assert_eq!(srv.pending_queued(), 3, "the shed attempt never queued");
+    }
+
+    #[test]
+    fn custom_rate_limit_replaces_the_default() {
+        let srv = WebGpuServer::new(Box::new(LocalDispatcher::new())).with_rate_limit(RateLimit {
+            burst: 1.0,
+            per_second: 0.0,
+        });
+        srv.register_instructor("prof", "pw").unwrap();
+        srv.register_student("alice", "pw").unwrap();
+        let staff = srv.login("prof", "pw", DeviceKind::Desktop, 0).unwrap();
+        let student = srv.login("alice", "pw", DeviceKind::Desktop, 0).unwrap();
+        srv.deploy_lab(staff, LabDefinition::test_lab("echo"))
+            .unwrap();
+        srv.save_code(student, "echo", ECHO, 0).unwrap();
+        srv.submit(&SubmitRequest::compile_only(student, "echo").at(1))
+            .unwrap();
+        let err = srv
+            .submit(&SubmitRequest::compile_only(student, "echo").at(2))
+            .unwrap_err();
+        assert!(matches!(err, WbError::RateLimited { .. }));
     }
 
     #[test]

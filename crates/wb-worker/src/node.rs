@@ -115,33 +115,6 @@ impl WorkerNode {
         )
     }
 
-    /// Boot a node that consults a shared submission cache before
-    /// compiling or grading. Every node in a cluster receives a clone
-    /// of the same `Arc`, which is what makes deduplication
-    /// cluster-wide rather than per-node.
-    #[deprecated(note = "use WorkerNode::launch(id, &NodeConfig { cache: Some(cache), .. })")]
-    pub fn boot_with_cache(
-        id: u64,
-        device: DeviceConfig,
-        config: &WorkerConfig,
-        cache: Arc<SubmissionCache>,
-    ) -> Self {
-        Self::boot_inner(id, device, config, Some(cache), Arc::new(Recorder::noop()))
-    }
-
-    /// Boot a node that reports pipeline phases and cache annotations
-    /// to a shared recorder (in addition to an optional shared cache).
-    #[deprecated(note = "use WorkerNode::launch(id, &NodeConfig { cache, obs, .. })")]
-    pub fn boot_traced(
-        id: u64,
-        device: DeviceConfig,
-        config: &WorkerConfig,
-        cache: Option<Arc<SubmissionCache>>,
-        obs: Arc<Recorder>,
-    ) -> Self {
-        Self::boot_inner(id, device, config, cache, obs)
-    }
-
     fn boot_inner(
         id: u64,
         device: DeviceConfig,
@@ -492,26 +465,6 @@ mod tests {
         let m = cache.metrics();
         assert_eq!(m.compile.hits, 1, "node b reused node a's compile");
         assert_eq!(m.grade.hits, 1, "node b reused node a's grade");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_boot_shims_still_launch_nodes() {
-        // Coverage for the migration shims only — new code goes through
-        // `WorkerNode::launch`.
-        use crate::cache::new_submission_cache;
-        let cache = new_submission_cache(wb_cache::CacheConfig::default());
-        let cfg = WorkerConfig::default();
-        let a = WorkerNode::boot_with_cache(1, DeviceConfig::test_small(), &cfg, cache.clone());
-        assert!(a.submit(&trivial_request(1), 0).is_some());
-        let b = WorkerNode::boot_traced(
-            2,
-            DeviceConfig::test_small(),
-            &cfg,
-            Some(cache),
-            Arc::new(Recorder::traced()),
-        );
-        assert!(b.submit(&trivial_request(2), 0).is_some());
     }
 
     #[test]

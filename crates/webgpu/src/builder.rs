@@ -3,9 +3,11 @@
 //! The constructor zoo (`new` / `new_uncached` / `new_traced` /
 //! `with_config_traced`…) grew one axis at a time — cache, tracing,
 //! worker image — and every new axis doubled it. [`ClusterBuilder`]
-//! replaces the zoo: pick the axes you care about, then `build_v1()`
-//! or `build_v2()`. The old constructors remain as thin deprecated
-//! shims for one release.
+//! replaced the zoo: pick the axes you care about, then `build_v1()`
+//! or `build_v2()`. The deprecated shims rode along for one release
+//! and have since been deleted; only `ClusterV1::new` /
+//! `ClusterV1::with_config` / `ClusterV2::new` survive as plain
+//! defaults-only conveniences.
 //!
 //! ```
 //! use webgpu::{AutoscalePolicy, ClusterBuilder, SchedConfig};

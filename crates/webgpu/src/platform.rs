@@ -9,6 +9,7 @@
 //! `&dyn Platform`) and runs unchanged on either architecture.
 
 use crate::{ClusterV1, ClusterV2};
+use wb_cache::CacheMetrics;
 use wb_obs::MetricsSnapshot;
 use wb_sched::SchedSnapshot;
 use wb_server::WbError;
@@ -41,6 +42,24 @@ pub trait Platform {
 
     /// Per-course scheduler backlogs.
     fn sched_snapshot(&self) -> SchedSnapshot;
+
+    /// Per-tier submission-cache gauges; `None` when the cluster was
+    /// built `uncached()`.
+    fn cache_metrics(&self) -> Option<CacheMetrics>;
+
+    /// Pump rounds `start_round..` until the queue drains or
+    /// `max_rounds` is spent; returns rounds actually pumped. Replay
+    /// and rush harnesses used to hand-roll this loop per cluster —
+    /// the budget guards against a wedged fleet turning a bench into
+    /// a hang.
+    fn drain_until_idle(&self, start_round: u64, max_rounds: u64) -> u64 {
+        let mut round = start_round;
+        while round - start_round < max_rounds && self.queue_depth(round) > 0 {
+            self.pump(round);
+            round += 1;
+        }
+        round - start_round
+    }
 }
 
 impl Platform for ClusterV1 {
@@ -75,6 +94,10 @@ impl Platform for ClusterV1 {
     fn sched_snapshot(&self) -> SchedSnapshot {
         ClusterV1::sched_snapshot(self)
     }
+
+    fn cache_metrics(&self) -> Option<CacheMetrics> {
+        ClusterV1::cache_metrics_opt(self)
+    }
 }
 
 impl Platform for ClusterV2 {
@@ -108,6 +131,10 @@ impl Platform for ClusterV2 {
 
     fn sched_snapshot(&self) -> SchedSnapshot {
         ClusterV2::sched_snapshot(self)
+    }
+
+    fn cache_metrics(&self) -> Option<CacheMetrics> {
+        ClusterV2::cache_metrics(self)
     }
 }
 
@@ -176,5 +203,34 @@ mod tests {
             .fleet(2)
             .build_v2();
         run_jobs(&v2, 8);
+    }
+
+    /// The replay hooks: a bounded drain empties the queue on both
+    /// architectures, and cache gauges surface through the façade.
+    #[test]
+    fn drain_until_idle_and_cache_metrics_on_both_architectures() {
+        let v1 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .build_v1();
+        let v2 = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .build_v2();
+        for p in [&v1 as &dyn Platform, &v2] {
+            for j in 0..6 {
+                p.submit_job(echo(j, "hpp"), 0).expect("admitted");
+            }
+            let rounds = p.drain_until_idle(1, 100);
+            assert!(rounds > 0 && rounds < 100);
+            assert_eq!(p.queue_depth(1 + rounds), 0);
+            assert_eq!(p.completed(), 6);
+            let cache = p.cache_metrics().expect("default builds are cached");
+            assert!(cache.total().lookups() > 0);
+        }
+        // An uncached build reports None rather than zeroed gauges.
+        let bare = ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(1)
+            .uncached()
+            .build_v2();
+        assert!(Platform::cache_metrics(&bare).is_none());
     }
 }

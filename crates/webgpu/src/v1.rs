@@ -93,21 +93,6 @@ impl ClusterV1 {
         )
     }
 
-    /// Boot a full-image cluster whose dispatch/retry/pipeline activity
-    /// lands in a shared recorder.
-    #[deprecated(note = "use webgpu::ClusterBuilder::new(device).fleet(n).traced(obs).build_v1()")]
-    pub fn new_traced(n: usize, device: DeviceConfig, obs: Arc<Recorder>) -> Self {
-        Self::new_inner(
-            n,
-            device,
-            Self::full_image_config(),
-            Some(CacheConfig::default()),
-            obs,
-            SchedConfig::default(),
-            wb_worker::default_shards(),
-        )
-    }
-
     /// Boot with an explicit worker configuration (e.g. a CUDA-only
     /// image, to demonstrate why v1 could not afford thin nodes).
     pub fn with_config(n: usize, device: DeviceConfig, config: WorkerConfig) -> Self {
@@ -117,27 +102,6 @@ impl ClusterV1 {
             config,
             Some(CacheConfig::default()),
             Arc::new(Recorder::noop()),
-            SchedConfig::default(),
-            wb_worker::default_shards(),
-        )
-    }
-
-    /// [`with_config`](Self::with_config) plus a shared recorder.
-    #[deprecated(
-        note = "use webgpu::ClusterBuilder::new(device).fleet(n).worker_config(config).traced(obs).build_v1()"
-    )]
-    pub fn with_config_traced(
-        n: usize,
-        device: DeviceConfig,
-        config: WorkerConfig,
-        obs: Arc<Recorder>,
-    ) -> Self {
-        Self::new_inner(
-            n,
-            device,
-            config,
-            Some(CacheConfig::default()),
-            obs,
             SchedConfig::default(),
             wb_worker::default_shards(),
         )
@@ -259,6 +223,14 @@ impl ClusterV1 {
     /// Snapshot the cluster-wide submission-cache counters.
     pub fn cache_metrics(&self) -> CacheMetrics {
         self.cache.metrics()
+    }
+
+    /// [`cache_metrics`](Self::cache_metrics) with v2's `Option`
+    /// semantics: `None` for an uncached build instead of zeroed
+    /// gauges, so [`Platform`](crate::Platform) reads identically on
+    /// both architectures.
+    pub fn cache_metrics_opt(&self) -> Option<CacheMetrics> {
+        self.cached.then(|| self.cache.metrics())
     }
 
     /// Remove the most recently added worker (scale-in).
@@ -520,6 +492,18 @@ impl ClusterV1 {
 impl JobDispatcher for ClusterV1 {
     fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         self.submit(&req, now_ms)
+    }
+
+    fn submit_queued(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
+        self.enqueue(req, now_ms)
+    }
+
+    fn poll_queued(&self, job_id: u64) -> Option<JobOutcome> {
+        self.take_result(job_id)
+    }
+
+    fn advance(&self, now_ms: u64) -> usize {
+        self.pump(now_ms)
     }
 }
 

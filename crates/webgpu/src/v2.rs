@@ -91,49 +91,6 @@ impl ClusterV2 {
         )
     }
 
-    /// Boot without a submission cache: every job compiles and grades
-    /// fresh. This is the pre-cache behaviour, kept as the baseline
-    /// for the `cache_rush` experiment.
-    #[deprecated(note = "use webgpu::ClusterBuilder::new(device).uncached().build_v2()")]
-    pub fn new_uncached(
-        initial_workers: usize,
-        device: DeviceConfig,
-        policy: AutoscalePolicy,
-    ) -> Self {
-        Self::new_inner(
-            initial_workers,
-            device,
-            policy,
-            None,
-            Arc::new(Recorder::noop()),
-            SchedConfig::default(),
-            WorkerConfig::default(),
-            wb_worker::default_shards(),
-        )
-    }
-
-    /// Boot a cached fleet wired to a shared tracing recorder: every
-    /// layer — broker, workers, scheduler — records into the same
-    /// `wb-obs` sink, so a job's span covers its full lifecycle.
-    #[deprecated(note = "use webgpu::ClusterBuilder::new(device).traced(obs).build_v2()")]
-    pub fn new_traced(
-        initial_workers: usize,
-        device: DeviceConfig,
-        policy: AutoscalePolicy,
-        obs: Arc<Recorder>,
-    ) -> Self {
-        Self::new_inner(
-            initial_workers,
-            device,
-            policy,
-            Some(new_submission_cache(CacheConfig::default())),
-            obs,
-            SchedConfig::default(),
-            WorkerConfig::default(),
-            wb_worker::default_shards(),
-        )
-    }
-
     #[allow(clippy::too_many_arguments)] // builder-only constructor
     pub(crate) fn new_inner(
         initial_workers: usize,
@@ -531,6 +488,22 @@ impl JobDispatcher for ClusterV2 {
         self.obs.phase(job_id, JobPhase::Failed, now_ms + 10_000);
         Err(WbError::infra("job did not complete (no capable worker?)"))
     }
+
+    // The queued path maps straight onto the cluster's native
+    // admission/pump/result surface — this is how the semester replay
+    // drives a shared cluster behind a `WebGpuServer`.
+
+    fn submit_queued(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
+        self.submit(req, now_ms)
+    }
+
+    fn poll_queued(&self, job_id: u64) -> Option<JobOutcome> {
+        self.take_result(job_id)
+    }
+
+    fn advance(&self, now_ms: u64) -> usize {
+        self.pump(now_ms)
+    }
 }
 
 impl ClusterV2 {
@@ -630,28 +603,6 @@ mod tests {
             c.pump(r);
         }
         assert_eq!(c.completed(), 4);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shims_still_build() {
-        // Coverage for the migration shims only — new code goes through
-        // `ClusterBuilder`.
-        let uncached =
-            ClusterV2::new_uncached(1, DeviceConfig::test_small(), AutoscalePolicy::Static(1));
-        assert!(uncached.cache_metrics().is_none());
-        let traced = ClusterV2::new_traced(
-            1,
-            DeviceConfig::test_small(),
-            AutoscalePolicy::Static(1),
-            Arc::new(Recorder::traced()),
-        );
-        traced.enqueue(echo(1), 0);
-        for r in 0..5 {
-            traced.pump(r);
-        }
-        assert_eq!(traced.completed(), 1);
-        assert!(traced.span(1).is_some());
     }
 
     #[test]
