@@ -14,6 +14,8 @@ pub enum Phase {
     Parse,
     /// Semantic analysis (types, declarations, kernel constraints).
     Sema,
+    /// Static kernel analysis (races, barrier divergence, bounds).
+    Analysis,
     /// Kernel or host execution.
     Runtime,
     /// A resource budget (cycles, steps, memory) was exhausted.
@@ -30,6 +32,7 @@ impl Phase {
             Phase::Lex => "lex error",
             Phase::Parse => "syntax error",
             Phase::Sema => "semantic error",
+            Phase::Analysis => "analysis warning",
             Phase::Runtime => "runtime error",
             Phase::Limit => "resource limit exceeded",
             Phase::Security => "security violation",

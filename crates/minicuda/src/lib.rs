@@ -63,6 +63,7 @@
 //! );
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod batch;
 pub mod cost;
@@ -84,6 +85,7 @@ pub mod simt;
 pub mod token;
 pub mod value;
 
+pub use analyze::{analyze_program, AnalysisPolicy, CheckKind, Finding};
 pub use cost::{CostModel, CostSummary};
 pub use device::DeviceConfig;
 pub use diag::{Diag, Phase};

@@ -1,0 +1,191 @@
+//! The static-verifier benchmark corpus: bug archetypes the analyzer
+//! must catch, false-positive traps it must stay silent on, and the
+//! helpers the `analyze` bin uses to score both.
+//!
+//! The corpus encodes the verifier's contract from the student's side:
+//! every archetype is a bug class course staff see weekly (§III-C's
+//! grading pipeline gives no feedback between "compile error" and
+//! "wrong answer", which is exactly the gap the verifier fills), and
+//! every trap is a *correct* idiom from the catalog's reference
+//! solutions that superficially resembles one. Catch rate is gated at
+//! 100% and the trap/false-positive count at zero: the analyzer is
+//! deliberately incomplete, so the corpus only contains programs it
+//! promises to decide.
+
+use minicuda::{analyze_program, compile, CheckKind, Dialect, Finding, Program};
+
+/// One statically-catchable bug archetype.
+pub struct Archetype {
+    /// Short kebab-case name (report table key).
+    pub name: &'static str,
+    /// The finding kind the verifier must report.
+    pub kind: CheckKind,
+    /// Kernel source (no `main`; [`compile_kernel`] appends a stub).
+    pub kernel: &'static str,
+}
+
+/// The archetype corpus: one entry per bug class the verifier gates on.
+pub fn archetypes() -> Vec<Archetype> {
+    vec![
+        Archetype {
+            name: "ww-shared-race",
+            kind: CheckKind::SharedRace,
+            kernel: r#"__global__ void k(float* a, int n) {
+                __shared__ float acc[32];
+                int t = threadIdx.x;
+                acc[0] = a[t];
+                if (t < n) { a[t] = acc[0]; }
+            }"#,
+        },
+        Archetype {
+            name: "rw-shared-race",
+            kind: CheckKind::SharedRace,
+            kernel: r#"__global__ void k(float* a, int n) {
+                __shared__ float buf[128];
+                int t = threadIdx.x;
+                buf[t] = a[t];
+                a[t] = buf[t + 1];
+            }"#,
+        },
+        Archetype {
+            name: "barrier-in-divergent-if",
+            kind: CheckKind::BarrierDivergence,
+            kernel: r#"__global__ void k(float* a, int n) {
+                int t = threadIdx.x;
+                if (t < 7) { __syncthreads(); }
+                a[t] = 1.0;
+            }"#,
+        },
+        Archetype {
+            name: "barrier-in-nonuniform-loop",
+            kind: CheckKind::BarrierDivergence,
+            kernel: r#"__global__ void k(float* a, int n) {
+                int i = threadIdx.x;
+                while (i > 0) {
+                    __syncthreads();
+                    i = i - 1;
+                }
+            }"#,
+        },
+        Archetype {
+            name: "off-by-one-tile-oob",
+            kind: CheckKind::OutOfBounds,
+            kernel: r#"__global__ void k(float* a, int n) {
+                __shared__ float tile[16];
+                int t = threadIdx.x;
+                if (t <= 16) { tile[t] = a[t]; }
+            }"#,
+        },
+        Archetype {
+            name: "loop-bound-tile-oob",
+            kind: CheckKind::OutOfBounds,
+            kernel: r#"__global__ void k(float* a, int n) {
+                __shared__ float tile[16];
+                if (threadIdx.x == 0) {
+                    for (int i = 0; i <= 16; i++) { tile[i] = 0.0; }
+                }
+            }"#,
+        },
+        Archetype {
+            name: "uninit-read",
+            kind: CheckKind::UninitRead,
+            kernel: r#"__global__ void k(float* a, int n) {
+                int best;
+                if (threadIdx.x < n) { best = 3; }
+                a[threadIdx.x] = best;
+                best = 0;
+            }"#,
+        },
+    ]
+}
+
+/// Correct idioms that superficially resemble the archetypes; the
+/// verifier must report nothing on any of them.
+pub fn traps() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "guarded-access",
+            r#"__global__ void k(float* a, int n) {
+                __shared__ float buf[64];
+                int t = threadIdx.x;
+                if (t < 64) { buf[t] = a[t]; }
+            }"#,
+        ),
+        (
+            "affine-disjoint-slots",
+            r#"__global__ void k(float* a, int n) {
+                __shared__ float buf[128];
+                int t = threadIdx.x;
+                buf[t] = a[t];
+                a[t] = buf[t] * 2.0;
+            }"#,
+        ),
+        (
+            "single-writer-guard",
+            r#"__global__ void k(float* a, int n) {
+                __shared__ float total[1];
+                if (threadIdx.x == 0) { total[0] = 0.0; }
+            }"#,
+        ),
+        (
+            "barrier-separated-phases",
+            r#"__global__ void k(float* a, int n) {
+                __shared__ float buf[64];
+                int t = threadIdx.x;
+                buf[t] = a[t];
+                __syncthreads();
+                a[t] = buf[63 - t];
+            }"#,
+        ),
+        (
+            "uniform-loop-barrier",
+            r#"__global__ void k(float* a, int n) {
+                __shared__ float buf[64];
+                int t = threadIdx.x;
+                buf[t] = a[t];
+                for (int s = 1; s < 64; s = s * 2) {
+                    __syncthreads();
+                    if (t >= s) { a[t] = buf[t - s]; }
+                }
+            }"#,
+        ),
+    ]
+}
+
+/// Compile a bare kernel (the corpus entries carry no host code) as a
+/// CUDA translation unit.
+pub fn compile_kernel(kernel: &str) -> Program {
+    let source = format!("{kernel}\nint main() {{ return 0; }}\n");
+    compile(&source, Dialect::Cuda).expect("corpus kernels compile")
+}
+
+/// Verifier findings for one corpus kernel.
+pub fn kernel_findings(kernel: &str) -> Vec<Finding> {
+    analyze_program(&compile_kernel(kernel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_archetype_is_caught_with_its_kind() {
+        for a in archetypes() {
+            let findings = kernel_findings(a.kernel);
+            assert!(
+                findings.iter().any(|f| f.kind == a.kind),
+                "{}: expected {:?}, got {findings:?}",
+                a.name,
+                a.kind
+            );
+        }
+    }
+
+    #[test]
+    fn every_trap_is_silent() {
+        for (name, kernel) in traps() {
+            let findings = kernel_findings(kernel);
+            assert!(findings.is_empty(), "{name}: {findings:?}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Experiment: the static kernel verifier — catch rate, false-positive
+//! rate, and overhead.
+//!
+//! Three questions, three gates:
+//!
+//! 1. **Catch rate** — does the verifier flag every archetype in the
+//!    [`wb_bench::analyze`] bug corpus, with the right finding kind?
+//!    Gated at 100%: the corpus only contains bug classes the analyzer
+//!    promises to decide, so anything below a clean sweep is a
+//!    regression.
+//! 2. **False positives** — does it stay silent on every reference
+//!    solution in the lab catalog *and* on the trap corpus (correct
+//!    idioms that superficially resemble the archetypes)? Gated at
+//!    zero: a verifier that lectures students about correct code is
+//!    worse than no verifier.
+//! 3. **Overhead** — analysis time as a fraction of compile time,
+//!    summed over the catalog. Gated at [`OVERHEAD_LIMIT`] on hosts
+//!    with at least [`wb_bench::report::GATE_MIN_CORES`] cores; the
+//!    warn-mode default runs on every uncached submission, so it must
+//!    stay a small tax on the phase it rides alongside.
+//!
+//! Always writes `BENCH_analyze.json` (shared `wb-bench/v1` schema).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use minicuda::{analyze_program, compile};
+use wb_bench::analyze::{archetypes, kernel_findings, traps};
+use wb_bench::report::{host_cores, obj, BenchReport, Gate, Json};
+use wb_labs::LabScale;
+
+/// Analysis time must stay within this fraction of compile time.
+const OVERHEAD_LIMIT: f64 = 0.25;
+/// Timed repetitions; the fastest is reported.
+const REPS: usize = 5;
+
+struct LabRow {
+    lab: &'static str,
+    findings: usize,
+    compile_us: f64,
+    analyze_us: f64,
+}
+
+/// Best-of-[`REPS`] wall time for `f`, in microseconds.
+fn best_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 2 } else { REPS };
+    let cores = host_cores();
+    println!("static verifier — catch rate / false positives / overhead, host cores: {cores}");
+
+    // 1. Archetype corpus: every bug class must be caught with its kind.
+    let mut arch_rows = Vec::new();
+    let mut caught = 0usize;
+    let corpus = archetypes();
+    for a in &corpus {
+        let findings = kernel_findings(a.kernel);
+        let hit = findings.iter().any(|f| f.kind == a.kind);
+        caught += hit as usize;
+        println!(
+            "  {:>26}  expect {:<17}  {}",
+            a.name,
+            a.kind.label(),
+            if hit { "caught" } else { "MISSED" }
+        );
+        arch_rows.push(obj([
+            ("archetype", Json::from(a.name)),
+            ("kind", Json::from(a.kind.label())),
+            ("caught", Json::from(hit)),
+            ("findings", Json::from(findings.len() as u64)),
+        ]));
+    }
+    let catch_rate = caught as f64 / corpus.len() as f64;
+
+    // 2a. Trap corpus: correct idioms must produce zero findings.
+    let mut trap_false_positives = 0u64;
+    for (name, kernel) in traps() {
+        let findings = kernel_findings(kernel);
+        if !findings.is_empty() {
+            println!("  trap {name}: {} spurious finding(s)", findings.len());
+        }
+        trap_false_positives += findings.len() as u64;
+    }
+
+    // 2b + 3. Reference catalog: zero findings, and the overhead of the
+    // analyze pass relative to the compile it rides alongside.
+    let mut lab_rows = Vec::new();
+    let mut false_positives = 0u64;
+    let mut total_compile_us = 0.0;
+    let mut total_analyze_us = 0.0;
+    println!(
+        "{:>14}  {:>8}  {:>12}  {:>12}",
+        "lab", "findings", "compile us", "analyze us"
+    );
+    for lab in wb_labs::lab_ids() {
+        let spec = wb_labs::definition(lab, LabScale::Small)
+            .expect("catalog lab")
+            .spec;
+        let source = wb_labs::solution(lab).expect("catalog solution");
+        let program = compile(source, spec.dialect).expect("reference solution compiles");
+        let findings = analyze_program(&program);
+        false_positives += findings.len() as u64;
+        let compile_us = best_us(reps, || compile(source, spec.dialect).unwrap());
+        let analyze_us = best_us(reps, || analyze_program(&program));
+        total_compile_us += compile_us;
+        total_analyze_us += analyze_us;
+        println!(
+            "{lab:>14}  {:>8}  {compile_us:>12.1}  {analyze_us:>12.1}",
+            findings.len()
+        );
+        lab_rows.push(LabRow {
+            lab,
+            findings: findings.len(),
+            compile_us,
+            analyze_us,
+        });
+    }
+    let analyze_overhead = total_analyze_us / total_compile_us;
+
+    println!();
+    println!(
+        "catch rate {:.0}% ({caught}/{})  catalog FPs {false_positives}  trap FPs \
+         {trap_false_positives}  overhead {:.1}% of compile",
+        catch_rate * 100.0,
+        corpus.len(),
+        analyze_overhead * 100.0
+    );
+
+    BenchReport::new("analyze")
+        .smoke(smoke)
+        .config("reps", reps as u64)
+        .config("archetype_count", corpus.len() as u64)
+        .metric("catch_rate", catch_rate)
+        .metric("false_positives", false_positives)
+        .metric("trap_false_positives", trap_false_positives)
+        .metric("analyze_overhead", analyze_overhead)
+        .table("archetypes", arch_rows)
+        .table(
+            "labs",
+            lab_rows
+                .iter()
+                .map(|r| {
+                    obj([
+                        ("lab", Json::from(r.lab)),
+                        ("findings", Json::from(r.findings as u64)),
+                        ("compile_us", Json::from(r.compile_us)),
+                        ("analyze_us", Json::from(r.analyze_us)),
+                    ])
+                })
+                .collect(),
+        )
+        .gate(Gate::at_least("catch_rate", catch_rate, 1.0))
+        .gate(Gate::exactly("false_positives", false_positives, 0))
+        .gate(Gate::exactly(
+            "trap_false_positives",
+            trap_false_positives,
+            0,
+        ))
+        .gate(Gate::at_most("analyze_overhead", analyze_overhead, OVERHEAD_LIMIT).on_multi_core())
+        .finish()
+}

@@ -129,6 +129,8 @@ the queue until the fleet is upgraded, finishing the same mix with\n\
         .metric("v2_mpi_waiting_thin_phase", waiting_thin)
         .metric("v2_driver_restarts", restarts)
         .metric("v2_completed", v2.completed())
+        .metric("v1_fails_every_mpi_job", v1_failed as u64)
+        .metric("thin_phase_holds_tagged_jobs", waiting_thin as u64)
         .gate(Gate::exactly(
             "v1_fails_every_mpi_job",
             v1_failed as u64,

@@ -94,6 +94,11 @@ fn main() -> ExitCode {
         .metric("warm_hits", s.warm_hits)
         .metric("cold_boots", s.cold_boots)
         .metric("background_boot_ms", s.boot_ms_total)
+        .metric(
+            "pooled_vs_cold_wait_ratio",
+            pooled_mean / cold_mean.max(1.0),
+        )
+        .metric("container_independent_cycles", a.datasets[0].elapsed_cycles)
         .gate(Gate::at_most(
             "pooled_vs_cold_wait_ratio",
             pooled_mean / cold_mean.max(1.0),

@@ -93,6 +93,7 @@ fn main() -> ExitCode {
                 .map(|(day, &p)| obj([("day", Json::from(day)), ("peak", Json::from(p))]))
                 .collect(),
         )
+        .metric("spike_dow_mode_is_wednesday", spike_mode)
         .gate(Gate::exactly("spike_dow_mode_is_wednesday", spike_mode, 3))
         .finish()
 }

@@ -91,6 +91,7 @@ reviewers get nothing back — the observed inequity that forced the\n\
         .metric("coverage_full_participation_pct", full)
         .metric("coverage_3pct_active_pct", starved)
         .table("starvation_curve", curve)
+        .metric("starved_coverage_pct", starved)
         .gate(Gate::at_most("starved_coverage_pct", starved, full / 2.0))
         .finish()
 }

@@ -218,6 +218,11 @@ fn report_arch(
             ("shed", Json::from(o.shed)),
         ]));
         report = report
+            .metric(&format!("{arch}_{course}_exactly_once"), o.completed)
+            .metric(
+                &format!("{arch}_{course}_p99_ratio"),
+                o.rush_p99 / o.baseline.max(1.0),
+            )
             .gate(Gate::exactly(
                 &format!("{arch}_{course}_exactly_once"),
                 o.completed,
@@ -243,6 +248,15 @@ fn report_arch(
         .metric(
             &format!("{arch}_brown_outs"),
             snap.counter("sched_brown_outs"),
+        )
+        .metric(&format!("{arch}_sheds"), total_shed)
+        .metric(
+            &format!("{arch}_recorder_admitted"),
+            snap.counter("sched_admitted"),
+        )
+        .metric(
+            &format!("{arch}_recorder_sheds"),
+            snap.counter("sched_shed"),
         )
         .gate(Gate::at_least(
             &format!("{arch}_sheds"),
@@ -283,7 +297,9 @@ fn run_arch(
             eprintln!("FAIL[{arch}]: {e}");
             // A harness error is unconditionally fatal: record it as an
             // impossible exact gate so the artifact says why.
-            report.gate(Gate::exactly(&format!("{arch}_harness_ok"), 0, 1))
+            report
+                .metric(&format!("{arch}_harness_ok"), 0u64)
+                .gate(Gate::exactly(&format!("{arch}_harness_ok"), 0, 1))
         }
     }
 }

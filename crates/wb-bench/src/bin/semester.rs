@@ -154,6 +154,10 @@ fn main() -> ExitCode {
         .metric("wall_secs", o.wall_secs)
         .metric("jobs_per_sec", o.jobs_per_sec)
         .metric("deterministic_digest", o.deterministic_digest())
+        .metric("reaped_equals_admitted", o.completed)
+        .metric("offered_split", o.admitted + o.shed + o.rate_limited)
+        .metric("shed_books", o.shed)
+        .metric("infra_errors", o.infra_errors)
         .table("weekly", weekly)
         .gate(Gate::exactly(
             "reaped_equals_admitted",

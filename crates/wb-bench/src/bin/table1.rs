@@ -126,6 +126,7 @@ matching the 7.4% → 3.1% drop."
                 .map(|(w, &n)| obj([("week", Json::from(w + 1)), ("active", Json::from(n))]))
                 .collect(),
         )
+        .metric("policy_change_rate_ratio", sim_rates[1] / sim_rates[0])
         .gate(Gate::at_most(
             "policy_change_rate_ratio",
             sim_rates[1] / sim_rates[0],

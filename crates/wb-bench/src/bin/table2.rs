@@ -88,6 +88,6 @@ fn main() -> ExitCode {
         .metric("cells_failed", failed)
         .table("matrix", matrix_rows)
         .table("courses", course_rows)
-        .gate(Gate::exactly("failed_cells", failed, 0))
+        .gate(Gate::exactly("cells_failed", failed, 0))
         .finish()
 }

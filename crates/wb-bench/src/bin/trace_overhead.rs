@@ -167,6 +167,8 @@ fn main() -> ExitCode {
         .metric("queue_wait_p99_rounds", snap.queue_wait_rounds.p99)
         .metric("compile_p99_us", snap.compile_micros.p99)
         .metric("grade_p99_us", snap.grade_micros.p99)
+        .metric("traced_jobs_completed", snap.counter("jobs_completed"))
+        .metric("tracing_slowdown", slowdown.max(0.0))
         .gate(Gate::exactly(
             "traced_jobs_completed",
             snap.counter("jobs_completed"),

@@ -20,11 +20,13 @@
 //! | `faults` | §III — fault injection and recovery |
 //! | `cache_rush` | submission cache under a Zipf(1.1) deadline rush |
 //! | `semester` | Figure 1 at 100–1000× through the full stack ([`semester`]) |
+//! | `analyze` | static verifier catch rate / false positives / overhead ([`analyze`]) |
 //! | `bench_schema` | validates every `BENCH_*.json` against `wb-bench/v1` |
 //!
 //! Criterion benches cover the substrates (`population`, `labs`,
 //! `sandbox`, `container`, `queue`, `db`, `device`, `cluster`).
 
+pub mod analyze;
 pub mod report;
 pub mod semester;
 

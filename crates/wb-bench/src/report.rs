@@ -716,8 +716,13 @@ pub struct ReportSummary {
 }
 
 /// Check that `text` is a well-formed `wb-bench/v1` report: required
-/// fields present and typed, every gate complete, and the top-level
-/// `passed` consistent with the enforced gates.
+/// fields present and typed, every gate complete, gate names unique,
+/// every *enforced* gate traceable to a metric or table column, and
+/// the top-level `passed` consistent with the enforced gates.
+///
+/// The traceability rule is what keeps the artifact trail honest: a
+/// gate that names nothing in `metrics`/`tables` is a bar nobody can
+/// plot PR-over-PR, which is how silently-meaningless gates creep in.
 pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     let doc = Json::parse(text)?;
     let schema = doc
@@ -748,17 +753,39 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             _ => return Err(format!("'{section}' must be an object")),
         }
     }
+    // Names an enforced gate may carry: metric keys, table names, and
+    // the column keys of every table row.
+    let mut traceable: Vec<&str> = Vec::new();
+    if let Some(Json::Obj(metrics)) = doc.get("metrics") {
+        traceable.extend(metrics.iter().map(|(k, _)| k.as_str()));
+    }
+    if let Some(Json::Obj(tables)) = doc.get("tables") {
+        for (name, rows) in tables {
+            traceable.push(name.as_str());
+            for row in rows.as_arr().unwrap_or_default() {
+                if let Json::Obj(fields) = row {
+                    traceable.extend(fields.iter().map(|(k, _)| k.as_str()));
+                }
+            }
+        }
+    }
     let gates = doc
         .get("gates")
         .and_then(Json::as_arr)
         .ok_or("'gates' must be an array")?;
+    let mut seen_names: Vec<&str> = Vec::new();
     let mut enforced_ok = true;
     for (i, gate) in gates.iter().enumerate() {
         let ctx = |field: &str| format!("gates[{i}].{field}");
-        gate.get("name")
+        let name = gate
+            .get("name")
             .and_then(Json::as_str)
             .filter(|n| !n.is_empty())
             .ok_or_else(|| ctx("name"))?;
+        if seen_names.contains(&name) {
+            return Err(format!("gates[{i}]: duplicate gate name '{name}'"));
+        }
+        seen_names.push(name);
         let value = gate
             .get("value")
             .and_then(Json::as_f64)
@@ -789,6 +816,11 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             return Err(format!(
                 "gates[{i}] verdict {recorded_pass} disagrees with {value} {} {threshold}",
                 op.symbol()
+            ));
+        }
+        if enforced && !traceable.contains(&name) {
+            return Err(format!(
+                "gates[{i}]: enforced gate '{name}' names no metric or table column"
             ));
         }
         if enforced && !recorded_pass {
@@ -823,6 +855,8 @@ mod tests {
             .config("scale", 100u64)
             .config("seed", 0x5eedu64)
             .metric("jobs_per_sec", 123.456)
+            .metric("speedup", 2.4)
+            .metric("books", 7u64)
             .metric("label", "hello \"quoted\"\n")
             .table(
                 "rows",
@@ -856,10 +890,41 @@ mod tests {
 
     #[test]
     fn enforced_failure_flips_the_verdict() {
-        let report = BenchReport::new("unit").gate(Gate::at_least("speedup", 1.0, 2.0));
+        let report = BenchReport::new("unit")
+            .metric("speedup", 1.0)
+            .gate(Gate::at_least("speedup", 1.0, 2.0));
         assert!(!report.passed());
         let summary = validate_report(&report.render()).expect("still schema-valid");
         assert!(!summary.passed);
+    }
+
+    #[test]
+    fn duplicate_gate_names_are_rejected() {
+        let report = BenchReport::new("unit")
+            .metric("speedup", 3.0)
+            .gate(Gate::at_least("speedup", 3.0, 2.0))
+            .gate(Gate::at_least("speedup", 3.0, 1.0));
+        let err = validate_report(&report.render()).unwrap_err();
+        assert!(err.contains("duplicate gate name"), "{err}");
+    }
+
+    #[test]
+    fn enforced_gates_must_trace_to_a_metric_or_table() {
+        // An enforced gate naming nothing measurable is rejected ...
+        let report = BenchReport::new("unit").gate(Gate::at_least("phantom", 1.0, 0.5));
+        let err = validate_report(&report.render()).unwrap_err();
+        assert!(err.contains("names no metric"), "{err}");
+        // ... a report-only gate may float free (it cannot fail CI) ...
+        let report =
+            BenchReport::new("unit").gate(Gate::at_least("phantom", 1.0, 0.5).report_only());
+        validate_report(&report.render()).expect("report-only gates are exempt");
+        // ... and table names / row columns count as traceable.
+        let rows = vec![obj([("lab", Json::from("scan")), ("ms", Json::from(2.0))])];
+        let report = BenchReport::new("unit")
+            .table("labs", rows)
+            .gate(Gate::at_most("ms", 2.0, 5.0))
+            .gate(Gate::exactly("labs", 1, 1));
+        validate_report(&report.render()).expect("table-backed gates are traceable");
     }
 
     #[test]
@@ -874,6 +939,7 @@ mod tests {
         assert!(validate_report("{}").is_err());
         assert!(validate_report("not json").is_err());
         let mut text = BenchReport::new("unit")
+            .metric("g", 1.0)
             .gate(Gate::at_least("g", 1.0, 2.0))
             .render();
         // Cook the books: claim the failed gate passed.

@@ -158,6 +158,18 @@ pub struct SemesterOutcome {
     pub brown_outs: u64,
     /// Reaped as [`WbError::Infra`] — any is a platform bug.
     pub infra_errors: u64,
+    /// Reaped outcomes carrying static-verifier findings (the catalog
+    /// deploys warn-mode labs, so flagged work still grades).
+    pub flagged: u64,
+    /// Recorder's `analysis_runs` — verifier executions, one per
+    /// fresh compile of an analysis-enabled lab (cache hits reuse the
+    /// stored verdict).
+    pub analysis_runs: u64,
+    /// Recorder's `analysis_flagged` (reconciles with `flagged`).
+    pub analysis_flagged: u64,
+    /// Recorder's `analysis_denied` — the replay deploys warn-mode
+    /// labs only, so any deny is a policy-plumbing bug.
+    pub analysis_denied: u64,
     /// Extra rounds the final drain needed after the last hour.
     pub drain_rounds: u64,
     /// Wall-clock seconds the replay took.
@@ -190,6 +202,8 @@ impl SemesterOutcome {
             && self.sched_shed == self.shed
             && self.sched_admitted == self.admitted
             && self.rate_limited_counter == self.rate_limited
+            && self.analysis_flagged == self.flagged
+            && self.analysis_denied == 0
     }
 
     /// Cache lookups served without re-executing, as a fraction of all
@@ -221,7 +235,8 @@ impl SemesterOutcome {
         format!(
             "hours={} offered={} admitted={} shed={} rate_limited={} \
              completed={} compile_failed={} runtime_failed={} graded={} \
-             brown_outs={} drain_rounds={} wait[n={} sum={} p50={} p95={} p99={}] \
+             brown_outs={} flagged={} analysis_denied={} drain_rounds={} \
+             wait[n={} sum={} p50={} p95={} p99={}] \
              cache[miss={} reused={} evict={}] cost[gpu_h={:.0} busy_h={:.2} \
              dollars={:.2} peak={}]",
             self.hours,
@@ -234,6 +249,8 @@ impl SemesterOutcome {
             self.runtime_failed,
             self.graded,
             self.brown_outs,
+            self.flagged,
+            self.analysis_denied,
             self.drain_rounds,
             self.queue_wait.count,
             self.queue_wait.sum,
@@ -271,10 +288,22 @@ struct LabRuntime {
 /// Rank `rank` of a lab's Zipf source pool. Rank 0 is the reference
 /// solution verbatim; higher ranks are distinct-by-comment forks of
 /// it (distinct cache keys, same behaviour); every 13th rank is a
-/// broken edit that fails to compile, so the compile-error path stays
-/// hot all semester (~8% of the pool, ~a few % of traffic after Zipf).
+/// broken edit, so the error paths stay hot all semester (~8% of the
+/// pool, ~a few % of traffic after Zipf). Broken ranks alternate
+/// between two failure classes: half fail to compile (the classic
+/// syntax-error resubmission), half compile and grade cleanly but
+/// carry a barrier-in-divergent-`if` kernel the static verifier
+/// flags — the warn-mode analysis path under real semester load.
 fn variant_source(course: &str, lab: &str, rank: usize, solution: &str) -> String {
     if rank > 0 && rank % 13 == 5 {
+        if (rank / 13).is_multiple_of(2) {
+            return format!(
+                "// {course} {lab} flagged variant {rank}\n\
+                 __global__ void wbAuditProbe(float* unused) {{\n\
+                     if (threadIdx.x < 7) {{ __syncthreads(); }}\n\
+                 }}\n{solution}"
+            );
+        }
         return format!("// {course} {lab} broken variant {rank}\nint oops( {{\n{solution}");
     }
     if rank == 0 {
@@ -429,6 +458,7 @@ pub fn run_semester(p: &SemesterParams) -> SemesterOutcome {
     let mut compile_failed = 0u64;
     let mut runtime_failed = 0u64;
     let mut graded = 0u64;
+    let mut flagged = 0u64;
     let mut infra_errors = 0u64;
     let mut weeks: Vec<WeekRow> = Vec::new();
 
@@ -440,6 +470,9 @@ pub fn run_semester(p: &SemesterParams) -> SemesterOutcome {
                 Ok(o) => {
                     if o.score.is_some() {
                         graded += 1;
+                    }
+                    if !o.analysis.is_empty() {
+                        flagged += 1;
                     }
                 }
                 Err(WbError::CompileError { .. }) => compile_failed += 1,
@@ -552,6 +585,10 @@ pub fn run_semester(p: &SemesterParams) -> SemesterOutcome {
         graded,
         brown_outs: snapshot.counter("sched_brown_outs"),
         infra_errors,
+        flagged,
+        analysis_runs: snapshot.counter("analysis_runs"),
+        analysis_flagged: snapshot.counter("analysis_flagged"),
+        analysis_denied: snapshot.counter("analysis_denied"),
         drain_rounds,
         wall_secs,
         jobs_per_sec: if wall_secs > 0.0 {
@@ -622,6 +659,14 @@ mod tests {
         assert_eq!(variant_source("hpp", "vecadd", 0, "X"), "X");
         assert!(variant_source("hpp", "vecadd", 1, "X").contains("variant 1"));
         assert!(variant_source("hpp", "vecadd", 18, "X").contains("broken"));
+        // Rank 5 is the statically-detectable half of the broken pool:
+        // it still ends in the reference solution (it compiles and
+        // grades), prefixed by a kernel the verifier flags.
+        let v5 = variant_source("hpp", "vecadd", 5, "X");
+        assert!(v5.contains("flagged") && v5.contains("__syncthreads"));
+        assert!(v5.ends_with("X"));
+        assert!(variant_source("hpp", "vecadd", 31, "X").contains("flagged"));
+        assert!(variant_source("hpp", "vecadd", 44, "X").contains("broken"));
         let cdf = zipf_cdf(4);
         assert_eq!(cdf.len(), 4);
         assert!(cdf.windows(2).all(|w| w[0] < w[1]));

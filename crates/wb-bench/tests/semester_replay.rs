@@ -54,6 +54,11 @@ fn replay_books_reconcile_exactly_once() {
     assert_eq!(o.offered, o.admitted + o.shed + o.rate_limited);
     assert_eq!(o.completed, o.admitted, "every admitted job reaped once");
     assert_eq!(o.infra_errors, 0);
+    // Warn-mode analysis flags the audit-probe variants without ever
+    // denying: the recorder's flag count must match the harness's.
+    assert_eq!(o.analysis_flagged, o.flagged);
+    assert_eq!(o.analysis_denied, 0);
+    assert!(o.flagged > 0, "some flagged variants must land: {o:?}");
     // Only full-grade jobs earn a score; runs and compile-only checks
     // complete without one — so the classified buckets are a strict
     // subset of completions, never more.
@@ -70,6 +75,8 @@ fn replay_report_round_trips_through_the_schema_lint() {
         .metric("offered", o.offered)
         .metric("completed", o.completed)
         .metric("cache_reuse_rate", o.cache_reuse_rate())
+        .metric("reaped_equals_admitted", o.completed)
+        .metric("infra_errors", o.infra_errors)
         .gate(Gate::exactly(
             "reaped_equals_admitted",
             o.completed,

@@ -245,6 +245,11 @@ pub struct CompiledEntry {
     /// byte weight, since a `Program`'s in-memory size tracks its
     /// source size.
     pub source_bytes: usize,
+    /// Static-verifier findings recorded alongside the compile. Empty
+    /// when the program is clean *or* when analysis was off for this
+    /// entry — the [`CompileKey`] `analyze` bit keeps those two
+    /// populations in separate entries, so a hit never has to guess.
+    pub analysis: Vec<minicuda::Finding>,
 }
 
 impl CompiledEntry {
@@ -253,8 +258,13 @@ impl CompiledEntry {
             Ok(_) => self.source_bytes,
             Err(e) => e.len(),
         };
+        let findings: usize = self
+            .analysis
+            .iter()
+            .map(|f| f.diag.message.len() + 32)
+            .sum();
         // Floor so empty-source entries still cost something.
-        payload.max(64)
+        (payload + findings).max(64)
     }
 }
 
@@ -410,6 +420,7 @@ mod tests {
         let entry = cache.compile_or(key, || CompiledEntry {
             result: Err("syntax error".to_string()),
             source_bytes: 3,
+            analysis: Vec::new(),
         });
         assert!(entry.result.is_err());
         let entry = cache.compile_or(key, || unreachable!("cached"));

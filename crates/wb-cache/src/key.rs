@@ -127,18 +127,26 @@ impl CompileKey {
     /// contributes its [`OptLevel::fingerprint`], which also encodes
     /// the kernel-IR revision: bumping `ir::IR_VERSION` re-keys every
     /// optimized compile without touching this function.
+    ///
+    /// `analyze` records whether the static verifier ran alongside the
+    /// compile: entries produced with analysis off carry no findings,
+    /// so they must never be served to a policy that expects them (and
+    /// vice versa). The verifier's verdict is policy-independent —
+    /// `Warn` and `Deny` share entries.
     #[allow(clippy::too_many_arguments)]
     pub fn derive(
         source: &str,
         dialect: Dialect,
         opt: OptLevel,
+        analyze: bool,
         toolchain: &str,
         image: &str,
         blacklist: &Blacklist,
         limits: &ResourceLimits,
     ) -> CompileKey {
         let mut h = ContentHasher::new();
-        h.write_str("compile-v2");
+        h.write_str("compile-v3");
+        h.write_bool(analyze);
         h.write_str(&canonicalize_source(source));
         h.write_str(dialect.name());
         h.write_str(&opt.fingerprint());
@@ -208,6 +216,7 @@ mod tests {
             SRC,
             Dialect::Cuda,
             OptLevel::default(),
+            false,
             "cuda",
             "webgpu/cuda",
             &Blacklist::standard(),
@@ -227,6 +236,7 @@ mod tests {
             &crlf,
             Dialect::Cuda,
             OptLevel::default(),
+            false,
             "cuda",
             "webgpu/cuda",
             &Blacklist::standard(),
@@ -243,6 +253,7 @@ mod tests {
                 "int main() { return 1; }",
                 Dialect::Cuda,
                 OptLevel::default(),
+                false,
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -252,6 +263,7 @@ mod tests {
                 SRC,
                 Dialect::OpenCl,
                 OptLevel::default(),
+                false,
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -261,6 +273,7 @@ mod tests {
                 SRC,
                 Dialect::Cuda,
                 OptLevel::default(),
+                false,
                 "mpi",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -270,6 +283,7 @@ mod tests {
                 SRC,
                 Dialect::Cuda,
                 OptLevel::default(),
+                false,
                 "cuda",
                 "webgpu/full",
                 &Blacklist::standard(),
@@ -279,6 +293,7 @@ mod tests {
                 SRC,
                 Dialect::Cuda,
                 OptLevel::default(),
+                false,
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::permissive(),
@@ -288,6 +303,7 @@ mod tests {
                 SRC,
                 Dialect::Cuda,
                 OptLevel::default(),
+                false,
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -297,6 +313,7 @@ mod tests {
                 SRC,
                 Dialect::Cuda,
                 OptLevel::O0,
+                false,
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),
@@ -306,6 +323,17 @@ mod tests {
                 SRC,
                 Dialect::Cuda,
                 OptLevel::O1,
+                false,
+                "cuda",
+                "webgpu/cuda",
+                &Blacklist::standard(),
+                &ResourceLimits::default(),
+            ),
+            CompileKey::derive(
+                SRC,
+                Dialect::Cuda,
+                OptLevel::default(),
+                true,
                 "cuda",
                 "webgpu/cuda",
                 &Blacklist::standard(),

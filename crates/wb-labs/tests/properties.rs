@@ -1,9 +1,15 @@
 //! Property-based tests: the simulated GPU agrees with the Rust golden
-//! models on randomized lab workloads (small sizes for speed).
+//! models on randomized lab workloads (small sizes for speed), and the
+//! static verifier's policy contract holds on fuzzed kernels — `Warn`
+//! is observationally identical to `Off` for grading, and `Deny` is a
+//! deterministic compile-phase rejection.
 
 use libwb::{gen, Dataset};
-use minicuda::{compile, DeviceConfig, Dialect, RunOptions};
+use minicuda::{
+    compile, AnalysisPolicy, CheckKind, DeviceConfig, Dialect, OptLevel, Phase, RunOptions,
+};
 use proptest::prelude::*;
+use wb_worker::{execute_job, JobAction, JobOutcome, JobRequest};
 
 fn run_solution(lab: &str, inputs: Vec<Dataset>) -> Option<Dataset> {
     let program = compile(wb_labs::solution(lab).unwrap(), dialect_of(lab)).unwrap();
@@ -148,6 +154,111 @@ proptest! {
         match out.solution {
             Some(Dataset::Vector(v)) => prop_assert!(close(&v, &want, 1e-4), "n={n}"),
             other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}
+
+/// Grade the vecadd reference plus a fuzzed probe kernel under a given
+/// analysis policy. The probe is never launched, so grading semantics
+/// are fixed while the verifier's verdict varies with the probe shape.
+fn graded_with_probe(probe: &str, opt: OptLevel, policy: AnalysisPolicy) -> JobOutcome {
+    let lab = wb_labs::definition("vecadd", wb_labs::LabScale::Small).unwrap();
+    let mut spec = lab.spec;
+    spec.opt_level = opt;
+    spec.analysis = policy;
+    let req = JobRequest {
+        job_id: 1,
+        user: "properties".into(),
+        source: format!("{probe}\n{}", wb_labs::solution("vecadd").unwrap()),
+        spec,
+        datasets: lab.datasets,
+        action: JobAction::FullGrade,
+    };
+    execute_job(&req, &DeviceConfig::test_small(), 0, 0)
+}
+
+/// Everything a student can see of a grade, minus the advisory
+/// `analysis` field (the one thing `Warn` is *allowed* to add).
+fn grading_view(o: &JobOutcome) -> (Option<String>, Vec<String>) {
+    (
+        o.compile_error.clone(),
+        o.datasets
+            .iter()
+            .map(|d| {
+                format!(
+                    "{} {:?} {:?} {:?} {:?}",
+                    d.name, d.check, d.error, d.log_text, d.timing_text
+                )
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Warn-mode analysis is observationally invisible: for fuzzed
+    /// probe kernels — flagged (divergent barrier) and clean alike —
+    /// grading under `Warn` is bit-identical to `Off` at both executor
+    /// generations, and only the advisory `analysis` field differs.
+    #[test]
+    fn warn_grades_identically_to_off(guard in 1u32..32, divergent in any::<bool>()) {
+        let probe = if divergent {
+            format!(
+                "__global__ void wbProbe(float* unused) {{\n\
+                     if (threadIdx.x < {guard}) {{ __syncthreads(); }}\n\
+                 }}"
+            )
+        } else {
+            format!(
+                "__global__ void wbProbe(float* unused) {{\n\
+                     if (threadIdx.x < {guard}) {{ unused[0] = 1.0; }}\n\
+                 }}"
+            )
+        };
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let off = graded_with_probe(&probe, opt, AnalysisPolicy::Off);
+            let warn = graded_with_probe(&probe, opt, AnalysisPolicy::Warn);
+            prop_assert_eq!(grading_view(&off), grading_view(&warn), "{:?}", opt);
+            prop_assert!(off.analysis.is_empty(), "Off must not analyze");
+            prop_assert_eq!(
+                !warn.analysis.is_empty(),
+                divergent,
+                "verifier verdict must track the probe shape at {:?}",
+                opt
+            );
+            prop_assert!(warn.compiled(), "Warn must never reject");
+            prop_assert_eq!(warn.passed_count(), warn.datasets.len());
+        }
+    }
+
+    /// Deny-mode is a deterministic compile-phase rejection carrying a
+    /// student-usable diagnostic: `Phase::Analysis`, a real source
+    /// position, and a witness thread for the divergent barrier.
+    #[test]
+    fn deny_rejects_deterministically_with_attributed_diags(guard in 1u32..32) {
+        let probe = format!(
+            "__global__ void wbProbe(float* unused) {{\n\
+                 if (threadIdx.x < {guard}) {{ __syncthreads(); }}\n\
+             }}"
+        );
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let a = graded_with_probe(&probe, opt, AnalysisPolicy::Deny);
+            let b = graded_with_probe(&probe, opt, AnalysisPolicy::Deny);
+            prop_assert!(!a.compiled(), "Deny must reject the flagged probe");
+            prop_assert_eq!(&a.compile_error, &b.compile_error, "nondeterministic denial");
+            prop_assert!(a.datasets.is_empty(), "Deny must stop before datasets");
+            let finding = a
+                .analysis
+                .iter()
+                .find(|f| f.kind == CheckKind::BarrierDivergence)
+                .expect("barrier-divergence finding");
+            prop_assert_eq!(finding.diag.phase, Phase::Analysis);
+            prop_assert!(finding.diag.pos.line > 0, "finding needs a source position");
+            prop_assert!(
+                finding.diag.thread.is_some(),
+                "divergence finding needs a witness thread"
+            );
         }
     }
 }

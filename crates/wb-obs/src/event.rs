@@ -59,6 +59,8 @@ pub enum Annotation {
     /// Admission control refused the job outright (backlog budget
     /// exhausted); the submitter was told to retry later.
     Shed,
+    /// The static verifier reported findings for this job's kernels.
+    AnalysisFlagged,
 }
 
 /// What an [`Event`] records.

@@ -66,11 +66,19 @@ pub enum Counter {
     SchedAgedPromotions,
     /// Jobs handed from the scheduler to the execution layer.
     SchedDequeues,
+    /// Static-analysis runs executed (cache hits don't re-run).
+    AnalysisRuns,
+    /// Jobs whose kernels the verifier flagged (any findings).
+    AnalysisFlagged,
+    /// Individual verifier findings across all flagged jobs.
+    AnalysisFindings,
+    /// Submissions rejected outright by a `Deny` analysis policy.
+    AnalysisDenied,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 30] = [
         Counter::JobsQueued,
         Counter::JobsDispatched,
         Counter::JobsCompleted,
@@ -97,6 +105,10 @@ impl Counter {
         Counter::SchedBrownOuts,
         Counter::SchedAgedPromotions,
         Counter::SchedDequeues,
+        Counter::AnalysisRuns,
+        Counter::AnalysisFlagged,
+        Counter::AnalysisFindings,
+        Counter::AnalysisDenied,
     ];
 
     /// Stable snake_case name for snapshots and dashboards.
@@ -128,6 +140,10 @@ impl Counter {
             Counter::SchedBrownOuts => "sched_brown_outs",
             Counter::SchedAgedPromotions => "sched_aged_promotions",
             Counter::SchedDequeues => "sched_dequeues",
+            Counter::AnalysisRuns => "analysis_runs",
+            Counter::AnalysisFlagged => "analysis_flagged",
+            Counter::AnalysisFindings => "analysis_findings",
+            Counter::AnalysisDenied => "analysis_denied",
         }
     }
 
@@ -145,6 +161,8 @@ pub enum Timer {
     CompileMicros,
     /// Wall microseconds spent grading datasets.
     GradeMicros,
+    /// Wall microseconds spent in static kernel analysis.
+    AnalyzeMicros,
 }
 
 const SPAN_SHARDS: usize = 8;
@@ -175,6 +193,7 @@ struct Inner {
     queue_wait: Histogram,
     compile: Histogram,
     grade: Histogram,
+    analyze: Histogram,
     events: Mutex<EventRing>,
     spans: [Mutex<HashMap<u64, SpanRecord>>; SPAN_SHARDS],
     dropped_spans: AtomicU64,
@@ -222,6 +241,7 @@ impl Recorder {
                 queue_wait: Histogram::new(),
                 compile: Histogram::new(),
                 grade: Histogram::new(),
+                analyze: Histogram::new(),
                 events: Mutex::new(EventRing {
                     buf: VecDeque::new(),
                     cap: events.max(1),
@@ -303,6 +323,7 @@ impl Recorder {
             Annotation::Failover => Counter::Failovers,
             Annotation::BrownOut => Counter::SchedBrownOuts,
             Annotation::Shed => Counter::SchedShed,
+            Annotation::AnalysisFlagged => Counter::AnalysisFlagged,
         };
         i.counters[c.idx()].fetch_add(1, Ordering::Relaxed);
     }
@@ -430,6 +451,7 @@ impl Recorder {
             queue_wait_rounds: i.queue_wait.snapshot(),
             compile_micros: i.compile.snapshot(),
             grade_micros: i.grade.snapshot(),
+            analyze_micros: i.analyze.snapshot(),
             scoped: {
                 // Merge the lock shards through a BTreeMap so the
                 // snapshot stays sorted by name, exactly as before.
@@ -458,6 +480,7 @@ impl Inner {
             Timer::QueueWaitRounds => &self.queue_wait,
             Timer::CompileMicros => &self.compile,
             Timer::GradeMicros => &self.grade,
+            Timer::AnalyzeMicros => &self.analyze,
         }
     }
 

@@ -27,6 +27,8 @@ pub struct MetricsSnapshot {
     pub compile_micros: HistogramSnapshot,
     /// Grade time in wall microseconds: p50/p95/p99.
     pub grade_micros: HistogramSnapshot,
+    /// Static-analysis time in wall microseconds: p50/p95/p99.
+    pub analyze_micros: HistogramSnapshot,
     /// Free-form scoped counters (per-course attempts), sorted by name.
     pub scoped: Vec<NamedCount>,
     /// The newest events, oldest first.
@@ -48,6 +50,7 @@ impl MetricsSnapshot {
             queue_wait_rounds: HistogramSnapshot::default(),
             compile_micros: HistogramSnapshot::default(),
             grade_micros: HistogramSnapshot::default(),
+            analyze_micros: HistogramSnapshot::default(),
             scoped: Vec::new(),
             recent_events: Vec::new(),
             dropped_events: 0,

@@ -216,6 +216,10 @@ pub struct SubmissionOutcome {
     /// Student-facing text: per-dataset summaries, timer report, logs,
     /// automated hints.
     pub report: String,
+    /// Rendered static-verifier findings (warn-mode labs). Kept out of
+    /// `report` so warn-mode analysis never perturbs the grading text;
+    /// the UI shows them as a separate advisory panel.
+    pub analysis: Vec<String>,
 }
 
 impl SubmissionOutcome {

@@ -138,6 +138,7 @@ mod tests {
                     timing_text: String::new(),
                 })
                 .collect(),
+            analysis: Vec::new(),
             container_wait_ms: 0,
         }
     }

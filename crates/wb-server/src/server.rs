@@ -451,6 +451,11 @@ impl WebGpuServer {
             source,
         } = meta;
         let (passed, mut report) = render_outcome(outcome);
+        let analysis: Vec<String> = outcome
+            .analysis
+            .iter()
+            .map(minicuda::Finding::render)
+            .collect();
         // Automated feedback (the paper's future-work item): hints are
         // appended to failing attempts only — passing students are not
         // second-guessed.
@@ -485,6 +490,7 @@ impl WebGpuServer {
                 total: outcome.datasets.len(),
                 score: Some(score),
                 report,
+                analysis,
             });
         }
 
@@ -520,6 +526,7 @@ impl WebGpuServer {
             total: outcome.datasets.len(),
             score: None,
             report,
+            analysis,
         })
     }
 

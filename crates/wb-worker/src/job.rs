@@ -2,7 +2,7 @@
 //! and worker nodes.
 
 use libwb::{CheckPolicy, CheckReport, Dataset};
-use minicuda::{CostSummary, Diag, Dialect};
+use minicuda::{AnalysisPolicy, CostSummary, Diag, Dialect, Finding};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use wb_sandbox::{Blacklist, ResourceLimits, SyscallWhitelist};
@@ -46,6 +46,12 @@ pub struct LabSpec {
     /// key: a grade produced at one level is never served for another.
     #[serde(default)]
     pub opt_level: minicuda::OptLevel,
+    /// Static-verifier policy for this lab: `Off` skips the verifier,
+    /// `Warn` (the default) attaches findings without touching the
+    /// grade, `Deny` rejects flagged submissions before any dataset
+    /// runs.
+    #[serde(default)]
+    pub analysis: AnalysisPolicy,
 }
 
 impl LabSpec {
@@ -62,6 +68,7 @@ impl LabSpec {
             tags: BTreeSet::new(),
             toolchain: "cuda".to_string(),
             opt_level: minicuda::OptLevel::default(),
+            analysis: AnalysisPolicy::default(),
         }
     }
 }
@@ -137,6 +144,11 @@ pub struct JobOutcome {
     pub compile_error: Option<String>,
     /// Per-dataset outcomes in request order.
     pub datasets: Vec<DatasetOutcome>,
+    /// Static-verifier findings. Under `Warn` they ride alongside an
+    /// otherwise untouched grade; under `Deny` they explain the
+    /// `compile_error`. Always empty when the lab's policy is `Off`.
+    #[serde(default)]
+    pub analysis: Vec<Finding>,
     /// Virtual milliseconds spent waiting for a container.
     pub container_wait_ms: u64,
 }

@@ -272,6 +272,7 @@ impl WorkerNode {
                         self.id
                     )),
                     datasets: Vec::new(),
+                    analysis: Vec::new(),
                     container_wait_ms: 0,
                 };
             }

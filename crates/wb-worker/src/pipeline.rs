@@ -11,7 +11,7 @@
 use crate::cache::SubmissionCache;
 use crate::job::{DatasetCase, DatasetOutcome, JobAction, JobOutcome, JobRequest, LabSpec};
 use libwb::check;
-use minicuda::{compile_with, DeviceConfig, Program};
+use minicuda::{analyze_program, compile_with, AnalysisPolicy, DeviceConfig, Finding, Program};
 use std::sync::Arc;
 use std::time::Instant;
 use wb_cache::{CompileKey, CompiledEntry, GradeKey, LookupOutcome};
@@ -77,6 +77,51 @@ pub fn run_dataset_case(
     }
 }
 
+/// Run the static verifier over a freshly compiled program: records
+/// the verifier's wall time and run/finding counters, and returns the
+/// findings. Only ever called when the lab's policy enables analysis,
+/// and — on the cached path — only on the single-flight leader, so
+/// `analysis_runs` counts actual verifier executions, not lookups.
+fn analyze_phase(program: &Program, obs: &Recorder) -> Vec<Finding> {
+    let started = Instant::now();
+    let findings = analyze_program(program);
+    obs.observe(Timer::AnalyzeMicros, started.elapsed().as_micros() as u64);
+    obs.bump(Counter::AnalysisRuns);
+    obs.add(Counter::AnalysisFindings, findings.len() as u64);
+    findings
+}
+
+/// Apply the lab's analysis policy to the verifier's findings for one
+/// job. Flagged jobs are annotated per job (a cache hit re-reports the
+/// stored findings); `Deny` additionally converts them into a compile
+/// rejection. Returns `true` when the job is denied and no datasets
+/// may run.
+fn apply_analysis(
+    outcome: &mut JobOutcome,
+    policy: AnalysisPolicy,
+    findings: Vec<Finding>,
+    obs: &Recorder,
+    now_ms: u64,
+) -> bool {
+    if findings.is_empty() {
+        return false;
+    }
+    obs.annotate(outcome.job_id, Annotation::AnalysisFlagged, now_ms);
+    let denied = policy == AnalysisPolicy::Deny;
+    if denied {
+        obs.bump(Counter::AnalysisDenied);
+        outcome.compile_error = Some(
+            findings
+                .iter()
+                .map(Finding::render)
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+    outcome.analysis = findings;
+    denied
+}
+
 /// The outcome reported when the requested dataset index does not
 /// exist.
 fn missing_dataset_outcome(idx: usize) -> DatasetOutcome {
@@ -139,6 +184,7 @@ pub fn execute_job_traced(
         worker_id,
         compile_error: None,
         datasets: Vec::new(),
+        analysis: Vec::new(),
         container_wait_ms,
     };
     let started = Instant::now();
@@ -153,6 +199,13 @@ pub fn execute_job_traced(
         }
     };
     obs.phase(req.job_id, JobPhase::Compiled, now_ms);
+    if req.spec.analysis.enabled() {
+        let findings = analyze_phase(&program, obs);
+        if apply_analysis(&mut outcome, req.spec.analysis, findings, obs, now_ms) {
+            obs.phase(req.job_id, JobPhase::Failed, now_ms);
+            return outcome;
+        }
+    }
     let started = Instant::now();
     for idx in case_indexes(&req.action, req.datasets.len()) {
         outcome.datasets.push(match req.datasets.get(idx) {
@@ -228,21 +281,32 @@ pub fn execute_job_cached_traced(
         worker_id,
         compile_error: None,
         datasets: Vec::new(),
+        analysis: Vec::new(),
         container_wait_ms,
     };
+    let analyze = req.spec.analysis.enabled();
     let ckey = CompileKey::derive(
         &req.source,
         req.spec.dialect,
         req.spec.opt_level,
+        analyze,
         &req.spec.toolchain,
         image,
         &req.spec.blacklist,
         &req.spec.limits,
     );
     let started = Instant::now();
-    let (entry, lookup) = cache.compile_or_traced(ckey, || CompiledEntry {
-        result: compile_phase(req.job_id, &req.source, &req.spec),
-        source_bytes: req.source.len(),
+    let (entry, lookup) = cache.compile_or_traced(ckey, || {
+        let result = compile_phase(req.job_id, &req.source, &req.spec);
+        let analysis = match (&result, analyze) {
+            (Ok(p), true) => analyze_phase(p, obs),
+            _ => Vec::new(),
+        };
+        CompiledEntry {
+            result,
+            source_bytes: req.source.len(),
+            analysis,
+        }
     });
     obs.observe(Timer::CompileMicros, started.elapsed().as_micros() as u64);
     record_lookup(obs, req.job_id, lookup, now_ms);
@@ -255,6 +319,10 @@ pub fn execute_job_cached_traced(
         }
     };
     obs.phase(req.job_id, JobPhase::Compiled, now_ms);
+    if analyze && apply_analysis(&mut outcome, req.spec.analysis, entry.analysis, obs, now_ms) {
+        obs.phase(req.job_id, JobPhase::Failed, now_ms);
+        return outcome;
+    }
     let started = Instant::now();
     for idx in case_indexes(&req.action, req.datasets.len()) {
         outcome.datasets.push(match req.datasets.get(idx) {

@@ -48,6 +48,7 @@ fn author_saxpy() -> LabDefinition {
             tags: Default::default(),
             toolchain: "cuda".to_string(),
             opt_level: minicuda::OptLevel::default(),
+            analysis: minicuda::AnalysisPolicy::default(),
         },
         rubric: Rubric {
             compile_points: 10.0,
