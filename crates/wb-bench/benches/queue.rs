@@ -4,14 +4,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
 use std::hint::black_box;
-use wb_queue::{Broker, MirroredBroker};
+use wb_queue::{Broker, CapabilitySet, MirroredBroker};
 
 fn tags(list: &[&str]) -> BTreeSet<String> {
     list.iter().map(|s| s.to_string()).collect()
 }
 
 fn bench_broker(c: &mut Criterion) {
-    let caps = tags(&["cuda", "mpi"]);
+    let caps: CapabilitySet = ["cuda", "mpi"].into();
     let mut g = c.benchmark_group("queue/broker");
     g.bench_function("enqueue_poll_ack", |b| {
         let broker: Broker<u64> = Broker::new(60_000, 3);
@@ -39,7 +39,7 @@ fn bench_broker(c: &mut Criterion) {
 }
 
 fn bench_mirrored(c: &mut Criterion) {
-    let caps = tags(&["cuda"]);
+    let caps: CapabilitySet = ["cuda"].into();
     let mut g = c.benchmark_group("queue/mirrored");
     g.bench_function("enqueue_poll_ack", |b| {
         let broker: MirroredBroker<u64> = MirroredBroker::new(60_000, 3);

@@ -21,6 +21,7 @@
 //! | `cache_rush` | submission cache under a Zipf(1.1) deadline rush |
 //! | `semester` | Figure 1 at 100–1000× through the full stack ([`semester`]) |
 //! | `analyze` | static verifier catch rate / false positives / overhead ([`analyze`]) |
+//! | `churn` | chaos campaign — exactly-once under worker churn, zone partition, and spot pricing ([`webgpu::chaos`]) |
 //! | `bench_schema` | validates every `BENCH_*.json` against `wb-bench/v1` |
 //!
 //! Criterion benches cover the substrates (`population`, `labs`,

@@ -1,5 +1,6 @@
 //! The core broker: tagged jobs, visibility timeouts, retries.
 
+use crate::capability::CapabilitySet;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -178,11 +179,11 @@ impl<T: Clone> Broker<T> {
     /// Worker poll: the oldest visible job whose tags are all within
     /// `capabilities`. In-flight jobs whose visibility expired are
     /// reclaimed first.
-    pub fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+    pub fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>> {
         let mut g = self.inner.lock();
         Self::sweep(&mut g, now_ms, self.max_attempts, &self.obs);
         let idx = g.jobs.iter().position(|j| {
-            j.invisible_until.is_none() && j.meta.tags.iter().all(|t| capabilities.contains(t))
+            j.invisible_until.is_none() && capabilities.satisfies(j.meta.tags.iter())
         })?;
         let job = &mut g.jobs[idx];
         job.meta.attempts += 1;
@@ -261,6 +262,24 @@ impl<T: Clone> Broker<T> {
         self.inner.lock().dead.clone()
     }
 
+    /// Drain the dead-letter queue, handing the letters to the caller
+    /// (e.g. an operator re-driving poisoned jobs after a fix).
+    pub fn take_dead_letters(&self) -> Vec<Delivery<T>> {
+        std::mem::take(&mut self.inner.lock().dead)
+    }
+
+    /// Ids of dead-lettered jobs (mirror reconciliation support).
+    pub(crate) fn dead_ids(&self) -> Vec<u64> {
+        self.inner.lock().dead.iter().map(|d| d.meta.id).collect()
+    }
+
+    /// Overwrite the dead-letter queue (mirror heal support): the
+    /// healed zone adopts the active zone's dead queue wholesale, so a
+    /// letter drained on one zone can never resurface from the other.
+    pub(crate) fn replace_dead(&self, dead: Vec<Delivery<T>>) {
+        self.inner.lock().dead = dead;
+    }
+
     /// Metrics snapshot.
     pub fn metrics(&self) -> BrokerMetrics {
         self.inner.lock().metrics
@@ -303,8 +322,12 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
-    fn basic_worker() -> BTreeSet<String> {
-        tags(&["cuda"])
+    fn caps(list: &[&str]) -> CapabilitySet {
+        list.iter().copied().collect()
+    }
+
+    fn basic_worker() -> CapabilitySet {
+        caps(&["cuda"])
     }
 
     #[test]
@@ -332,7 +355,7 @@ mod tests {
         let d = b.poll(&basic_worker(), 1).unwrap();
         assert_eq!(d.payload, "plain job");
         // An MPI-capable worker gets the MPI job.
-        let d2 = b.poll(&tags(&["cuda", "mpi"]), 2).unwrap();
+        let d2 = b.poll(&caps(&["cuda", "mpi"]), 2).unwrap();
         assert_eq!(d2.payload, "mpi job");
     }
 
@@ -436,7 +459,7 @@ mod tests {
         for _ in 0..4 {
             let b = std::sync::Arc::clone(&b);
             handles.push(std::thread::spawn(move || {
-                let caps = tags(&["cuda"]);
+                let caps = basic_worker();
                 let mut got = 0;
                 while let Some(d) = b.poll(&caps, 1) {
                     b.ack(d.meta.id);

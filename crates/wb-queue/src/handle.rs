@@ -11,8 +11,8 @@
 //! in-flight job ran twice after a failover.)
 
 use crate::broker::{Broker, Delivery};
+use crate::capability::CapabilitySet;
 use crate::mirror::MirroredBroker;
-use std::collections::BTreeSet;
 
 /// What a job consumer needs from a broker: deliveries in, receipts
 /// out. Implemented by both [`Broker`] and [`MirroredBroker`]; the
@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 pub trait BrokerHandle<T> {
     /// Deliver the oldest visible job whose tags are all within
     /// `capabilities`, marking it in flight.
-    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>>;
+    fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>>;
 
     /// Acknowledge successful completion; the job is removed and never
     /// redelivered.
@@ -32,7 +32,7 @@ pub trait BrokerHandle<T> {
 }
 
 impl<T: Clone> BrokerHandle<T> for Broker<T> {
-    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+    fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>> {
         Broker::poll(self, capabilities, now_ms)
     }
 
@@ -46,7 +46,7 @@ impl<T: Clone> BrokerHandle<T> for Broker<T> {
 }
 
 impl<T: Clone> BrokerHandle<T> for MirroredBroker<T> {
-    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+    fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>> {
         MirroredBroker::poll(self, capabilities, now_ms)
     }
 
@@ -64,7 +64,7 @@ impl<T: Clone> BrokerHandle<T> for MirroredBroker<T> {
 /// Shared ownership delegates: a worker holding an `Arc` to its broker
 /// is the same consumer as one borrowing it.
 impl<T, B: BrokerHandle<T>> BrokerHandle<T> for std::sync::Arc<B> {
-    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+    fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>> {
         (**self).poll(capabilities, now_ms)
     }
 
@@ -78,7 +78,7 @@ impl<T, B: BrokerHandle<T>> BrokerHandle<T> for std::sync::Arc<B> {
 }
 
 impl<T, B: BrokerHandle<T>> BrokerHandle<T> for &B {
-    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+    fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>> {
         (**self).poll(capabilities, now_ms)
     }
 
@@ -95,12 +95,12 @@ impl<T, B: BrokerHandle<T>> BrokerHandle<T> for &B {
 mod tests {
     use super::*;
 
-    fn tags(list: &[&str]) -> BTreeSet<String> {
+    fn tags(list: &[&str]) -> std::collections::BTreeSet<String> {
         list.iter().map(|s| s.to_string()).collect()
     }
 
     /// A consumer generic over the handle — what `WorkerNode` does.
-    fn drain(handle: &impl BrokerHandle<&'static str>, caps: &BTreeSet<String>) -> usize {
+    fn drain(handle: &impl BrokerHandle<&'static str>, caps: &CapabilitySet) -> usize {
         let mut done = 0;
         while let Some(d) = handle.poll(caps, 0) {
             handle.ack(d.meta.id);
@@ -113,17 +113,17 @@ mod tests {
     fn plain_broker_implements_the_handle() {
         let b: Broker<&str> = Broker::new(1000, 3);
         b.enqueue("x", tags(&[]), 0);
-        assert_eq!(drain(&b, &tags(&["cuda"])), 1);
+        assert_eq!(drain(&b, &["cuda"].into()), 1);
     }
 
     #[test]
     fn mirrored_acks_reach_the_standby() {
         let m: MirroredBroker<&str> = MirroredBroker::new(1000, 3);
         m.enqueue("x", tags(&[]), 0);
-        assert_eq!(drain(&m, &tags(&["cuda"])), 1);
+        assert_eq!(drain(&m, &["cuda"].into()), 1);
         // The ack went through the mirror: after failover the standby
         // has nothing left to deliver.
         m.failover();
-        assert!(m.poll(&tags(&["cuda"]), 1).is_none());
+        assert!(m.poll(&["cuda"].into(), 1).is_none());
     }
 }

@@ -19,11 +19,13 @@
 //! simulation drives the broker deterministically.
 
 pub mod broker;
+pub mod capability;
 pub mod handle;
 pub mod mirror;
 pub mod shard;
 
 pub use broker::{Broker, BrokerMetrics, Delivery, JobMeta};
+pub use capability::{Capability, CapabilitySet};
 pub use handle::BrokerHandle;
-pub use mirror::MirroredBroker;
+pub use mirror::{ActiveZone, MirroredBroker};
 pub use shard::{shard_for_course, ShardLane, ShardedBroker};

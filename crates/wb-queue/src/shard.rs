@@ -23,8 +23,9 @@
 //! dead_lettered`) see one logical queue.
 
 use crate::broker::{BrokerMetrics, Delivery};
+use crate::capability::CapabilitySet;
 use crate::handle::BrokerHandle;
-use crate::mirror::MirroredBroker;
+use crate::mirror::{ActiveZone, MirroredBroker};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use wb_obs::Recorder;
@@ -112,7 +113,7 @@ impl<T: Clone> ShardedBroker<T> {
     pub fn poll_from(
         &self,
         home: usize,
-        capabilities: &BTreeSet<String>,
+        capabilities: &CapabilitySet,
         now_ms: u64,
     ) -> Option<Delivery<T>> {
         let n = self.lanes.len();
@@ -163,6 +164,41 @@ impl<T: Clone> ShardedBroker<T> {
         }
     }
 
+    /// Cut `zone` off on every lane (failing lanes over first when
+    /// the cut zone was serving). True when every lane accepted the
+    /// partition — lanes move in lockstep, so a refusal (some zone
+    /// already cut) leaves nothing half-done.
+    pub fn partition(&self, zone: ActiveZone) -> bool {
+        self.lanes.iter().all(|l| l.partition(zone))
+    }
+
+    /// Heal `zone` on every lane, rebuilding it from each lane's
+    /// active zone. True when the zone was partitioned.
+    pub fn heal(&self, zone: ActiveZone) -> bool {
+        self.lanes.iter().all(|l| l.heal(zone))
+    }
+
+    /// The partitioned zone, if any — lanes transition in lockstep,
+    /// so lane 0 speaks for all.
+    pub fn partitioned_zone(&self) -> Option<ActiveZone> {
+        self.lanes[0].partitioned_zone()
+    }
+
+    /// The serving zone — lanes transition in lockstep, so lane 0
+    /// speaks for all.
+    pub fn active_zone(&self) -> ActiveZone {
+        self.lanes[0].active_zone()
+    }
+
+    /// Drain dead letters from every lane (ids are unique across
+    /// lanes, and each lane deduplicates across its zones).
+    pub fn drain_dead_letters(&self) -> Vec<Delivery<T>> {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.drain_dead_letters())
+            .collect()
+    }
+
     /// A [`BrokerHandle`] view anchored at `home` — what a worker
     /// pinned to lane `home` polls through.
     pub fn lane(&self, home: usize) -> ShardLane<'_, T> {
@@ -178,7 +214,7 @@ pub struct ShardLane<'a, T> {
 }
 
 impl<T: Clone> BrokerHandle<T> for ShardLane<'_, T> {
-    fn poll(&self, capabilities: &BTreeSet<String>, now_ms: u64) -> Option<Delivery<T>> {
+    fn poll(&self, capabilities: &CapabilitySet, now_ms: u64) -> Option<Delivery<T>> {
         self.broker.poll_from(self.home, capabilities, now_ms)
     }
 
@@ -199,8 +235,8 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
-    fn caps() -> BTreeSet<String> {
-        tags(&["cuda"])
+    fn caps() -> CapabilitySet {
+        ["cuda"].into()
     }
 
     #[test]
@@ -272,7 +308,7 @@ mod tests {
         let plain = b.lane(1);
         assert!(plain.poll(&caps(), 0).is_none(), "steal can't ignore tags");
         let capable = b.lane(1);
-        let d = capable.poll(&tags(&["cuda", "mpi"]), 1).unwrap();
+        let d = capable.poll(&["cuda", "mpi"].into(), 1).unwrap();
         assert_eq!(d.payload, "mpi job");
     }
 

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use std::collections::{BTreeSet, HashMap};
-use wb_queue::Broker;
+use wb_queue::{Broker, CapabilitySet};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -31,7 +31,7 @@ proptest! {
     #[test]
     fn no_job_is_lost_or_double_acked(ops in prop::collection::vec(op_strategy(), 0..80)) {
         let broker: Broker<u8> = Broker::new(500, 3);
-        let caps: BTreeSet<String> = ["cuda".to_string()].into();
+        let caps: CapabilitySet = ["cuda"].into();
         let mut now: u64 = 0;
         let mut enqueued: HashMap<u64, u8> = HashMap::new();
         let mut delivered_ids: Vec<u64> = Vec::new();
@@ -97,7 +97,7 @@ proptest! {
     #[test]
     fn metrics_are_consistent(ops in prop::collection::vec(op_strategy(), 0..60)) {
         let broker: Broker<u8> = Broker::new(300, 2);
-        let caps: BTreeSet<String> = BTreeSet::new();
+        let caps = CapabilitySet::new();
         let mut now = 0u64;
         let mut delivered = Vec::new();
         for op in ops {

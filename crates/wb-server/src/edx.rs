@@ -122,7 +122,7 @@ impl EdxFrontend {
 impl JobDispatcher for EdxFrontend {
     fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         let job_id = req.job_id;
-        let tags = req.spec.tags.clone();
+        let tags = req.spec.tags.to_wire();
         self.broker.enqueue(req, tags, now_ms);
         // Drive the fleet until the job completes or nobody can take it.
         for round in 0..1_000 {

@@ -7,7 +7,7 @@
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use wb_queue::CapabilitySet;
 
 /// The configuration pushed to every worker.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -15,7 +15,7 @@ pub struct WorkerConfig {
     /// Monotonic version; bumped on every change.
     pub version: u64,
     /// Capability tags this fleet advertises to the broker.
-    pub capabilities: BTreeSet<String>,
+    pub capabilities: CapabilitySet,
     /// Container image name workers should pool.
     pub image: String,
     /// Warm containers to keep per worker.
@@ -26,7 +26,7 @@ impl Default for WorkerConfig {
     fn default() -> Self {
         WorkerConfig {
             version: 1,
-            capabilities: ["cuda"].iter().map(|s| s.to_string()).collect(),
+            capabilities: ["cuda"].into(),
             image: "webgpu/cuda".to_string(),
             pool_target: 2,
         }

@@ -4,7 +4,7 @@
 use libwb::{CheckPolicy, CheckReport, Dataset};
 use minicuda::{AnalysisPolicy, CostSummary, Diag, Dialect, Finding};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use wb_queue::CapabilitySet;
 use wb_sandbox::{Blacklist, ResourceLimits, SyscallWhitelist};
 
 /// One test dataset: the inputs handed to the program and the expected
@@ -39,7 +39,7 @@ pub struct LabSpec {
     /// Float comparison policy for grading.
     pub check: CheckPolicy,
     /// Capability tags a worker must have (`mpi`, `multi-gpu`).
-    pub tags: BTreeSet<String>,
+    pub tags: CapabilitySet,
     /// Toolchain the container image must provide.
     pub toolchain: String,
     /// Middle-end level kernels compile at. Part of the compile cache
@@ -65,7 +65,7 @@ impl LabSpec {
             whitelist: SyscallWhitelist::cuda_default(),
             limits: ResourceLimits::default(),
             check: CheckPolicy::default(),
-            tags: BTreeSet::new(),
+            tags: CapabilitySet::new(),
             toolchain: "cuda".to_string(),
             opt_level: minicuda::OptLevel::default(),
             analysis: AnalysisPolicy::default(),

@@ -36,3 +36,4 @@ pub use pipeline::{
     compile_phase, execute_job, execute_job_cached, execute_job_cached_traced, execute_job_traced,
     run_dataset_case,
 };
+pub use wb_queue::{Capability, CapabilitySet};

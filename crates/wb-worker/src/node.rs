@@ -7,10 +7,9 @@ use crate::job::{JobOutcome, JobRequest};
 use crate::pipeline::{execute_job_cached_traced, execute_job_traced};
 use minicuda::DeviceConfig;
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
 use std::sync::Arc;
 use wb_obs::{Annotation, JobPhase, Recorder};
-use wb_queue::BrokerHandle;
+use wb_queue::{BrokerHandle, CapabilitySet};
 use wb_sandbox::{ContainerPool, Image};
 
 /// A health check emitted periodically to the web server (v1) or
@@ -29,13 +28,18 @@ pub struct HealthBeat {
 
 struct NodeState {
     config_version: u64,
-    capabilities: BTreeSet<String>,
+    capabilities: CapabilitySet,
     pool: ContainerPool,
     jobs_done: u64,
     restarts: u64,
     /// When true the node stops heartbeating and refuses work
     /// (fault-injection switch).
     crashed: bool,
+    /// When true the node vanishes at its *next* poll: it takes one
+    /// delivery off the broker and goes dark without executing or
+    /// acking it — the spot-instance preemption model, where the
+    /// reclaim notice lands while a job is already in hand.
+    preempting: bool,
     /// Accumulated virtual busy milliseconds (utilization metric).
     busy_ms: u64,
 }
@@ -134,6 +138,7 @@ impl WorkerNode {
                 jobs_done: 0,
                 restarts: 0,
                 crashed: false,
+                preempting: false,
                 busy_ms: 0,
             }),
         }
@@ -145,7 +150,7 @@ impl WorkerNode {
     }
 
     /// Advertised capability tags.
-    pub fn capabilities(&self) -> BTreeSet<String> {
+    pub fn capabilities(&self) -> CapabilitySet {
         self.state.lock().capabilities.clone()
     }
 
@@ -169,9 +174,20 @@ impl WorkerNode {
         self.state.lock().crashed = true;
     }
 
-    /// Bring a crashed node back.
+    /// Simulate a spot preemption: the node keeps beating until its
+    /// next broker poll, where it takes a delivery (if one matches),
+    /// crashes without executing or acking it, and leaves the job in
+    /// flight for the visibility timeout to reclaim. The harshest
+    /// churn case — kill-with-work-in-hand — distilled to a flag.
+    pub fn preempt(&self) {
+        self.state.lock().preempting = true;
+    }
+
+    /// Bring a crashed or preempted node back.
     pub fn recover(&self) {
-        self.state.lock().crashed = false;
+        let mut g = self.state.lock();
+        g.crashed = false;
+        g.preempting = false;
     }
 
     /// True when the node is down.
@@ -233,14 +249,27 @@ impl WorkerNode {
         broker: &impl BrokerHandle<JobRequest>,
         now_ms: u64,
     ) -> Option<JobOutcome> {
-        let caps = {
+        let (caps, preempting) = {
             let g = self.state.lock();
             if g.crashed {
                 return None;
             }
-            g.capabilities.clone()
+            (g.capabilities.clone(), g.preempting)
         };
-        let delivery = broker.poll(&caps, now_ms)?;
+        let delivery = broker.poll(&caps, now_ms);
+        if preempting {
+            // The node vanishes at this poll whether or not a job was
+            // in hand. With a delivery taken, it goes dark without
+            // executing, acking, or recording anything — the delivery
+            // stays invisible until its timeout lapses, then redelivers
+            // elsewhere with `attempts > 1`. The harshest churn case,
+            // kill-with-work-in-hand, distilled to a flag.
+            let mut g = self.state.lock();
+            g.crashed = true;
+            g.preempting = false;
+            return None;
+        }
+        let delivery = delivery?;
         let job_id = delivery.payload.job_id;
         self.obs.phase(job_id, JobPhase::Dispatched, now_ms);
         if delivery.meta.attempts > 1 {
@@ -385,7 +414,7 @@ mod tests {
         let broker: Broker<JobRequest> = Broker::new(10_000, 3);
         let mut req = trivial_request(1);
         req.spec.tags = ["mpi".to_string()].into_iter().collect();
-        broker.enqueue(req.clone(), req.spec.tags.clone(), 0);
+        broker.enqueue(req.clone(), req.spec.tags.to_wire(), 0);
         let n = node(); // plain cuda worker
         assert!(n.poll_once(&broker, 1).is_none(), "mpi job skipped");
         // An MPI-capable node picks it up.
@@ -397,6 +426,29 @@ mod tests {
             .expect("capable node took it");
         assert_eq!(out.worker_id, 2);
         assert_eq!(broker.depth(3), 0, "job acked");
+    }
+
+    #[test]
+    fn preempted_node_strands_its_delivery_for_the_timeout() {
+        let broker: Broker<JobRequest> = Broker::new(100, 3);
+        let req = trivial_request(7);
+        broker.enqueue(req, std::collections::BTreeSet::new(), 0);
+        let n = node();
+        n.preempt();
+        assert!(n.health(0).is_some(), "beats continue until the poll");
+        // The poll takes the delivery and vanishes: no outcome, no ack.
+        assert!(n.poll_once(&broker, 1).is_none());
+        assert!(n.is_crashed());
+        assert_eq!(broker.in_flight(2), 1, "job stranded in flight");
+        assert_eq!(broker.depth(2), 0);
+        // Visibility lapses; a healthy node picks the job back up.
+        let rescuer = WorkerNode::boot(2, DeviceConfig::test_small(), &WorkerConfig::default());
+        let out = rescuer.poll_once(&broker, 101).expect("redelivered");
+        assert_eq!(out.worker_id, 2);
+        assert_eq!(broker.depth(102), 0, "acked after rescue");
+        // Recovery clears both flags: the node polls normally again.
+        n.recover();
+        assert!(!n.is_crashed());
     }
 
     #[test]

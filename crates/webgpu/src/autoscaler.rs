@@ -9,7 +9,12 @@
 //! * [`AutoscalePolicy::Reactive`] — scale to the queue;
 //! * [`AutoscalePolicy::Scheduled`] — the paper's manual pre-deadline
 //!   bump, automated: reactive plus a floor in a window before each
-//!   deadline.
+//!   deadline;
+//! * [`AutoscalePolicy::SpotAware`] — reactive, but backlog above an
+//!   on-demand floor is absorbed by cheap preemptible capacity
+//!   ([`crate::fleet::ReliabilityClass::Spot`]): the floor is held
+//!   on-demand so a mass preemption can never take the fleet to zero,
+//!   and everything above it rides the spot market.
 
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +79,42 @@ pub enum AutoscalePolicy {
         /// Fleet floor inside a deadline window.
         floor: usize,
     },
+    /// Reactive with a class split: hold `on_demand_floor` workers
+    /// on-demand, absorb everything above it with spot capacity.
+    SpotAware {
+        /// Queue depth each worker is expected to absorb.
+        jobs_per_worker: usize,
+        /// Workers always kept on full-price capacity (also the fleet
+        /// floor).
+        on_demand_floor: usize,
+        /// Fleet ceiling across both classes.
+        max: usize,
+    },
+}
+
+/// A fleet-size decision split by reliability class — what
+/// [`Autoscaler::desired_mix`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetTarget {
+    /// Full-price workers.
+    pub on_demand: usize,
+    /// Preemptible workers.
+    pub spot: usize,
+}
+
+impl FleetTarget {
+    /// A target with no spot component (every legacy policy).
+    pub fn all_on_demand(n: usize) -> FleetTarget {
+        FleetTarget {
+            on_demand: n,
+            spot: 0,
+        }
+    }
+
+    /// Total fleet size across both classes.
+    pub fn total(&self) -> usize {
+        self.on_demand + self.spot
+    }
 }
 
 /// Applies a policy with hysteresis: scale-out is immediate (students
@@ -125,6 +166,11 @@ impl Autoscaler {
                     base
                 }
             }
+            AutoscalePolicy::SpotAware {
+                jobs_per_worker,
+                on_demand_floor,
+                max,
+            } => reactive_target(m.total_pending(), *jobs_per_worker, *on_demand_floor, *max),
         };
         if target > self.current {
             self.current = target;
@@ -139,6 +185,27 @@ impl Autoscaler {
             self.low_streak = 0;
         }
         self.current
+    }
+
+    /// [`desired`](Self::desired), split by reliability class. Legacy
+    /// policies come back all on-demand (byte-identical fleet
+    /// behaviour); [`AutoscalePolicy::SpotAware`] holds its floor
+    /// on-demand and fills the rest with spot. Hysteresis applies to
+    /// the total, so the split can shift class without thrash.
+    pub fn desired_mix(&mut self, m: &FleetMetrics) -> FleetTarget {
+        let total = self.desired(m);
+        match &self.policy {
+            AutoscalePolicy::SpotAware {
+                on_demand_floor, ..
+            } => {
+                let on_demand = (*on_demand_floor).min(total);
+                FleetTarget {
+                    on_demand,
+                    spot: total - on_demand,
+                }
+            }
+            _ => FleetTarget::all_on_demand(total),
+        }
     }
 }
 
@@ -278,5 +345,80 @@ mod tests {
             1,
         );
         assert_eq!(a.desired(&metrics(15, 95_000)), 15, "queue beats floor");
+    }
+
+    #[test]
+    fn spot_aware_fills_bursts_with_spot_above_the_floor() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::SpotAware {
+                jobs_per_worker: 2,
+                on_demand_floor: 2,
+                max: 10,
+            },
+            2,
+        );
+        let t = a.desired_mix(&metrics(12, 0));
+        assert_eq!(
+            t,
+            FleetTarget {
+                on_demand: 2,
+                spot: 4
+            }
+        );
+        assert_eq!(t.total(), 6);
+        // A bigger burst caps at max, floor still on-demand.
+        let t = a.desired_mix(&metrics(100, 1));
+        assert_eq!(
+            t,
+            FleetTarget {
+                on_demand: 2,
+                spot: 8
+            }
+        );
+    }
+
+    #[test]
+    fn spot_aware_holds_the_on_demand_floor_when_idle() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::SpotAware {
+                jobs_per_worker: 2,
+                on_demand_floor: 3,
+                max: 10,
+            },
+            8,
+        );
+        // Cooldown: two quiet decisions hold, the third scales in —
+        // to the floor, all on-demand.
+        a.desired_mix(&metrics(0, 0));
+        a.desired_mix(&metrics(0, 1));
+        let t = a.desired_mix(&metrics(0, 2));
+        assert_eq!(
+            t,
+            FleetTarget {
+                on_demand: 3,
+                spot: 0
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_policies_mix_to_all_on_demand() {
+        let mut a = Autoscaler::new(
+            AutoscalePolicy::Reactive {
+                jobs_per_worker: 4,
+                min: 1,
+                max: 10,
+            },
+            1,
+        );
+        assert_eq!(
+            a.desired_mix(&metrics(20, 0)),
+            FleetTarget::all_on_demand(5)
+        );
+        let mut s = Autoscaler::new(AutoscalePolicy::Static(4), 4);
+        assert_eq!(
+            s.desired_mix(&metrics(999, 0)),
+            FleetTarget::all_on_demand(4)
+        );
     }
 }

@@ -29,6 +29,29 @@ use wb_obs::Recorder;
 use wb_sched::SchedConfig;
 use wb_worker::{new_submission_cache, WorkerConfig};
 
+/// Redelivery knobs for the v2 broker: how long a delivery stays
+/// invisible before the queue reclaims it, and how many attempts a
+/// job gets before the dead-letter queue. Chaos campaigns shorten the
+/// timeout (killed workers strand deliveries until it lapses) and
+/// raise the attempt budget (a job may be stranded many times without
+/// being poisoned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerTuning {
+    /// Visibility timeout in virtual ms.
+    pub visibility_timeout_ms: u64,
+    /// Delivery attempts before dead-lettering.
+    pub max_attempts: u32,
+}
+
+impl Default for BrokerTuning {
+    fn default() -> Self {
+        BrokerTuning {
+            visibility_timeout_ms: 60_000,
+            max_attempts: 3,
+        }
+    }
+}
+
 /// Builds either cluster architecture from one set of knobs.
 ///
 /// Defaults: fleet of 1, static policy sized to the fleet, default
@@ -45,6 +68,7 @@ pub struct ClusterBuilder {
     sched: SchedConfig,
     worker_config: Option<WorkerConfig>,
     shards: Option<usize>,
+    tuning: BrokerTuning,
 }
 
 impl ClusterBuilder {
@@ -59,6 +83,7 @@ impl ClusterBuilder {
             sched: SchedConfig::default(),
             worker_config: None,
             shards: None,
+            tuning: BrokerTuning::default(),
         }
     }
 
@@ -119,6 +144,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Broker redelivery knobs (v2 only; v1 has no broker). Defaults
+    /// to a 60 s visibility timeout and 3 attempts.
+    pub fn broker_tuning(mut self, visibility_timeout_ms: u64, max_attempts: u32) -> Self {
+        self.tuning = BrokerTuning {
+            visibility_timeout_ms,
+            max_attempts,
+        };
+        self
+    }
+
     /// Assemble the v1 push cluster.
     pub fn build_v1(self) -> ClusterV1 {
         let shards = self.resolved_shards();
@@ -149,6 +184,7 @@ impl ClusterBuilder {
             self.sched,
             self.worker_config.unwrap_or_default(),
             shards,
+            self.tuning,
         )
     }
 

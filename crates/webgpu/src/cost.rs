@@ -12,16 +12,25 @@ use serde::{Deserialize, Serialize};
 pub struct CostModel {
     /// GPU worker node per hour (g2.2xlarge-era pricing).
     pub gpu_worker_hour: f64,
+    /// Preemptible (spot) GPU worker node per hour — the historical
+    /// ~70% discount off on-demand, bought with eviction risk.
+    #[serde(default = "default_spot_rate")]
+    pub spot_worker_hour: f64,
     /// Web server node per hour.
     pub web_server_hour: f64,
     /// Database node per hour.
     pub database_hour: f64,
 }
 
+fn default_spot_rate() -> f64 {
+    0.195
+}
+
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             gpu_worker_hour: 0.65,
+            spot_worker_hour: default_spot_rate(),
             web_server_hour: 0.10,
             database_hour: 0.20,
         }
@@ -33,6 +42,10 @@ impl Default for CostModel {
 pub struct CostReport {
     /// GPU-hours consumed.
     pub gpu_hours: f64,
+    /// The subset of [`gpu_hours`](Self::gpu_hours) billed at the
+    /// spot rate.
+    #[serde(default)]
+    pub spot_gpu_hours: f64,
     /// GPU-hours during which the worker actually ran jobs.
     pub busy_gpu_hours: f64,
     /// Web/database hours (fixed tier).
@@ -72,11 +85,21 @@ impl CostMeter {
     /// Record one hour with `fleet` GPU workers of which `busy_fraction`
     /// (0..=1) were busy on average, plus the fixed web/db tier.
     pub fn record_hour(&mut self, fleet: usize, busy_fraction: f64) {
+        self.record_hour_mixed(fleet, 0, busy_fraction);
+    }
+
+    /// Record one hour of a class-split fleet: `on_demand` workers at
+    /// full price, `spot` workers at the discounted rate, sharing one
+    /// average `busy_fraction`.
+    pub fn record_hour_mixed(&mut self, on_demand: usize, spot: usize, busy_fraction: f64) {
         let busy = busy_fraction.clamp(0.0, 1.0);
+        let fleet = on_demand + spot;
         self.report.gpu_hours += fleet as f64;
+        self.report.spot_gpu_hours += spot as f64;
         self.report.busy_gpu_hours += fleet as f64 * busy;
         self.report.fixed_hours += 1.0;
-        self.report.dollars += fleet as f64 * self.model.gpu_worker_hour
+        self.report.dollars += on_demand as f64 * self.model.gpu_worker_hour
+            + spot as f64 * self.model.spot_worker_hour
             + self.model.web_server_hour
             + self.model.database_hour;
         self.report.peak_fleet = self.report.peak_fleet.max(fleet);
@@ -103,6 +126,22 @@ mod tests {
         assert_eq!(r.peak_fleet, 10);
         let expected = 12.0 * 0.65 + 2.0 * (0.10 + 0.20);
         assert!((r.dollars - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_hours_bill_spot_at_the_discount() {
+        let mut m = CostMeter::new(CostModel::default());
+        m.record_hour_mixed(2, 6, 1.0);
+        let r = m.finish();
+        assert_eq!(r.gpu_hours, 8.0);
+        assert_eq!(r.spot_gpu_hours, 6.0);
+        assert_eq!(r.peak_fleet, 8);
+        let expected = 2.0 * 0.65 + 6.0 * 0.195 + 0.30;
+        assert!((r.dollars - expected).abs() < 1e-9);
+        // The same capacity all on-demand costs strictly more.
+        let mut od = CostMeter::new(CostModel::default());
+        od.record_hour(8, 1.0);
+        assert!(od.finish().dollars > r.dollars);
     }
 
     #[test]

@@ -16,10 +16,19 @@
 //!   for both architectures (cache, tracing, scheduler, worker image);
 //! * [`platform`] — [`Platform`], the architecture-independent cluster
 //!   trait benches and fault harnesses run against;
-//! * [`autoscaler`] — static, reactive, and deadline-aware scaling
-//!   policies (the paper manually added GPUs the day before each
-//!   deadline — the scheduled policy automates exactly that);
-//! * [`cost`] — an AWS-style cost model for provisioning experiments;
+//! * [`fleet`] — [`FleetControl`], the elastic-fleet control surface
+//!   (spawn/kill/revive workers, partition/heal zones) both
+//!   architectures implement, with typed zones, reliability classes,
+//!   and worker descriptors;
+//! * [`chaos`] — seeded churn/partition campaigns against any
+//!   [`Platform`] + [`FleetControl`] cluster, auditing exactly-once
+//!   completion, span integrity, and broker-book reconciliation;
+//! * [`autoscaler`] — static, reactive, deadline-aware, and
+//!   spot-aware scaling policies (the paper manually added GPUs the
+//!   day before each deadline — the scheduled policy automates
+//!   exactly that);
+//! * [`cost`] — an AWS-style cost model (on-demand and spot rates)
+//!   for provisioning experiments;
 //! * [`sim`] — student-population models: enrollment cohorts, weekly
 //!   dropout, deadline-rush and diurnal load (regenerates Table I and
 //!   Figure 1);
@@ -28,19 +37,23 @@
 
 pub mod autoscaler;
 pub mod builder;
+pub mod chaos;
 pub mod cost;
 pub mod course;
 pub mod dashboard;
+pub mod fleet;
 pub mod platform;
 pub mod sim;
 pub mod v1;
 pub mod v2;
 
-pub use autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
-pub use builder::ClusterBuilder;
+pub use autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics, FleetTarget};
+pub use builder::{BrokerTuning, ClusterBuilder};
+pub use chaos::{run_campaign, CampaignReport, ChaosConfig};
 pub use cost::{CostModel as AwsCostModel, CostReport};
 pub use course::{CourseReport, CourseRun};
 pub use dashboard::{format_percentiles, Snapshot as DashboardSnapshot};
+pub use fleet::{FleetControl, FleetView, ReliabilityClass, WorkerDesc, WorkerInfo, Zone};
 pub use platform::Platform;
 pub use sim::population::{CohortParams, CohortSummary, LoadModel};
 pub use sim::rush::{CourseLoad, RushScenario};

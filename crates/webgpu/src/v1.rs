@@ -2,6 +2,7 @@
 //! servers ­, and workers ® — the web server pushes each job to a
 //! chosen worker and evicts workers whose health checks go quiet.
 
+use crate::fleet::{FleetControl, FleetView, ReliabilityClass, WorkerDesc, WorkerInfo, Zone};
 use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -37,6 +38,10 @@ pub const HEALTH_TIMEOUT_MS: u64 = 30_000;
 
 struct PoolState {
     workers: Vec<Arc<WorkerNode>>,
+    /// Reliability class per worker id (v1 predates multi-AZ: every
+    /// node lives in the primary zone, but spot vs on-demand still
+    /// matters to the cost meter and the chaos harness).
+    class: HashMap<u64, ReliabilityClass>,
     last_beat: HashMap<u64, u64>,
     evicted: Vec<u64>,
     next_worker_id: u64,
@@ -153,6 +158,10 @@ impl ClusterV1 {
             })
             .collect::<Vec<_>>();
         let last_beat = workers.iter().map(|w| (w.id(), 0)).collect();
+        let class = workers
+            .iter()
+            .map(|w| (w.id(), ReliabilityClass::OnDemand))
+            .collect();
         ClusterV1 {
             device,
             config,
@@ -163,6 +172,7 @@ impl ClusterV1 {
             obs,
             state: Mutex::new(PoolState {
                 workers,
+                class,
                 last_beat,
                 evicted: Vec::new(),
                 next_worker_id: n as u64 + 1,
@@ -216,6 +226,7 @@ impl ClusterV1 {
             },
         ));
         g.last_beat.insert(id, now_ms);
+        g.class.insert(id, ReliabilityClass::OnDemand);
         g.workers.push(w);
         id
     }
@@ -238,6 +249,7 @@ impl ClusterV1 {
         let mut g = self.state.lock();
         let w = g.workers.pop()?;
         g.last_beat.remove(&w.id());
+        g.class.remove(&w.id());
         Some(w.id())
     }
 
@@ -269,6 +281,7 @@ impl ClusterV1 {
             self.obs.bump(Counter::WorkerEvictions);
             g.evicted.push(*id);
             g.last_beat.remove(id);
+            g.class.remove(id);
         }
         evicted_now
     }
@@ -489,6 +502,93 @@ impl ClusterV1 {
     }
 }
 
+impl FleetControl for ClusterV1 {
+    fn spawn_worker(&self, desc: WorkerDesc) -> u64 {
+        let mut g = self.state.lock();
+        let id = g.next_worker_id;
+        g.next_worker_id += 1;
+        let mut config = self.config.clone();
+        if let Some(caps) = desc.capabilities {
+            config.capabilities = caps;
+        }
+        let w = Arc::new(WorkerNode::launch(
+            id,
+            &NodeConfig {
+                device: self.device.clone(),
+                worker: config,
+                cache: self.cached.then(|| Arc::clone(&self.cache)),
+                shards: self.shards,
+                obs: Arc::clone(&self.obs),
+            },
+        ));
+        // v1 is single-AZ: the zone in the descriptor is accepted but
+        // every node lands in the primary zone's pool. The first
+        // health sweep records the real beat.
+        g.last_beat.insert(id, 0);
+        g.class.insert(id, desc.reliability_class);
+        g.workers.push(w);
+        id
+    }
+
+    fn kill_worker(&self, id: u64) -> bool {
+        let g = self.state.lock();
+        let Some(w) = g.workers.iter().find(|w| w.id() == id) else {
+            return false;
+        };
+        if w.is_crashed() {
+            return false;
+        }
+        // The push architecture's kill is immediate: the node refuses
+        // the next dispatch, and the health sweep eventually evicts it.
+        w.crash();
+        true
+    }
+
+    fn revive_worker(&self, id: u64) -> bool {
+        let g = self.state.lock();
+        let Some(w) = g.workers.iter().find(|w| w.id() == id) else {
+            return false;
+        };
+        if !w.is_crashed() {
+            return false;
+        }
+        w.recover();
+        true
+    }
+
+    fn partition_zone(&self, _zone: Zone) -> bool {
+        false // v1 predates multi-AZ: there is no zone to cut
+    }
+
+    fn heal_zone(&self, _zone: Zone) -> bool {
+        false
+    }
+
+    fn describe_fleet(&self) -> FleetView {
+        let g = self.state.lock();
+        let workers = g
+            .workers
+            .iter()
+            .map(|w| WorkerInfo {
+                id: w.id(),
+                zone: Zone::Primary,
+                reliability_class: g
+                    .class
+                    .get(&w.id())
+                    .copied()
+                    .unwrap_or(ReliabilityClass::OnDemand),
+                capabilities: w.capabilities(),
+                alive: !w.is_crashed(),
+                jobs_done: w.jobs_done(),
+            })
+            .collect();
+        FleetView {
+            workers,
+            partitioned: None,
+        }
+    }
+}
+
 impl JobDispatcher for ClusterV1 {
     fn dispatch(&self, req: JobRequest, now_ms: u64) -> Result<JobOutcome, WbError> {
         self.submit(&req, now_ms)
@@ -658,5 +758,47 @@ mod tests {
         let c = cluster(1);
         c.remove_worker();
         assert!(c.submit(&echo(1), 0).is_err());
+    }
+
+    #[test]
+    fn fleet_control_kill_and_revive_drive_the_push_pool() {
+        let c = cluster(2);
+        assert!(c.kill_worker(1));
+        assert!(!c.kill_worker(1), "already dead");
+        assert_eq!(c.describe_fleet().alive(), 1);
+        for j in 0..4 {
+            assert!(c.submit(&echo(j), 0).is_ok());
+        }
+        assert_eq!(c.worker(1).unwrap().jobs_done(), 4, "survivor took all");
+        assert!(c.revive_worker(1));
+        assert!(!c.revive_worker(1), "already alive");
+        assert_eq!(c.describe_fleet().alive(), 2);
+        // Single-AZ architecture: zone faults are a polite no.
+        assert!(!c.partition_zone(Zone::Primary));
+        assert!(!c.heal_zone(Zone::Primary));
+        assert!(c.describe_fleet().partitioned.is_none());
+    }
+
+    #[test]
+    fn spawned_worker_joins_the_pool_with_its_class() {
+        let c = cluster(1);
+        let id = c.spawn_worker(WorkerDesc::spot(Zone::Standby));
+        assert_eq!(id, 2);
+        let view = c.describe_fleet();
+        assert_eq!(view.total(), 2);
+        assert_eq!(view.alive_of_class(ReliabilityClass::Spot), 1);
+        assert_eq!(
+            view.workers[1].zone,
+            Zone::Primary,
+            "v1 is single-AZ regardless of the descriptor"
+        );
+        for j in 0..2 {
+            assert!(c.submit(&echo(j), 0).is_ok());
+        }
+        assert_eq!(
+            c.worker(1).unwrap().jobs_done(),
+            1,
+            "round-robin reached it"
+        );
     }
 }

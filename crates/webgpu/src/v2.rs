@@ -3,10 +3,13 @@
 //! restart on remote-config changes, datasets live in a blob store,
 //! and the fleet resizes under an autoscaling policy.
 
-use crate::autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics};
+use crate::autoscaler::{AutoscalePolicy, Autoscaler, FleetMetrics, FleetTarget};
+use crate::builder::BrokerTuning;
+use crate::fleet::{FleetControl, FleetView, ReliabilityClass, WorkerDesc, WorkerInfo, Zone};
 use minicuda::DeviceConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wb_cache::{CacheConfig, CacheMetrics};
 use wb_db::BlobStore;
@@ -60,10 +63,25 @@ pub struct ClusterV2 {
     shards: usize,
     state: Mutex<FleetState>,
     scaler: Mutex<Autoscaler>,
+    /// High-water mark of the virtual clock (`now_ms` seen by submit
+    /// and pump). Fleet mutations arriving through [`FleetControl`]
+    /// carry no timestamp of their own; their span annotations are
+    /// stamped with this.
+    clock: AtomicU64,
+}
+
+/// Placement bookkeeping for one worker: where it lives, what it
+/// costs, and whether the chaos/ops plane has killed it. Killed
+/// workers stay in the roster (dark) until revived or scaled in.
+struct WorkerMeta {
+    zone: Zone,
+    class: ReliabilityClass,
+    killed: bool,
 }
 
 struct FleetState {
     workers: Vec<Arc<WorkerNode>>,
+    meta: HashMap<u64, WorkerMeta>,
     next_worker_id: u64,
     results: HashMap<u64, JobOutcome>,
     completed: u64,
@@ -88,6 +106,7 @@ impl ClusterV2 {
             SchedConfig::default(),
             WorkerConfig::default(),
             wb_worker::default_shards(),
+            BrokerTuning::default(),
         )
     }
 
@@ -101,6 +120,7 @@ impl ClusterV2 {
         sched: SchedConfig,
         worker_config: WorkerConfig,
         shards: usize,
+        tuning: BrokerTuning,
     ) -> Self {
         let shards = shards.max(1);
         let config = ConfigServer::new(worker_config);
@@ -116,8 +136,28 @@ impl ClusterV2 {
                 ))
             })
             .collect::<Vec<_>>();
+        // Initial placement alternates zones by id, so any fleet of
+        // two or more straddles both availability zones on boot.
+        let meta = workers
+            .iter()
+            .map(|w| {
+                (
+                    w.id(),
+                    WorkerMeta {
+                        zone: Zone::for_index(w.id()),
+                        class: ReliabilityClass::OnDemand,
+                        killed: false,
+                    },
+                )
+            })
+            .collect();
         ClusterV2 {
-            broker: ShardedBroker::with_recorder(shards, 60_000, 3, Arc::clone(&obs)),
+            broker: ShardedBroker::with_recorder(
+                shards,
+                tuning.visibility_timeout_ms,
+                tuning.max_attempts,
+                Arc::clone(&obs),
+            ),
             config,
             store: BlobStore::new(),
             metrics_db: wb_db::ReplicatedTable::new(),
@@ -128,6 +168,7 @@ impl ClusterV2 {
             obs,
             state: Mutex::new(FleetState {
                 workers,
+                meta,
                 next_worker_id: initial_workers as u64 + 1,
                 results: HashMap::new(),
                 completed: 0,
@@ -136,6 +177,7 @@ impl ClusterV2 {
                 round: 0,
             }),
             scaler: Mutex::new(Autoscaler::new(policy, initial_workers)),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -251,6 +293,7 @@ impl ClusterV2 {
     /// concurrent `broker_failover` annotated spans of jobs that had
     /// already been refused.
     pub fn submit(&self, req: JobRequest, now_ms: u64) -> Result<u64, WbError> {
+        self.clock.fetch_max(now_ms, Ordering::Relaxed);
         let job_id = req.job_id;
         let course = req.spec.course.clone();
         let class = if req.action == JobAction::FullGrade {
@@ -313,10 +356,23 @@ impl ClusterV2 {
     }
 
     fn pump_inner(&self, now_ms: u64, concurrent: bool) -> usize {
+        self.clock.fetch_max(now_ms, Ordering::Relaxed);
+        // Workers in a partitioned zone are unreachable: they drop out
+        // of the round (no config sync, no health beat, no poll) but
+        // keep their fleet index, so lane pinning is stable across the
+        // cut and heal.
+        let cut = self.broker.partitioned_zone().map(Zone::from_broker);
         let (workers, round) = {
             let mut g = self.state.lock();
             g.round += 1;
-            (g.workers.clone(), g.round)
+            let reachable: Vec<(usize, Arc<WorkerNode>)> = g
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| cut.is_none() || g.meta.get(&w.id()).map(|m| m.zone) != cut)
+                .map(|(i, w)| (i, Arc::clone(w)))
+                .collect();
+            (reachable, g.round)
         };
         // Release one fleet-sized batch from the fair-share scheduler
         // into the broker, lane by lane: each shard drains its own
@@ -331,15 +387,14 @@ impl ClusterV2 {
             let lane = (round as usize + k) % n;
             let quota = fleet / n + usize::from(k < fleet % n);
             for (_, req) in self.sched.drain_stealing(lane, quota, now_ms) {
-                let tags = req.spec.tags.clone();
+                let tags = req.spec.tags.to_wire();
                 self.broker.enqueue_to(lane, req, tags, now_ms);
             }
         }
         let outcomes: Vec<JobOutcome> = if !concurrent || workers.len() <= 1 {
             workers
                 .iter()
-                .enumerate()
-                .filter_map(|(i, w)| self.pump_worker(i, w, now_ms))
+                .filter_map(|(i, w)| self.pump_worker(*i, w, now_ms))
                 .collect()
         } else {
             // One scoped thread per live worker, exactly as
@@ -349,9 +404,9 @@ impl ClusterV2 {
             let mut slots: Vec<Option<JobOutcome>> = Vec::new();
             slots.resize_with(workers.len(), || None);
             crossbeam::thread::scope(|s| {
-                for ((i, w), slot) in workers.iter().enumerate().zip(slots.iter_mut()) {
+                for ((i, w), slot) in workers.iter().zip(slots.iter_mut()) {
                     s.spawn(move |_| {
-                        *slot = self.pump_worker(i, w, now_ms);
+                        *slot = self.pump_worker(*i, w, now_ms);
                     });
                 }
             })
@@ -423,29 +478,93 @@ impl ClusterV2 {
             fleet_size: g.workers.len(),
             now_ms,
         };
-        let desired = self.scaler.lock().desired(&metrics);
-        self.obs.autoscale(g.workers.len(), desired, now_ms);
-        while g.workers.len() < desired {
-            let id = g.next_worker_id;
-            g.next_worker_id += 1;
-            // Autoscaled workers join the same cluster-wide cache as
-            // the initial fleet.
-            g.workers.push(Arc::new(Self::boot_worker(
-                id,
-                &self.device,
-                &self.config.get(),
-                self.cache.as_ref(),
-                self.shards,
-                &self.obs,
-            )));
+        let target = self.scaler.lock().desired_mix(&metrics);
+        self.obs.autoscale(g.workers.len(), target.total(), now_ms);
+        self.apply_target(&mut g, target);
+    }
+
+    /// Grow and shrink the fleet toward `target`. Killed workers keep
+    /// their roster slot (and count toward the fleet size) until
+    /// revived or scaled in, so a chaos campaign's fleet doesn't
+    /// silently regrow behind its back. Growth fills the on-demand
+    /// deficit before buying spot; scale-in removes alive workers
+    /// newest-first, spot before on-demand — and is exact: `target`
+    /// already respects the policy floor, so no extra `> 1` clamp (a
+    /// hardcoded floor of one both violated `Reactive { min }` and
+    /// made the scaled-to-zero guard in `dispatch` unreachable).
+    fn apply_target(&self, g: &mut FleetState, target: FleetTarget) {
+        let of_class = |g: &FleetState, class: ReliabilityClass| {
+            g.workers
+                .iter()
+                .filter(|w| g.meta.get(&w.id()).is_some_and(|m| m.class == class))
+                .count()
+        };
+        while g.workers.len() < target.total() {
+            let class = if of_class(g, ReliabilityClass::OnDemand) < target.on_demand {
+                ReliabilityClass::OnDemand
+            } else {
+                ReliabilityClass::Spot
+            };
+            let zone = Zone::for_index(g.next_worker_id);
+            self.spawn_locked(
+                g,
+                WorkerDesc {
+                    zone,
+                    capabilities: None,
+                    reliability_class: class,
+                },
+            );
         }
-        // Scale in exactly to the policy's decision: `desired` already
-        // respects the policy floor, so no extra `> 1` clamp — a
-        // hardcoded floor of one both violated `Reactive { min }` and
-        // made the scaled-to-zero guard in `dispatch` unreachable.
-        while g.workers.len() > desired {
-            g.workers.pop();
+        while g.workers.len() > target.total() {
+            let removable = |class| {
+                g.workers.iter().rposition(|w| {
+                    g.meta
+                        .get(&w.id())
+                        .is_some_and(|m| m.class == class && !m.killed)
+                })
+            };
+            let Some(pos) =
+                removable(ReliabilityClass::Spot).or_else(|| removable(ReliabilityClass::OnDemand))
+            else {
+                break; // only killed workers left: hold their slots
+            };
+            let w = g.workers.remove(pos);
+            g.meta.remove(&w.id());
         }
+    }
+
+    /// Boot a worker into the fleet under an already-held state lock —
+    /// the one spawn path shared by the autoscaler and
+    /// [`FleetControl::spawn_worker`], so the critical-section
+    /// invariant above covers both.
+    fn spawn_locked(&self, g: &mut FleetState, desc: WorkerDesc) -> u64 {
+        let id = g.next_worker_id;
+        g.next_worker_id += 1;
+        let mut config = self.config.get();
+        if let Some(caps) = desc.capabilities {
+            // Same version as the server's: the override sticks until
+            // the next fleet-wide publish bumps it.
+            config.capabilities = caps;
+        }
+        // Spawned workers join the same cluster-wide cache as the
+        // initial fleet.
+        g.workers.push(Arc::new(Self::boot_worker(
+            id,
+            &self.device,
+            &config,
+            self.cache.as_ref(),
+            self.shards,
+            &self.obs,
+        )));
+        g.meta.insert(
+            id,
+            WorkerMeta {
+                zone: desc.zone,
+                class: desc.reliability_class,
+                killed: false,
+            },
+        );
+        id
     }
 
     /// Take a completed job's result.
@@ -503,6 +622,91 @@ impl JobDispatcher for ClusterV2 {
 
     fn advance(&self, now_ms: u64) -> usize {
         self.pump(now_ms)
+    }
+}
+
+impl FleetControl for ClusterV2 {
+    fn spawn_worker(&self, desc: WorkerDesc) -> u64 {
+        let mut g = self.state.lock();
+        self.spawn_locked(&mut g, desc)
+    }
+
+    fn kill_worker(&self, id: u64) -> bool {
+        let mut g = self.state.lock();
+        let Some(w) = g.workers.iter().find(|w| w.id() == id).cloned() else {
+            return false;
+        };
+        let Some(m) = g.meta.get_mut(&id) else {
+            return false;
+        };
+        if m.killed || w.is_crashed() {
+            return false;
+        }
+        m.killed = true;
+        // The pull architecture's kill is a preemption: the node goes
+        // dark at its next poll, taking any matching delivery with it;
+        // the visibility timeout reclaims the job.
+        w.preempt();
+        true
+    }
+
+    fn revive_worker(&self, id: u64) -> bool {
+        let mut g = self.state.lock();
+        let Some(w) = g.workers.iter().find(|w| w.id() == id).cloned() else {
+            return false;
+        };
+        let Some(m) = g.meta.get_mut(&id) else {
+            return false;
+        };
+        if !m.killed && !w.is_crashed() {
+            return false;
+        }
+        m.killed = false;
+        w.recover();
+        true
+    }
+
+    fn partition_zone(&self, zone: Zone) -> bool {
+        let bz = zone.broker_zone();
+        // Cutting the zone the broker is serving from forces a
+        // failover; mark every pending span the same way
+        // [`ClusterV2::broker_failover`] does, stamped with the
+        // latest virtual time the cluster has seen.
+        if self.broker.partitioned_zone().is_none() && self.broker.active_zone() == bz {
+            let now = self.clock.load(Ordering::Relaxed);
+            let g = self.state.lock();
+            for &job_id in g.enqueue_round.keys() {
+                self.obs.annotate(job_id, Annotation::Failover, now);
+            }
+        }
+        self.broker.partition(bz)
+    }
+
+    fn heal_zone(&self, zone: Zone) -> bool {
+        self.broker.heal(zone.broker_zone())
+    }
+
+    fn describe_fleet(&self) -> FleetView {
+        let g = self.state.lock();
+        let workers = g
+            .workers
+            .iter()
+            .map(|w| {
+                let m = g.meta.get(&w.id());
+                WorkerInfo {
+                    id: w.id(),
+                    zone: m.map_or(Zone::Primary, |m| m.zone),
+                    reliability_class: m.map_or(ReliabilityClass::OnDemand, |m| m.class),
+                    capabilities: w.capabilities(),
+                    alive: !w.is_crashed() && m.is_none_or(|m| !m.killed),
+                    jobs_done: w.jobs_done(),
+                }
+            })
+            .collect();
+        FleetView {
+            workers,
+            partitioned: self.broker.partitioned_zone().map(Zone::from_broker),
+        }
     }
 }
 
@@ -775,6 +979,92 @@ mod tests {
         }
         assert_eq!(c.completed(), 64, "every admitted job completed");
         assert_eq!(c.fleet_size(), 2, "idle fleet settles at the floor");
+    }
+
+    #[test]
+    fn killed_worker_strands_nothing_past_the_visibility_timeout() {
+        // Kill through FleetControl mid-load: the preempted worker
+        // takes one delivery dark; the timeout reclaims it and the
+        // survivor finishes every job exactly once.
+        let c = crate::ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .shards(1)
+            .broker_tuning(5, 10)
+            .build_v2();
+        for j in 0..4 {
+            c.enqueue(echo(j), 0);
+        }
+        assert!(c.kill_worker(1), "worker 1 exists and is alive");
+        assert!(!c.kill_worker(1), "double kill reports false");
+        assert!(!c.kill_worker(99), "unknown id reports false");
+        let mut done = 0;
+        for r in 0..30 {
+            done += c.pump(r);
+        }
+        assert_eq!(done, 4, "every job completed despite the kill");
+        assert_eq!(c.describe_fleet().alive(), 1);
+        assert!(c.revive_worker(1));
+        assert!(!c.revive_worker(1), "double revive reports false");
+        assert_eq!(c.describe_fleet().alive(), 2);
+    }
+
+    #[test]
+    fn spawned_worker_with_capability_override_takes_tagged_jobs() {
+        let c = crate::ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(1)
+            .shards(1)
+            .policy(AutoscalePolicy::Static(2))
+            .build_v2();
+        let id = c.spawn_worker(
+            crate::fleet::WorkerDesc::spot(crate::fleet::Zone::Standby)
+                .with_capabilities(["cuda", "mpi"].into()),
+        );
+        assert_eq!(id, 2);
+        let view = c.describe_fleet();
+        assert_eq!(view.total(), 2);
+        assert_eq!(view.alive_of_class(ReliabilityClass::Spot), 1);
+        assert!(view.workers[1].capabilities.contains("mpi"));
+        let mut req = echo(7);
+        req.spec.tags = ["mpi".to_string()].into_iter().collect();
+        req.spec.whitelist = SyscallWhitelist::mpi_profile();
+        c.enqueue(req, 0);
+        let mut done = 0;
+        for r in 0..10 {
+            done += c.pump(r);
+        }
+        assert_eq!(done, 1, "only the spawned worker could take it");
+        assert_eq!(c.fleet_size(), 2, "static target keeps both");
+    }
+
+    #[test]
+    fn partitioned_zone_workers_sit_out_the_round() {
+        let c = crate::ClusterBuilder::new(DeviceConfig::test_small())
+            .fleet(2)
+            .shards(1)
+            .build_v2();
+        // Worker 1 is primary, worker 2 standby. Cut the standby: only
+        // the primary worker pumps; its beat arrives, the standby's
+        // does not.
+        assert!(c.partition_zone(crate::fleet::Zone::Standby));
+        assert_eq!(
+            c.describe_fleet().partitioned,
+            Some(crate::fleet::Zone::Standby)
+        );
+        c.enqueue(echo(1), 0);
+        c.enqueue(echo(2), 0);
+        let mut done = 0;
+        for r in 0..10 {
+            done += c.pump(r);
+        }
+        assert_eq!(done, 2, "the primary worker drains the queue alone");
+        assert_eq!(c.worker(1).unwrap().jobs_done(), 0, "standby sat out");
+        assert!(c.heal_zone(crate::fleet::Zone::Standby));
+        assert!(!c.heal_zone(crate::fleet::Zone::Standby), "already healed");
+        c.enqueue(echo(3), 20);
+        for r in 20..30 {
+            done += c.pump(r);
+        }
+        assert_eq!(done, 3);
     }
 
     #[test]

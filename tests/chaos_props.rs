@@ -1,0 +1,142 @@
+//! Property-based chaos: *any* seeded kill/revive schedule — whatever
+//! MTTF, revive delay, tagging cadence, and kill-stream seed proptest
+//! draws — preserves exactly-once completion, strands no tagged job,
+//! and reconciles the broker books. The campaigns are deliberately
+//! small (a few rounds, a cheap echo kernel) so the property runs in
+//! CI time; the full-size schedules live in the `churn` bench.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use libwb::Dataset;
+use wb_obs::Recorder;
+use wb_worker::{DatasetCase, JobAction, JobRequest, LabSpec, WorkerConfig};
+use webgpu::{run_campaign, ChaosConfig, ClusterBuilder, Zone};
+
+/// A minimal job that grades clean on a healthy cluster: echo one
+/// vector back. Tagged arrivals ask for `mpi`, which the whole fleet
+/// advertises here — what's under test is churn bookkeeping, not
+/// capability routing.
+fn echo_job(job_id: u64, tagged: bool) -> JobRequest {
+    let mut spec = LabSpec::cuda_test("chaos-prop");
+    spec.course = "hpp".to_string();
+    if tagged {
+        spec.tags.insert("mpi".into());
+    }
+    JobRequest {
+        job_id,
+        user: format!("u{job_id}"),
+        source: r#"
+            int main() {
+                int n;
+                float* a = wbImportVector(0, &n);
+                wbSolution(a, n);
+                return 0;
+            }
+        "#
+        .to_string(),
+        spec,
+        datasets: vec![DatasetCase {
+            name: "d0".into(),
+            inputs: vec![Dataset::Vector(vec![1.0, 2.0])],
+            expected: Dataset::Vector(vec![1.0, 2.0]),
+        }],
+        action: JobAction::FullGrade,
+    }
+}
+
+fn mpi_image() -> WorkerConfig {
+    WorkerConfig {
+        capabilities: ["cuda", "mpi"].into(),
+        ..WorkerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// v2: however the schedule falls, every admitted job completes
+    /// exactly once and no tagged job is stranded.
+    #[test]
+    fn any_seeded_schedule_preserves_exactly_once_on_v2(
+        seed in any::<u64>(),
+        rounds in 6u64..14,
+        mttf in 2u64..8,
+        revive_after in 1u64..4,
+        tagged_every in 0u64..4,
+        forced_round in 0u64..6,
+    ) {
+        let obs = Arc::new(Recorder::traced());
+        let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+            .fleet(3)
+            .shards(1)
+            .traced(Arc::clone(&obs))
+            .broker_tuning(5, 50)
+            .worker_config(mpi_image())
+            .build_v2();
+        let cfg = ChaosConfig {
+            seed,
+            rounds,
+            ms_per_round: 50,
+            arrivals_per_round: 2,
+            tagged_every,
+            mttf_rounds_on_demand: mttf,
+            revive_after_rounds: revive_after,
+            forced_kills: vec![(forced_round, Zone::Primary)],
+            min_alive: 1,
+            drain_rounds: 120,
+            ..ChaosConfig::default()
+        };
+        let report = run_campaign(&cluster, &obs, &cfg, echo_job);
+        prop_assert!(
+            report.is_clean(),
+            "violations under seed {seed:#x}: {:?}",
+            report.violations
+        );
+        prop_assert_eq!(report.completed, report.admitted);
+        prop_assert_eq!(report.jobs_lost(), 0);
+        prop_assert_eq!(report.stranded_tagged, 0);
+        prop_assert_eq!(report.dead_lettered, 0);
+        prop_assert_eq!(report.books_delta, 0);
+    }
+
+    /// v1 (single-AZ, push dispatch): the same property holds — and
+    /// the same seed replays to the same campaign.
+    #[test]
+    fn any_seeded_schedule_preserves_exactly_once_on_v1(
+        seed in any::<u64>(),
+        rounds in 5u64..10,
+        mttf in 3u64..8,
+    ) {
+        let run = || {
+            let obs = Arc::new(Recorder::traced());
+            let cluster = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
+                .fleet(3)
+                .shards(1)
+                .traced(Arc::clone(&obs))
+                .build_v1();
+            let cfg = ChaosConfig {
+                seed,
+                rounds,
+                ms_per_round: 50,
+                arrivals_per_round: 1,
+                mttf_rounds_on_demand: mttf,
+                revive_after_rounds: 2,
+                min_alive: 1,
+                drain_rounds: 60,
+                ..ChaosConfig::default()
+            };
+            run_campaign(&cluster, &obs, &cfg, echo_job)
+        };
+        let a = run();
+        prop_assert!(a.is_clean(), "violations: {:?}", a.violations);
+        prop_assert_eq!(a.completed, a.admitted);
+        let b = run();
+        prop_assert_eq!(a.admitted, b.admitted, "same seed, same campaign");
+        prop_assert_eq!(a.kills, b.kills);
+        prop_assert_eq!(a.completed, b.completed);
+    }
+}

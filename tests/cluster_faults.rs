@@ -1,12 +1,14 @@
 //! Fault-tolerance integration (experiment S4 in DESIGN.md):
 //! worker crashes, health-check eviction, broker failover, config
 //! pushes — "designed to be a fault tolerant system" (§III).
-
-use std::collections::BTreeSet;
+//!
+//! Every fault is injected through [`webgpu::FleetControl`] — the
+//! same surface the chaos harness and the autoscaler use — instead of
+//! poking worker handles directly.
 
 use wb_labs::LabScale;
 use wb_worker::{JobAction, JobRequest};
-use webgpu::{AutoscalePolicy, ClusterBuilder};
+use webgpu::{AutoscalePolicy, ClusterBuilder, FleetControl};
 
 fn vecadd_request(job_id: u64) -> JobRequest {
     let lab = wb_labs::definition("vecadd", LabScale::Small).unwrap();
@@ -29,7 +31,10 @@ fn v1_survives_a_mid_course_worker_crash() {
         assert!(c.submit(&vecadd_request(j), 0).is_ok());
     }
     // One node dies.
-    c.worker(1).unwrap().crash();
+    let ids: Vec<u64> = c.describe_fleet().workers.iter().map(|w| w.id).collect();
+    assert!(c.kill_worker(ids[1]));
+    assert!(!c.kill_worker(ids[1]), "already dead");
+    assert_eq!(c.describe_fleet().alive(), 2);
     // Every subsequent job still completes (retried onto live nodes).
     for j in 3..9 {
         let out = c.submit(&vecadd_request(j), 0).unwrap();
@@ -49,9 +54,11 @@ fn v1_recovered_worker_rejoins_before_eviction() {
         .fleet(2)
         .build_v1();
     c.health_sweep(0);
-    c.worker(0).unwrap().crash();
+    let victim = c.describe_fleet().workers[0].id;
+    assert!(c.kill_worker(victim));
     // Recovers before the timeout window closes.
-    c.worker(0).unwrap().recover();
+    assert!(c.revive_worker(victim));
+    assert!(!c.revive_worker(victim), "already alive");
     assert!(c.health_sweep(webgpu::v1::HEALTH_TIMEOUT_MS / 2).is_empty());
     assert_eq!(c.pool_size(), 2);
     assert!(c.submit(&vecadd_request(1), 0).is_ok());
@@ -77,17 +84,23 @@ fn v2_jobs_survive_broker_zone_failure() {
 
 #[test]
 fn v2_worker_crash_leaves_job_for_the_fleet() {
+    // Short visibility timeout: a killed pull-worker takes any
+    // delivery in hand dark with it, and the reclaim clock has to fit
+    // inside the pump budget.
     let c = ClusterBuilder::new(minicuda::DeviceConfig::test_small())
         .fleet(2)
         .policy(AutoscalePolicy::Static(2))
+        .broker_tuning(2, 5)
         .build_v2();
-    c.worker(0).unwrap().crash();
+    let victim = c.describe_fleet().workers[0].id;
+    assert!(c.kill_worker(victim));
     c.enqueue(vecadd_request(1), 0);
     let mut done = 0;
     for r in 0..10 {
         done += c.pump(r);
     }
     assert_eq!(done, 1, "the live worker took the job");
+    assert_eq!(c.describe_fleet().alive(), 1);
 }
 
 #[test]
@@ -111,7 +124,7 @@ fn v2_config_push_retargets_the_whole_fleet() {
         assert_eq!(c.pump(r), 0);
     }
     c.config.update(|cfg| {
-        cfg.capabilities = BTreeSet::from(["cuda".into(), "mpi".into(), "multi-gpu".into()]);
+        cfg.capabilities = ["cuda", "mpi", "multi-gpu"].into();
         cfg.image = "webgpu/full".to_string();
     });
     let mut done = 0;

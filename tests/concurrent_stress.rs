@@ -40,7 +40,7 @@ fn concurrent_pump_completes_every_job_exactly_once() {
     for j in 0..JOBS {
         let mut req = vecadd_request(j);
         if j % 5 == 0 {
-            req.spec.tags.insert("mpi".to_string());
+            req.spec.tags.insert("mpi".into());
         }
         c.enqueue(req, 0);
     }

@@ -53,7 +53,7 @@ fn every_job_leaves_one_complete_ordered_span() {
     for j in 0..JOBS {
         let mut req = vecadd_request(j, j % 16);
         if j % 5 == 0 {
-            req.spec.tags.insert("mpi".to_string());
+            req.spec.tags.insert("mpi".into());
         }
         c.enqueue(req, j);
     }
